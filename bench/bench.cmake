@@ -1,0 +1,23 @@
+# Bench binaries land directly in build/bench/ (and nothing else does),
+# so `for b in build/bench/*; do $b; done` runs the whole suite.
+function(rhsd_bench name)
+  add_executable(${name} ${CMAKE_CURRENT_SOURCE_DIR}/bench/${name}.cpp)
+  target_link_libraries(${name} PRIVATE rhsd)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+rhsd_bench(bench_table1_min_rates)
+rhsd_bench(bench_fig1_two_sided)
+rhsd_bench(bench_fig2_setups)
+rhsd_bench(bench_fig3_ext4_exploit)
+rhsd_bench(bench_sec43_probability)
+rhsd_bench(bench_feasibility_matrix)
+rhsd_bench(bench_mitigations)
+rhsd_bench(bench_layout_ablation)
+rhsd_bench(bench_sec32_outcomes)
+rhsd_bench(bench_self_hammer)
+rhsd_bench(bench_ftl_behaviour)
+
+rhsd_bench(bench_micro)
+target_link_libraries(bench_micro PRIVATE benchmark::benchmark)

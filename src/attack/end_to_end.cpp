@@ -1,0 +1,229 @@
+#include "attack/end_to_end.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace rhsd {
+
+EndToEndAttack::EndToEndAttack(CloudHost& host, EndToEndConfig config)
+    : host_(host), config_(std::move(config)) {
+  SsdDevice& ssd = host_.ssd();
+  const L2pLayout* plan = &ssd.ftl().layout();
+  if (config_.assume_linear_layout) {
+    planning_layout_ = std::make_unique<LinearL2pLayout>(
+        plan->base(), plan->num_entries());
+    plan = planning_layout_.get();
+  }
+  row_map_ = std::make_unique<L2pRowMap>(*plan, ssd.dram().mapper());
+  finder_ = std::make_unique<AggressorFinder>(*row_map_);
+
+  const auto [vfirst, vlast] = host_.partition_range(host_.victim_tenant());
+  const auto [afirst, alast] =
+      host_.partition_range(host_.attacker_tenant());
+  victim_range_ = LpnRange{vfirst.value(), vlast.value()};
+  attacker_range_ = LpnRange{afirst.value(), alast.value()};
+  // Half-Double drives distance-2 rows, so its placement sets are found
+  // differently (and exist under different remap shapes).
+  triples_ = config_.mode == HammerMode::kHalfDouble
+                 ? finder_->half_double_triples(attacker_range_,
+                                                victim_range_)
+                 : finder_->cross_partition_triples(attacker_range_,
+                                                    victim_range_);
+  triple_scores_.assign(triples_.size(), 0.0);
+}
+
+std::vector<std::uint32_t> EndToEndAttack::targets_for_cycle(
+    std::uint32_t cycle) const {
+  // Sweep the victim partition's data zone window by window ("repeat the
+  // process as necessary … to map other LBAs", §4.2).
+  const auto& super = host_.victim_fs().super();
+  const std::uint64_t zone_start = super.data_start;
+  const std::uint64_t zone_len = super.total_blocks - zone_start;
+  const std::uint64_t window = config_.targets_per_cycle;
+  std::vector<std::uint32_t> targets;
+  targets.reserve(window);
+  const std::uint64_t base =
+      config_.sweep_targets ? (cycle * window) % zone_len : 0;
+  for (std::uint64_t i = 0; i < window; ++i) {
+    targets.push_back(
+        static_cast<std::uint32_t>(zone_start + (base + i) % zone_len));
+  }
+  return targets;
+}
+
+bool EndToEndAttack::contains_marker(std::span<const std::uint8_t> block,
+                                     std::span<const std::uint8_t> marker) {
+  if (marker.empty() || block.size() < marker.size()) return false;
+  return std::search(block.begin(), block.end(), marker.begin(),
+                     marker.end()) != block.end();
+}
+
+StatusOr<EndToEndReport> EndToEndAttack::run() {
+  EndToEndReport report;
+  report.cross_partition_triples =
+      static_cast<std::uint32_t>(triples_.size());
+  if (triples_.empty()) {
+    // No cross-partition double-sided placement exists (e.g. linear
+    // mapping): the attack cannot start.
+    return report;
+  }
+
+  SsdDevice& ssd = host_.ssd();
+  fs::FileSystem& vfs = host_.victim_fs();
+  const fs::Credentials attacker_cred{kAttackerUid};
+  Sprayer sprayer(vfs, attacker_cred);
+  BitflipScanner scanner(vfs, attacker_cred);
+  HammerOrchestrator hammer(host_.attacker_tenant(), *finder_,
+                            attacker_range_);
+
+  const std::uint64_t attacker_blocks =
+      host_.attacker_tenant().blocks();
+  const std::uint64_t fa = config_.attacker_spray_blocks != 0
+                               ? config_.attacker_spray_blocks
+                               : attacker_blocks / 2;
+
+  const double t0 = ssd.clock().now_seconds();
+  for (std::uint32_t cycle = 0; cycle < config_.max_cycles; ++cycle) {
+    CycleReport cr;
+    cr.cycle = cycle;
+    const double cycle_start = ssd.clock().now_seconds();
+    const std::uint64_t flips_start = ssd.dram().stats().bitflips;
+
+    const std::vector<std::uint32_t> targets = targets_for_cycle(cycle);
+
+    // 1. Spray the victim filesystem (unprivileged process).
+    auto spray_or =
+        sprayer.spray(config_.spray_dir, config_.files_per_cycle, targets);
+    if (!spray_or.ok()) {
+      if (spray_or.status().code() == StatusCode::kPermissionDenied) {
+        // §5 extent enforcement: indirect files are refused, so the
+        // spraying stage — and with it the exploit — cannot start.
+        report.cycles.push_back(cr);
+        ++report.cycles_run;
+        break;
+      }
+      // Earlier flips corrupted victim filesystem state (or the ECC /
+      // reference-tag mitigations turned the corruption into hard
+      // errors): the §3.2 "data corruption" outcome.
+      report.victim_fs_corrupted = true;
+      report.corruption_detail = spray_or.status().to_string();
+      report.cycles.push_back(cr);
+      ++report.cycles_run;
+      break;
+    }
+    SprayOutcome spray = std::move(spray_or).value();
+    cr.sprayed_files = spray.files.size();
+
+    // 2. Spray the attacker partition (privileged inside its own VM).
+    auto attacker_spray = Sprayer::SprayAttackerPartition(
+        host_.attacker_tenant(), /*first_slba=*/0, fa, targets);
+    if (!attacker_spray.ok()) {
+      // Device-level errors (e.g. ECC-detected table corruption).
+      report.victim_fs_corrupted = true;
+      report.corruption_detail = attacker_spray.status().to_string();
+      report.cycles.push_back(cr);
+      ++report.cycles_run;
+      break;
+    }
+
+    // 3. Hammer the cross-partition triples.
+    const std::uint32_t limit =
+        config_.max_triples_per_cycle != 0
+            ? std::min<std::uint32_t>(
+                  config_.max_triples_per_cycle,
+                  static_cast<std::uint32_t>(triples_.size()))
+            : static_cast<std::uint32_t>(triples_.size());
+    std::vector<std::size_t> chosen;
+    chosen.reserve(limit);
+    if (config_.adaptive_templating && !triple_scores_.empty()) {
+      // Exploit the highest-credit sets, keep exploring with the rest
+      // of the budget (online templating, §4.2).
+      std::vector<std::size_t> by_score(triples_.size());
+      for (std::size_t i = 0; i < by_score.size(); ++i) by_score[i] = i;
+      std::stable_sort(by_score.begin(), by_score.end(),
+                       [this](std::size_t a, std::size_t b) {
+                         return triple_scores_[a] > triple_scores_[b];
+                       });
+      const std::uint32_t exploit_share = limit / 2;
+      for (std::uint32_t i = 0;
+           i < exploit_share && triple_scores_[by_score[i]] > 0; ++i) {
+        chosen.push_back(by_score[i]);
+      }
+      for (std::uint32_t i = 0; chosen.size() < limit; ++i) {
+        const std::size_t idx =
+            (static_cast<std::size_t>(cycle) * limit + i) %
+            triples_.size();
+        if (std::find(chosen.begin(), chosen.end(), idx) == chosen.end()) {
+          chosen.push_back(idx);
+        }
+        if (i > triples_.size() + limit) break;  // safety
+      }
+    } else {
+      // Deterministic rotation so coverage grows over cycles.
+      for (std::uint32_t i = 0; i < limit; ++i) {
+        chosen.push_back(
+            (static_cast<std::size_t>(cycle) * limit + i) %
+            triples_.size());
+      }
+    }
+    for (const std::size_t idx : chosen) {
+      auto stats = hammer.hammer_triple(triples_[idx], config_.mode,
+                                        config_.hammer_seconds_per_triple);
+      if (stats.ok()) {
+        cr.hammer_reads += stats->reads_issued;
+      }
+    }
+
+    // 4. Scan sprayed files for redirected indirect blocks.
+    auto hits_or = scanner.scan(spray.files, targets);
+    if (!hits_or.ok()) {
+      report.victim_fs_corrupted = true;
+      report.corruption_detail = hits_or.status().to_string();
+      report.cycles.push_back(cr);
+      ++report.cycles_run;
+      break;
+    }
+    const std::vector<ScanHit> hits = std::move(hits_or).value();
+    cr.scan_hits = static_cast<std::uint32_t>(hits.size());
+    if (config_.adaptive_templating && !hits.empty()) {
+      // The attacker cannot attribute a hit to one specific set, so
+      // every set hammered this cycle shares the credit.
+      for (const std::size_t idx : chosen) {
+        triple_scores_[idx] += static_cast<double>(hits.size()) /
+                               static_cast<double>(chosen.size());
+      }
+    }
+
+    // 5. Dump through every hit and look for the secret.
+    for (const ScanHit& hit : hits) {
+      auto dumped =
+          scanner.dump(spray.files[hit.file_index], config_.dump_blocks);
+      if (!dumped.ok()) continue;
+      for (const auto& block : *dumped) {
+        if (contains_marker(block, config_.secret_marker)) {
+          report.success = true;
+          report.leaked_secret = block;
+          cr.secret_found = true;
+          break;
+        }
+      }
+      if (report.success) break;
+    }
+
+    cr.new_flips = ssd.dram().stats().bitflips - flips_start;
+    cr.sim_seconds = ssd.clock().now_seconds() - cycle_start;
+    report.cycles.push_back(cr);
+    report.total_flips += cr.new_flips;
+    report.total_hammer_reads += cr.hammer_reads;
+    ++report.cycles_run;
+
+    if (report.success) break;
+
+    // 6. Re-spray next cycle with fresh files/targets.
+    RHSD_RETURN_IF_ERROR(sprayer.unspray(spray.files));
+  }
+  report.total_sim_seconds = ssd.clock().now_seconds() - t0;
+  return report;
+}
+
+}  // namespace rhsd

@@ -1,0 +1,119 @@
+// The full §4.2 attack loop: spray → hammer → scan → dump, repeated.
+//
+// Runs against a CloudHost exactly as the paper stages it: the
+// unprivileged attacker process inside the victim VM sprays files and
+// scans them; the co-located attacker VM sprays its own partition and
+// drives the hammering reads; everything flows through ordinary NVMe
+// commands and filesystem calls.  Success = the content of the victim's
+// root-only secret file appears in a block the attacker dumped through
+// one of its own files.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attack/aggressor_finder.hpp"
+#include "attack/bitflip_scanner.hpp"
+#include "attack/hammer_orchestrator.hpp"
+#include "attack/sprayer.hpp"
+#include "cloud/cloud_host.hpp"
+
+namespace rhsd {
+
+struct EndToEndConfig {
+  std::uint32_t files_per_cycle = 192;
+  std::uint32_t max_cycles = 12;
+  /// Simulated seconds of hammering per triple per cycle (a few refresh
+  /// windows is enough at testbed rates).
+  double hammer_seconds_per_triple = 0.15;
+  /// Cap on triples hammered per cycle (0 = all).
+  std::uint32_t max_triples_per_cycle = 12;
+  HammerMode mode = HammerMode::kDoubleSided;
+  /// Blocks dumped through each redirected file.
+  std::uint32_t dump_blocks = 64;
+  /// Target window size per cycle (pointer slots in the malicious
+  /// image; <= 1024).
+  std::uint32_t targets_per_cycle = 512;
+  /// Advance the target window every cycle (the paper's "dump the
+  /// entire victim partition" sweep).  false = keep aiming at the first
+  /// window, e.g. when the interesting data sits at known offsets.
+  bool sweep_targets = true;
+  /// Attacker-partition spray size in blocks (F_a); 0 = fill half.
+  std::uint64_t attacker_spray_blocks = 0;
+  /// Byte pattern identifying the victim secret in dumped blocks.
+  std::vector<std::uint8_t> secret_marker;
+  std::string spray_dir = "/spray";
+  /// Attack planning assumes a linear L2P layout even if the device uses
+  /// something else.  Models §5's keyed-randomization mitigation: the
+  /// attacker cannot learn the secret layout offline and plans wrong.
+  bool assume_linear_layout = false;
+  /// §4.2: "rowhammerability … must be tested online and on the specific
+  /// device."  When enabled, the attacker learns across cycles: triples
+  /// hammered in cycles that produced scan hits earn credit and are
+  /// prioritized, while a share of the budget keeps exploring untried
+  /// sets.  Off by default (deterministic round-robin).
+  bool adaptive_templating = false;
+};
+
+struct CycleReport {
+  std::uint32_t cycle = 0;
+  std::uint64_t sprayed_files = 0;
+  std::uint64_t new_flips = 0;
+  std::uint64_t hammer_reads = 0;
+  std::uint32_t scan_hits = 0;
+  bool secret_found = false;
+  double sim_seconds = 0.0;  // simulated time this cycle took
+};
+
+struct EndToEndReport {
+  bool success = false;
+  std::uint32_t cycles_run = 0;
+  double total_sim_seconds = 0.0;
+  std::uint64_t total_flips = 0;
+  std::uint64_t total_hammer_reads = 0;
+  std::uint32_t cross_partition_triples = 0;
+  std::vector<std::uint8_t> leaked_secret;  // dumped block with marker
+  std::vector<CycleReport> cycles;
+  /// §3.2's first outcome, "data corruption": flips wrecked victim
+  /// filesystem state badly enough that the attack loop itself hit hard
+  /// errors and had to stop.  (With ECC or reference tags the errors
+  /// are *detected* Corruption statuses; without them they are silent
+  /// garbage that may still break FS invariants.)
+  bool victim_fs_corrupted = false;
+  std::string corruption_detail;
+};
+
+class EndToEndAttack {
+ public:
+  EndToEndAttack(CloudHost& host, EndToEndConfig config);
+
+  /// Run up to max_cycles attack cycles; stops at first success.
+  StatusOr<EndToEndReport> run();
+
+  [[nodiscard]] const L2pRowMap& row_map() const { return *row_map_; }
+  [[nodiscard]] const AggressorFinder& finder() const { return *finder_; }
+  [[nodiscard]] const std::vector<TripleSet>& triples() const {
+    return triples_;
+  }
+
+ private:
+  [[nodiscard]] std::vector<std::uint32_t> targets_for_cycle(
+      std::uint32_t cycle) const;
+  [[nodiscard]] static bool contains_marker(
+      std::span<const std::uint8_t> block,
+      std::span<const std::uint8_t> marker);
+
+  CloudHost& host_;
+  EndToEndConfig config_;
+  std::unique_ptr<L2pLayout> planning_layout_;  // when assuming linear
+  std::unique_ptr<L2pRowMap> row_map_;
+  std::unique_ptr<AggressorFinder> finder_;
+  std::vector<TripleSet> triples_;
+  std::vector<double> triple_scores_;  // online-templating credit
+  LpnRange attacker_range_;
+  LpnRange victim_range_;
+};
+
+}  // namespace rhsd

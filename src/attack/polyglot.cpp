@@ -1,0 +1,118 @@
+#include "attack/polyglot.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "fs/layout.hpp"
+
+namespace rhsd {
+
+const char* to_string(ExecOutcome outcome) {
+  switch (outcome) {
+    case ExecOutcome::kRunsOriginal: return "runs-original";
+    case ExecOutcome::kRunsAttackerCode: return "ATTACKER-CODE";
+    case ExecOutcome::kCrashes: return "crashes";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> Polyglot::MakeBlock(
+    std::span<const std::uint8_t> payload_marker, std::uint32_t max_block) {
+  RHSD_CHECK_MSG(payload_marker.size() <= fs::kMaxNameLen,
+                 "payload marker must fit a dirent name");
+  RHSD_CHECK(max_block > 64);
+  std::vector<std::uint8_t> block(kBlockSize, 0);
+
+  // Word 0: the ELF magic (the "executable" face).  This is the one
+  // word that cannot double as an in-range pointer — a filesystem
+  // following it as ptr[0] gets a read error, every other slot works.
+  std::memcpy(block.data(), kElfMagic, sizeof(kElfMagic));
+
+  // Words 1..1023: small in-range block numbers (the "indirect pointer
+  // array" face).  Values are kept <= 48 in their low byte so that the
+  // same bytes read as sane dirent name_len/type fields.
+  for (std::uint32_t w = 1; w < fs::kPtrsPerBlock; ++w) {
+    const std::uint32_t ptr = 8 + (w * 2) % 40;  // in [8, 48)
+    std::memcpy(block.data() + w * 4, &ptr, 4);
+  }
+
+  // Dirent slot 1 (bytes 64..128): a fully well-formed directory entry
+  // whose name bytes carry the attacker payload (the "file metadata"
+  // face + the shellcode marker the victim-process model recognizes).
+  fs::DirentDisk dirent{};
+  dirent.ino = 12;
+  dirent.name_len = static_cast<std::uint8_t>(payload_marker.size());
+  dirent.type = fs::kDtReg;
+  std::memcpy(dirent.name, payload_marker.data(), payload_marker.size());
+  std::memcpy(block.data() + fs::kDirentSize, &dirent, sizeof(dirent));
+
+  return block;
+}
+
+std::vector<std::uint8_t> Polyglot::MakeOriginalBinaryBlock(
+    std::uint32_t block_index) {
+  std::vector<std::uint8_t> block(kBlockSize, 0);
+  std::memcpy(block.data(), kElfMagic, sizeof(kElfMagic));
+  // Deterministic "program text".
+  std::uint64_t state = 0x5E7F00D ^ block_index;
+  for (std::size_t i = 8; i + 8 <= block.size(); i += 8) {
+    const std::uint64_t word = SplitMix64(state);
+    std::memcpy(block.data() + i, &word, 8);
+  }
+  return block;
+}
+
+ExecOutcome Polyglot::CheckExecution(
+    std::span<const std::uint8_t> first_block,
+    std::span<const std::uint8_t> payload_marker) {
+  if (first_block.size() < 8 ||
+      std::memcmp(first_block.data(), kElfMagic, sizeof(kElfMagic)) != 0) {
+    return ExecOutcome::kCrashes;
+  }
+  if (!payload_marker.empty() &&
+      std::search(first_block.begin(), first_block.end(),
+                  payload_marker.begin(),
+                  payload_marker.end()) != first_block.end()) {
+    return ExecOutcome::kRunsAttackerCode;
+  }
+  return ExecOutcome::kRunsOriginal;
+}
+
+bool Polyglot::LooksLikeExecutable(std::span<const std::uint8_t> block) {
+  return block.size() >= 4 &&
+         std::memcmp(block.data(), kElfMagic, sizeof(kElfMagic)) == 0;
+}
+
+bool Polyglot::ValidAsIndirectArray(std::span<const std::uint8_t> block,
+                                    std::uint32_t max_block) {
+  if (block.size() != kBlockSize) return false;
+  // Every pointer slot except the magic word must be absent (0) or an
+  // in-range block number.
+  for (std::uint32_t w = 1; w < fs::kPtrsPerBlock; ++w) {
+    std::uint32_t ptr;
+    std::memcpy(&ptr, block.data() + w * 4, 4);
+    if (ptr != 0 && ptr >= max_block) return false;
+  }
+  return true;
+}
+
+bool Polyglot::ValidAsDirentBlock(std::span<const std::uint8_t> block,
+                                  std::uint32_t max_inode) {
+  if (block.size() != kBlockSize) return false;
+  bool any_entry = false;
+  for (std::uint32_t s = 0; s < fs::kDirentsPerBlock; ++s) {
+    fs::DirentDisk dirent;
+    std::memcpy(&dirent, block.data() + s * fs::kDirentSize,
+                sizeof(dirent));
+    if (dirent.ino == 0) continue;  // free slot, always fine
+    // Shape checks a lax directory reader would rely on.
+    if (dirent.name_len > fs::kMaxNameLen) return false;
+    if (dirent.type > fs::kDtDir) return false;
+    if (dirent.ino <= max_inode) any_entry = true;
+  }
+  return any_entry;
+}
+
+}  // namespace rhsd

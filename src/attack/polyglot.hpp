@@ -1,0 +1,72 @@
+// Polyglot blocks and the §3.2 privilege-escalation primitive.
+//
+// "Attacker bitflips that redirect the victim's LBAs to attacker PBAs
+// will grant attackers a *write-something-somewhere* primitive: both the
+// location and the contents of the victim data are not known in advance.
+// … the attacker needs to blindly spray the disk with polyglot blocks
+// [21], i.e., blocks that are valid as executable code, file data, and
+// file metadata. Replacing a victim LBA in a sensitive file with a
+// polyglot block can result in a privilege escalation. For example,
+// rewriting a binary executable that has setuid permission (e.g. sudo)
+// can result in executing malicious code as root."
+//
+// The simulation's stand-ins:
+//  * "executable code"  — a block beginning with the ELF magic whose
+//    entry payload carries an attacker marker; the victim-process model
+//    "executes" a binary by checking its leading block's interpretation;
+//  * "file data"        — any bytes qualify;
+//  * "file metadata"    — the same bytes parse as an indirect pointer
+//    array (all u32 words are 0 or in-range block numbers) and as a
+//    directory block (fixed 64-byte dirent slots with sane fields).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rhsd {
+
+/// What a victim process finds when it "executes" a binary image.
+enum class ExecOutcome {
+  kRunsOriginal,       // untampered program
+  kRunsAttackerCode,   // polyglot payload executed — privilege escalation
+  kCrashes,            // unrecognizable image (plain corruption)
+};
+
+[[nodiscard]] const char* to_string(ExecOutcome outcome);
+
+/// The 4-byte ELF magic our executables (and polyglots) start with.
+inline constexpr std::uint8_t kElfMagic[4] = {0x7F, 'E', 'L', 'F'};
+
+class Polyglot {
+ public:
+  /// Build one 4 KiB polyglot block.  `payload_marker` is the attacker
+  /// shellcode stand-in (recognized by CheckExecution); every 4-byte
+  /// word is kept inside [0, max_block) so the block also parses as an
+  /// indirect pointer array, and the 64-byte slots carry dirent-shaped
+  /// fields.
+  [[nodiscard]] static std::vector<std::uint8_t> MakeBlock(
+      std::span<const std::uint8_t> payload_marker,
+      std::uint32_t max_block);
+
+  /// A legitimate "binary" image block (ELF magic + program bytes).
+  [[nodiscard]] static std::vector<std::uint8_t> MakeOriginalBinaryBlock(
+      std::uint32_t block_index);
+
+  /// Victim-process model: interpret the image's first block.
+  [[nodiscard]] static ExecOutcome CheckExecution(
+      std::span<const std::uint8_t> first_block,
+      std::span<const std::uint8_t> payload_marker);
+
+  // Validity predicates (the "polyglot" property).
+  [[nodiscard]] static bool LooksLikeExecutable(
+      std::span<const std::uint8_t> block);
+  [[nodiscard]] static bool ValidAsIndirectArray(
+      std::span<const std::uint8_t> block, std::uint32_t max_block);
+  [[nodiscard]] static bool ValidAsDirentBlock(
+      std::span<const std::uint8_t> block, std::uint32_t max_inode);
+};
+
+}  // namespace rhsd

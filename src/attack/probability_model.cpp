@@ -1,0 +1,56 @@
+#include "attack/probability_model.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace rhsd {
+
+AttackParameters AttackParameters::PaperExample(double total_blocks) {
+  AttackParameters p;
+  p.logical_blocks = total_blocks;
+  p.physical_blocks = total_blocks;
+  p.victim_blocks = total_blocks / 2;
+  p.attacker_blocks = total_blocks / 2;
+  p.victim_spray = p.victim_blocks / 4;  // "conservatively … 25%"
+  p.attacker_spray = p.attacker_blocks;  // "100% of attacker partition"
+  return p;
+}
+
+double SingleCycleSuccess(const AttackParameters& p) {
+  RHSD_CHECK(p.victim_blocks > 0 && p.physical_blocks > 0);
+  // F_v(F_v + 2 F_a) / (4 C_v PB)
+  return p.victim_spray * (p.victim_spray + 2.0 * p.attacker_spray) /
+         (4.0 * p.victim_blocks * p.physical_blocks);
+}
+
+double CumulativeSuccess(double per_cycle, int cycles) {
+  RHSD_CHECK(per_cycle >= 0.0 && per_cycle <= 1.0 && cycles >= 0);
+  return 1.0 - std::pow(1.0 - per_cycle, cycles);
+}
+
+double SimulateSingleCycle(const AttackParameters& p, Rng& rng,
+                           std::uint64_t trials) {
+  RHSD_CHECK(trials > 0);
+  const auto victim_blocks = static_cast<std::uint64_t>(p.victim_blocks);
+  const auto physical_blocks =
+      static_cast<std::uint64_t>(p.physical_blocks);
+  const auto sprayed_indirect =
+      static_cast<std::uint64_t>(p.victim_spray / 2.0);  // F_v/2
+  const auto malicious_blocks = static_cast<std::uint64_t>(
+      p.victim_spray / 2.0 + p.attacker_spray);  // F_v/2 + F_a
+
+  std::uint64_t successes = 0;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    // Where in the victim partition does the flip land?
+    const std::uint64_t flip_lba = rng.next_below(victim_blocks);
+    const bool hit_indirect = flip_lba < sprayed_indirect;
+    // Where does the corrupted entry now point?
+    const std::uint64_t new_pba = rng.next_below(physical_blocks);
+    const bool hit_malicious = new_pba < malicious_blocks;
+    if (hit_indirect && hit_malicious) ++successes;
+  }
+  return static_cast<double>(successes) / static_cast<double>(trials);
+}
+
+}  // namespace rhsd

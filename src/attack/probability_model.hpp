@@ -1,0 +1,48 @@
+// §4.3 success-probability model.
+//
+// "The probability that a bitflip happens on an LBA belonging to a
+// sprayed victim partition indirect block is (F_v/2)/C_v.  The
+// probability that the bitflipped L2P entry is redirected to a malicious
+// block is (F_v/2 + F_a)/PB.  Consequently, the combined probability of
+// getting a useful bitflip is F_v(F_v + 2F_a) / (4·C_v·PB)."
+//
+// The paper's worked example: equal partitions, attacker fills 25% of
+// the victim partition and 100% of its own ⇒ ~7% per cycle, >50% after
+// 10 cycles.  Besides the closed form, a Monte-Carlo simulation places
+// random flips in the table and random redirect targets, validating the
+// independence assumptions.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace rhsd {
+
+struct AttackParameters {
+  double logical_blocks = 0;   // LB
+  double physical_blocks = 0;  // PB
+  double victim_blocks = 0;    // C_v
+  double attacker_blocks = 0;  // C_a
+  double victim_spray = 0;     // F_v (blocks of sprayed victim files)
+  double attacker_spray = 0;   // F_a (malicious blocks in attacker part.)
+
+  /// The §4.3 worked example: C_a = C_v = PB/2 = LB/2,
+  /// F_v = C_v/4, F_a = C_a.
+  [[nodiscard]] static AttackParameters PaperExample(
+      double total_blocks = 262144.0);
+};
+
+/// Closed-form single-cycle success probability (§4.3).
+[[nodiscard]] double SingleCycleSuccess(const AttackParameters& p);
+
+/// P(success within n independent cycles) = 1 - (1-p)^n.
+[[nodiscard]] double CumulativeSuccess(double per_cycle, int cycles);
+
+/// Monte-Carlo estimate of the single-cycle probability: sample a flip
+/// position uniformly over victim-partition entries and a redirect
+/// target uniformly over physical blocks.
+[[nodiscard]] double SimulateSingleCycle(const AttackParameters& p,
+                                         Rng& rng, std::uint64_t trials);
+
+}  // namespace rhsd

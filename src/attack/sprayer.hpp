@@ -1,0 +1,82 @@
+// The filesystem-spraying stage (§4.2, Figure 3).
+//
+// "The attacker process inside the victim VM first sprays the victim
+// filesystem with files configured to use indirect blocks. Each file
+// includes a single indirect block pointing to a lone data block. The
+// attacker creates each file with a hole of 12 blocks (to avoid storing
+// direct data blocks) and then stores a single data block mapped using
+// an indirect block. The data blocks in turn contain a *maliciously
+// formed indirect block* pointing at target LBAs of potentially
+// privileged content."
+//
+// The attacker VM additionally sprays its own partition with raw blocks
+// of the same malicious indirect-image content, raising the §4.3 hit
+// probability (F_a term).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cloud/tenant.hpp"
+#include "common/status.hpp"
+#include "fs/filesystem.hpp"
+
+namespace rhsd {
+
+struct SprayedFile {
+  std::uint32_t ino = 0;
+  std::string path;
+  /// Filesystem block number of the file's L1 indirect block — the LBA
+  /// (within the victim partition) whose L2P entry a useful flip must
+  /// hit.
+  std::uint64_t indirect_fs_block = 0;
+  /// Filesystem block of the lone data block (holds the malicious
+  /// indirect image).
+  std::uint64_t data_fs_block = 0;
+};
+
+struct SprayOutcome {
+  std::vector<SprayedFile> files;
+  std::uint64_t blocks_consumed = 0;  // F_v: data + indirect blocks
+};
+
+class Sprayer {
+ public:
+  /// `fs` is the victim VM's filesystem; `cred` the unprivileged
+  /// attacker process inside that VM.
+  Sprayer(fs::FileSystem& fs, fs::Credentials cred)
+      : fs_(fs), cred_(cred) {}
+
+  /// Content of a malicious indirect block: ptr[i] = target_blocks[i]
+  /// (zero-padded).  After a useful flip the filesystem will interpret
+  /// this data as the file's pointer array.
+  [[nodiscard]] static std::vector<std::uint8_t> MaliciousIndirectImage(
+      std::span<const std::uint32_t> target_blocks);
+
+  /// Create `num_files` sprayed files under `dir` (created if needed),
+  /// each pointing its malicious image at `target_blocks`.  Stops early
+  /// (without error) if the filesystem runs out of space or inodes.
+  StatusOr<SprayOutcome> spray(const std::string& dir,
+                               std::uint32_t num_files,
+                               std::span<const std::uint32_t> target_blocks);
+
+  /// Delete previously sprayed files so a fresh cycle re-shuffles which
+  /// L2P entries hold indirect mappings ("re-spray the system with new
+  /// files, forcing the FTL to re-shuffle all address mappings", §4.2).
+  Status unspray(const std::vector<SprayedFile>& files);
+
+  /// Attacker-VM side: fill `num_blocks` of its own partition (starting
+  /// at `first_slba`) with the malicious image.  Returns blocks written
+  /// (F_a).
+  static StatusOr<std::uint64_t> SprayAttackerPartition(
+      Tenant& attacker, std::uint64_t first_slba, std::uint64_t num_blocks,
+      std::span<const std::uint32_t> target_blocks);
+
+ private:
+  fs::FileSystem& fs_;
+  fs::Credentials cred_;
+  std::uint32_t counter_ = 0;
+};
+
+}  // namespace rhsd

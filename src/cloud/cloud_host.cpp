@@ -1,0 +1,38 @@
+#include "cloud/cloud_host.hpp"
+
+namespace rhsd {
+
+CloudHost::CloudHost(SsdConfig config, const fs::FormatOptions& fs_options) {
+  RHSD_CHECK_MSG(config.partition_blocks.size() >= 2,
+                 "cloud host needs victim and attacker partitions");
+  ssd_ = std::make_unique<SsdDevice>(std::move(config));
+  victim_ = std::make_unique<Tenant>(
+      TenantConfig{"victim-vm", 1, /*direct_access=*/false},
+      ssd_->controller());
+  attacker_ = std::make_unique<Tenant>(
+      TenantConfig{"attacker-vm", 2, /*direct_access=*/true},
+      ssd_->controller());
+
+  victim_bdev_ =
+      std::make_unique<fs::NvmeBlockDevice>(ssd_->controller(), 1);
+  auto fs = fs::FileSystem::Format(*victim_bdev_, fs_options);
+  RHSD_CHECK_MSG(fs.ok(), "victim filesystem format failed: "
+                              << fs.status());
+  victim_fs_ = std::move(fs).value();
+}
+
+StatusOr<std::uint32_t> CloudHost::install_secret(
+    const std::string& path, std::span<const std::uint8_t> body) {
+  const fs::Credentials root{0};
+  RHSD_ASSIGN_OR_RETURN(const std::uint32_t ino,
+                        victim_fs_->create(root, path, 0600));
+  RHSD_RETURN_IF_ERROR(victim_fs_->write(root, ino, 0, body));
+  return ino;
+}
+
+std::pair<Lba, Lba> CloudHost::partition_range(const Tenant& t) const {
+  const auto& info = ssd_->controller().namespace_info(t.nsid());
+  return {info.start, info.start + info.blocks};
+}
+
+}  // namespace rhsd

@@ -1,0 +1,58 @@
+// The multi-tenant cloud server of Figure 2(b).
+//
+// One shared SSD; namespace 1 is the victim VM's partition (it runs the
+// mini-ext4 filesystem, with an unprivileged attacker process inside the
+// VM that can only create/read/write its own files), namespace 2 is the
+// attacker-controlled VM with privileged direct block access to its own
+// partition.  The underlying FTL and L2P table are shared — the whole
+// point of the attack.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "cloud/tenant.hpp"
+#include "fs/block_device.hpp"
+#include "fs/filesystem.hpp"
+#include "ssd/ssd_device.hpp"
+
+namespace rhsd {
+
+/// uid of the unprivileged attacker process inside the victim VM.
+inline constexpr std::uint16_t kAttackerUid = 1000;
+
+class CloudHost {
+ public:
+  /// `config` must define at least two partitions (victim first).
+  explicit CloudHost(SsdConfig config,
+                     const fs::FormatOptions& fs_options = {});
+
+  CloudHost(const CloudHost&) = delete;
+  CloudHost& operator=(const CloudHost&) = delete;
+
+  [[nodiscard]] SsdDevice& ssd() { return *ssd_; }
+  [[nodiscard]] Tenant& victim_tenant() { return *victim_; }
+  [[nodiscard]] Tenant& attacker_tenant() { return *attacker_; }
+  /// The victim VM's filesystem, formatted at construction.
+  [[nodiscard]] fs::FileSystem& victim_fs() { return *victim_fs_; }
+
+  /// Write a root-owned, mode-0600 secret file into the victim FS and
+  /// return its inode.  The attacker process cannot read it through the
+  /// filesystem API — leaking its content is the attack's goal.
+  StatusOr<std::uint32_t> install_secret(const std::string& path,
+                                         std::span<const std::uint8_t> body);
+
+  /// Device LBA range [first, last) of a tenant's partition.
+  [[nodiscard]] std::pair<Lba, Lba> partition_range(const Tenant& t) const;
+
+ private:
+  std::unique_ptr<SsdDevice> ssd_;
+  std::unique_ptr<Tenant> victim_;
+  std::unique_ptr<Tenant> attacker_;
+  std::unique_ptr<fs::NvmeBlockDevice> victim_bdev_;
+  std::unique_ptr<fs::FileSystem> victim_fs_;
+};
+
+}  // namespace rhsd

@@ -1,0 +1,30 @@
+#include "cloud/tenant.hpp"
+
+namespace rhsd {
+
+Status Tenant::require_direct() const {
+  if (!config_.direct_access) {
+    return PermissionDenied("tenant '" + config_.name +
+                            "' has no direct block access");
+  }
+  return Status::Ok();
+}
+
+Status Tenant::read_blocks(std::uint64_t slba,
+                           std::span<std::uint8_t> out) {
+  RHSD_RETURN_IF_ERROR(require_direct());
+  return controller_.read(config_.nsid, slba, out);
+}
+
+Status Tenant::write_blocks(std::uint64_t slba,
+                            std::span<const std::uint8_t> data) {
+  RHSD_RETURN_IF_ERROR(require_direct());
+  return controller_.write(config_.nsid, slba, data);
+}
+
+Status Tenant::trim_blocks(std::uint64_t slba, std::uint64_t nblocks) {
+  RHSD_RETURN_IF_ERROR(require_direct());
+  return controller_.trim(config_.nsid, slba, nblocks);
+}
+
+}  // namespace rhsd

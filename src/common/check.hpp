@@ -1,0 +1,49 @@
+// Internal invariant checking.
+//
+// RHSD_CHECK is for programming errors (violated preconditions and
+// invariants); it is active in all build types because the simulation's
+// value rests on its invariants holding.  Expected runtime failures
+// (I/O errors, permission denials) are reported via Status instead.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rhsd {
+
+/// Thrown when an internal invariant is violated. Deriving from
+/// std::logic_error signals "bug in the caller or in rhsd", not an
+/// environmental failure.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "RHSD_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+}  // namespace detail
+
+}  // namespace rhsd
+
+#define RHSD_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::rhsd::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define RHSD_CHECK_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream rhsd_check_os_;                              \
+      rhsd_check_os_ << msg;                                          \
+      ::rhsd::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                   rhsd_check_os_.str());             \
+    }                                                                 \
+  } while (0)

@@ -1,0 +1,35 @@
+#include "common/crc32c.hpp"
+
+#include <array>
+
+namespace rhsd {
+namespace {
+
+// Reflected CRC-32C, polynomial 0x1EDC6F41 (reversed: 0x82F63B78).
+constexpr std::uint32_t kPoly = 0x82F63B78u;
+
+constexpr std::array<std::uint32_t, 256> MakeTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr auto kTable = MakeTable();
+
+}  // namespace
+
+std::uint32_t Crc32c(std::span<const std::uint8_t> data, std::uint32_t seed) {
+  std::uint32_t crc = ~seed;
+  for (std::uint8_t byte : data) {
+    crc = kTable[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace rhsd

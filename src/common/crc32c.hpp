@@ -1,0 +1,18 @@
+// CRC-32C (Castagnoli), the checksum ext4 uses for extent-tree nodes.
+//
+// The paper's Figure 3 exploit hinges on the asymmetry that ext4 extent
+// trees carry CRC-32C but legacy indirect blocks do not; the mini
+// filesystem reproduces that, so it needs a faithful CRC-32C.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace rhsd {
+
+/// CRC-32C of `data`, chained from `seed` (pass 0 to start).
+[[nodiscard]] std::uint32_t Crc32c(std::span<const std::uint8_t> data,
+                                   std::uint32_t seed = 0);
+
+}  // namespace rhsd

@@ -1,0 +1,48 @@
+#include "common/hexdump.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace rhsd {
+
+std::string Hexdump(std::span<const std::uint8_t> data,
+                    std::size_t max_bytes) {
+  std::string out;
+  const std::size_t n = std::min(data.size(), max_bytes);
+  char line[128];
+  for (std::size_t off = 0; off < n; off += 16) {
+    int pos = std::snprintf(line, sizeof(line), "%08zx  ", off);
+    std::string ascii;
+    for (std::size_t i = 0; i < 16; ++i) {
+      if (off + i < n) {
+        const std::uint8_t byte = data[off + i];
+        pos += std::snprintf(line + pos, sizeof(line) - pos, "%02x ", byte);
+        ascii += std::isprint(byte) ? static_cast<char>(byte) : '.';
+      } else {
+        pos += std::snprintf(line + pos, sizeof(line) - pos, "   ");
+      }
+      if (i == 7) pos += std::snprintf(line + pos, sizeof(line) - pos, " ");
+    }
+    out.append(line, static_cast<std::size_t>(pos));
+    out += " |" + ascii + "|\n";
+  }
+  if (n < data.size()) out += "... (" + std::to_string(data.size() - n) +
+                              " more bytes)\n";
+  return out;
+}
+
+std::string HumanCount(double value) {
+  char buf[32];
+  if (value >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.1fG", value / 1e9);
+  } else if (value >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1fM", value / 1e6);
+  } else if (value >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.0fK", value / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+  }
+  return buf;
+}
+
+}  // namespace rhsd

@@ -1,0 +1,17 @@
+// Debug formatting helpers for examples and attack narration.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace rhsd {
+
+/// Classic 16-bytes-per-line hexdump with an ASCII gutter.
+[[nodiscard]] std::string Hexdump(std::span<const std::uint8_t> data,
+                                  std::size_t max_bytes = 256);
+
+/// "1.5M", "780K", "42" style humanization of a rate/count.
+[[nodiscard]] std::string HumanCount(double value);
+
+}  // namespace rhsd

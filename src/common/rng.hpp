@@ -1,0 +1,54 @@
+// Deterministic randomness for the simulation.
+//
+// Every stochastic element (DRAM manufacturing variation, workload
+// placement, Monte-Carlo trials) draws from an explicitly seeded Rng so
+// that all experiments reproduce bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.hpp"
+
+namespace rhsd {
+
+/// xoshiro256** seeded via SplitMix64. Small, fast, well distributed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi]. Requires lo <= hi.
+  std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// True with probability p (clamped to [0,1]).
+  bool next_bool(double p);
+
+  /// Standard normal via Box–Muller (one value per call; no caching so
+  /// the stream position stays easy to reason about).
+  double next_gaussian();
+
+  /// Log-normal with the given parameters of the underlying normal.
+  double next_lognormal(double mu, double sigma);
+
+  /// Derive an independent child generator (for per-subsystem streams).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// SplitMix64 step — also useful as a cheap 64-bit mixer/hash.
+[[nodiscard]] std::uint64_t SplitMix64(std::uint64_t& state);
+
+/// Stateless mix of a 64-bit value (SplitMix64 finalizer).
+[[nodiscard]] std::uint64_t Mix64(std::uint64_t x);
+
+}  // namespace rhsd

@@ -1,0 +1,38 @@
+// Simulated time.
+//
+// All temporal behaviour — DRAM refresh windows, achievable IOPS, attack
+// wall-clock estimates — is driven by one SimClock advanced by the models
+// (not by the host's real clock), which keeps experiments deterministic
+// and lets a "two hour" attack complete in milliseconds of host time.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.hpp"
+
+namespace rhsd {
+
+/// Nanosecond-resolution simulated clock.
+class SimClock {
+ public:
+  using Nanos = std::uint64_t;
+
+  [[nodiscard]] Nanos now_ns() const { return now_ns_; }
+  [[nodiscard]] double now_seconds() const {
+    return static_cast<double>(now_ns_) * 1e-9;
+  }
+
+  void advance_ns(Nanos delta) { now_ns_ += delta; }
+  void advance_seconds(double seconds) {
+    RHSD_CHECK(seconds >= 0.0);
+    now_ns_ += static_cast<Nanos>(seconds * 1e9);
+  }
+
+ private:
+  Nanos now_ns_ = 0;
+};
+
+inline constexpr SimClock::Nanos kNanosPerMilli = 1'000'000ull;
+inline constexpr SimClock::Nanos kNanosPerSecond = 1'000'000'000ull;
+
+}  // namespace rhsd

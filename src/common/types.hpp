@@ -1,0 +1,80 @@
+// Strong identifier types and storage-domain constants.
+//
+// The paper's core subject is confusion between logical block addresses
+// (LBAs) and physical block addresses (PBAs): a rowhammer bitflip in the
+// FTL's L2P table silently rebinds an LBA to the wrong PBA.  We therefore
+// make Lba and Pba distinct, non-convertible types throughout the library
+// so that only the FTL (and a successful attack) can cross the boundary.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace rhsd {
+
+/// A strongly typed integer id. Tag makes instantiations non-convertible.
+template <typename Tag, typename Rep = std::uint64_t>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep value) : value_(value) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+  /// Offset arithmetic stays within the same id space.
+  friend constexpr StrongId operator+(StrongId a, Rep delta) {
+    return StrongId(a.value_ + delta);
+  }
+  friend constexpr StrongId operator-(StrongId a, Rep delta) {
+    return StrongId(a.value_ - delta);
+  }
+  friend constexpr Rep operator-(StrongId a, StrongId b) {
+    return a.value_ - b.value_;
+  }
+  constexpr StrongId& operator++() {
+    ++value_;
+    return *this;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    return os << id.value_;
+  }
+
+ private:
+  Rep value_ = 0;
+};
+
+/// Logical block address: the address space the host sees.
+using Lba = StrongId<struct LbaTag>;
+/// Physical block address: a flash page location, FTL-internal.
+using Pba = StrongId<struct PbaTag>;
+/// Byte address within the SSD's on-board DRAM.
+using DramAddr = StrongId<struct DramAddrTag>;
+
+inline constexpr std::size_t kKiB = 1024;
+inline constexpr std::size_t kMiB = 1024 * kKiB;
+inline constexpr std::size_t kGiB = 1024 * kMiB;
+
+/// The I/O unit used throughout the paper (4 KiB NVMe reads/writes).
+inline constexpr std::size_t kBlockSize = 4 * kKiB;
+
+/// Sentinel for "LBA not mapped" inside the L2P table.
+inline constexpr std::uint32_t kUnmappedPba32 = 0xFFFFFFFFu;
+
+}  // namespace rhsd
+
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<rhsd::StrongId<Tag, Rep>> {
+  size_t operator()(rhsd::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+}  // namespace std

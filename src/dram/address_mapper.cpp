@@ -1,0 +1,157 @@
+#include "dram/address_mapper.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/rng.hpp"
+
+namespace rhsd {
+namespace {
+
+bool IsPow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+std::uint32_t Log2(std::uint64_t x) {
+  RHSD_CHECK(IsPow2(x));
+  return static_cast<std::uint32_t>(std::countr_zero(x));
+}
+
+}  // namespace
+
+LinearMapper::LinearMapper(const DramGeometry& geometry)
+    : AddressMapper(geometry) {}
+
+DramCoord LinearMapper::decode(DramAddr addr) const {
+  const std::uint64_t a = addr.value();
+  RHSD_CHECK_MSG(a < geometry_.total_bytes(), "DRAM address out of range");
+  const std::uint32_t col = static_cast<std::uint32_t>(a % geometry_.row_bytes);
+  const std::uint64_t row_seq = a / geometry_.row_bytes;
+  const std::uint32_t row =
+      static_cast<std::uint32_t>(row_seq % geometry_.rows_per_bank);
+  const std::uint32_t flat_bank =
+      static_cast<std::uint32_t>(row_seq / geometry_.rows_per_bank);
+  return DramCoord::FromFlatBank(geometry_, flat_bank, row, col);
+}
+
+DramAddr LinearMapper::encode(const DramCoord& coord) const {
+  RHSD_CHECK(coord.row < geometry_.rows_per_bank);
+  RHSD_CHECK(coord.col < geometry_.row_bytes);
+  const std::uint64_t row_seq =
+      static_cast<std::uint64_t>(coord.flat_bank(geometry_)) *
+          geometry_.rows_per_bank +
+      coord.row;
+  return DramAddr(row_seq * geometry_.row_bytes + coord.col);
+}
+
+XorMapper::XorMapper(const DramGeometry& geometry, XorMapperConfig config)
+    : AddressMapper(geometry), config_(std::move(config)) {
+  RHSD_CHECK(IsPow2(geometry.row_bytes));
+  RHSD_CHECK(IsPow2(geometry.rows_per_bank));
+  RHSD_CHECK(IsPow2(geometry.total_banks()));
+  col_bits_ = Log2(geometry.row_bytes);
+  row_bits_ = Log2(geometry.rows_per_bank);
+  bank_bits_ = Log2(geometry.total_banks());
+  il_bits_ = std::min(config_.interleaved_bank_bits, bank_bits_);
+  config_.interleaved_bank_bits = il_bits_;
+  if (config_.row_xor_masks.empty()) {
+    // Default DRAMA-flavored functions: each interleaved bank bit takes
+    // the parity of two row bits, staggered so that consecutive rows
+    // permute the bank-select field.
+    for (std::uint32_t i = 0; i < il_bits_; ++i) {
+      const std::uint64_t lo = 1ull << (i % row_bits_);
+      const std::uint64_t hi = 1ull << ((i + il_bits_) % row_bits_);
+      config_.row_xor_masks.push_back(lo | hi);
+    }
+  }
+  RHSD_CHECK_MSG(config_.row_xor_masks.size() == il_bits_,
+                 "need one XOR mask per interleaved bank bit");
+}
+
+std::uint32_t XorMapper::remap_row(std::uint32_t field) const {
+  const std::uint32_t bits = std::min(config_.row_remap_bits, row_bits_);
+  if (bits == 0) return field;
+  const std::uint32_t mask = (1u << bits) - 1;
+  const std::uint32_t rot = config_.row_remap_rotate % bits;
+  const std::uint32_t high = field >> bits;
+  const auto h = static_cast<std::uint32_t>(
+      Mix64(static_cast<std::uint64_t>(high) ^ config_.row_remap_salt) &
+      mask);
+  std::uint32_t low = field & mask;
+  // Rotate-left then XOR a per-group constant.  The rotation is the
+  // part that interleaves: consecutive physical rows differ in the
+  // *high* bit of the pre-image, i.e. they come from far-apart table
+  // offsets.
+  if (rot != 0) low = ((low << rot) | (low >> (bits - rot))) & mask;
+  return (field & ~mask) | (low ^ h);
+}
+
+std::uint32_t XorMapper::unremap_row(std::uint32_t phys) const {
+  const std::uint32_t bits = std::min(config_.row_remap_bits, row_bits_);
+  if (bits == 0) return phys;
+  const std::uint32_t mask = (1u << bits) - 1;
+  const std::uint32_t rot = config_.row_remap_rotate % bits;
+  const std::uint32_t high = phys >> bits;
+  const auto h = static_cast<std::uint32_t>(
+      Mix64(static_cast<std::uint64_t>(high) ^ config_.row_remap_salt) &
+      mask);
+  std::uint32_t low = (phys & mask) ^ h;
+  if (rot != 0) low = ((low >> rot) | (low << (bits - rot))) & mask;
+  return (phys & ~mask) | low;
+}
+
+std::uint32_t XorMapper::xor_of_row(std::uint32_t row) const {
+  std::uint32_t out = 0;
+  for (std::uint32_t i = 0; i < il_bits_; ++i) {
+    const auto parity =
+        std::popcount(static_cast<std::uint64_t>(row) &
+                      config_.row_xor_masks[i]) & 1;
+    out |= static_cast<std::uint32_t>(parity) << i;
+  }
+  return out;
+}
+
+DramCoord XorMapper::decode(DramAddr addr) const {
+  const std::uint64_t a = addr.value();
+  RHSD_CHECK_MSG(a < geometry_.total_bytes(), "DRAM address out of range");
+  const std::uint64_t col_mask = (1ull << col_bits_) - 1;
+  const std::uint64_t il_mask = (1ull << il_bits_) - 1;
+  const std::uint64_t row_mask = (1ull << row_bits_) - 1;
+
+  const auto col = static_cast<std::uint32_t>(a & col_mask);
+  const auto il_field =
+      static_cast<std::uint32_t>((a >> col_bits_) & il_mask);
+  const auto row =
+      static_cast<std::uint32_t>((a >> (col_bits_ + il_bits_)) & row_mask);
+  const auto hi_bank =
+      static_cast<std::uint32_t>(a >> (col_bits_ + il_bits_ + row_bits_));
+
+  const std::uint32_t il_bank = il_field ^ xor_of_row(row);
+  const std::uint32_t flat_bank = (hi_bank << il_bits_) | il_bank;
+  return DramCoord::FromFlatBank(geometry_, flat_bank, remap_row(row), col);
+}
+
+DramAddr XorMapper::encode(const DramCoord& coord) const {
+  RHSD_CHECK(coord.row < geometry_.rows_per_bank);
+  RHSD_CHECK(coord.col < geometry_.row_bytes);
+  const std::uint32_t row_field = unremap_row(coord.row);
+  const std::uint32_t flat_bank = coord.flat_bank(geometry_);
+  const std::uint32_t il_bank = flat_bank & ((1u << il_bits_) - 1);
+  const std::uint32_t hi_bank = flat_bank >> il_bits_;
+  const std::uint32_t il_field = il_bank ^ xor_of_row(row_field);
+
+  std::uint64_t a = hi_bank;
+  a = (a << row_bits_) | row_field;
+  a = (a << il_bits_) | il_field;
+  a = (a << col_bits_) | coord.col;
+  return DramAddr(a);
+}
+
+std::unique_ptr<AddressMapper> MakeLinearMapper(const DramGeometry& g) {
+  return std::make_unique<LinearMapper>(g);
+}
+
+std::unique_ptr<AddressMapper> MakeXorMapper(const DramGeometry& g,
+                                             XorMapperConfig config) {
+  return std::make_unique<XorMapper>(g, std::move(config));
+}
+
+}  // namespace rhsd

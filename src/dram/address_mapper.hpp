@@ -1,0 +1,111 @@
+// Physical-address → DRAM-coordinate mapping functions.
+//
+// §4.2: "modern memory controllers use a mapping function to spread DRAM
+// accesses across different hardware units … we can identify a contiguous
+// run of three rows (vulnerable to a double-sided rowhammer) that do not
+// have monotonically increasing physical addresses."  The XOR mapper
+// reproduces that property (DRAMA-style bank-select XOR of row bits); the
+// linear mapper is the strawman where row adjacency is monotone in the
+// physical address, making cross-partition double-sided placement
+// impossible except at the single partition boundary.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dram/geometry.hpp"
+
+namespace rhsd {
+
+class AddressMapper {
+ public:
+  explicit AddressMapper(const DramGeometry& geometry)
+      : geometry_(geometry) {}
+  virtual ~AddressMapper() = default;
+
+  AddressMapper(const AddressMapper&) = delete;
+  AddressMapper& operator=(const AddressMapper&) = delete;
+
+  [[nodiscard]] const DramGeometry& geometry() const { return geometry_; }
+
+  /// Decompose a byte address into its DRAM coordinate.
+  [[nodiscard]] virtual DramCoord decode(DramAddr addr) const = 0;
+  /// Inverse of decode().
+  [[nodiscard]] virtual DramAddr encode(const DramCoord& coord) const = 0;
+
+ protected:
+  DramGeometry geometry_;
+};
+
+/// Row-within-bank monotone mapping: [bank | row | column], no XOR.
+class LinearMapper final : public AddressMapper {
+ public:
+  explicit LinearMapper(const DramGeometry& geometry);
+
+  [[nodiscard]] DramCoord decode(DramAddr addr) const override;
+  [[nodiscard]] DramAddr encode(const DramCoord& coord) const override;
+};
+
+/// Configuration for the XOR (DRAMA-style) mapper.
+///
+/// Address bit layout, low to high:
+///   [ column | interleaved bank bits | row | high bank bits ]
+/// The interleaved bank-select field is XORed with parity functions of
+/// the row bits, so consecutive rows of one bank land at scattered
+/// physical addresses — exactly the non-monotonicity the paper exploits.
+struct XorMapperConfig {
+  /// How many low bank bits are interleaved beneath the row bits
+  /// (the rest select channel/DIMM/rank above the row field).
+  std::uint32_t interleaved_bank_bits = 3;
+  /// Per interleaved bank bit: mask over the row-bit field whose parity
+  /// is XORed into that bank-select bit. Empty => derived default.
+  std::vector<std::uint64_t> row_xor_masks;
+  /// In-DRAM row remapping (vendor row scrambling): the low
+  /// `row_remap_bits` of the address's row field are bit-rotated by
+  /// `row_remap_rotate` and XORed with a constant derived from the high
+  /// row bits.  The rotation interleaves: a contiguous run of physical
+  /// rows corresponds to row fields scattered across the whole remap
+  /// group — §4.2's "contiguous run of three rows that do not have
+  /// monotonically increasing physical addresses" — which is what lets
+  /// a victim row holding victim-partition L2P entries sit between
+  /// aggressor rows holding attacker-partition entries.
+  /// 0 disables remapping.
+  std::uint32_t row_remap_bits = 4;
+  std::uint32_t row_remap_rotate = 1;
+  /// Salt of the (publicly documented / reverse-engineered) remap
+  /// function; not a secret.
+  std::uint64_t row_remap_salt = 0x0DD0FEED;
+};
+
+class XorMapper final : public AddressMapper {
+ public:
+  /// Geometry fields must all be powers of two.
+  XorMapper(const DramGeometry& geometry, XorMapperConfig config);
+
+  [[nodiscard]] DramCoord decode(DramAddr addr) const override;
+  [[nodiscard]] DramAddr encode(const DramCoord& coord) const override;
+
+  [[nodiscard]] const XorMapperConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] std::uint32_t xor_of_row(std::uint32_t row) const;
+  /// Address row field -> physical row in bank, and its inverse.
+  [[nodiscard]] std::uint32_t remap_row(std::uint32_t field) const;
+  [[nodiscard]] std::uint32_t unremap_row(std::uint32_t phys) const;
+
+  XorMapperConfig config_;
+  std::uint32_t col_bits_;
+  std::uint32_t row_bits_;
+  std::uint32_t bank_bits_;
+  std::uint32_t il_bits_;  // interleaved bank bits (<= bank_bits_)
+};
+
+/// Convenience factories.
+[[nodiscard]] std::unique_ptr<AddressMapper> MakeLinearMapper(
+    const DramGeometry& geometry);
+[[nodiscard]] std::unique_ptr<AddressMapper> MakeXorMapper(
+    const DramGeometry& geometry, XorMapperConfig config = {});
+
+}  // namespace rhsd

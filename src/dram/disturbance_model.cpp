@@ -1,0 +1,61 @@
+#include "dram/disturbance_model.hpp"
+
+#include <algorithm>
+
+namespace rhsd {
+
+DisturbanceModel::DisturbanceModel(DramProfile profile, std::uint64_t seed,
+                                   std::uint32_t row_bytes)
+    : profile_(std::move(profile)), seed_(seed), row_bytes_(row_bytes) {
+  RHSD_CHECK(row_bytes_ > 0);
+}
+
+const std::vector<VulnCell>& DisturbanceModel::cells(
+    std::uint64_t global_row) {
+  auto it = cache_.find(global_row);
+  if (it == cache_.end()) {
+    it = cache_.emplace(global_row, generate(global_row)).first;
+  }
+  return it->second;
+}
+
+std::vector<VulnCell> DisturbanceModel::generate(
+    std::uint64_t global_row) const {
+  // Deterministic per (device seed, row): the same device always has the
+  // same weak cells, which is what makes offline templating (§4.2)
+  // meaningful.
+  Rng rng(Mix64(seed_ ^ Mix64(global_row * 0x9E3779B97F4A7C15ull)));
+  std::vector<VulnCell> cells;
+  if (!rng.next_bool(profile_.vulnerable_row_fraction)) return cells;
+
+  const std::uint32_t count =
+      1 + static_cast<std::uint32_t>(
+              rng.next_below(std::max(1u, profile_.max_cells_per_row)));
+  const double base = profile_.base_threshold_acts();
+  cells.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    VulnCell cell;
+    cell.byte_offset = static_cast<std::uint32_t>(rng.next_below(row_bytes_));
+    cell.bit = static_cast<std::uint8_t>(rng.next_below(8));
+    cell.failure_value = static_cast<std::uint8_t>(rng.next_below(2));
+    // Quadratic skew toward the base threshold so that at least some
+    // cells in a population sit essentially at the calibrated minimum.
+    const double u = rng.next_double();
+    cell.threshold = base * (1.0 + profile_.threshold_spread * u * u);
+    cells.push_back(cell);
+  }
+  std::sort(cells.begin(), cells.end(),
+            [](const VulnCell& a, const VulnCell& b) {
+              return a.threshold < b.threshold;
+            });
+  return cells;
+}
+
+double DisturbanceModel::effective_hammer(std::uint64_t left_acts,
+                                          std::uint64_t right_acts) const {
+  const double hi = static_cast<double>(std::max(left_acts, right_acts));
+  const double lo = static_cast<double>(std::min(left_acts, right_acts));
+  return hi + profile_.double_sided_weight * lo;
+}
+
+}  // namespace rhsd

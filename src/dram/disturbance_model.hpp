@@ -1,0 +1,72 @@
+// Rowhammer disturbance model.
+//
+// What the paper needed real hardware for, we model functionally:
+//  * manufacturing variation — only some rows contain vulnerable cells,
+//    drawn deterministically from the device seed ("rowhammerability is
+//    determined primarily by variation in the manufacturing process and
+//    must be tested online", §4.2);
+//  * per-cell charge thresholds — a victim cell fails once the effective
+//    aggressor activation count within one refresh window crosses its
+//    threshold;
+//  * double- vs single-sided weighting — both neighbors hammering is
+//    super-additive (H = max + w·min), so double-sided flips at a lower
+//    per-side rate, matching §3.1/§4.2 ("single-sided attacks flip fewer
+//    bits in practice");
+//  * directional failure — a cell discharges toward its failure value
+//    and stays there until the row is rewritten (refresh perpetuates the
+//    already-lost value; it does not restore it).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dram/profiles.hpp"
+
+namespace rhsd {
+
+/// A single rowhammer-susceptible DRAM cell.
+struct VulnCell {
+  std::uint32_t byte_offset = 0;  // within the row
+  std::uint8_t bit = 0;           // 0..7
+  std::uint8_t failure_value = 0; // value the cell decays toward (0 or 1)
+  double threshold = 0.0;         // effective activations to flip
+};
+
+class DisturbanceModel {
+ public:
+  DisturbanceModel(DramProfile profile, std::uint64_t seed,
+                   std::uint32_t row_bytes);
+
+  [[nodiscard]] const DramProfile& profile() const { return profile_; }
+
+  /// Vulnerable cells of a row; generated lazily and cached. Sorted by
+  /// ascending threshold. Deterministic in (seed, global_row).
+  [[nodiscard]] const std::vector<VulnCell>& cells(std::uint64_t global_row);
+
+  /// True if the row has at least one vulnerable cell.
+  [[nodiscard]] bool row_is_vulnerable(std::uint64_t global_row) {
+    return !cells(global_row).empty();
+  }
+
+  /// Effective hammer exposure from per-window aggressor activation
+  /// counts on each side of the victim.
+  [[nodiscard]] double effective_hammer(std::uint64_t left_acts,
+                                        std::uint64_t right_acts) const;
+
+  /// Lowest per-cell threshold possible under this profile.
+  [[nodiscard]] double base_threshold() const {
+    return profile_.base_threshold_acts();
+  }
+
+ private:
+  std::vector<VulnCell> generate(std::uint64_t global_row) const;
+
+  DramProfile profile_;
+  std::uint64_t seed_;
+  std::uint32_t row_bytes_;
+  std::unordered_map<std::uint64_t, std::vector<VulnCell>> cache_;
+};
+
+}  // namespace rhsd

@@ -1,0 +1,394 @@
+#include "dram/dram_device.hpp"
+
+#include <cstring>
+
+#include "dram/ecc.hpp"
+
+namespace rhsd {
+namespace {
+
+std::uint64_t LoadWord(const std::uint8_t* p) {
+  std::uint64_t w;
+  std::memcpy(&w, p, sizeof(w));
+  return w;
+}
+
+void StoreWord(std::uint8_t* p, std::uint64_t w) {
+  std::memcpy(p, &w, sizeof(w));
+}
+
+}  // namespace
+
+DramDevice::DramDevice(DramConfig config,
+                       std::unique_ptr<AddressMapper> mapper, SimClock& clock)
+    : config_(std::move(config)),
+      mapper_(std::move(mapper)),
+      clock_(clock),
+      disturbance_(config_.profile, config_.seed, config_.geometry.row_bytes) {
+  RHSD_CHECK(mapper_ != nullptr);
+  RHSD_CHECK_MSG(mapper_->geometry().total_bytes() ==
+                     config_.geometry.total_bytes(),
+                 "mapper geometry mismatch");
+  RHSD_CHECK_MSG(config_.geometry.row_bytes % 8 == 0,
+                 "row size must be a multiple of the ECC word");
+  const double interval_ms =
+      config_.mitigations.refresh_interval_ms_override > 0.0
+          ? config_.mitigations.refresh_interval_ms_override
+          : config_.profile.refresh_interval_ms;
+  RHSD_CHECK(interval_ms > 0.0);
+  window_ns_ = static_cast<std::uint64_t>(interval_ms * 1e6);
+  if (config_.mitigations.trr) {
+    trr_.emplace(config_.mitigations.trr_config,
+                 config_.geometry.total_banks());
+  }
+  if (config_.mitigations.cache.has_value()) {
+    cache_.emplace(*config_.mitigations.cache);
+  }
+  RHSD_CHECK(config_.mitigations.para_probability >= 0.0 &&
+             config_.mitigations.para_probability <= 1.0);
+  para_rng_ = Rng(Mix64(config_.seed ^ 0x9A7A5EED));
+  if (config_.row_buffer_policy == RowBufferPolicy::kOpenPage) {
+    open_rows_.assign(config_.geometry.total_banks(), ~0ull);
+  }
+}
+
+DramDevice::RowState& DramDevice::state(std::uint64_t global_row) {
+  // unordered_map guarantees reference stability across inserts, which
+  // the activation path relies on (it holds one row's state while
+  // touching neighbors).
+  return rows_[global_row];
+}
+
+void DramDevice::roll_window(RowState& st) const {
+  const std::uint64_t w = current_window();
+  if (st.window != w) {
+    st.window = w;
+    st.acts = 0;
+    st.base_left = 0;
+    st.base_right = 0;
+    st.base_left2 = 0;
+    st.base_right2 = 0;
+  }
+}
+
+void DramDevice::materialize(RowState& st) {
+  if (!st.data.empty()) return;
+  st.data.assign(config_.geometry.row_bytes, 0);
+  if (config_.mitigations.ecc) {
+    // SecdedEncode(0) == 0, so zero-filled check bytes are consistent.
+    st.ecc.assign(config_.geometry.row_bytes / 8, 0);
+  }
+}
+
+std::uint64_t DramDevice::acts_now(std::uint64_t global_row) {
+  RowState& st = state(global_row);
+  roll_window(st);
+  return st.acts;
+}
+
+std::optional<std::uint64_t> DramDevice::neighbor(std::uint64_t global_row,
+                                                  int delta) const {
+  const auto in_bank = static_cast<std::int64_t>(
+      global_row % config_.geometry.rows_per_bank);
+  const auto target = in_bank + delta;
+  if (target < 0 ||
+      target >= static_cast<std::int64_t>(config_.geometry.rows_per_bank)) {
+    return std::nullopt;
+  }
+  return global_row + static_cast<std::uint64_t>(
+                          static_cast<std::int64_t>(delta));
+}
+
+void DramDevice::activate(std::uint64_t global_row) {
+  if (config_.row_buffer_policy == RowBufferPolicy::kOpenPage) {
+    // Row-buffer hit: the row is already open, no wordline activation —
+    // and therefore no disturbance on the neighbors.
+    const std::uint64_t bank =
+        global_row / config_.geometry.rows_per_bank;
+    if (open_rows_[bank] == global_row) {
+      ++stats_.row_buffer_hits;
+      return;
+    }
+    open_rows_[bank] = global_row;
+  }
+  ++stats_.activations;
+  RowState& st = state(global_row);
+  roll_window(st);
+  ++st.acts;
+
+  if (trr_.has_value()) {
+    const std::uint64_t w = current_window();
+    if (w != trr_window_) {
+      trr_->reset();
+      trr_window_ = w;
+    }
+    const auto bank = static_cast<std::uint32_t>(
+        global_row / config_.geometry.rows_per_bank);
+    const auto row_in_bank = static_cast<std::uint32_t>(
+        global_row % config_.geometry.rows_per_bank);
+    if (auto fired = trr_->on_activate(bank, row_in_bank)) {
+      const std::uint64_t fired_global =
+          static_cast<std::uint64_t>(bank) * config_.geometry.rows_per_bank +
+          *fired;
+      target_refresh_neighbors(fired_global,
+                               config_.mitigations.trr_config
+                                   .refresh_distance);
+    }
+    stats_.trr_refreshes = trr_->refreshes_issued();
+  }
+  if (config_.mitigations.para_probability > 0.0 &&
+      para_rng_.next_bool(config_.mitigations.para_probability)) {
+    // PARA: stateless probabilistic neighbor refresh.
+    target_refresh_neighbors(global_row, /*distance=*/1);
+    ++stats_.para_refreshes;
+  }
+
+  if (auto left = neighbor(global_row, -1)) check_victim(*left);
+  if (auto right = neighbor(global_row, +1)) check_victim(*right);
+  if (disturbance_.profile().half_double_weight > 0.0) {
+    // Half-Double coupling reaches two rows out ([42]).
+    if (auto left2 = neighbor(global_row, -2)) check_victim(*left2);
+    if (auto right2 = neighbor(global_row, +2)) check_victim(*right2);
+  }
+}
+
+void DramDevice::target_refresh_neighbors(
+    std::uint64_t aggressor_global_row, std::uint32_t distance) {
+  for (std::uint32_t d = 1; d <= distance; ++d) {
+    for (const int sign : {-1, +1}) {
+      auto victim =
+          neighbor(aggressor_global_row, sign * static_cast<int>(d));
+      if (!victim.has_value()) continue;
+      RowState& sv = state(*victim);
+      roll_window(sv);
+      // Refresh recharges the victim's cells: exposure accumulated so
+      // far no longer counts, which we express by re-baselining against
+      // the neighbors' current per-window activation counts.
+      sv.base_left = 0;
+      sv.base_right = 0;
+      sv.base_left2 = 0;
+      sv.base_right2 = 0;
+      if (auto l = neighbor(*victim, -1)) sv.base_left = acts_now(*l);
+      if (auto r = neighbor(*victim, +1)) sv.base_right = acts_now(*r);
+      if (auto l2 = neighbor(*victim, -2)) sv.base_left2 = acts_now(*l2);
+      if (auto r2 = neighbor(*victim, +2)) {
+        sv.base_right2 = acts_now(*r2);
+      }
+    }
+  }
+}
+
+void DramDevice::check_victim(std::uint64_t victim) {
+  const auto& cells = disturbance_.cells(victim);
+  if (cells.empty()) return;
+
+  RowState& sv = state(victim);
+  roll_window(sv);
+  std::uint64_t left_acts = 0;
+  std::uint64_t right_acts = 0;
+  if (auto l = neighbor(victim, -1)) left_acts = acts_now(*l);
+  if (auto r = neighbor(victim, +1)) right_acts = acts_now(*r);
+  left_acts = left_acts > sv.base_left ? left_acts - sv.base_left : 0;
+  right_acts = right_acts > sv.base_right ? right_acts - sv.base_right : 0;
+
+  double exposure =
+      disturbance_.effective_hammer(left_acts, right_acts);
+  const double hd_weight = disturbance_.profile().half_double_weight;
+  if (hd_weight > 0.0) {
+    std::uint64_t left2 = 0;
+    std::uint64_t right2 = 0;
+    if (auto l2 = neighbor(victim, -2)) left2 = acts_now(*l2);
+    if (auto r2 = neighbor(victim, +2)) right2 = acts_now(*r2);
+    left2 = left2 > sv.base_left2 ? left2 - sv.base_left2 : 0;
+    right2 = right2 > sv.base_right2 ? right2 - sv.base_right2 : 0;
+    exposure += hd_weight * static_cast<double>(left2 + right2);
+  }
+  if (exposure < cells.front().threshold) return;  // sorted ascending
+
+  materialize(sv);
+  for (const VulnCell& cell : cells) {
+    if (exposure < cell.threshold) break;
+    std::uint8_t& byte = sv.data[cell.byte_offset];
+    const std::uint8_t current = (byte >> cell.bit) & 1u;
+    if (current == cell.failure_value) continue;  // already decayed
+    if (cell.failure_value) {
+      byte = static_cast<std::uint8_t>(byte | (1u << cell.bit));
+    } else {
+      byte = static_cast<std::uint8_t>(byte & ~(1u << cell.bit));
+    }
+    ++stats_.bitflips;
+    // Deliberately *not* updating ECC: the flip happens underneath the
+    // code, which is exactly what lets ECC catch it.
+    flip_events_.push_back(FlipEvent{.time_ns = clock_.now_ns(),
+                                     .global_row = victim,
+                                     .byte_offset = cell.byte_offset,
+                                     .bit = cell.bit,
+                                     .new_value = cell.failure_value});
+  }
+}
+
+Status DramDevice::verify_and_correct_ecc(RowState& st,
+                                          std::uint32_t first_byte,
+                                          std::uint32_t length,
+                                          std::uint64_t row) {
+  if (!config_.mitigations.ecc || st.data.empty() || length == 0) {
+    return Status::Ok();
+  }
+  const std::uint32_t first_word = first_byte / 8;
+  const std::uint32_t last_word = (first_byte + length - 1) / 8;
+  for (std::uint32_t w = first_word; w <= last_word; ++w) {
+    const std::uint64_t word = LoadWord(&st.data[w * 8]);
+    const SecdedResult result = SecdedDecode(word, st.ecc[w]);
+    switch (result.status) {
+      case SecdedStatus::kOk:
+        break;
+      case SecdedStatus::kCorrectedData:
+        // Scrub: repair the array so errors do not accumulate.
+        StoreWord(&st.data[w * 8], result.word);
+        ++stats_.ecc_corrected;
+        break;
+      case SecdedStatus::kCorrectedCheck:
+        st.ecc[w] = SecdedEncode(word);
+        ++stats_.ecc_corrected;
+        break;
+      case SecdedStatus::kUncorrectable:
+        ++stats_.ecc_uncorrectable;
+        return Corruption("uncorrectable ECC error in DRAM row " +
+                          std::to_string(row));
+    }
+  }
+  return Status::Ok();
+}
+
+void DramDevice::update_ecc(RowState& st, std::uint32_t first_byte,
+                            std::uint32_t length) {
+  if (!config_.mitigations.ecc || st.data.empty() || length == 0) return;
+  const std::uint32_t first_word = first_byte / 8;
+  const std::uint32_t last_word = (first_byte + length - 1) / 8;
+  for (std::uint32_t w = first_word; w <= last_word; ++w) {
+    st.ecc[w] = SecdedEncode(LoadWord(&st.data[w * 8]));
+  }
+}
+
+Status DramDevice::read(DramAddr addr, std::span<std::uint8_t> out) {
+  if (addr.value() + out.size() > config_.geometry.total_bytes()) {
+    return OutOfRange("DRAM read past end of device");
+  }
+  ++stats_.reads;
+  const std::uint32_t row_bytes = config_.geometry.row_bytes;
+  std::uint64_t a = addr.value();
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const std::uint64_t row_base = a - (a % row_bytes);
+    const auto off = static_cast<std::uint32_t>(a % row_bytes);
+    const auto chunk = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(row_bytes - off, out.size() - done));
+    const DramCoord coord = mapper_->decode(DramAddr(row_base));
+    const std::uint64_t grow = coord.global_row(config_.geometry);
+
+    bool need_activate = true;
+    if (cache_.has_value()) {
+      need_activate = false;
+      const std::uint32_t line = cache_->config().line_bytes;
+      for (std::uint64_t la = a - (a % line); la < a + chunk; la += line) {
+        if (!cache_->access(DramAddr(la))) need_activate = true;
+      }
+      stats_.cache_hits = cache_->hits();
+      stats_.cache_misses = cache_->misses();
+    }
+    if (need_activate) activate(grow);
+
+    RowState& st = state(grow);
+    RHSD_RETURN_IF_ERROR(verify_and_correct_ecc(st, off, chunk, grow));
+    if (st.data.empty()) {
+      std::memset(out.data() + done, 0, chunk);
+    } else {
+      std::memcpy(out.data() + done, st.data.data() + off, chunk);
+    }
+    a += chunk;
+    done += chunk;
+  }
+  return Status::Ok();
+}
+
+Status DramDevice::write(DramAddr addr, std::span<const std::uint8_t> data) {
+  if (addr.value() + data.size() > config_.geometry.total_bytes()) {
+    return OutOfRange("DRAM write past end of device");
+  }
+  ++stats_.writes;
+  const std::uint32_t row_bytes = config_.geometry.row_bytes;
+  std::uint64_t a = addr.value();
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const auto off = static_cast<std::uint32_t>(a % row_bytes);
+    const auto chunk = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(row_bytes - off, data.size() - done));
+    const std::uint64_t row_base = a - off;
+    const DramCoord coord = mapper_->decode(DramAddr(row_base));
+    const std::uint64_t grow = coord.global_row(config_.geometry);
+
+    if (cache_.has_value()) {
+      // Write-invalidate, mirroring the paper's modified SPDK which
+      // invalidates cached L2P entries on access.
+      const std::uint32_t line = cache_->config().line_bytes;
+      for (std::uint64_t la = a - (a % line); la < a + chunk; la += line) {
+        cache_->invalidate(DramAddr(la));
+      }
+    }
+    activate(grow);
+
+    RowState& st = state(grow);
+    materialize(st);
+    std::memcpy(st.data.data() + off, data.data() + done, chunk);
+    update_ecc(st, off, chunk);
+    a += chunk;
+    done += chunk;
+  }
+  return Status::Ok();
+}
+
+void DramDevice::peek(DramAddr addr, std::span<std::uint8_t> out) const {
+  RHSD_CHECK(addr.value() + out.size() <= config_.geometry.total_bytes());
+  const std::uint32_t row_bytes = config_.geometry.row_bytes;
+  std::uint64_t a = addr.value();
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const auto off = static_cast<std::uint32_t>(a % row_bytes);
+    const auto chunk = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(row_bytes - off, out.size() - done));
+    const DramCoord coord = mapper_->decode(DramAddr(a - off));
+    const auto it = rows_.find(coord.global_row(config_.geometry));
+    if (it == rows_.end() || it->second.data.empty()) {
+      std::memset(out.data() + done, 0, chunk);
+    } else {
+      std::memcpy(out.data() + done, it->second.data.data() + off, chunk);
+    }
+    a += chunk;
+    done += chunk;
+  }
+}
+
+void DramDevice::poke(DramAddr addr, std::span<const std::uint8_t> data) {
+  RHSD_CHECK(addr.value() + data.size() <= config_.geometry.total_bytes());
+  const std::uint32_t row_bytes = config_.geometry.row_bytes;
+  std::uint64_t a = addr.value();
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const auto off = static_cast<std::uint32_t>(a % row_bytes);
+    const auto chunk = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(row_bytes - off, data.size() - done));
+    const DramCoord coord = mapper_->decode(DramAddr(a - off));
+    RowState& st = state(coord.global_row(config_.geometry));
+    materialize(st);
+    std::memcpy(st.data.data() + off, data.data() + done, chunk);
+    update_ecc(st, off, chunk);
+    a += chunk;
+    done += chunk;
+  }
+}
+
+std::uint64_t DramDevice::row_activations(std::uint64_t global_row) {
+  return acts_now(global_row);
+}
+
+}  // namespace rhsd

@@ -1,0 +1,192 @@
+// Functional DRAM device with rowhammer disturbance.
+//
+// Backs real bytes (lazily, per row), counts row activations per refresh
+// window, and applies the DisturbanceModel on every activation: when the
+// effective exposure of an adjacent victim row crosses a vulnerable
+// cell's threshold, the stored bit decays to its failure value.  Flips
+// therefore corrupt whatever the row currently holds — in the SSD
+// configuration, the FTL's L2P table — organically rather than by fault
+// injection.
+//
+// Optional mitigations (all off by default, matching the paper's
+// testbed): SECDED ECC, TRR, a CPU cache in front of the arrays, and a
+// refresh-interval override.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/sim_clock.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "dram/address_mapper.hpp"
+#include "dram/cache_model.hpp"
+#include "dram/disturbance_model.hpp"
+#include "dram/profiles.hpp"
+#include "dram/trr.hpp"
+
+namespace rhsd {
+
+struct DramMitigations {
+  bool ecc = false;
+  bool trr = false;
+  TrrConfig trr_config;
+  std::optional<CacheConfig> cache;
+  /// PARA (probabilistic adjacent row activation): on each activation,
+  /// refresh the neighbors with this probability.  0 disables.  Unlike
+  /// TRR there is no tracker state to thrash, so many-sided patterns
+  /// gain nothing; the cost is a steady refresh overhead on every
+  /// access.
+  double para_probability = 0.0;
+  /// 0 = use profile's refresh interval; otherwise override (ms).
+  double refresh_interval_ms_override = 0.0;
+};
+
+/// Row-buffer management policy of the memory controller.
+enum class RowBufferPolicy {
+  /// Precharge after every access: each access is a fresh activation.
+  /// Typical for simple embedded controllers (and what makes §3.1's
+  /// one-location variant viable).
+  kClosedPage,
+  /// Keep the row open: back-to-back accesses to the same row hit the
+  /// row buffer and do NOT re-activate — one-location hammering stops
+  /// working, alternating (double-sided) patterns are unaffected since
+  /// they force a conflict on every access.
+  kOpenPage,
+};
+
+struct DramConfig {
+  DramGeometry geometry;
+  DramProfile profile;
+  std::uint64_t seed = 1;
+  RowBufferPolicy row_buffer_policy = RowBufferPolicy::kClosedPage;
+  DramMitigations mitigations;
+};
+
+struct DramStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t activations = 0;
+  std::uint64_t row_buffer_hits = 0;  // open-page policy only
+  std::uint64_t bitflips = 0;
+  std::uint64_t ecc_corrected = 0;
+  std::uint64_t ecc_uncorrectable = 0;
+  std::uint64_t trr_refreshes = 0;
+  std::uint64_t para_refreshes = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+};
+
+/// One disturbance-induced bitflip, for scanning and experiment output.
+struct FlipEvent {
+  std::uint64_t time_ns = 0;
+  std::uint64_t global_row = 0;
+  std::uint32_t byte_offset = 0;  // within the row
+  std::uint8_t bit = 0;
+  std::uint8_t new_value = 0;
+};
+
+class DramDevice {
+ public:
+  /// `clock` must outlive the device. The mapper's geometry must equal
+  /// config.geometry.
+  DramDevice(DramConfig config, std::unique_ptr<AddressMapper> mapper,
+             SimClock& clock);
+
+  DramDevice(const DramDevice&) = delete;
+  DramDevice& operator=(const DramDevice&) = delete;
+
+  /// Read bytes. Activates each touched row (unless the cache absorbs
+  /// it).  Returns Corruption if ECC detects an uncorrectable error.
+  Status read(DramAddr addr, std::span<std::uint8_t> out);
+
+  /// Write bytes. Always activates the touched rows.
+  Status write(DramAddr addr, std::span<const std::uint8_t> data);
+
+  /// Inspect memory without activations, stats, or ECC (for tests and
+  /// experiment harnesses, not part of the modeled device interface).
+  void peek(DramAddr addr, std::span<std::uint8_t> out) const;
+  /// Modify memory without activations; updates ECC check bits.
+  void poke(DramAddr addr, std::span<const std::uint8_t> data);
+
+  [[nodiscard]] const DramConfig& config() const { return config_; }
+  [[nodiscard]] const AddressMapper& mapper() const { return *mapper_; }
+  [[nodiscard]] const SimClock& clock() const { return clock_; }
+  [[nodiscard]] const DramStats& stats() const { return stats_; }
+  [[nodiscard]] DisturbanceModel& disturbance() { return disturbance_; }
+
+  [[nodiscard]] const std::vector<FlipEvent>& flip_events() const {
+    return flip_events_;
+  }
+  void clear_flip_events() { flip_events_.clear(); }
+
+  /// Activations of `global_row` in the current refresh window.
+  [[nodiscard]] std::uint64_t row_activations(std::uint64_t global_row);
+
+  /// Refresh interval actually in effect (ns).
+  [[nodiscard]] std::uint64_t refresh_window_ns() const {
+    return window_ns_;
+  }
+
+ private:
+  struct RowState {
+    std::vector<std::uint8_t> data;  // empty until first write/flip
+    std::vector<std::uint8_t> ecc;   // one check byte per 8 data bytes
+    std::uint64_t window = ~0ull;
+    std::uint64_t acts = 0;
+    // Exposure baselines: neighbor activation counts at the last
+    // targeted refresh of *this* row (TRR/PARA), within the current
+    // window.  The `2` pair covers distance-2 neighbors (Half-Double).
+    std::uint64_t base_left = 0;
+    std::uint64_t base_right = 0;
+    std::uint64_t base_left2 = 0;
+    std::uint64_t base_right2 = 0;
+  };
+
+  [[nodiscard]] std::uint64_t current_window() const {
+    return clock_.now_ns() / window_ns_;
+  }
+
+  RowState& state(std::uint64_t global_row);
+  void roll_window(RowState& st) const;
+  void materialize(RowState& st);
+
+  /// Per-window activation count, rolling the window first.
+  std::uint64_t acts_now(std::uint64_t global_row);
+
+  void activate(std::uint64_t global_row);
+  void check_victim(std::uint64_t victim_global_row);
+  void target_refresh_neighbors(std::uint64_t aggressor_global_row,
+                                std::uint32_t distance);
+
+  /// Neighbor within the same bank, or nullopt at bank edges.
+  [[nodiscard]] std::optional<std::uint64_t> neighbor(
+      std::uint64_t global_row, int delta) const;
+
+  Status verify_and_correct_ecc(RowState& st, std::uint32_t first_byte,
+                                std::uint32_t length, std::uint64_t row);
+  void update_ecc(RowState& st, std::uint32_t first_byte,
+                  std::uint32_t length);
+
+  DramConfig config_;
+  std::unique_ptr<AddressMapper> mapper_;
+  SimClock& clock_;
+  DisturbanceModel disturbance_;
+  std::optional<TrrTracker> trr_;
+  std::optional<CacheModel> cache_;
+  std::uint64_t window_ns_ = 0;
+  std::uint64_t trr_window_ = ~0ull;
+  Rng para_rng_{0};  // re-seeded from config in the constructor
+  /// Open row per flat bank (kOpenPage policy); ~0 = none open.
+  std::vector<std::uint64_t> open_rows_;
+  DramStats stats_;
+  std::vector<FlipEvent> flip_events_;
+  std::unordered_map<std::uint64_t, RowState> rows_;
+};
+
+}  // namespace rhsd

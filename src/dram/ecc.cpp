@@ -1,0 +1,96 @@
+#include "dram/ecc.hpp"
+
+#include <array>
+#include <bit>
+
+namespace rhsd {
+namespace {
+
+// Classic Hamming layout over positions 1..71: check bits sit at the
+// power-of-two positions (1,2,4,8,16,32,64), the 64 data bits at the
+// remaining positions.  The syndrome of a single flipped bit is its
+// position, so a power-of-two syndrome means a flipped *check* bit and
+// anything else maps back to a unique data bit.
+
+constexpr bool IsPow2(unsigned x) { return x != 0 && (x & (x - 1)) == 0; }
+
+struct Tables {
+  std::array<std::uint8_t, 64> pos_of_data{};   // data bit j -> position
+  std::array<std::int8_t, 72> data_of_pos{};    // position -> data bit
+};
+
+constexpr Tables MakeTables() {
+  Tables t{};
+  for (auto& d : t.data_of_pos) d = -1;
+  int j = 0;
+  for (unsigned pos = 1; pos <= 71; ++pos) {
+    if (IsPow2(pos)) continue;
+    t.pos_of_data[j] = static_cast<std::uint8_t>(pos);
+    t.data_of_pos[pos] = static_cast<std::int8_t>(j);
+    ++j;
+  }
+  return t;
+}
+
+constexpr Tables kTables = MakeTables();
+
+/// 7-bit Hamming check field: bit i = parity of data bits whose position
+/// has bit i set.
+std::uint8_t HammingBits(std::uint64_t word) {
+  std::uint8_t check = 0;
+  for (int j = 0; j < 64; ++j) {
+    if ((word >> j) & 1) check ^= kTables.pos_of_data[j];
+  }
+  return check & 0x7F;
+}
+
+}  // namespace
+
+std::uint8_t SecdedEncode(std::uint64_t word) {
+  const std::uint8_t hamming = HammingBits(word);
+  const int overall =
+      (std::popcount(word) + std::popcount(static_cast<unsigned>(hamming))) &
+      1;
+  return static_cast<std::uint8_t>(hamming |
+                                   (static_cast<std::uint8_t>(overall) << 7));
+}
+
+SecdedResult SecdedDecode(std::uint64_t word, std::uint8_t check) {
+  const std::uint8_t expected = SecdedEncode(word);
+  const std::uint8_t diff = expected ^ check;
+  const std::uint8_t syndrome = diff & 0x7Fu;
+  const bool parity_mismatch =
+      (std::popcount(static_cast<unsigned>(diff)) & 1) != 0;
+
+  SecdedResult result;
+  result.word = word;
+  if (diff == 0) {
+    result.status = SecdedStatus::kOk;
+    return result;
+  }
+  if (!parity_mismatch) {
+    // An even number of bit errors: not correctable.
+    result.status = SecdedStatus::kUncorrectable;
+    return result;
+  }
+  if (syndrome == 0) {
+    // Only the overall-parity bit differs: c7 itself flipped.
+    result.status = SecdedStatus::kCorrectedCheck;
+    return result;
+  }
+  if (IsPow2(syndrome)) {
+    // A flipped Hamming check bit; the data word is intact.
+    result.status = SecdedStatus::kCorrectedCheck;
+    return result;
+  }
+  if (syndrome <= 71 && kTables.data_of_pos[syndrome] >= 0) {
+    result.word = word ^ (1ull << kTables.data_of_pos[syndrome]);
+    result.status = SecdedStatus::kCorrectedData;
+    return result;
+  }
+  // Syndrome outside the code's positions: multi-bit damage.
+  result.status = SecdedStatus::kUncorrectable;
+  return result;
+}
+
+}  // namespace rhsd

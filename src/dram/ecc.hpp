@@ -1,0 +1,35 @@
+// SECDED (72,64) error-correcting code.
+//
+// §5: "Some methods, such as strengthening ECC, may also protect against
+// FTL rowhammering."  We implement a Hamming+parity SECDED over 64-bit
+// words: single-bit flips are corrected transparently (and scrubbed),
+// double-bit flips are detected and surface as a Corruption status —
+// i.e. the attack degrades from silent redirection to a detectable
+// failure.  Check bits live in separate storage and are modeled as
+// immune to disturbance (a simplification noted in DESIGN.md).
+#pragma once
+
+#include <cstdint>
+
+namespace rhsd {
+
+/// Compute the 8 SECDED check bits for a 64-bit word.
+[[nodiscard]] std::uint8_t SecdedEncode(std::uint64_t word);
+
+enum class SecdedStatus {
+  kOk,             // no error
+  kCorrectedData,  // single data-bit error corrected
+  kCorrectedCheck, // single check-bit error (data intact)
+  kUncorrectable,  // double error detected
+};
+
+struct SecdedResult {
+  SecdedStatus status = SecdedStatus::kOk;
+  std::uint64_t word = 0;  // corrected data word
+};
+
+/// Verify/correct a word against its stored check byte.
+[[nodiscard]] SecdedResult SecdedDecode(std::uint64_t word,
+                                        std::uint8_t check);
+
+}  // namespace rhsd

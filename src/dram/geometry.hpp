@@ -1,0 +1,110 @@
+// DRAM organization: channels → DIMMs → ranks → banks → rows → columns.
+//
+// The paper's testbed is 16 GiB of DDR3 organized as 2 channels × 2 DIMMs
+// × 2 ranks × 8 banks × 2^15 rows (§4.1); with 8 KiB rows that is exactly
+// 16 GiB, which `PaperTestbed()` reproduces.  Rowhammer adjacency is
+// *within a bank*: activating row r disturbs rows r-1 and r+1 of the same
+// bank, so the flattened (bank, row) pair is the unit the disturbance
+// model reasons about.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace rhsd {
+
+struct DramGeometry {
+  std::uint32_t channels = 1;
+  std::uint32_t dimms_per_channel = 1;
+  std::uint32_t ranks_per_dimm = 1;
+  std::uint32_t banks_per_rank = 8;
+  std::uint32_t rows_per_bank = 1u << 15;
+  std::uint32_t row_bytes = 8 * kKiB;
+
+  [[nodiscard]] constexpr std::uint32_t total_banks() const {
+    return channels * dimms_per_channel * ranks_per_dimm * banks_per_rank;
+  }
+  [[nodiscard]] constexpr std::uint64_t total_rows() const {
+    return static_cast<std::uint64_t>(total_banks()) * rows_per_bank;
+  }
+  [[nodiscard]] constexpr std::uint64_t total_bytes() const {
+    return total_rows() * row_bytes;
+  }
+
+  /// The §4.1 host testbed: 16 GiB DDR3 (4×4 GiB Samsung DIMMs).
+  [[nodiscard]] static constexpr DramGeometry PaperTestbed() {
+    return DramGeometry{.channels = 2,
+                        .dimms_per_channel = 2,
+                        .ranks_per_dimm = 2,
+                        .banks_per_rank = 8,
+                        .rows_per_bank = 1u << 15,
+                        .row_bytes = 8 * kKiB};
+  }
+
+  /// A plausible SSD-internal LPDDR part: 1 GiB, one channel.
+  [[nodiscard]] static constexpr DramGeometry SsdOnboard() {
+    return DramGeometry{.channels = 1,
+                        .dimms_per_channel = 1,
+                        .ranks_per_dimm = 1,
+                        .banks_per_rank = 8,
+                        .rows_per_bank = 1u << 14,
+                        .row_bytes = 8 * kKiB};
+  }
+
+  /// Tiny geometry for unit tests (4 KiB total).
+  [[nodiscard]] static constexpr DramGeometry Tiny() {
+    return DramGeometry{.channels = 1,
+                        .dimms_per_channel = 1,
+                        .ranks_per_dimm = 1,
+                        .banks_per_rank = 2,
+                        .rows_per_bank = 16,
+                        .row_bytes = 128};
+  }
+};
+
+/// Position of a byte inside the DRAM hierarchy.
+struct DramCoord {
+  std::uint32_t channel = 0;
+  std::uint32_t dimm = 0;
+  std::uint32_t rank = 0;
+  std::uint32_t bank = 0;
+  std::uint32_t row = 0;
+  std::uint32_t col = 0;
+
+  friend constexpr bool operator==(const DramCoord&,
+                                   const DramCoord&) = default;
+
+  /// Flat bank index in [0, geometry.total_banks()).
+  [[nodiscard]] constexpr std::uint32_t flat_bank(
+      const DramGeometry& g) const {
+    return ((channel * g.dimms_per_channel + dimm) * g.ranks_per_dimm +
+            rank) * g.banks_per_rank + bank;
+  }
+
+  /// Globally unique row id: flat_bank * rows_per_bank + row.
+  [[nodiscard]] constexpr std::uint64_t global_row(
+      const DramGeometry& g) const {
+    return static_cast<std::uint64_t>(flat_bank(g)) * g.rows_per_bank + row;
+  }
+
+  [[nodiscard]] static DramCoord FromFlatBank(const DramGeometry& g,
+                                              std::uint32_t flat_bank,
+                                              std::uint32_t row,
+                                              std::uint32_t col) {
+    RHSD_CHECK(flat_bank < g.total_banks());
+    DramCoord c;
+    c.bank = flat_bank % g.banks_per_rank;
+    flat_bank /= g.banks_per_rank;
+    c.rank = flat_bank % g.ranks_per_dimm;
+    flat_bank /= g.ranks_per_dimm;
+    c.dimm = flat_bank % g.dimms_per_channel;
+    c.channel = flat_bank / g.dimms_per_channel;
+    c.row = row;
+    c.col = col;
+    return c;
+  }
+};
+
+}  // namespace rhsd

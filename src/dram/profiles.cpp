@@ -1,0 +1,54 @@
+#include "dram/profiles.hpp"
+
+namespace rhsd {
+namespace {
+
+DramProfile Make(int year, std::string refs, std::string name,
+                 double rate_kps) {
+  DramProfile p;
+  p.year = year;
+  p.refs = std::move(refs);
+  p.name = std::move(name);
+  p.min_rate_kaccess_s = rate_kps;
+  return p;
+}
+
+}  // namespace
+
+DramProfile DramProfile::Testbed() {
+  DramProfile p = Make(2021, "this paper", "testbed DDR3 (i7-2600)", 3000.0);
+  return p;
+}
+
+DramProfile DramProfile::Ddr4New() {
+  return Make(2020, "[17, 25]", "DDR4 (new)", 313.0);
+}
+
+DramProfile DramProfile::Invulnerable() {
+  DramProfile p = Make(0, "-", "invulnerable", 1e9);
+  p.vulnerable_row_fraction = 0.0;
+  return p;
+}
+
+const std::vector<DramProfile>& Table1Profiles() {
+  // Exactly the rows of Table 1: year, refs, type, rate (K access/s).
+  static const std::vector<DramProfile> kProfiles = {
+      Make(2014, "[26]", "DDR3", 2200),
+      Make(2014, "[26]", "DDR3", 2500),
+      Make(2014, "[26]", "DDR3", 4400),
+      Make(2016, "[20, 49]", "DDR3", 672),
+      Make(2016, "[20, 49]", "LPDDR3", 4000),
+      Make(2018, "[31, 48]", "DDR3", 9400),
+      Make(2018, "[31, 48]", "DDR4", 6140),
+      Make(2020, "[17, 25]", "DDR4", 800),
+      Make(2020, "[17, 25]", "DDR3 (old)", 4800),
+      Make(2020, "[17, 25]", "DDR3 (new)", 750),
+      Make(2020, "[17, 25]", "DDR4 (old)", 547),
+      Make(2020, "[17, 25]", "DDR4 (new)", 313),
+      Make(2020, "[17, 25]", "LPDDR4 (old)", 1400),
+      Make(2020, "[17, 25]", "LPDDR4 (new)", 150),
+  };
+  return kProfiles;
+}
+
+}  // namespace rhsd

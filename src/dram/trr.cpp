@@ -1,0 +1,50 @@
+#include "dram/trr.hpp"
+
+namespace rhsd {
+
+TrrTracker::TrrTracker(TrrConfig config, std::uint32_t num_banks)
+    : config_(config), tables_(num_banks) {
+  RHSD_CHECK(config_.trackers_per_bank > 0);
+  RHSD_CHECK(config_.activation_threshold > 0);
+}
+
+std::optional<std::uint32_t> TrrTracker::on_activate(std::uint32_t bank,
+                                                     std::uint32_t row) {
+  RHSD_CHECK(bank < tables_.size());
+  auto& table = tables_[bank];
+
+  auto it = table.find(row);
+  if (it != table.end()) {
+    if (++it->second >= config_.activation_threshold) {
+      // Fire a targeted refresh at this aggressor's neighbors and
+      // restart its count.
+      it->second = 0;
+      ++refreshes_issued_;
+      return row;
+    }
+    return std::nullopt;
+  }
+
+  if (table.size() < config_.trackers_per_bank) {
+    table.emplace(row, 1);
+    return std::nullopt;
+  }
+
+  // Misra–Gries decrement step: an untracked row arrives while the table
+  // is full — decrement everyone, dropping exhausted entries.  This is
+  // the bounded-capacity behaviour that many-sided hammering exploits.
+  for (auto entry = table.begin(); entry != table.end();) {
+    if (--entry->second == 0) {
+      entry = table.erase(entry);
+    } else {
+      ++entry;
+    }
+  }
+  return std::nullopt;
+}
+
+void TrrTracker::reset() {
+  for (auto& table : tables_) table.clear();
+}
+
+}  // namespace rhsd

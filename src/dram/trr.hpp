@@ -1,0 +1,59 @@
+// Target Row Refresh (TRR) tracker.
+//
+// §5 lists TRR among mitigations; the paper's testbed explicitly lacks it
+// ("the emulation environment doesn't support ECC or TRR", §4.1).  We
+// model an in-DRAM sampler as a Misra–Gries heavy-hitter table per bank:
+// rows whose activation count crosses the threshold get their neighbors
+// target-refreshed.  Bounded tracker capacity is what TRRespass [17]
+// exploits — many-sided patterns thrash the table — and the mitigation
+// bench demonstrates exactly that evasion.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace rhsd {
+
+struct TrrConfig {
+  /// Heavy-hitter table entries per bank (real devices track very few —
+  /// TRRespass [17] found 1..4 on most parts).
+  std::uint32_t trackers_per_bank = 4;
+  /// Activations after which a tracked aggressor's neighbors are
+  /// target-refreshed.  Must be well below the DRAM's flip threshold for
+  /// the mitigation to be effective.
+  std::uint64_t activation_threshold = 20'000;
+  /// How far (in rows) the targeted refresh reaches around a hot
+  /// aggressor.  1 = classic TRR (evaded by Half-Double's distance-2
+  /// aggressors); 2 = the hardened variant that also recharges the
+  /// rows two away.
+  std::uint32_t refresh_distance = 1;
+};
+
+class TrrTracker {
+ public:
+  TrrTracker(TrrConfig config, std::uint32_t num_banks);
+
+  /// Record an activation of `row` in `bank`.  Returns the aggressor row
+  /// whose neighbors must be target-refreshed now, if any.
+  [[nodiscard]] std::optional<std::uint32_t> on_activate(std::uint32_t bank,
+                                                         std::uint32_t row);
+
+  /// Clear all per-window state (call at refresh-window boundaries).
+  void reset();
+
+  [[nodiscard]] std::uint64_t refreshes_issued() const {
+    return refreshes_issued_;
+  }
+
+ private:
+  TrrConfig config_;
+  // Misra–Gries summary per bank: row -> counter.
+  std::vector<std::unordered_map<std::uint32_t, std::uint64_t>> tables_;
+  std::uint64_t refreshes_issued_ = 0;
+};
+
+}  // namespace rhsd

@@ -1,0 +1,35 @@
+#include "fs/block_device.hpp"
+
+#include <cstring>
+
+namespace rhsd::fs {
+
+Status MemBlockDevice::read_block(std::uint64_t block,
+                                  std::span<std::uint8_t> out) {
+  if (block >= blocks_) return OutOfRange("block beyond device");
+  if (out.size() != kFsBlockSize) {
+    return InvalidArgument("block reads are 4 KiB");
+  }
+  std::memcpy(out.data(), data_.data() + block * kFsBlockSize,
+              kFsBlockSize);
+  return Status::Ok();
+}
+
+Status MemBlockDevice::write_block(std::uint64_t block,
+                                   std::span<const std::uint8_t> data) {
+  if (block >= blocks_) return OutOfRange("block beyond device");
+  if (data.size() != kFsBlockSize) {
+    return InvalidArgument("block writes are 4 KiB");
+  }
+  std::memcpy(data_.data() + block * kFsBlockSize, data.data(),
+              kFsBlockSize);
+  return Status::Ok();
+}
+
+Status MemBlockDevice::trim_block(std::uint64_t block) {
+  if (block >= blocks_) return OutOfRange("block beyond device");
+  std::memset(data_.data() + block * kFsBlockSize, 0, kFsBlockSize);
+  return Status::Ok();
+}
+
+}  // namespace rhsd::fs

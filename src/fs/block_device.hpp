@@ -1,0 +1,82 @@
+// Block-device abstraction the filesystem sits on.
+//
+// In the cloud scenario the victim filesystem runs over an NVMe
+// namespace of the shared SSD (NvmeBlockDevice); unit tests use the
+// in-memory device.  The filesystem is deliberately cache-less — every
+// read/write goes to the device — so scanning sprayed files really does
+// re-fetch indirect blocks through the FTL (and its L2P table).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+#include "fs/layout.hpp"
+#include "nvme/nvme_controller.hpp"
+
+namespace rhsd::fs {
+
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  [[nodiscard]] virtual std::uint64_t block_count() const = 0;
+  /// Read one 4 KiB block.
+  virtual Status read_block(std::uint64_t block,
+                            std::span<std::uint8_t> out) = 0;
+  /// Write one 4 KiB block.
+  virtual Status write_block(std::uint64_t block,
+                             std::span<const std::uint8_t> data) = 0;
+  /// Hint that the block's contents are no longer needed.
+  virtual Status trim_block(std::uint64_t block) = 0;
+};
+
+/// RAM-backed device for tests.
+class MemBlockDevice final : public BlockDevice {
+ public:
+  explicit MemBlockDevice(std::uint64_t blocks)
+      : data_(blocks * kFsBlockSize, 0), blocks_(blocks) {}
+
+  [[nodiscard]] std::uint64_t block_count() const override {
+    return blocks_;
+  }
+  Status read_block(std::uint64_t block,
+                    std::span<std::uint8_t> out) override;
+  Status write_block(std::uint64_t block,
+                     std::span<const std::uint8_t> data) override;
+  Status trim_block(std::uint64_t block) override;
+
+ private:
+  std::vector<std::uint8_t> data_;
+  std::uint64_t blocks_;
+};
+
+/// Adapter over one NVMe namespace: filesystem block i == namespace
+/// logical block i.
+class NvmeBlockDevice final : public BlockDevice {
+ public:
+  NvmeBlockDevice(NvmeController& controller, std::uint32_t nsid)
+      : controller_(controller), nsid_(nsid) {}
+
+  [[nodiscard]] std::uint64_t block_count() const override {
+    return controller_.namespace_info(nsid_).blocks;
+  }
+  Status read_block(std::uint64_t block,
+                    std::span<std::uint8_t> out) override {
+    return controller_.read(nsid_, block, out);
+  }
+  Status write_block(std::uint64_t block,
+                     std::span<const std::uint8_t> data) override {
+    return controller_.write(nsid_, block, data);
+  }
+  Status trim_block(std::uint64_t block) override {
+    return controller_.trim(nsid_, block, 1);
+  }
+
+ private:
+  NvmeController& controller_;
+  std::uint32_t nsid_;
+};
+
+}  // namespace rhsd::fs

@@ -1,0 +1,36 @@
+// Filesystem checker.
+//
+// §3.2's first attack outcome is plain data corruption: "the corruption
+// may lead to more severe damage if [it] happens on critical file system
+// metadata … rendering the file system unmountable."  Fsck is how the
+// experiments observe that outcome: it walks the superblock, bitmaps,
+// inodes, extent trees (verifying checksums) and directory structure,
+// and reports every inconsistency found.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "fs/filesystem.hpp"
+
+namespace rhsd::fs {
+
+struct FsckReport {
+  std::vector<std::string> errors;
+  std::uint32_t inodes_checked = 0;
+  std::uint32_t files = 0;
+  std::uint32_t directories = 0;
+  std::uint64_t mapped_blocks = 0;
+
+  [[nodiscard]] bool clean() const { return errors.empty(); }
+};
+
+class Fsck {
+ public:
+  /// Check a mounted filesystem. Never mutates it.
+  static FsckReport Check(FileSystem& fs);
+};
+
+}  // namespace rhsd::fs

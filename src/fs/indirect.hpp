@@ -1,0 +1,72 @@
+// Legacy direct/indirect block mapping (the unchecksummed path).
+//
+// "For backward compatibility with previous versions, ext4 also has an
+// optional direct/indirect block addressing mechanism … Critically,
+// indirect blocks are not verified against any checksum. Users may also
+// select the direct/indirect block mechanism on files they have write
+// access to." (§4.2)
+//
+// This is the exploit surface of Figure 3: get() follows raw u32 block
+// pointers read from disk with *no integrity check*, so a rowhammered
+// L2P entry that redirects an indirect block's LBA to attacker content
+// silently rebinds the whole file.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/status.hpp"
+#include "fs/block_device.hpp"
+#include "fs/extent_tree.hpp"  // for BlockAllocFn/BlockFreeFn
+#include "fs/layout.hpp"
+
+namespace rhsd::fs {
+
+class IndirectMapper {
+ public:
+  /// Operates on `inode` in memory; the caller persists the inode.
+  IndirectMapper(BlockDevice& dev, InodeDisk& inode, BlockAllocFn alloc,
+                 BlockFreeFn free)
+      : dev_(dev),
+        inode_(inode),
+        alloc_(std::move(alloc)),
+        free_(std::move(free)) {}
+
+  /// Physical fs block for `file_block`, or 0 for a hole.  Follows
+  /// indirect pointers without any validation (deliberately).
+  StatusOr<std::uint64_t> get(std::uint32_t file_block);
+
+  /// Like get(), allocating data and intermediate blocks as needed.
+  StatusOr<std::uint64_t> get_or_alloc(std::uint32_t file_block);
+
+  /// Free every data and metadata block reachable from the inode.
+  Status free_all();
+
+  /// The fs block number of the level-1 indirect block whose pointer
+  /// array maps `file_block` (0 if the file block is direct or the
+  /// chain is unallocated).  Used by the sprayer to know which LBA a
+  /// bitflip must redirect.
+  StatusOr<std::uint64_t> l1_indirect_block(std::uint32_t file_block);
+
+  /// Highest representable file block + 1.
+  [[nodiscard]] static std::uint64_t max_file_blocks();
+
+ private:
+  StatusOr<std::uint32_t> load_ptr(std::uint64_t table_block,
+                                   std::uint32_t index);
+  Status store_ptr(std::uint64_t table_block, std::uint32_t index,
+                   std::uint32_t value);
+  /// Walk (allocating if requested) to the level-1 table holding
+  /// `file_block`'s pointer; returns {table_block, index}, table 0 if
+  /// absent and !alloc.
+  StatusOr<std::pair<std::uint64_t, std::uint32_t>> locate(
+      std::uint32_t file_block, bool alloc);
+  Status free_tree(std::uint32_t table_block, std::uint32_t depth);
+
+  BlockDevice& dev_;
+  InodeDisk& inode_;
+  BlockAllocFn alloc_;
+  BlockFreeFn free_;
+};
+
+}  // namespace rhsd::fs

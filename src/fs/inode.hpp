@@ -1,0 +1,56 @@
+// Inode helpers: credentials, permission checks, type predicates.
+//
+// The cloud case study's information leak is exactly a bypass of these
+// checks (§3.2: "the attacker can read that block, bypassing file system
+// access controls"), so the mini filesystem enforces a real uid/mode
+// model: the secret file is 0600 root-owned and unreadable through the
+// API; after a successful attack the secret's *content* flows out
+// through a file the attacker does own.
+#pragma once
+
+#include <cstdint>
+
+#include "fs/layout.hpp"
+
+namespace rhsd::fs {
+
+struct Credentials {
+  std::uint16_t uid = 0;
+
+  [[nodiscard]] bool is_root() const { return uid == 0; }
+};
+
+[[nodiscard]] inline bool IsDir(const InodeDisk& inode) {
+  return (inode.mode & kTypeMask) == kIfDir;
+}
+[[nodiscard]] inline bool IsReg(const InodeDisk& inode) {
+  return (inode.mode & kTypeMask) == kIfReg;
+}
+[[nodiscard]] inline bool UsesExtents(const InodeDisk& inode) {
+  return (inode.flags & kInodeFlagExtents) != 0;
+}
+
+/// Owner/other permission model (no groups).
+[[nodiscard]] inline bool CanRead(const Credentials& cred,
+                                  const InodeDisk& inode) {
+  if (cred.is_root()) return true;
+  if (cred.uid == inode.uid) return (inode.mode & 0400) != 0;
+  return (inode.mode & 0004) != 0;
+}
+
+[[nodiscard]] inline bool CanWrite(const Credentials& cred,
+                                   const InodeDisk& inode) {
+  if (cred.is_root()) return true;
+  if (cred.uid == inode.uid) return (inode.mode & 0200) != 0;
+  return (inode.mode & 0002) != 0;
+}
+
+/// Directory traversal (execute bit).
+[[nodiscard]] inline bool CanTraverse(const Credentials& cred,
+                                      const InodeDisk& inode) {
+  if (cred.is_root()) return true;
+  if (cred.uid == inode.uid) return (inode.mode & 0100) != 0;
+  return (inode.mode & 0001) != 0;
+}
+
+}  // namespace rhsd::fs

@@ -1,0 +1,318 @@
+#include "ftl/ftl.hpp"
+
+#include <cstring>
+
+#include "common/rng.hpp"
+
+namespace rhsd {
+namespace {
+
+std::uint32_t Load32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+void Store32(std::uint8_t* p, std::uint32_t v) {
+  std::memcpy(p, &v, sizeof(v));
+}
+
+}  // namespace
+
+Ftl::Ftl(FtlConfig config, NandDevice& nand, DramDevice& dram)
+    : config_(config),
+      nand_(nand),
+      dram_(dram),
+      layout_(MakeL2pLayout(config.layout, config.l2p_base, config.num_lbas,
+                            config.device_key)) {
+  RHSD_CHECK_MSG(config_.num_lbas > 0, "FTL needs a nonzero capacity");
+  RHSD_CHECK_MSG(config_.hammers_per_io >= 1, "hammers_per_io must be >= 1");
+  RHSD_CHECK_MSG(
+      config_.l2p_base.value() + layout_->table_bytes() <=
+          dram_.config().geometry.total_bytes(),
+      "L2P table does not fit in device DRAM");
+  RHSD_CHECK_MSG(nand_.geometry().page_bytes == kBlockSize,
+                 "FTL assumes 4 KiB NAND pages");
+  RHSD_CHECK_MSG(nand_.geometry().total_pages() > config_.num_lbas,
+                 "NAND must be over-provisioned beyond logical capacity");
+
+  // Power-on initialization: the whole table starts unmapped. Uses poke
+  // so the bring-up does not count as hammering activity.
+  std::vector<std::uint8_t> ff(layout_->table_bytes(), 0xFF);
+  dram_.poke(config_.l2p_base, ff);
+
+  const std::uint32_t blocks = nand_.geometry().total_blocks();
+  page_valid_.assign(nand_.geometry().total_pages(), false);
+  block_valid_count_.assign(blocks, 0);
+  block_is_free_or_active_.assign(blocks, true);
+  for (std::uint32_t b = 0; b < blocks; ++b) free_blocks_.push_back(b);
+}
+
+Status Ftl::check_lba(Lba lba) const {
+  if (lba.value() >= config_.num_lbas) {
+    return OutOfRange("LBA " + std::to_string(lba.value()) +
+                      " beyond device capacity");
+  }
+  return Status::Ok();
+}
+
+Status Ftl::l2p_load(Lba lba, std::uint32_t& pba32) {
+  const DramAddr addr = layout_->entry_addr(lba.value());
+  std::uint8_t buf[L2pLayout::kEntryBytes];
+  // Amplification: firmware touches the entry's row several times per
+  // request (§4.1 used 5 hammers per I/O).
+  for (std::uint32_t i = 0; i < config_.hammers_per_io; ++i) {
+    ++stats_.l2p_dram_reads;
+    Status s = dram_.read(addr, buf);
+    if (!s.ok()) {
+      ++stats_.l2p_corruption_errors;
+      return s;
+    }
+  }
+  pba32 = Load32(buf);
+  return Status::Ok();
+}
+
+Status Ftl::l2p_store(Lba lba, std::uint32_t pba32) {
+  const DramAddr addr = layout_->entry_addr(lba.value());
+  std::uint8_t buf[L2pLayout::kEntryBytes];
+  Store32(buf, pba32);
+  for (std::uint32_t i = 0; i < config_.hammers_per_io; ++i) {
+    ++stats_.l2p_dram_writes;
+    RHSD_RETURN_IF_ERROR(dram_.write(addr, buf));
+  }
+  return Status::Ok();
+}
+
+void Ftl::mark_invalid(Pba pba) {
+  const auto idx = static_cast<std::size_t>(pba.value());
+  if (idx < page_valid_.size() && page_valid_[idx]) {
+    page_valid_[idx] = false;
+    --block_valid_count_[nand_.block_of(pba)];
+  }
+}
+
+void Ftl::mark_valid(Pba pba) {
+  const auto idx = static_cast<std::size_t>(pba.value());
+  RHSD_CHECK(idx < page_valid_.size());
+  if (!page_valid_[idx]) {
+    page_valid_[idx] = true;
+    ++block_valid_count_[nand_.block_of(pba)];
+  }
+}
+
+StatusOr<Pba> Ftl::allocate_page() {
+  const std::uint32_t pages_per_block = nand_.geometry().pages_per_block;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    if (have_active_block_ &&
+        nand_.write_pointer(active_block_) < pages_per_block) {
+      return nand_.make_pba(active_block_,
+                            nand_.write_pointer(active_block_));
+    }
+    if (have_active_block_) {
+      // Active block is full: retire it.
+      block_is_free_or_active_[active_block_] = false;
+      have_active_block_ = false;
+    }
+    // GC itself allocates pages for relocation; it must not re-enter.
+    // GC may adopt (and even fill) a fresh active block, so the loop
+    // re-evaluates the active block's state after it runs.
+    while (!in_gc_ && free_blocks_.size() <= config_.gc_low_watermark) {
+      const std::uint64_t before = free_blocks_.size();
+      const std::uint64_t erases_before = stats_.gc_erases;
+      RHSD_RETURN_IF_ERROR(garbage_collect());
+      if (stats_.gc_erases == erases_before &&
+          free_blocks_.size() <= before) {
+        break;  // no progress possible
+      }
+    }
+    if (have_active_block_) continue;  // GC installed a new active block
+    if (free_blocks_.empty()) {
+      return ResourceExhausted("no free NAND blocks");
+    }
+    active_block_ = free_blocks_.front();
+    free_blocks_.pop_front();
+    block_is_free_or_active_[active_block_] = true;
+    have_active_block_ = true;
+    return nand_.make_pba(active_block_,
+                          nand_.write_pointer(active_block_));
+  }
+  return ResourceExhausted("page allocation failed to converge");
+}
+
+Status Ftl::garbage_collect() {
+  // Greedy victim selection: the full block with the fewest valid pages.
+  const std::uint32_t blocks = nand_.geometry().total_blocks();
+  const std::uint32_t pages_per_block = nand_.geometry().pages_per_block;
+  std::uint32_t victim = blocks;
+  std::uint32_t best_valid = pages_per_block + 1;
+  for (std::uint32_t b = 0; b < blocks; ++b) {
+    if (block_is_free_or_active_[b] || nand_.is_bad(b)) continue;
+    if (block_valid_count_[b] < best_valid) {
+      best_valid = block_valid_count_[b];
+      victim = b;
+    }
+  }
+  if (victim == blocks || best_valid >= pages_per_block) {
+    // Nothing reclaimable; caller may still have free blocks left.
+    return Status::Ok();
+  }
+  ++stats_.gc_runs;
+  in_gc_ = true;
+  struct GcGuard {
+    bool& flag;
+    ~GcGuard() { flag = false; }
+  } guard{in_gc_};
+
+  std::vector<std::uint8_t> page(nand_.geometry().page_bytes);
+  for (std::uint32_t p = 0; p < pages_per_block; ++p) {
+    const Pba src = nand_.make_pba(victim, p);
+    if (!page_valid_[static_cast<std::size_t>(src.value())]) continue;
+    PageOob oob;
+    std::uint32_t raw_errors = 0;
+    RHSD_RETURN_IF_ERROR(nand_.read(victim, p, page, &oob, &raw_errors));
+    ++stats_.flash_reads;
+    // GC reads get read-retry / soft-decode treatment in real firmware;
+    // we count the media errors but let the relocation proceed.
+    stats_.flash_raw_bit_errors += raw_errors;
+    RHSD_CHECK_MSG(oob.lpn != PageOob::kNoLpn,
+                   "valid page without OOB reverse mapping");
+    // Relocate and repoint the mapping (a DRAM write: GC hammers too).
+    RHSD_ASSIGN_OR_RETURN(const Pba dst, allocate_page());
+    RHSD_RETURN_IF_ERROR(
+        nand_.program_pba(dst, page, PageOob{oob.lpn, ++write_seq_}));
+    ++stats_.flash_programs;
+    mark_invalid(src);
+    mark_valid(dst);
+    RHSD_RETURN_IF_ERROR(
+        l2p_store(Lba(oob.lpn), static_cast<std::uint32_t>(dst.value())));
+    ++stats_.gc_relocations;
+  }
+  RHSD_RETURN_IF_ERROR(nand_.erase(victim));
+  ++stats_.gc_erases;
+  if (!nand_.is_bad(victim)) {
+    free_blocks_.push_back(victim);
+    block_is_free_or_active_[victim] = true;
+  }
+  return Status::Ok();
+}
+
+Status Ftl::read(Lba lba, std::span<std::uint8_t> out, FtlIoInfo* info) {
+  RHSD_RETURN_IF_ERROR(check_lba(lba));
+  if (out.size() != kBlockSize) {
+    return InvalidArgument("FTL reads are 4 KiB");
+  }
+  ++stats_.host_reads;
+  std::uint32_t pba32 = 0;
+  RHSD_RETURN_IF_ERROR(l2p_load(lba, pba32));
+  if (pba32 == kUnmappedPba32 ||
+      pba32 >= nand_.geometry().total_pages()) {
+    // Unmapped (or corrupted-beyond-device) entries read as zeros
+    // without a flash access — the fast hammering path of §3.
+    ++stats_.unmapped_reads;
+    std::memset(out.data(), 0, out.size());
+    if (info != nullptr) info->flash_accessed = false;
+    return Status::Ok();
+  }
+  PageOob oob;
+  std::uint32_t raw_errors = 0;
+  RHSD_RETURN_IF_ERROR(nand_.read_pba(Pba(pba32), out, &oob, &raw_errors));
+  ++stats_.flash_reads;
+  stats_.flash_raw_bit_errors += raw_errors;
+  if (raw_errors > config_.page_ecc_correctable_bits) {
+    ++stats_.flash_ecc_uncorrectable;
+    return Corruption("uncorrectable flash error reading LBA " +
+                      std::to_string(lba.value()) + " (" +
+                      std::to_string(raw_errors) + " raw bit errors)");
+  }
+  if (config_.t10_reference_tag && oob.lpn != lba.value()) {
+    // The page we were directed to was written for a different LBA —
+    // exactly what a rowhammered L2P entry produces.
+    ++stats_.reference_tag_mismatches;
+    return Corruption("reference tag mismatch: LBA " +
+                      std::to_string(lba.value()) + " mapped to a page of "
+                      "LBA " + std::to_string(oob.lpn));
+  }
+  if (config_.xts_encryption) xts_whiten(lba, out);
+  if (info != nullptr) info->flash_accessed = true;
+  return Status::Ok();
+}
+
+void Ftl::xts_whiten(Lba lba, std::span<std::uint8_t> data) const {
+  // Toy tweakable stream standing in for AES-XTS [32]: keystream depends
+  // on (device key, LBA, offset), so data only decrypts under the LBA it
+  // was written for.
+  std::uint64_t word_idx = 0;
+  for (std::size_t off = 0; off + 8 <= data.size(); off += 8) {
+    const std::uint64_t ks =
+        Mix64(config_.device_key ^ (lba.value() * 0x9E3779B97F4A7C15ull) ^
+              word_idx++);
+    std::uint64_t w;
+    std::memcpy(&w, data.data() + off, 8);
+    w ^= ks;
+    std::memcpy(data.data() + off, &w, 8);
+  }
+}
+
+Status Ftl::write(Lba lba, std::span<const std::uint8_t> data,
+                  FtlIoInfo* info) {
+  RHSD_RETURN_IF_ERROR(check_lba(lba));
+  if (data.size() != kBlockSize) {
+    return InvalidArgument("FTL writes are 4 KiB");
+  }
+  ++stats_.host_writes;
+  const std::uint64_t free_before = free_blocks_.size();
+
+  RHSD_ASSIGN_OR_RETURN(const Pba dst, allocate_page());
+  if (config_.xts_encryption) {
+    std::vector<std::uint8_t> cipher(data.begin(), data.end());
+    xts_whiten(lba, cipher);
+    RHSD_RETURN_IF_ERROR(nand_.program_pba(
+        dst, cipher, PageOob{lba.value(), ++write_seq_}));
+  } else {
+    RHSD_RETURN_IF_ERROR(nand_.program_pba(
+        dst, data, PageOob{lba.value(), ++write_seq_}));
+  }
+  ++stats_.flash_programs;
+
+  std::uint32_t old = 0;
+  RHSD_RETURN_IF_ERROR(l2p_load(lba, old));
+  if (old != kUnmappedPba32 && old < nand_.geometry().total_pages()) {
+    mark_invalid(Pba(old));
+  }
+  mark_valid(dst);
+  RHSD_RETURN_IF_ERROR(
+      l2p_store(lba, static_cast<std::uint32_t>(dst.value())));
+  if (info != nullptr) {
+    info->flash_accessed = true;
+    info->gc_ran = free_blocks_.size() != free_before;
+  }
+  return Status::Ok();
+}
+
+Status Ftl::trim(Lba lba) {
+  RHSD_RETURN_IF_ERROR(check_lba(lba));
+  ++stats_.host_trims;
+  std::uint32_t old = 0;
+  RHSD_RETURN_IF_ERROR(l2p_load(lba, old));
+  if (old != kUnmappedPba32 && old < nand_.geometry().total_pages()) {
+    mark_invalid(Pba(old));
+  }
+  return l2p_store(lba, kUnmappedPba32);
+}
+
+std::uint32_t Ftl::debug_lookup(Lba lba) const {
+  RHSD_CHECK(lba.value() < config_.num_lbas);
+  std::uint8_t buf[L2pLayout::kEntryBytes];
+  dram_.peek(layout_->entry_addr(lba.value()), buf);
+  return Load32(buf);
+}
+
+void Ftl::debug_store(Lba lba, std::uint32_t pba32) {
+  RHSD_CHECK(lba.value() < config_.num_lbas);
+  std::uint8_t buf[L2pLayout::kEntryBytes];
+  Store32(buf, pba32);
+  dram_.poke(layout_->entry_addr(lba.value()), buf);
+}
+
+}  // namespace rhsd

@@ -1,0 +1,148 @@
+// Flash Translation Layer.
+//
+// Page-level log-structured FTL (§2.1): logical block addresses map to
+// physical NAND pages through the L2P table, which lives in the SSD's
+// *simulated DRAM* — so every host read performs a real DRAM access
+// (row activation) to fetch the mapping, and every write performs one to
+// update it.  That access stream is the paper's rowhammer vector: the
+// attacker chooses LBAs purely to steer which DRAM rows get activated.
+//
+// `hammers_per_io` reproduces the paper's amplification ("we manually
+// amplified each L2P row activation — 5 hammers per I/O request", §4.1),
+// modeling firmware that touches the entry several times per command.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "dram/dram_device.hpp"
+#include "ftl/l2p_layout.hpp"
+#include "nand/nand_device.hpp"
+
+namespace rhsd {
+
+struct FtlConfig {
+  /// Logical capacity in 4 KiB pages (1 GiB SSD => 262144).
+  std::uint64_t num_lbas = (1 * kGiB) / kBlockSize;
+  /// Where the L2P table starts in device DRAM.
+  DramAddr l2p_base{0};
+  L2pLayoutKind layout = L2pLayoutKind::kLinear;
+  std::uint64_t device_key = 0;  // for the hashed layout
+  /// DRAM touches per L2P access (paper's 5× amplification; 1 = none).
+  std::uint32_t hammers_per_io = 1;
+  /// Start garbage collection when free blocks drop to this count.
+  std::uint32_t gc_low_watermark = 3;
+  /// Page-level BCH-style ECC budget: NAND reads whose sampled raw bit
+  /// errors exceed this count fail as Corruption ("uncorrectable flash
+  /// error").  Only meaningful when the NAND has a reliability model.
+  std::uint32_t page_ecc_correctable_bits = 72;
+  /// §5 mitigation ("block data integrity [41] … relying on the block's
+  /// LBA"): verify the per-page reference tag (OOB LPN) on reads, so a
+  /// misdirected mapping surfaces as Corruption instead of wrong data.
+  bool t10_reference_tag = false;
+  /// §5 mitigation ("encryption [32] algorithms … relying on the
+  /// block's LBA to … encrypt block data"): XTS-style per-LBA tweaked
+  /// encryption, so misdirected reads decrypt to noise.
+  bool xts_encryption = false;
+};
+
+struct FtlStats {
+  std::uint64_t host_reads = 0;
+  std::uint64_t host_writes = 0;
+  std::uint64_t host_trims = 0;
+  std::uint64_t unmapped_reads = 0;  // reads served without flash access
+  std::uint64_t flash_reads = 0;
+  std::uint64_t flash_programs = 0;
+  std::uint64_t gc_runs = 0;
+  std::uint64_t gc_relocations = 0;
+  std::uint64_t gc_erases = 0;
+  std::uint64_t l2p_dram_reads = 0;
+  std::uint64_t l2p_dram_writes = 0;
+  std::uint64_t l2p_corruption_errors = 0;   // surfaced by DRAM ECC
+  std::uint64_t reference_tag_mismatches = 0;  // T10-style guard hits
+  std::uint64_t flash_raw_bit_errors = 0;      // media errors corrected
+  std::uint64_t flash_ecc_uncorrectable = 0;   // reads beyond the budget
+};
+
+/// Outcome details of a single FTL operation, for the timing model.
+struct FtlIoInfo {
+  bool flash_accessed = false;
+  bool gc_ran = false;
+};
+
+class Ftl {
+ public:
+  /// `nand`, `dram` must outlive the FTL.  The DRAM must be large enough
+  /// to hold the table at l2p_base.
+  Ftl(FtlConfig config, NandDevice& nand, DramDevice& dram);
+
+  Ftl(const Ftl&) = delete;
+  Ftl& operator=(const Ftl&) = delete;
+
+  /// Read one logical page. Unmapped/trimmed LBAs read as zeros without
+  /// touching flash (the fast path §3's threat model mentions).
+  Status read(Lba lba, std::span<std::uint8_t> out,
+              FtlIoInfo* info = nullptr);
+
+  /// Write one logical page (allocates a fresh NAND page; copy-on-write,
+  /// §3.2: "flash writes are copy-on-write").
+  Status write(Lba lba, std::span<const std::uint8_t> data,
+               FtlIoInfo* info = nullptr);
+
+  /// Unmap a logical page.
+  Status trim(Lba lba);
+
+  [[nodiscard]] const FtlConfig& config() const { return config_; }
+  [[nodiscard]] const FtlStats& stats() const { return stats_; }
+  [[nodiscard]] const L2pLayout& layout() const { return *layout_; }
+  [[nodiscard]] NandDevice& nand() { return nand_; }
+  [[nodiscard]] DramDevice& dram() { return dram_; }
+
+  /// Current mapping of `lba` read via DRAM peek — no activations, no
+  /// stats; for experiments/tests ("device debug port").
+  [[nodiscard]] std::uint32_t debug_lookup(Lba lba) const;
+  /// Overwrite the mapping via DRAM poke — test/experiment use only.
+  void debug_store(Lba lba, std::uint32_t pba32);
+
+  [[nodiscard]] std::uint64_t free_blocks() const {
+    return free_blocks_.size();
+  }
+
+ private:
+  Status check_lba(Lba lba) const;
+
+  /// L2P entry access through DRAM, with hammer amplification.
+  Status l2p_load(Lba lba, std::uint32_t& pba32);
+  Status l2p_store(Lba lba, std::uint32_t pba32);
+
+  StatusOr<Pba> allocate_page();
+  Status garbage_collect();
+  /// XTS-style keystream XOR, tweaked by LBA (applied on write and on
+  /// read with the *requested* LBA — misdirected reads come out as
+  /// noise).
+  void xts_whiten(Lba lba, std::span<std::uint8_t> data) const;
+  void mark_invalid(Pba pba);
+  void mark_valid(Pba pba);
+
+  FtlConfig config_;
+  NandDevice& nand_;
+  DramDevice& dram_;
+  std::unique_ptr<L2pLayout> layout_;
+
+  std::deque<std::uint32_t> free_blocks_;
+  std::uint32_t active_block_ = 0;
+  bool have_active_block_ = false;
+  std::vector<bool> page_valid_;          // per flat PBA
+  std::vector<std::uint32_t> block_valid_count_;
+  std::vector<bool> block_is_free_or_active_;
+  std::uint64_t write_seq_ = 0;
+  bool in_gc_ = false;
+  FtlStats stats_;
+};
+
+}  // namespace rhsd

@@ -1,0 +1,103 @@
+#include "ftl/l2p_layout.hpp"
+
+#include <bit>
+
+#include "common/rng.hpp"
+
+namespace rhsd {
+
+DramAddr LinearL2pLayout::entry_addr(std::uint64_t lpn) const {
+  RHSD_CHECK(lpn < num_entries_);
+  return DramAddr(base_.value() + lpn * kEntryBytes);
+}
+
+std::optional<std::uint64_t> LinearL2pLayout::lpn_of_entry(
+    DramAddr addr) const {
+  return slot_of(addr);
+}
+
+HashedL2pLayout::HashedL2pLayout(DramAddr base, std::uint64_t num_entries,
+                                 std::uint64_t device_key)
+    : L2pLayout(base, num_entries), key_(device_key) {
+  // Domain: smallest even-bit power of two >= num_entries (Feistel needs
+  // an even bit split).
+  std::uint32_t bits = std::bit_width(num_entries - 1);
+  if (bits < 2) bits = 2;
+  if (bits % 2 != 0) ++bits;
+  half_bits_ = bits / 2;
+  domain_ = 1ull << bits;
+}
+
+std::uint64_t HashedL2pLayout::feistel_round(std::uint64_t half,
+                                             std::uint32_t round) const {
+  const std::uint64_t mask = (1ull << half_bits_) - 1;
+  return Mix64(half ^ key_ ^ (0x517CC1B727220A95ull * (round + 1))) & mask;
+}
+
+std::uint64_t HashedL2pLayout::feistel(std::uint64_t x, bool forward) const {
+  const std::uint64_t mask = (1ull << half_bits_) - 1;
+  std::uint64_t left = x >> half_bits_;
+  std::uint64_t right = x & mask;
+  constexpr std::uint32_t kRounds = 4;
+  if (forward) {
+    for (std::uint32_t r = 0; r < kRounds; ++r) {
+      const std::uint64_t tmp = right;
+      right = left ^ feistel_round(right, r);
+      left = tmp;
+    }
+  } else {
+    for (std::uint32_t r = kRounds; r-- > 0;) {
+      const std::uint64_t tmp = left;
+      left = right ^ feistel_round(left, r);
+      right = tmp;
+    }
+  }
+  return (left << half_bits_) | right;
+}
+
+std::uint64_t HashedL2pLayout::permute(std::uint64_t x) const {
+  // Cycle-walk until the permuted value lands inside [0, num_entries).
+  // Terminates because the Feistel network is a bijection on the
+  // power-of-two superset.
+  std::uint64_t y = x;
+  do {
+    y = feistel(y, /*forward=*/true);
+  } while (y >= num_entries_);
+  return y;
+}
+
+std::uint64_t HashedL2pLayout::unpermute(std::uint64_t x) const {
+  std::uint64_t y = x;
+  do {
+    y = feistel(y, /*forward=*/false);
+  } while (y >= num_entries_);
+  return y;
+}
+
+DramAddr HashedL2pLayout::entry_addr(std::uint64_t lpn) const {
+  RHSD_CHECK(lpn < num_entries_);
+  return DramAddr(base_.value() + permute(lpn) * kEntryBytes);
+}
+
+std::optional<std::uint64_t> HashedL2pLayout::lpn_of_entry(
+    DramAddr addr) const {
+  const auto slot = slot_of(addr);
+  if (!slot.has_value()) return std::nullopt;
+  return unpermute(*slot);
+}
+
+std::unique_ptr<L2pLayout> MakeL2pLayout(L2pLayoutKind kind, DramAddr base,
+                                         std::uint64_t num_entries,
+                                         std::uint64_t device_key) {
+  switch (kind) {
+    case L2pLayoutKind::kLinear:
+      return std::make_unique<LinearL2pLayout>(base, num_entries);
+    case L2pLayoutKind::kHashed:
+      return std::make_unique<HashedL2pLayout>(base, num_entries,
+                                               device_key);
+  }
+  RHSD_CHECK_MSG(false, "unknown L2P layout kind");
+  return nullptr;
+}
+
+}  // namespace rhsd

@@ -1,0 +1,110 @@
+// L2P table layouts: where in device DRAM each logical page's mapping
+// entry lives.
+//
+// §4.1: "The SPDK FTL library, like most flash-based storage devices,
+// stores a large L2P table in memory as a linear array. Our proposed
+// attack works on other L2P table layouts, such as a hash table,
+// provided the attacker can learn the structure offline."  §5 proposes
+// randomizing the layout with a device-specific key as a mitigation.
+//
+// LinearL2pLayout is the SPDK-style array.  HashedL2pLayout is a keyed
+// bijection (Feistel permutation with cycle-walking), covering both the
+// hash-table layout of §4.1 and the keyed-randomization mitigation of §5
+// (secret key ⇒ attacker cannot plan aggressor placement offline).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace rhsd {
+
+class L2pLayout {
+ public:
+  /// Each entry is a 32-bit PBA.
+  static constexpr std::uint32_t kEntryBytes = 4;
+
+  L2pLayout(DramAddr base, std::uint64_t num_entries)
+      : base_(base), num_entries_(num_entries) {
+    RHSD_CHECK(num_entries_ > 0);
+  }
+  virtual ~L2pLayout() = default;
+
+  L2pLayout(const L2pLayout&) = delete;
+  L2pLayout& operator=(const L2pLayout&) = delete;
+
+  [[nodiscard]] DramAddr base() const { return base_; }
+  [[nodiscard]] std::uint64_t num_entries() const { return num_entries_; }
+  [[nodiscard]] std::uint64_t table_bytes() const {
+    return num_entries_ * kEntryBytes;
+  }
+
+  /// DRAM address of the entry for logical page `lpn`.
+  [[nodiscard]] virtual DramAddr entry_addr(std::uint64_t lpn) const = 0;
+
+  /// Inverse: which LPN's entry lives at `addr`?  nullopt if `addr` is
+  /// not an entry start within the table.
+  [[nodiscard]] virtual std::optional<std::uint64_t> lpn_of_entry(
+      DramAddr addr) const = 0;
+
+ protected:
+  /// Slot index (0..num_entries) for an address, or nullopt.
+  [[nodiscard]] std::optional<std::uint64_t> slot_of(DramAddr addr) const {
+    const std::uint64_t a = addr.value();
+    if (a < base_.value()) return std::nullopt;
+    const std::uint64_t off = a - base_.value();
+    if (off % kEntryBytes != 0) return std::nullopt;
+    const std::uint64_t slot = off / kEntryBytes;
+    if (slot >= num_entries_) return std::nullopt;
+    return slot;
+  }
+
+  DramAddr base_;
+  std::uint64_t num_entries_;
+};
+
+/// entry(lpn) = base + lpn * 4 — the SPDK linear array.
+class LinearL2pLayout final : public L2pLayout {
+ public:
+  using L2pLayout::L2pLayout;
+
+  [[nodiscard]] DramAddr entry_addr(std::uint64_t lpn) const override;
+  [[nodiscard]] std::optional<std::uint64_t> lpn_of_entry(
+      DramAddr addr) const override;
+};
+
+/// entry(lpn) = base + perm_key(lpn) * 4, with perm a keyed Feistel
+/// permutation over [0, num_entries) via cycle-walking.
+class HashedL2pLayout final : public L2pLayout {
+ public:
+  HashedL2pLayout(DramAddr base, std::uint64_t num_entries,
+                  std::uint64_t device_key);
+
+  [[nodiscard]] DramAddr entry_addr(std::uint64_t lpn) const override;
+  [[nodiscard]] std::optional<std::uint64_t> lpn_of_entry(
+      DramAddr addr) const override;
+
+  [[nodiscard]] std::uint64_t device_key() const { return key_; }
+
+ private:
+  [[nodiscard]] std::uint64_t permute(std::uint64_t x) const;
+  [[nodiscard]] std::uint64_t unpermute(std::uint64_t x) const;
+  [[nodiscard]] std::uint64_t feistel_round(std::uint64_t half,
+                                            std::uint32_t round) const;
+  [[nodiscard]] std::uint64_t feistel(std::uint64_t x, bool forward) const;
+
+  std::uint64_t key_;
+  std::uint32_t half_bits_;   // Feistel domain is 2*half_bits_ wide
+  std::uint64_t domain_;      // power-of-two superset of num_entries
+};
+
+enum class L2pLayoutKind { kLinear, kHashed };
+
+[[nodiscard]] std::unique_ptr<L2pLayout> MakeL2pLayout(
+    L2pLayoutKind kind, DramAddr base, std::uint64_t num_entries,
+    std::uint64_t device_key = 0);
+
+}  // namespace rhsd

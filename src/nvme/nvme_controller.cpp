@@ -1,0 +1,153 @@
+#include "nvme/nvme_controller.hpp"
+
+namespace rhsd {
+
+NvmeController::NvmeController(NvmeConfig config, Ftl& ftl, SimClock& clock)
+    : config_(std::move(config)), ftl_(ftl), clock_(clock) {
+  RHSD_CHECK_MSG(!config_.namespaces.empty(), "need at least one namespace");
+  // Validate bounds and non-overlap.
+  for (std::size_t i = 0; i < config_.namespaces.size(); ++i) {
+    const auto& ns = config_.namespaces[i];
+    RHSD_CHECK_MSG(ns.blocks > 0, "empty namespace");
+    RHSD_CHECK_MSG(ns.start.value() + ns.blocks <= ftl_.config().num_lbas,
+                   "namespace exceeds device capacity");
+    for (std::size_t j = i + 1; j < config_.namespaces.size(); ++j) {
+      const auto& other = config_.namespaces[j];
+      const bool disjoint =
+          ns.start.value() + ns.blocks <= other.start.value() ||
+          other.start.value() + other.blocks <= ns.start.value();
+      RHSD_CHECK_MSG(disjoint, "namespaces overlap");
+    }
+  }
+  if (config_.rate_limit.has_value()) {
+    limiter_.emplace(*config_.rate_limit);
+  }
+}
+
+const NvmeNamespaceConfig& NvmeController::namespace_info(
+    std::uint32_t nsid) const {
+  RHSD_CHECK_MSG(nsid >= 1 && nsid <= config_.namespaces.size(),
+                 "bad namespace id");
+  return config_.namespaces[nsid - 1];
+}
+
+StatusOr<Lba> NvmeController::translate(std::uint32_t nsid,
+                                        std::uint64_t slba) const {
+  if (nsid < 1 || nsid > config_.namespaces.size()) {
+    return InvalidArgument("unknown namespace " + std::to_string(nsid));
+  }
+  const auto& ns = config_.namespaces[nsid - 1];
+  if (slba >= ns.blocks) {
+    return OutOfRange("LBA " + std::to_string(slba) +
+                      " beyond namespace of " + std::to_string(ns.blocks) +
+                      " blocks");
+  }
+  return Lba(ns.start.value() + slba);
+}
+
+void NvmeController::charge(bool flash_accessed) {
+  if (!any_cmd_) {
+    any_cmd_ = true;
+    first_cmd_ns_ = clock_.now_ns();
+  }
+  std::uint64_t ns_cost = 0;
+  if (limiter_.has_value()) {
+    ns_cost += limiter_->acquire(clock_.now_ns());
+  }
+  ns_cost += config_.iops.service_ns(flash_accessed, ftl_.nand().latency());
+  clock_.advance_ns(ns_cost);
+  stats_.busy_ns += ns_cost;
+  ++commands_;
+}
+
+double NvmeController::measured_iops() const {
+  if (!any_cmd_ || clock_.now_ns() <= first_cmd_ns_) return 0.0;
+  const double seconds =
+      static_cast<double>(clock_.now_ns() - first_cmd_ns_) * 1e-9;
+  return static_cast<double>(commands_) / seconds;
+}
+
+Status NvmeController::read(std::uint32_t nsid, std::uint64_t slba,
+                            std::span<std::uint8_t> out) {
+  if (out.size() % kBlockSize != 0 || out.empty()) {
+    ++stats_.errors;
+    return InvalidArgument("read length must be a multiple of 4 KiB");
+  }
+  const std::uint64_t nblocks = out.size() / kBlockSize;
+  for (std::uint64_t i = 0; i < nblocks; ++i) {
+    auto lba = translate(nsid, slba + i);
+    if (!lba.ok()) {
+      ++stats_.errors;
+      return lba.status();
+    }
+    FtlIoInfo info;
+    Status s = ftl_.read(*lba,
+                         out.subspan(i * kBlockSize, kBlockSize), &info);
+    ++stats_.read_cmds;
+    charge(info.flash_accessed);
+    if (!s.ok()) {
+      ++stats_.errors;
+      return s;
+    }
+  }
+  return Status::Ok();
+}
+
+Status NvmeController::write(std::uint32_t nsid, std::uint64_t slba,
+                             std::span<const std::uint8_t> data) {
+  if (data.size() % kBlockSize != 0 || data.empty()) {
+    ++stats_.errors;
+    return InvalidArgument("write length must be a multiple of 4 KiB");
+  }
+  const std::uint64_t nblocks = data.size() / kBlockSize;
+  for (std::uint64_t i = 0; i < nblocks; ++i) {
+    auto lba = translate(nsid, slba + i);
+    if (!lba.ok()) {
+      ++stats_.errors;
+      return lba.status();
+    }
+    FtlIoInfo info;
+    Status s = ftl_.write(*lba,
+                          data.subspan(i * kBlockSize, kBlockSize), &info);
+    ++stats_.write_cmds;
+    charge(/*flash_accessed=*/true);
+    if (!s.ok()) {
+      ++stats_.errors;
+      return s;
+    }
+  }
+  return Status::Ok();
+}
+
+Status NvmeController::trim(std::uint32_t nsid, std::uint64_t slba,
+                            std::uint64_t nblocks) {
+  for (std::uint64_t i = 0; i < nblocks; ++i) {
+    auto lba = translate(nsid, slba + i);
+    if (!lba.ok()) {
+      ++stats_.errors;
+      return lba.status();
+    }
+    Status s = ftl_.trim(*lba);
+    ++stats_.trim_cmds;
+    charge(/*flash_accessed=*/false);
+    if (!s.ok()) {
+      ++stats_.errors;
+      return s;
+    }
+  }
+  return Status::Ok();
+}
+
+Status NvmeController::flush(std::uint32_t nsid) {
+  if (nsid < 1 || nsid > config_.namespaces.size()) {
+    ++stats_.errors;
+    return InvalidArgument("unknown namespace " + std::to_string(nsid));
+  }
+  // All writes in this model are durable on completion; flush is a
+  // timing no-op charged like a command.
+  ++stats_.flush_cmds;
+  charge(/*flash_accessed=*/false);
+  return Status::Ok();
+}
+
+}  // namespace rhsd

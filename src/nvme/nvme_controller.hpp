@@ -1,0 +1,95 @@
+// NVMe-style command front end.
+//
+// Exposes the shared SSD as per-tenant namespaces ("Each VM's storage
+// space is a partition of the shared SSD, treated as a block device with
+// its own logical address space … However, the underlying FTL and its
+// mapping table are shared across partitions", §4.1).  Namespace bounds
+// are enforced here — a tenant can only *address* its own partition —
+// while the rowhammer attack corrupts the shared table underneath.
+//
+// Commands advance the simulated clock through the IopsModel (and the
+// optional §5 rate limiter), which is what turns "requests" into
+// "requests per second" for the feasibility analysis.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/sim_clock.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "ftl/ftl.hpp"
+#include "nvme/iops_model.hpp"
+#include "nvme/rate_limiter.hpp"
+
+namespace rhsd {
+
+struct NvmeNamespaceConfig {
+  Lba start{0};              // first device LBA of this namespace
+  std::uint64_t blocks = 0;  // namespace size in 4 KiB blocks
+};
+
+struct NvmeConfig {
+  std::vector<NvmeNamespaceConfig> namespaces;
+  IopsModel iops = IopsModel::ForInterface(HostInterface::kPcie4);
+  std::optional<RateLimiterConfig> rate_limit;  // §5 mitigation
+};
+
+struct NvmeStats {
+  std::uint64_t read_cmds = 0;
+  std::uint64_t write_cmds = 0;
+  std::uint64_t trim_cmds = 0;
+  std::uint64_t flush_cmds = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t busy_ns = 0;  // simulated time spent servicing commands
+};
+
+class NvmeController {
+ public:
+  /// `ftl` and `clock` must outlive the controller. Namespaces must lie
+  /// within the FTL's logical capacity and not overlap.
+  NvmeController(NvmeConfig config, Ftl& ftl, SimClock& clock);
+
+  NvmeController(const NvmeController&) = delete;
+  NvmeController& operator=(const NvmeController&) = delete;
+
+  /// Read `out.size()/4096` blocks starting at namespace-relative slba.
+  Status read(std::uint32_t nsid, std::uint64_t slba,
+              std::span<std::uint8_t> out);
+  Status write(std::uint32_t nsid, std::uint64_t slba,
+               std::span<const std::uint8_t> data);
+  /// Dataset-management deallocate (TRIM).
+  Status trim(std::uint32_t nsid, std::uint64_t slba, std::uint64_t nblocks);
+  Status flush(std::uint32_t nsid);
+
+  [[nodiscard]] std::uint32_t namespace_count() const {
+    return static_cast<std::uint32_t>(config_.namespaces.size());
+  }
+  [[nodiscard]] const NvmeNamespaceConfig& namespace_info(
+      std::uint32_t nsid) const;
+
+  [[nodiscard]] const NvmeStats& stats() const { return stats_; }
+  [[nodiscard]] const NvmeConfig& config() const { return config_; }
+  [[nodiscard]] SimClock& clock() { return clock_; }
+  [[nodiscard]] Ftl& ftl() { return ftl_; }
+
+  /// Measured command rate so far (commands / simulated second).
+  [[nodiscard]] double measured_iops() const;
+
+ private:
+  StatusOr<Lba> translate(std::uint32_t nsid, std::uint64_t slba) const;
+  void charge(bool flash_accessed);
+
+  NvmeConfig config_;
+  Ftl& ftl_;
+  SimClock& clock_;
+  std::optional<RateLimiter> limiter_;
+  std::uint64_t commands_ = 0;
+  SimClock::Nanos first_cmd_ns_ = 0;
+  bool any_cmd_ = false;
+  NvmeStats stats_;
+};
+
+}  // namespace rhsd

@@ -1,0 +1,114 @@
+#include "nvme/queue_pair.hpp"
+
+namespace rhsd {
+
+NvmeCommand NvmeCommand::Read(std::uint16_t cid, std::uint32_t nsid,
+                              std::uint64_t slba,
+                              std::span<std::uint8_t> buf) {
+  NvmeCommand c;
+  c.op = Op::kRead;
+  c.cid = cid;
+  c.nsid = nsid;
+  c.slba = slba;
+  c.read_buf = buf;
+  return c;
+}
+
+NvmeCommand NvmeCommand::Write(std::uint16_t cid, std::uint32_t nsid,
+                               std::uint64_t slba,
+                               std::vector<std::uint8_t> data) {
+  NvmeCommand c;
+  c.op = Op::kWrite;
+  c.cid = cid;
+  c.nsid = nsid;
+  c.slba = slba;
+  c.write_data = std::move(data);
+  return c;
+}
+
+NvmeCommand NvmeCommand::Trim(std::uint16_t cid, std::uint32_t nsid,
+                              std::uint64_t slba, std::uint32_t nblocks) {
+  NvmeCommand c;
+  c.op = Op::kTrim;
+  c.cid = cid;
+  c.nsid = nsid;
+  c.slba = slba;
+  c.nblocks = nblocks;
+  return c;
+}
+
+NvmeCommand NvmeCommand::Flush(std::uint16_t cid, std::uint32_t nsid) {
+  NvmeCommand c;
+  c.op = Op::kFlush;
+  c.cid = cid;
+  c.nsid = nsid;
+  return c;
+}
+
+NvmeQueuePair::NvmeQueuePair(NvmeController& controller, std::uint16_t qid,
+                             std::uint32_t depth)
+    : controller_(controller), qid_(qid), depth_(depth) {
+  RHSD_CHECK_MSG(depth_ >= 2, "NVMe queues need a depth of at least 2");
+}
+
+Status NvmeQueuePair::submit(NvmeCommand command) {
+  if (sq_.size() >= depth_) {
+    return FailedPrecondition("submission queue " + std::to_string(qid_) +
+                              " full (depth " + std::to_string(depth_) +
+                              ")");
+  }
+  sq_.push_back(std::move(command));
+  return Status::Ok();
+}
+
+std::uint32_t NvmeQueuePair::process(std::uint32_t max_commands) {
+  std::uint32_t processed = 0;
+  while (!sq_.empty() && processed < max_commands &&
+         cq_.size() < depth_) {
+    NvmeCommand command = std::move(sq_.front());
+    sq_.pop_front();
+
+    Status status;
+    switch (command.op) {
+      case NvmeCommand::Op::kRead:
+        status = controller_.read(command.nsid, command.slba,
+                                  command.read_buf);
+        break;
+      case NvmeCommand::Op::kWrite:
+        status = controller_.write(command.nsid, command.slba,
+                                   command.write_data);
+        break;
+      case NvmeCommand::Op::kTrim:
+        status = controller_.trim(command.nsid, command.slba,
+                                  command.nblocks);
+        break;
+      case NvmeCommand::Op::kFlush:
+        status = controller_.flush(command.nsid);
+        break;
+    }
+    cq_.push_back(NvmeCompletion{command.cid, std::move(status),
+                                 controller_.clock().now_ns()});
+    ++processed;
+  }
+  return processed;
+}
+
+std::optional<NvmeCompletion> NvmeQueuePair::poll() {
+  if (cq_.empty()) return std::nullopt;
+  NvmeCompletion completion = std::move(cq_.front());
+  cq_.pop_front();
+  return completion;
+}
+
+std::vector<NvmeCompletion> NvmeQueuePair::drain() {
+  std::vector<NvmeCompletion> completions;
+  while (!sq_.empty() || !cq_.empty()) {
+    (void)process();
+    while (auto completion = poll()) {
+      completions.push_back(std::move(*completion));
+    }
+  }
+  return completions;
+}
+
+}  // namespace rhsd

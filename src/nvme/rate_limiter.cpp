@@ -1,0 +1,29 @@
+#include "nvme/rate_limiter.hpp"
+
+#include <algorithm>
+
+namespace rhsd {
+
+std::uint64_t RateLimiter::acquire(SimClock::Nanos now_ns) {
+  // Refill since last acquire.
+  if (now_ns > last_ns_) {
+    const double elapsed_s = static_cast<double>(now_ns - last_ns_) * 1e-9;
+    tokens_ = std::min(config_.burst, tokens_ + elapsed_s * config_.max_iops);
+  }
+  last_ns_ = now_ns;
+
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    return 0;
+  }
+  // Stall until one token accumulates.
+  const double deficit = 1.0 - tokens_;
+  const auto stall_ns = static_cast<std::uint64_t>(
+      deficit / config_.max_iops * 1e9);
+  tokens_ = 0.0;
+  last_ns_ = now_ns + stall_ns;
+  total_stall_ns_ += stall_ns;
+  return stall_ns;
+}
+
+}  // namespace rhsd

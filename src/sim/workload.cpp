@@ -1,0 +1,70 @@
+#include "sim/workload.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace rhsd {
+
+const char* to_string(AccessPattern pattern) {
+  switch (pattern) {
+    case AccessPattern::kSequential: return "sequential";
+    case AccessPattern::kRandom: return "random";
+    case AccessPattern::kZipfLike: return "zipf-like";
+    case AccessPattern::kHotCold: return "hot/cold";
+  }
+  return "unknown";
+}
+
+WorkloadGenerator::WorkloadGenerator(WorkloadConfig config)
+    : config_(config), rng_(config.seed) {
+  RHSD_CHECK(config_.working_set > 0);
+  RHSD_CHECK(config_.write_fraction >= 0.0 &&
+             config_.write_fraction <= 1.0);
+  RHSD_CHECK(config_.zipf_skew >= 1.0);
+  RHSD_CHECK(config_.hot_fraction > 0.0 && config_.hot_fraction < 1.0);
+  RHSD_CHECK(config_.hot_access_fraction >= 0.0 &&
+             config_.hot_access_fraction <= 1.0);
+}
+
+std::uint64_t WorkloadGenerator::next_address() {
+  const std::uint64_t ws = config_.working_set;
+  switch (config_.pattern) {
+    case AccessPattern::kSequential: {
+      const std::uint64_t address = sequential_cursor_;
+      sequential_cursor_ = (sequential_cursor_ + 1) % ws;
+      return address;
+    }
+    case AccessPattern::kRandom:
+      return rng_.next_below(ws);
+    case AccessPattern::kZipfLike: {
+      // Power-law skew: address = floor(ws * u^skew).  Not an exact
+      // Zipf inversion, but produces the operative property — a small
+      // set of addresses receives most of the traffic — with O(1) state.
+      const double u = rng_.next_double();
+      const auto address = static_cast<std::uint64_t>(
+          static_cast<double>(ws) * std::pow(u, config_.zipf_skew));
+      return address < ws ? address : ws - 1;
+    }
+    case AccessPattern::kHotCold: {
+      const auto hot_blocks = static_cast<std::uint64_t>(
+          std::max(1.0, static_cast<double>(ws) * config_.hot_fraction));
+      if (rng_.next_bool(config_.hot_access_fraction)) {
+        return rng_.next_below(hot_blocks);
+      }
+      if (hot_blocks >= ws) return rng_.next_below(ws);
+      return hot_blocks + rng_.next_below(ws - hot_blocks);
+    }
+  }
+  RHSD_CHECK_MSG(false, "unknown access pattern");
+  return 0;
+}
+
+WorkloadOp WorkloadGenerator::next() {
+  WorkloadOp op;
+  op.is_write = rng_.next_bool(config_.write_fraction);
+  op.slba = next_address();
+  return op;
+}
+
+}  // namespace rhsd

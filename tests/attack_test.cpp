@@ -1,0 +1,376 @@
+// Tests for the attack components: offline row mapping, aggressor-set
+// discovery, the hammering workload, spraying, scanning, and the §4.3
+// probability model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+
+#include "attack/aggressor_finder.hpp"
+#include "attack/bitflip_scanner.hpp"
+#include "attack/hammer_orchestrator.hpp"
+#include "attack/probability_model.hpp"
+#include "attack/row_templating.hpp"
+#include "attack/sprayer.hpp"
+#include "cloud/cloud_host.hpp"
+#include "test_util.hpp"
+
+namespace rhsd {
+namespace {
+
+struct AttackRig {
+  explicit AttackRig(SsdConfig config = test::SmallSsd())
+      : host(std::move(config)),
+        map(host.ssd().ftl().layout(), host.ssd().dram().mapper()),
+        finder(map) {
+    const auto [vf, vl] = host.partition_range(host.victim_tenant());
+    const auto [af, al] = host.partition_range(host.attacker_tenant());
+    victim_range = LpnRange{vf.value(), vl.value()};
+    attacker_range = LpnRange{af.value(), al.value()};
+  }
+
+  CloudHost host;
+  L2pRowMap map;
+  AggressorFinder finder;
+  LpnRange victim_range;
+  LpnRange attacker_range;
+};
+
+TEST(L2pRowMapTest, ForwardAndInverseAgree) {
+  AttackRig rig;
+  for (std::uint64_t lpn = 0; lpn < rig.map.num_lpns(); lpn += 17) {
+    const std::uint64_t row = rig.map.row_of_lpn(lpn);
+    const auto& lpns = rig.map.lpns_in_row(row);
+    EXPECT_NE(std::find(lpns.begin(), lpns.end(), lpn), lpns.end())
+        << "lpn " << lpn;
+  }
+}
+
+TEST(L2pRowMapTest, EveryTableEntryIsInSomeRow) {
+  AttackRig rig;
+  std::uint64_t total = 0;
+  for (const std::uint64_t row : rig.map.rows()) {
+    total += rig.map.lpns_in_row(row).size();
+  }
+  EXPECT_EQ(total, rig.map.num_lpns());
+}
+
+TEST(L2pRowMapTest, RowsHoldContiguousEntryChunks) {
+  // With the linear L2P layout, one DRAM row holds row_bytes/4
+  // consecutive LPNs (a "chunk").
+  AttackRig rig;
+  const std::uint64_t per_row =
+      test::SmallDram().row_bytes / L2pLayout::kEntryBytes;
+  for (const std::uint64_t row : rig.map.rows()) {
+    const auto& lpns = rig.map.lpns_in_row(row);
+    ASSERT_EQ(lpns.size(), per_row);
+    for (std::size_t i = 1; i < lpns.size(); ++i) {
+      EXPECT_EQ(lpns[i], lpns[i - 1] + 1);
+    }
+  }
+}
+
+TEST(AggressorFinderTest, TriplesAreAdjacentInBankAndOccupied) {
+  AttackRig rig;
+  const auto triples = rig.finder.all_triples();
+  ASSERT_FALSE(triples.empty());
+  for (const TripleSet& t : triples) {
+    EXPECT_EQ(t.victim_row, t.left_row + 1);
+    EXPECT_EQ(t.right_row, t.victim_row + 1);
+    EXPECT_FALSE(rig.map.lpns_in_row(t.left_row).empty());
+    EXPECT_FALSE(rig.map.lpns_in_row(t.victim_row).empty());
+    EXPECT_FALSE(rig.map.lpns_in_row(t.right_row).empty());
+  }
+}
+
+TEST(AggressorFinderTest, CrossPartitionTriplesExistUnderXorMapping) {
+  // §4.2: the memory-controller mapping yields row sets whose victim
+  // lies in the other tenant's half of the table.
+  AttackRig rig;
+  const auto cross = rig.finder.cross_partition_triples(
+      rig.attacker_range, rig.victim_range);
+  EXPECT_GT(cross.size(), 0u);
+  for (const TripleSet& t : cross) {
+    std::uint64_t lpn = 0;
+    EXPECT_TRUE(rig.finder.pick_lpn(t.left_row, rig.attacker_range, lpn));
+    EXPECT_TRUE(rig.finder.pick_lpn(t.right_row, rig.attacker_range, lpn));
+    EXPECT_TRUE(rig.finder.pick_lpn(t.victim_row, rig.victim_range, lpn));
+  }
+}
+
+TEST(AggressorFinderTest, LinearMappingKillsCrossPartitionPlacement) {
+  // The ablation: without the XOR mapping + row remap, the victim/
+  // attacker halves are contiguous row ranges and (almost) no
+  // double-sided cross-partition placement exists.
+  SsdConfig config = test::SmallSsd();
+  config.xor_mapping = false;
+  AttackRig rig(config);
+  const auto cross = rig.finder.cross_partition_triples(
+      rig.attacker_range, rig.victim_range);
+  // Only the single partition-boundary row can qualify.
+  EXPECT_LE(cross.size(), 1u);
+}
+
+TEST(Hammer, DoubleSidedTripleFlipsVictimRowBits) {
+  AttackRig rig;
+  const auto cross = rig.finder.cross_partition_triples(
+      rig.attacker_range, rig.victim_range);
+  ASSERT_FALSE(cross.empty());
+  // Cells decay toward a fixed failure value; the freshly initialized
+  // table is all-0xFF, which hides failure_value=1 cells.  Prime the
+  // victim row so every vulnerable cell is observable (in the real
+  // attack the spraying stage populates these entries).
+  DramDevice& dram = rig.host.ssd().dram();
+  const std::uint64_t victim = cross.front().victim_row;
+  const std::uint32_t row_bytes = test::SmallDram().row_bytes;
+  std::vector<std::uint8_t> primed(row_bytes, 0);
+  for (const VulnCell& cell : dram.disturbance().cells(victim)) {
+    if (cell.failure_value == 0) {
+      primed[cell.byte_offset] |= static_cast<std::uint8_t>(1u << cell.bit);
+    }
+  }
+  const DramAddr victim_addr =
+      dram.mapper().encode(DramCoord::FromFlatBank(
+          test::SmallDram(),
+          static_cast<std::uint32_t>(victim /
+                                     test::SmallDram().rows_per_bank),
+          static_cast<std::uint32_t>(victim %
+                                     test::SmallDram().rows_per_bank),
+          0));
+  dram.poke(victim_addr, primed);
+
+  HammerOrchestrator hammer(rig.host.attacker_tenant(), rig.finder,
+                            rig.attacker_range);
+  auto stats = hammer.hammer_triple(cross.front(),
+                                    HammerMode::kDoubleSided, 0.1);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_GT(stats->reads_issued, 0u);
+  EXPECT_GT(stats->new_flips(), 0u);
+  // All flips landed adjacent to the triple's aggressor rows.
+  for (const FlipEvent& e : rig.host.ssd().dram().flip_events()) {
+    const std::uint64_t d = e.global_row > cross.front().victim_row
+                                ? e.global_row - cross.front().victim_row
+                                : cross.front().victim_row - e.global_row;
+    EXPECT_LE(d, 2u);
+  }
+}
+
+TEST(Hammer, AchievedRateMatchesInterfaceModel) {
+  AttackRig rig;
+  const auto cross = rig.finder.cross_partition_triples(
+      rig.attacker_range, rig.victim_range);
+  ASSERT_FALSE(cross.empty());
+  HammerOrchestrator hammer(rig.host.attacker_tenant(), rig.finder,
+                            rig.attacker_range);
+  auto stats = hammer.hammer_triple(cross.front(),
+                                    HammerMode::kDoubleSided, 0.05);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NEAR(stats->achieved_iops(),
+              MaxIops(HostInterface::kTestbedVmDirect),
+              MaxIops(HostInterface::kTestbedVmDirect) * 0.2);
+}
+
+TEST(Hammer, SingleSidedProducesFewerFlips) {
+  auto run = [](HammerMode mode) {
+    AttackRig rig;
+    const auto cross = rig.finder.cross_partition_triples(
+        rig.attacker_range, rig.victim_range);
+    HammerOrchestrator hammer(rig.host.attacker_tenant(), rig.finder,
+                              rig.attacker_range);
+    std::uint64_t flips = 0;
+    for (std::size_t i = 0; i < cross.size(); ++i) {
+      auto stats = hammer.hammer_triple(cross[i], mode, 0.05);
+      if (stats.ok()) flips += stats->new_flips();
+    }
+    return flips;
+  };
+  const std::uint64_t double_sided = run(HammerMode::kDoubleSided);
+  const std::uint64_t single_sided = run(HammerMode::kSingleSided);
+  EXPECT_GT(double_sided, single_sided);
+}
+
+TEST(Hammer, MissingAggressorLbaReportsNotFound) {
+  AttackRig rig;
+  // Triples whose aggressors hold only victim-partition entries cannot
+  // be hammered from the attacker side (swap the ranges to find some).
+  const auto inverted = rig.finder.cross_partition_triples(
+      rig.victim_range, rig.attacker_range);
+  ASSERT_FALSE(inverted.empty());
+  HammerOrchestrator hammer(rig.host.attacker_tenant(), rig.finder,
+                            rig.attacker_range);
+  auto stats = hammer.hammer_triple(inverted.front(),
+                                    HammerMode::kDoubleSided, 0.01);
+  EXPECT_EQ(stats.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SprayerTest, MaliciousImageLayout) {
+  const std::uint32_t targets[] = {100, 200, 300};
+  const auto image = Sprayer::MaliciousIndirectImage(targets);
+  ASSERT_EQ(image.size(), kBlockSize);
+  std::uint32_t ptr = 0;
+  std::memcpy(&ptr, image.data(), 4);
+  EXPECT_EQ(ptr, 100u);
+  std::memcpy(&ptr, image.data() + 8, 4);
+  EXPECT_EQ(ptr, 300u);
+  std::memcpy(&ptr, image.data() + 12, 4);
+  EXPECT_EQ(ptr, 0u);  // zero padded
+}
+
+TEST(SprayerTest, SprayedFilesHaveThePaperShape) {
+  AttackRig rig;
+  Sprayer sprayer(rig.host.victim_fs(), fs::Credentials{kAttackerUid});
+  const std::uint32_t targets[] = {50, 51};
+  auto outcome = sprayer.spray("/spray", 10, targets);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  ASSERT_EQ(outcome->files.size(), 10u);
+  EXPECT_EQ(outcome->blocks_consumed, 20u);  // indirect + data each
+  for (const SprayedFile& f : outcome->files) {
+    EXPECT_NE(f.indirect_fs_block, 0u);
+    EXPECT_NE(f.data_fs_block, 0u);
+    // Hole of 12 blocks: no direct data blocks.
+    for (std::uint32_t fb = 0; fb < fs::kDirectBlocks; ++fb) {
+      EXPECT_EQ(*rig.host.victim_fs().bmap(f.ino, fb), 0u);
+    }
+  }
+}
+
+TEST(SprayerTest, UnsprayDeletesFiles) {
+  AttackRig rig;
+  Sprayer sprayer(rig.host.victim_fs(), fs::Credentials{kAttackerUid});
+  const std::uint32_t targets[] = {50};
+  auto outcome = sprayer.spray("/spray", 5, targets);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_TRUE(sprayer.unspray(outcome->files).ok());
+  const fs::Credentials cred{kAttackerUid};
+  for (const SprayedFile& f : outcome->files) {
+    EXPECT_FALSE(rig.host.victim_fs().lookup(cred, f.path).ok());
+  }
+}
+
+TEST(SprayerTest, SprayStopsGracefullyWhenFull) {
+  AttackRig rig;
+  Sprayer sprayer(rig.host.victim_fs(), fs::Credentials{kAttackerUid});
+  const std::uint32_t targets[] = {50};
+  // Ask for far more files than the partition can hold.
+  auto outcome = sprayer.spray("/spray", 100000, targets);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_GT(outcome->files.size(), 0u);
+  EXPECT_LT(outcome->files.size(), 100000u);
+}
+
+TEST(SprayerTest, AttackerPartitionSpray) {
+  AttackRig rig;
+  const std::uint32_t targets[] = {77};
+  auto written = Sprayer::SprayAttackerPartition(
+      rig.host.attacker_tenant(), 0, 32, targets);
+  ASSERT_TRUE(written.ok());
+  EXPECT_EQ(*written, 32u);
+  std::vector<std::uint8_t> out(kBlockSize);
+  ASSERT_TRUE(rig.host.attacker_tenant().read_blocks(5, out).ok());
+  EXPECT_EQ(out, Sprayer::MaliciousIndirectImage(targets));
+}
+
+TEST(Scanner, DetectsManuallyRedirectedIndirectBlock) {
+  // Simulate exactly what a useful bitflip does — repoint the sprayed
+  // file's indirect-block LBA at the malicious data block — and check
+  // the scanner sees it and the dump returns the target's content.
+  AttackRig rig;
+  fs::FileSystem& vfs = rig.host.victim_fs();
+  const fs::Credentials attacker{kAttackerUid};
+
+  // The victim's secret.
+  auto secret = test::MarkedBlock("SECRET-CONTENT");
+  auto secret_ino = rig.host.install_secret("/root-secret", secret);
+  ASSERT_TRUE(secret_ino.ok());
+  const std::uint64_t secret_block = *vfs.bmap(*secret_ino, 0);
+  ASSERT_NE(secret_block, 0u);
+
+  // Spray pointing at the secret's block.
+  Sprayer sprayer(vfs, attacker);
+  const std::uint32_t targets[] = {
+      static_cast<std::uint32_t>(secret_block)};
+  auto outcome = sprayer.spray("/spray", 4, targets);
+  ASSERT_TRUE(outcome.ok());
+
+  BitflipScanner scanner(vfs, attacker);
+  auto clean = scanner.scan(outcome->files, targets);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_TRUE(clean->empty());  // nothing redirected yet
+
+  // Emulate the flip on file 2: its indirect LBA now maps to the PBA of
+  // its own malicious data block.
+  const SprayedFile& f = outcome->files[2];
+  Ftl& ftl = rig.host.ssd().ftl();
+  const Lba indirect_lba(rig.victim_range.first + f.indirect_fs_block);
+  const Lba data_lba(rig.victim_range.first + f.data_fs_block);
+  ftl.debug_store(indirect_lba, ftl.debug_lookup(data_lba));
+
+  auto hits = scanner.scan(outcome->files, targets);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ(hits->front().file_index, 2u);
+  // The first block read through the redirect is the secret.
+  EXPECT_EQ(hits->front().first_block, secret);
+
+  // Dumping leaks it too, bypassing the 0600 permissions.
+  auto dumped = scanner.dump(f, 1);
+  ASSERT_TRUE(dumped.ok());
+  ASSERT_EQ(dumped->size(), 1u);
+  EXPECT_EQ((*dumped)[0], secret);
+}
+
+// ---- §4.3 probability model ----
+
+TEST(Probability, PaperExampleIsAboutSevenPercent) {
+  const auto p = AttackParameters::PaperExample();
+  // §4.3: "the resulting success rate is 7% for a single attack cycle."
+  EXPECT_NEAR(SingleCycleSuccess(p), 0.07, 0.005);
+}
+
+TEST(Probability, TenCyclesCrossFiftyPercent) {
+  const auto p = AttackParameters::PaperExample();
+  // §4.3: "repeating the attack cycle for 10 times brings the chances
+  // of success to more than 50%."
+  EXPECT_GT(CumulativeSuccess(SingleCycleSuccess(p), 10), 0.5);
+  EXPECT_LT(CumulativeSuccess(SingleCycleSuccess(p), 5), 0.5);
+}
+
+TEST(Probability, ClosedFormMatchesFormula) {
+  AttackParameters p;
+  p.logical_blocks = 1000;
+  p.physical_blocks = 1200;
+  p.victim_blocks = 400;
+  p.attacker_blocks = 600;
+  p.victim_spray = 100;
+  p.attacker_spray = 500;
+  const double expect = 100.0 * (100.0 + 2 * 500.0) /
+                        (4.0 * 400.0 * 1200.0);
+  EXPECT_DOUBLE_EQ(SingleCycleSuccess(p), expect);
+}
+
+TEST(Probability, MonteCarloAgreesWithClosedForm) {
+  const auto p = AttackParameters::PaperExample(65536);
+  Rng rng(2024);
+  const double mc = SimulateSingleCycle(p, rng, 2'000'000);
+  EXPECT_NEAR(mc, SingleCycleSuccess(p), 0.002);
+}
+
+TEST(Probability, MoreSprayingHelps) {
+  auto p = AttackParameters::PaperExample();
+  const double base = SingleCycleSuccess(p);
+  p.victim_spray *= 2;
+  EXPECT_GT(SingleCycleSuccess(p), base);
+  auto q = AttackParameters::PaperExample();
+  q.attacker_spray /= 2;
+  EXPECT_LT(SingleCycleSuccess(q), base);
+}
+
+TEST(Probability, CumulativeEdgeCases) {
+  EXPECT_DOUBLE_EQ(CumulativeSuccess(0.0, 10), 0.0);
+  EXPECT_DOUBLE_EQ(CumulativeSuccess(1.0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(CumulativeSuccess(0.5, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace rhsd

@@ -1,0 +1,107 @@
+// Tests for the multi-tenant cloud layer: tenant access control,
+// partition isolation at the NVMe boundary, and the shared-FTL property
+// the attack exploits.
+#include <gtest/gtest.h>
+
+#include "cloud/cloud_host.hpp"
+#include "test_util.hpp"
+
+namespace rhsd {
+namespace {
+
+std::vector<std::uint8_t> Bytes(const std::string& s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+TEST(Tenant, DirectAccessFlagEnforced) {
+  CloudHost host(test::SmallSsd());
+  std::vector<std::uint8_t> buf(kBlockSize);
+  // The attacker VM has direct access...
+  EXPECT_TRUE(host.attacker_tenant().read_blocks(0, buf).ok());
+  // ...the victim VM's process does not (it only gets file ops).
+  EXPECT_EQ(host.victim_tenant().read_blocks(0, buf).code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(host.victim_tenant().write_blocks(0, buf).code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(host.victim_tenant().trim_blocks(0, 1).code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST(Tenant, CannotAddressBeyondOwnPartition) {
+  CloudHost host(test::SmallSsd());
+  std::vector<std::uint8_t> buf(kBlockSize);
+  EXPECT_EQ(
+      host.attacker_tenant().read_blocks(host.attacker_tenant().blocks(),
+                                         buf)
+          .code(),
+      StatusCode::kOutOfRange);
+}
+
+TEST(CloudHost, VictimFilesystemIsMountedAndUsable) {
+  CloudHost host(test::SmallSsd());
+  const fs::Credentials attacker{kAttackerUid};
+  auto ino = host.victim_fs().create(attacker, "/mine", 0644);
+  ASSERT_TRUE(ino.ok()) << ino.status();
+  ASSERT_TRUE(
+      host.victim_fs().write(attacker, *ino, 0, Bytes("data")).ok());
+  std::vector<std::uint8_t> out(4);
+  auto n = host.victim_fs().read(attacker, *ino, 0, out);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(std::string(out.begin(), out.end()), "data");
+}
+
+TEST(CloudHost, SecretIsInstalledButUnreadableByAttacker) {
+  CloudHost host(test::SmallSsd());
+  auto block = test::MarkedBlock("TOP-SECRET-KEY");
+  auto ino = host.install_secret("/root-key", block);
+  ASSERT_TRUE(ino.ok()) << ino.status();
+  const fs::Credentials attacker{kAttackerUid};
+  std::vector<std::uint8_t> buf(kBlockSize);
+  EXPECT_EQ(host.victim_fs().read(attacker, *ino, 0, buf).status().code(),
+            StatusCode::kPermissionDenied);
+  // Root can read it back intact.
+  const fs::Credentials root{0};
+  auto n = host.victim_fs().read(root, *ino, 0, buf);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(buf, block);
+}
+
+TEST(CloudHost, PartitionsShareTheL2pTable) {
+  CloudHost host(test::SmallSsd());
+  const auto [vfirst, vlast] = host.partition_range(host.victim_tenant());
+  const auto [afirst, alast] =
+      host.partition_range(host.attacker_tenant());
+  // Disjoint LBA windows...
+  EXPECT_EQ(vlast.value(), afirst.value());
+  // ...but one table: both tenants' entries are in the same layout.
+  const auto& layout = host.ssd().ftl().layout();
+  EXPECT_LT(layout.entry_addr(vfirst.value()).value(),
+            layout.base().value() + layout.table_bytes());
+  EXPECT_LT(layout.entry_addr(afirst.value()).value(),
+            layout.base().value() + layout.table_bytes());
+}
+
+TEST(CloudHost, AttackerWritesDoNotAliasVictimData) {
+  CloudHost host(test::SmallSsd());
+  const fs::Credentials root{0};
+  auto ino = host.install_secret("/s", test::MarkedBlock("victim"));
+  ASSERT_TRUE(ino.ok());
+  // Attacker floods its own partition.
+  auto junk = test::MarkedBlock("junk");
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    ASSERT_TRUE(host.attacker_tenant().write_blocks(i, junk).ok());
+  }
+  std::vector<std::uint8_t> buf(kBlockSize);
+  auto n = host.victim_fs().read(root, *ino, 0, buf);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(buf, test::MarkedBlock("victim"));
+}
+
+TEST(CloudHost, RequiresTwoPartitions) {
+  SsdConfig c = test::SmallSsd();
+  c.partition_blocks = {4096};
+  EXPECT_THROW(CloudHost host(c), CheckFailure);
+}
+
+}  // namespace
+}  // namespace rhsd

@@ -1,0 +1,281 @@
+// Tests for the common substrate: strong ids, Status/StatusOr, CRC-32C,
+// deterministic RNG, simulated clock, formatting helpers.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <set>
+
+#include "common/crc32c.hpp"
+#include "common/hexdump.hpp"
+#include "common/rng.hpp"
+#include "common/sim_clock.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace rhsd {
+namespace {
+
+TEST(StrongId, DistinctTypesDoNotCompare) {
+  const Lba lba(7);
+  const Pba pba(7);
+  EXPECT_EQ(lba.value(), pba.value());
+  // Lba and Pba are different types; this is a compile-time property —
+  // here we just document the accessor behaviour.
+  EXPECT_EQ(lba, Lba(7));
+  EXPECT_NE(lba, Lba(8));
+}
+
+TEST(StrongId, Arithmetic) {
+  Lba a(10);
+  EXPECT_EQ((a + 5).value(), 15u);
+  EXPECT_EQ((a - 3).value(), 7u);
+  EXPECT_EQ(Lba(20) - Lba(5), 15u);
+  ++a;
+  EXPECT_EQ(a.value(), 11u);
+}
+
+TEST(StrongId, Ordering) {
+  EXPECT_LT(Lba(1), Lba(2));
+  EXPECT_GE(Lba(5), Lba(5));
+}
+
+TEST(StrongId, Hashable) {
+  std::set<Lba> lbas{Lba(3), Lba(1), Lba(3)};
+  EXPECT_EQ(lbas.size(), 2u);
+  EXPECT_EQ(std::hash<Lba>{}(Lba(42)), std::hash<Lba>{}(Lba(42)));
+}
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  const Status s = NotFound("no such thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "no such thing");
+  EXPECT_EQ(s.to_string(), "NOT_FOUND: no such thing");
+}
+
+TEST(Status, AllConstructorsProduceTheirCode) {
+  EXPECT_EQ(InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(PermissionDenied("x").code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Unimplemented("x").code(), StatusCode::kUnimplemented);
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> v = NotFound("gone");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOr, ValueOnErrorThrowsCheckFailure) {
+  StatusOr<int> v = NotFound("gone");
+  EXPECT_THROW((void)v.value(), CheckFailure);
+}
+
+TEST(StatusOr, MoveOut) {
+  StatusOr<std::string> v = std::string("payload");
+  const std::string s = std::move(v).value();
+  EXPECT_EQ(s, "payload");
+}
+
+StatusOr<int> Half(int x) {
+  if (x % 2 != 0) return InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseMacros(int x, int* out) {
+  RHSD_ASSIGN_OR_RETURN(const int h, Half(x));
+  RHSD_RETURN_IF_ERROR(Status::Ok());
+  *out = h;
+  return Status::Ok();
+}
+
+TEST(StatusOr, Macros) {
+  int out = 0;
+  EXPECT_TRUE(UseMacros(10, &out).ok());
+  EXPECT_EQ(out, 5);
+  EXPECT_EQ(UseMacros(7, &out).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Crc32c, KnownVectors) {
+  // RFC 3720 test vector: 32 bytes of zeros.
+  std::vector<std::uint8_t> zeros(32, 0);
+  EXPECT_EQ(Crc32c(zeros), 0x8A9136AAu);
+  // 32 bytes of 0xFF.
+  std::vector<std::uint8_t> ones(32, 0xFF);
+  EXPECT_EQ(Crc32c(ones), 0x62A8AB43u);
+  // Ascending 0..31.
+  std::vector<std::uint8_t> asc(32);
+  for (int i = 0; i < 32; ++i) asc[i] = static_cast<std::uint8_t>(i);
+  EXPECT_EQ(Crc32c(asc), 0x46DD794Eu);
+}
+
+TEST(Crc32c, EmptyIsZero) {
+  EXPECT_EQ(Crc32c({}), 0u);
+}
+
+TEST(Crc32c, SeedChaining) {
+  std::vector<std::uint8_t> data{1, 2, 3, 4, 5, 6, 7, 8};
+  const std::uint32_t whole = Crc32c(data);
+  const std::uint32_t part1 = Crc32c(std::span(data).subspan(0, 4));
+  const std::uint32_t chained =
+      Crc32c(std::span(data).subspan(4), part1);
+  EXPECT_EQ(whole, chained);
+}
+
+TEST(Crc32c, SensitiveToSingleBitFlips) {
+  std::vector<std::uint8_t> data(64, 0xAB);
+  const std::uint32_t base = Crc32c(data);
+  for (int byte : {0, 13, 63}) {
+    for (int bit : {0, 5, 7}) {
+      auto copy = data;
+      copy[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_NE(Crc32c(copy), base)
+          << "flip at " << byte << ":" << bit << " not detected";
+    }
+  }
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+  // Different seed gives a different stream (overwhelmingly likely).
+  Rng a2(123);
+  bool any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    any_diff |= (a2.next() != c.next());
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextInInclusiveRange) {
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t v = rng.next_in(10, 12);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 12u);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);  // law of large numbers
+}
+
+TEST(Rng, BoolProbability) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.next_bool(0.25);
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+  EXPECT_FALSE(rng.next_bool(0.0));
+  EXPECT_TRUE(rng.next_bool(1.0));
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.next_gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.1);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(21);
+  Rng child = parent.fork();
+  // The child stream differs from the parent's continued stream.
+  bool differ = false;
+  for (int i = 0; i < 50; ++i) differ |= (parent.next() != child.next());
+  EXPECT_TRUE(differ);
+}
+
+TEST(Mix64, IsDeterministicAndSpreads) {
+  EXPECT_EQ(Mix64(1), Mix64(1));
+  EXPECT_NE(Mix64(1), Mix64(2));
+  // Adjacent inputs should differ in many bits (avalanche sanity).
+  const int pop = std::popcount(Mix64(100) ^ Mix64(101));
+  EXPECT_GT(pop, 16);
+}
+
+TEST(SimClock, AdvancesMonotonically) {
+  SimClock clock;
+  EXPECT_EQ(clock.now_ns(), 0u);
+  clock.advance_ns(1500);
+  EXPECT_EQ(clock.now_ns(), 1500u);
+  clock.advance_seconds(2.0);
+  EXPECT_EQ(clock.now_ns(), 1500u + 2'000'000'000u);
+  EXPECT_NEAR(clock.now_seconds(), 2.0000015, 1e-9);
+}
+
+TEST(Hexdump, FormatsAsciiGutter) {
+  std::vector<std::uint8_t> data = {'H', 'i', 0x00, 0xFF};
+  const std::string dump = Hexdump(data);
+  EXPECT_NE(dump.find("48 69 00 ff"), std::string::npos);
+  EXPECT_NE(dump.find("|Hi..|"), std::string::npos);
+}
+
+TEST(Hexdump, TruncatesAtMaxBytes) {
+  std::vector<std::uint8_t> data(512, 0x41);
+  const std::string dump = Hexdump(data, 32);
+  EXPECT_NE(dump.find("more bytes"), std::string::npos);
+}
+
+TEST(HumanCount, Ranges) {
+  EXPECT_EQ(HumanCount(42), "42");
+  EXPECT_EQ(HumanCount(780e3), "780K");
+  EXPECT_EQ(HumanCount(1.5e6), "1.5M");
+  EXPECT_EQ(HumanCount(2.1e9), "2.1G");
+}
+
+TEST(Check, ThrowsWithContext) {
+  try {
+    RHSD_CHECK_MSG(1 == 2, "math broke: " << 42);
+    FAIL() << "should have thrown";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("math broke: 42"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace rhsd

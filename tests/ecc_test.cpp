@@ -1,0 +1,89 @@
+// Tests for SECDED (72,64): every single-bit error corrected, every
+// double-bit error detected but not miscorrected.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "dram/ecc.hpp"
+
+namespace rhsd {
+namespace {
+
+TEST(Secded, CleanWordDecodesOk) {
+  for (std::uint64_t word :
+       {0ull, ~0ull, 0xDEADBEEFCAFEF00Dull, 1ull, 1ull << 63}) {
+    const std::uint8_t check = SecdedEncode(word);
+    const SecdedResult r = SecdedDecode(word, check);
+    EXPECT_EQ(r.status, SecdedStatus::kOk);
+    EXPECT_EQ(r.word, word);
+  }
+}
+
+class SecdedSingleBit : public ::testing::TestWithParam<int> {};
+
+TEST_P(SecdedSingleBit, EverySingleDataBitFlipIsCorrected) {
+  const int bit = GetParam();
+  for (std::uint64_t word : {0ull, ~0ull, 0xA5A5A5A5A5A5A5A5ull}) {
+    const std::uint8_t check = SecdedEncode(word);
+    const std::uint64_t corrupted = word ^ (1ull << bit);
+    const SecdedResult r = SecdedDecode(corrupted, check);
+    EXPECT_EQ(r.status, SecdedStatus::kCorrectedData) << "bit " << bit;
+    EXPECT_EQ(r.word, word) << "bit " << bit;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBits, SecdedSingleBit, ::testing::Range(0, 64));
+
+TEST(Secded, DoubleBitErrorsDetected) {
+  Rng rng(99);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::uint64_t word = rng.next();
+    const int b1 = static_cast<int>(rng.next_below(64));
+    int b2 = static_cast<int>(rng.next_below(64));
+    while (b2 == b1) b2 = static_cast<int>(rng.next_below(64));
+    const std::uint8_t check = SecdedEncode(word);
+    const std::uint64_t corrupted = word ^ (1ull << b1) ^ (1ull << b2);
+    const SecdedResult r = SecdedDecode(corrupted, check);
+    EXPECT_EQ(r.status, SecdedStatus::kUncorrectable)
+        << "bits " << b1 << "," << b2;
+  }
+}
+
+TEST(Secded, CheckByteFlipDoesNotCorruptData) {
+  const std::uint64_t word = 0x0123456789ABCDEFull;
+  const std::uint8_t check = SecdedEncode(word);
+  for (int bit = 0; bit < 8; ++bit) {
+    const SecdedResult r =
+        SecdedDecode(word, static_cast<std::uint8_t>(check ^ (1u << bit)));
+    EXPECT_EQ(r.word, word) << "check bit " << bit;
+    EXPECT_NE(r.status, SecdedStatus::kUncorrectable) << "check bit "
+                                                      << bit;
+  }
+}
+
+TEST(Secded, EncodeIsDeterministic) {
+  EXPECT_EQ(SecdedEncode(0x1122334455667788ull),
+            SecdedEncode(0x1122334455667788ull));
+}
+
+TEST(Secded, ZeroWordHasZeroCheck) {
+  // The DRAM device relies on this: zero-initialized check arrays are
+  // consistent with zero-filled rows.
+  EXPECT_EQ(SecdedEncode(0), 0);
+}
+
+TEST(Secded, DistinctSingleBitSyndromes) {
+  // Each single-bit flip must produce a distinct syndrome, otherwise
+  // correction would be ambiguous.
+  const std::uint64_t word = 0;
+  const std::uint8_t base = SecdedEncode(word);
+  std::set<std::uint8_t> syndromes;
+  for (int bit = 0; bit < 64; ++bit) {
+    const std::uint8_t check = SecdedEncode(word ^ (1ull << bit));
+    EXPECT_TRUE(syndromes.insert(static_cast<std::uint8_t>(check ^ base))
+                    .second)
+        << "bit " << bit;
+  }
+}
+
+}  // namespace
+}  // namespace rhsd

@@ -1,0 +1,221 @@
+// Integration tests: the full §4.2 spray → hammer → scan → dump exploit
+// against the simulated cloud host.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "attack/end_to_end.hpp"
+#include "test_util.hpp"
+
+namespace rhsd {
+namespace {
+
+constexpr const char* kMarker = "BEGIN-RSA-PRIVATE-KEY";
+
+EndToEndConfig FastAttackConfig() {
+  EndToEndConfig a;
+  a.files_per_cycle = 300;
+  a.max_cycles = 12;
+  a.hammer_seconds_per_triple = 0.01;
+  a.max_triples_per_cycle = 0;  // all
+  a.dump_blocks = 128;
+  a.targets_per_cycle = 128;
+  a.sweep_targets = false;  // the secret sits in the first window
+  a.secret_marker.assign(kMarker, kMarker + std::strlen(kMarker));
+  return a;
+}
+
+struct E2eRig {
+  explicit E2eRig(SsdConfig config = test::SmallSsd(),
+                  fs::FormatOptions fs_options = {})
+      : host(std::move(config), fs_options) {
+    auto secret = test::MarkedBlock(kMarker);
+    auto ino = host.install_secret("/root-key", secret);
+    RHSD_CHECK_MSG(ino.ok(), "secret install failed: " << ino.status());
+  }
+
+  CloudHost host;
+};
+
+class FullExploit : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FullExploit, LeaksTheSecretAcrossTenants) {
+  SsdConfig config = test::SmallSsd();
+  config.seed = GetParam();
+  E2eRig rig(config);
+  EndToEndAttack attack(rig.host, FastAttackConfig());
+  auto report = attack.run();
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  EXPECT_TRUE(report->success)
+      << "no leak after " << report->cycles_run << " cycles";
+  EXPECT_GT(report->total_flips, 0u);
+  EXPECT_GT(report->total_hammer_reads, 0u);
+  EXPECT_GT(report->cross_partition_triples, 0u);
+  // The leaked block really contains the secret marker.
+  const std::string leaked(report->leaked_secret.begin(),
+                           report->leaked_secret.end());
+  EXPECT_NE(leaked.find(kMarker), std::string::npos);
+  // And the last cycle is the one that found it.
+  ASSERT_FALSE(report->cycles.empty());
+  EXPECT_TRUE(report->cycles.back().secret_found);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FullExploit,
+                         ::testing::Values(1, 3, 42, 2024));
+
+TEST(FullExploitProperties, ReportAccountingIsConsistent) {
+  E2eRig rig;
+  EndToEndAttack attack(rig.host, FastAttackConfig());
+  auto report = attack.run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->cycles.size(), report->cycles_run);
+  std::uint64_t flips = 0;
+  std::uint64_t reads = 0;
+  for (const CycleReport& c : report->cycles) {
+    flips += c.new_flips;
+    reads += c.hammer_reads;
+    EXPECT_GT(c.sprayed_files, 0u);
+  }
+  EXPECT_EQ(flips, report->total_flips);
+  EXPECT_EQ(reads, report->total_hammer_reads);
+  EXPECT_GT(report->total_sim_seconds, 0.0);
+}
+
+TEST(FullExploitProperties, AttackUsesOnlyIntendedInterfaces) {
+  // After the attack, the device has seen nothing but ordinary reads,
+  // writes and trims — no privileged commands exist in the model, and
+  // the victim's filesystem-level protections were never bypassed
+  // directly (the secret file is still 0600 root).
+  E2eRig rig;
+  EndToEndAttack attack(rig.host, FastAttackConfig());
+  auto report = attack.run();
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(report->success);
+  const fs::Credentials attacker{kAttackerUid};
+  auto ino = rig.host.victim_fs().lookup(fs::Credentials{0}, "/root-key");
+  ASSERT_TRUE(ino.ok());
+  std::vector<std::uint8_t> buf(kBlockSize);
+  EXPECT_EQ(rig.host.victim_fs()
+                .read(attacker, *ino, 0, buf)
+                .status()
+                .code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST(FullExploitAblation, LinearMappingLeavesNoCrossPartitionSets) {
+  SsdConfig config = test::SmallSsd();
+  config.xor_mapping = false;
+  E2eRig rig(config);
+  EndToEndAttack attack(rig.host, FastAttackConfig());
+  // §4.2: with a monotone physical layout, the only candidate sets sit
+  // at the single partition boundary.
+  EXPECT_LE(attack.triples().size(), 1u);
+}
+
+TEST(FullExploitAblation, InvulnerableDramDefeatsTheAttack) {
+  SsdConfig config = test::SmallSsd();
+  config.dram_profile = DramProfile::Invulnerable();
+  E2eRig rig(config);
+  EndToEndConfig a = FastAttackConfig();
+  a.max_cycles = 3;
+  EndToEndAttack attack(rig.host, a);
+  auto report = attack.run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->success);
+  EXPECT_EQ(report->total_flips, 0u);
+}
+
+TEST(FullExploitAblation, ExtentEnforcementStopsTheSprayStage) {
+  fs::FormatOptions fs_options;
+  fs_options.forbid_indirect = true;
+  E2eRig rig(test::SmallSsd(), fs_options);
+  EndToEndAttack attack(rig.host, FastAttackConfig());
+  auto report = attack.run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->success);
+  EXPECT_EQ(report->cycles_run, 1u);
+  EXPECT_EQ(report->cycles.front().sprayed_files, 0u);
+}
+
+TEST(FullExploitAblation, BlindAttackerFailsOnKeyedLayout) {
+  // A blind attacker hammers LBA pairs whose *actual* rows are random
+  // under the keyed layout.  Accidental double-sided alignment can still
+  // happen (§4.2: "the attacker could randomly pick rows to rowhammer,
+  // but the success rate may be unacceptably low"); with realistic
+  // threshold margins the stray single-sided pressure does nothing, and
+  // on this (deterministic) configuration no accidental pair lines up.
+  SsdConfig config = test::SmallSsd();
+  config.l2p_layout = L2pLayoutKind::kHashed;
+  config.device_key = 0xFEEDFACEull;
+  // Margins like the real testbed: single-sided exposure stays below
+  // threshold, unlike the everything-flips unit-test profile.
+  config.dram_profile = DramProfile::Testbed();
+  config.dram_profile.vulnerable_row_fraction = 1.0;
+  config.dram_profile.threshold_spread = 0.5;
+  E2eRig rig(config);
+  EndToEndConfig a = FastAttackConfig();
+  a.assume_linear_layout = true;  // attacker doesn't know the key
+  a.hammer_seconds_per_triple = 0.05;
+  a.max_cycles = 4;
+  EndToEndAttack attack(rig.host, a);
+  auto report = attack.run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->success);
+}
+
+TEST(FullExploitAblation, KnowingTheHashedLayoutRestoresTheAttack) {
+  // §4.1: "Our proposed attack works on other L2P table layouts, such
+  // as a hash table, provided the attacker can learn the structure
+  // offline."
+  SsdConfig config = test::SmallSsd();
+  config.l2p_layout = L2pLayoutKind::kHashed;
+  config.device_key = 0xFEEDFACEull;
+  E2eRig rig(config);
+  EndToEndConfig a = FastAttackConfig();
+  a.max_cycles = 12;
+  EndToEndAttack attack(rig.host, a);
+  EXPECT_GT(attack.triples().size(), 0u);
+  auto report = attack.run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->success);
+}
+
+TEST(FullExploitAblation, AmplificationGovernsTheHammerBudget) {
+  // §4.1: the testbed needed 5 hammers/IO because SPDK-level accesses
+  // had to reach ~7M/s while the DRAM flips at 3M/s.  Hammer one triple
+  // for a fixed simulated time at 1x vs 5x: only the amplified run
+  // accumulates enough per-window exposure to flip.
+  auto hammer_flips = [](std::uint32_t hammers) {
+    SsdConfig config = test::SmallSsd();
+    config.hammers_per_io = hammers;
+    // Margins where 5x clears the threshold and 1x does not:
+    // per-side rate = 1.6M/2 * hammers; window exposure H = 4*rate*64ms.
+    // 1x: H = 204.8K < base; 5x: H = 1024K >= all cells.
+    config.dram_profile = DramProfile::Testbed();  // base 384K
+    config.dram_profile.vulnerable_row_fraction = 1.0;
+    config.dram_profile.threshold_spread = 0.5;
+    CloudHost host(config);
+    L2pRowMap map(host.ssd().ftl().layout(), host.ssd().dram().mapper());
+    AggressorFinder finder(map);
+    const auto [af, al] = host.partition_range(host.attacker_tenant());
+    const auto [vf, vl] = host.partition_range(host.victim_tenant());
+    const LpnRange ar{af.value(), al.value()};
+    const auto cross =
+        finder.cross_partition_triples(ar, LpnRange{vf.value(), vl.value()});
+    HammerOrchestrator hammer(host.attacker_tenant(), finder, ar);
+    std::uint64_t flips = 0;
+    for (std::size_t i = 0; i < std::min<std::size_t>(cross.size(), 4);
+         ++i) {
+      auto stats =
+          hammer.hammer_triple(cross[i], HammerMode::kDoubleSided, 0.1);
+      if (stats.ok()) flips += stats->new_flips();
+    }
+    return flips;
+  };
+  EXPECT_EQ(hammer_flips(1), 0u);
+  EXPECT_GT(hammer_flips(5), 0u);
+}
+
+}  // namespace
+}  // namespace rhsd

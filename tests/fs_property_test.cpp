@@ -1,0 +1,137 @@
+// Property-style tests: random filesystem workloads checked against an
+// in-memory oracle, across seeds and both mapping schemes.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "fs/block_device.hpp"
+#include "fs/filesystem.hpp"
+#include "fs/fsck.hpp"
+
+namespace rhsd::fs {
+namespace {
+
+constexpr Credentials kUser{1000};
+
+struct OracleFile {
+  std::uint32_t ino = 0;
+  std::map<std::uint64_t, std::uint8_t> bytes;  // sparse content
+  std::uint64_t size = 0;
+};
+
+class FsRandomOps
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, bool>> {};
+
+TEST_P(FsRandomOps, MatchesOracleAndPassesFsck) {
+  const auto [seed, use_extents] = GetParam();
+  MemBlockDevice dev(2048);
+  auto fs_or = FileSystem::Format(dev);
+  ASSERT_TRUE(fs_or.ok());
+  auto fs = std::move(fs_or).value();
+
+  Rng rng(seed);
+  std::map<std::string, OracleFile> oracle;
+  int created = 0;
+
+  auto random_existing = [&]() -> std::string {
+    if (oracle.empty()) return "";
+    auto it = oracle.begin();
+    std::advance(it, static_cast<long>(rng.next_below(oracle.size())));
+    return it->first;
+  };
+
+  for (int op = 0; op < 400; ++op) {
+    const std::uint64_t action = rng.next_below(10);
+    if (action < 3 || oracle.empty()) {
+      // Create.
+      const std::string path = "/file" + std::to_string(created++);
+      auto ino = fs->create(kUser, path, 0644, use_extents);
+      if (!ino.ok()) continue;  // out of space is legitimate
+      oracle[path] = OracleFile{*ino, {}, 0};
+    } else if (action < 7) {
+      // Write a small random chunk at a random offset (sparse).
+      const std::string path = random_existing();
+      OracleFile& file = oracle[path];
+      const std::uint64_t offset = rng.next_below(40 * kFsBlockSize);
+      const std::size_t len = 1 + rng.next_below(3000);
+      std::vector<std::uint8_t> data(len);
+      for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+      Status s = fs->write(kUser, file.ino, offset, data);
+      if (!s.ok()) {
+        ASSERT_EQ(s.code(), StatusCode::kResourceExhausted) << s;
+        continue;
+      }
+      for (std::size_t i = 0; i < len; ++i) {
+        file.bytes[offset + i] = data[i];
+      }
+      file.size = std::max(file.size, offset + len);
+    } else if (action < 8) {
+      // Unlink.
+      const std::string path = random_existing();
+      ASSERT_TRUE(fs->unlink(kUser, path).ok()) << path;
+      oracle.erase(path);
+    } else if (action < 9) {
+      // Truncate to zero.
+      const std::string path = random_existing();
+      OracleFile& file = oracle[path];
+      ASSERT_TRUE(fs->truncate(kUser, file.ino, 0).ok());
+      file.bytes.clear();
+      file.size = 0;
+    } else {
+      // Verify a random file region.
+      const std::string path = random_existing();
+      const OracleFile& file = oracle[path];
+      const std::uint64_t offset = rng.next_below(40 * kFsBlockSize);
+      std::vector<std::uint8_t> out(2048);
+      auto n = fs->read(kUser, file.ino, offset, out);
+      ASSERT_TRUE(n.ok());
+      const std::uint64_t expect_n =
+          offset >= file.size
+              ? 0
+              : std::min<std::uint64_t>(out.size(), file.size - offset);
+      ASSERT_EQ(*n, expect_n) << path << " @" << offset;
+      for (std::uint64_t i = 0; i < expect_n; ++i) {
+        const auto it = file.bytes.find(offset + i);
+        const std::uint8_t expect =
+            it == file.bytes.end() ? 0 : it->second;
+        ASSERT_EQ(out[i], expect)
+            << path << " byte " << offset + i << " op " << op;
+      }
+    }
+  }
+
+  // Full final verification of every surviving file.
+  for (const auto& [path, file] : oracle) {
+    auto info = fs->stat(file.ino);
+    ASSERT_TRUE(info.ok());
+    EXPECT_EQ(info->size, file.size) << path;
+    if (file.size == 0) continue;
+    std::vector<std::uint8_t> out(file.size);
+    auto n = fs->read(kUser, file.ino, 0, out);
+    ASSERT_TRUE(n.ok());
+    ASSERT_EQ(*n, file.size);
+    for (const auto& [off, byte] : file.bytes) {
+      ASSERT_EQ(out[off], byte) << path << " byte " << off;
+    }
+  }
+
+  // The filesystem structure must be consistent throughout.
+  const FsckReport report = Fsck::Check(*fs);
+  EXPECT_TRUE(report.clean())
+      << report.errors.size() << " errors, first: "
+      << report.errors.front();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndSchemes, FsRandomOps,
+    ::testing::Combine(::testing::Values(1, 2, 3, 17, 99, 1234),
+                       ::testing::Bool()),
+    [](const auto& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) ? "_extents" : "_indirect");
+    });
+
+}  // namespace
+}  // namespace rhsd::fs

@@ -1,0 +1,311 @@
+// Tests for the FTL: mapping semantics, copy-on-write, trim, garbage
+// collection (with a reference-model property check), hammer
+// amplification accounting, and the §5 data-path mitigations
+// (reference tags, XTS) under L2P redirection.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "ftl/ftl.hpp"
+#include "test_util.hpp"
+
+namespace rhsd {
+namespace {
+
+struct FtlRig {
+  explicit FtlRig(FtlConfig config = DefaultConfig(),
+                  DramProfile profile = DramProfile::Invulnerable()) {
+    DramConfig dc;
+    dc.geometry = test::SmallDram();
+    dc.profile = std::move(profile);
+    dc.seed = 5;
+    dram = std::make_unique<DramDevice>(
+        dc, MakeLinearMapper(dc.geometry), clock);
+    nand = std::make_unique<NandDevice>(
+        NandGeometry{.channels = 1,
+                     .dies_per_channel = 1,
+                     .planes_per_die = 1,
+                     .blocks_per_plane = 8,
+                     .pages_per_block = 16,
+                     .page_bytes = kBlockSize});
+    ftl = std::make_unique<Ftl>(config, *nand, *dram);
+  }
+
+  static FtlConfig DefaultConfig() {
+    FtlConfig c;
+    c.num_lbas = 64;
+    c.hammers_per_io = 1;
+    return c;
+  }
+
+  SimClock clock;
+  std::unique_ptr<DramDevice> dram;
+  std::unique_ptr<NandDevice> nand;
+  std::unique_ptr<Ftl> ftl;
+};
+
+std::vector<std::uint8_t> Block(std::uint8_t fill) {
+  return std::vector<std::uint8_t>(kBlockSize, fill);
+}
+
+TEST(Ftl, ReadYourWrite) {
+  FtlRig rig;
+  ASSERT_TRUE(rig.ftl->write(Lba(5), Block(0xAB)).ok());
+  std::vector<std::uint8_t> out(kBlockSize);
+  ASSERT_TRUE(rig.ftl->read(Lba(5), out).ok());
+  EXPECT_EQ(out, Block(0xAB));
+}
+
+TEST(Ftl, UnmappedReadsZerosWithoutFlash) {
+  FtlRig rig;
+  std::vector<std::uint8_t> out(kBlockSize, 0xEE);
+  FtlIoInfo info;
+  ASSERT_TRUE(rig.ftl->read(Lba(9), out, &info).ok());
+  EXPECT_EQ(out, Block(0));
+  EXPECT_FALSE(info.flash_accessed);
+  EXPECT_EQ(rig.ftl->stats().unmapped_reads, 1u);
+}
+
+TEST(Ftl, MappedReadAccessesFlash) {
+  FtlRig rig;
+  ASSERT_TRUE(rig.ftl->write(Lba(3), Block(1)).ok());
+  std::vector<std::uint8_t> out(kBlockSize);
+  FtlIoInfo info;
+  ASSERT_TRUE(rig.ftl->read(Lba(3), out, &info).ok());
+  EXPECT_TRUE(info.flash_accessed);
+}
+
+TEST(Ftl, OverwriteIsCopyOnWrite) {
+  FtlRig rig;
+  ASSERT_TRUE(rig.ftl->write(Lba(7), Block(1)).ok());
+  const std::uint32_t pba1 = rig.ftl->debug_lookup(Lba(7));
+  ASSERT_TRUE(rig.ftl->write(Lba(7), Block(2)).ok());
+  const std::uint32_t pba2 = rig.ftl->debug_lookup(Lba(7));
+  EXPECT_NE(pba1, pba2);  // §3.2: "flash writes are copy-on-write"
+  std::vector<std::uint8_t> out(kBlockSize);
+  ASSERT_TRUE(rig.ftl->read(Lba(7), out).ok());
+  EXPECT_EQ(out, Block(2));
+}
+
+TEST(Ftl, TrimUnmaps) {
+  FtlRig rig;
+  ASSERT_TRUE(rig.ftl->write(Lba(4), Block(9)).ok());
+  ASSERT_TRUE(rig.ftl->trim(Lba(4)).ok());
+  EXPECT_EQ(rig.ftl->debug_lookup(Lba(4)), kUnmappedPba32);
+  std::vector<std::uint8_t> out(kBlockSize);
+  FtlIoInfo info;
+  ASSERT_TRUE(rig.ftl->read(Lba(4), out, &info).ok());
+  EXPECT_EQ(out, Block(0));
+  EXPECT_FALSE(info.flash_accessed);
+}
+
+TEST(Ftl, LbaOutOfRangeRejected) {
+  FtlRig rig;
+  std::vector<std::uint8_t> buf(kBlockSize);
+  EXPECT_EQ(rig.ftl->write(Lba(64), buf).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(rig.ftl->read(Lba(1000), buf).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(rig.ftl->trim(Lba(64)).code(), StatusCode::kOutOfRange);
+}
+
+TEST(Ftl, WrongSizeRejected) {
+  FtlRig rig;
+  std::vector<std::uint8_t> small(512);
+  EXPECT_EQ(rig.ftl->write(Lba(0), small).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(rig.ftl->read(Lba(0), small).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Ftl, GarbageCollectionReclaimsAndPreservesData) {
+  FtlRig rig;
+  // Fill the whole logical space, then overwrite it several times: the
+  // device has 128 physical pages for 64 LBAs, so GC must run.
+  for (int round = 0; round < 6; ++round) {
+    for (std::uint64_t lba = 0; lba < 64; ++lba) {
+      ASSERT_TRUE(
+          rig.ftl->write(Lba(lba),
+                         Block(static_cast<std::uint8_t>(round + lba)))
+              .ok())
+          << "round " << round << " lba " << lba;
+    }
+  }
+  EXPECT_GT(rig.ftl->stats().gc_runs, 0u);
+  EXPECT_GT(rig.ftl->stats().gc_erases, 0u);
+  for (std::uint64_t lba = 0; lba < 64; ++lba) {
+    std::vector<std::uint8_t> out(kBlockSize);
+    ASSERT_TRUE(rig.ftl->read(Lba(lba), out).ok());
+    EXPECT_EQ(out, Block(static_cast<std::uint8_t>(5 + lba)))
+        << "lba " << lba;
+  }
+}
+
+TEST(Ftl, GcRelocationUpdatesMappingViaDram) {
+  FtlRig rig;
+  // Seed all LBAs, then churn only the even ones: victim blocks keep
+  // live odd-LBA pages that GC must relocate.
+  for (std::uint64_t lba = 0; lba < 64; ++lba) {
+    ASSERT_TRUE(rig.ftl->write(Lba(lba), Block(1)).ok());
+  }
+  for (int round = 0; round < 12; ++round) {
+    for (std::uint64_t lba = 0; lba < 64; lba += 2) {
+      ASSERT_TRUE(rig.ftl->write(Lba(lba), Block(1)).ok());
+    }
+  }
+  // GC wrote mappings through DRAM: relocations show up in both stats.
+  EXPECT_GT(rig.ftl->stats().gc_relocations, 0u);
+  EXPECT_GE(rig.ftl->stats().l2p_dram_writes,
+            rig.ftl->stats().host_writes +
+                rig.ftl->stats().gc_relocations);
+}
+
+TEST(Ftl, HammerAmplificationMultipliesDramReads) {
+  FtlConfig config = FtlRig::DefaultConfig();
+  config.hammers_per_io = 5;  // §4.1's amplification
+  FtlRig rig(config);
+  std::vector<std::uint8_t> out(kBlockSize);
+  ASSERT_TRUE(rig.ftl->read(Lba(0), out).ok());
+  EXPECT_EQ(rig.ftl->stats().l2p_dram_reads, 5u);
+  EXPECT_EQ(rig.dram->stats().reads, 5u);
+  EXPECT_EQ(rig.dram->stats().activations, 5u);
+}
+
+class FtlRandomOps : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FtlRandomOps, MatchesReferenceModel) {
+  FtlRig rig;
+  Rng rng(GetParam());
+  std::unordered_map<std::uint64_t, std::uint8_t> reference;
+  for (int op = 0; op < 800; ++op) {
+    const std::uint64_t lba = rng.next_below(64);
+    const std::uint64_t action = rng.next_below(10);
+    if (action < 5) {
+      const auto fill = static_cast<std::uint8_t>(rng.next_below(256));
+      ASSERT_TRUE(rig.ftl->write(Lba(lba), Block(fill)).ok());
+      reference[lba] = fill;
+    } else if (action < 7) {
+      ASSERT_TRUE(rig.ftl->trim(Lba(lba)).ok());
+      reference.erase(lba);
+    } else {
+      std::vector<std::uint8_t> out(kBlockSize);
+      ASSERT_TRUE(rig.ftl->read(Lba(lba), out).ok());
+      const auto it = reference.find(lba);
+      const std::uint8_t expect = it == reference.end() ? 0 : it->second;
+      EXPECT_EQ(out[0], expect) << "lba " << lba << " op " << op;
+      EXPECT_EQ(out[kBlockSize - 1], expect);
+    }
+  }
+  // Final full verification.
+  for (std::uint64_t lba = 0; lba < 64; ++lba) {
+    std::vector<std::uint8_t> out(kBlockSize);
+    ASSERT_TRUE(rig.ftl->read(Lba(lba), out).ok());
+    const auto it = reference.find(lba);
+    EXPECT_EQ(out[0], it == reference.end() ? 0 : it->second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FtlRandomOps,
+                         ::testing::Values(1, 2, 3, 4, 5, 77, 123, 999));
+
+TEST(Ftl, DebugRedirectReturnsOtherLbasData) {
+  // The attack's core effect, produced here by hand: repoint LBA A's
+  // entry at LBA B's physical page and observe B's data through A.
+  FtlRig rig;
+  ASSERT_TRUE(rig.ftl->write(Lba(1), Block(0x11)).ok());
+  ASSERT_TRUE(rig.ftl->write(Lba(2), Block(0x22)).ok());
+  rig.ftl->debug_store(Lba(1), rig.ftl->debug_lookup(Lba(2)));
+  std::vector<std::uint8_t> out(kBlockSize);
+  ASSERT_TRUE(rig.ftl->read(Lba(1), out).ok());
+  EXPECT_EQ(out, Block(0x22));
+}
+
+TEST(Ftl, ReferenceTagDetectsRedirect) {
+  FtlConfig config = FtlRig::DefaultConfig();
+  config.t10_reference_tag = true;
+  FtlRig rig(config);
+  ASSERT_TRUE(rig.ftl->write(Lba(1), Block(0x11)).ok());
+  ASSERT_TRUE(rig.ftl->write(Lba(2), Block(0x22)).ok());
+  // Normal reads pass the check.
+  std::vector<std::uint8_t> out(kBlockSize);
+  ASSERT_TRUE(rig.ftl->read(Lba(1), out).ok());
+  // A redirected read is refused instead of leaking LBA 2's data.
+  rig.ftl->debug_store(Lba(1), rig.ftl->debug_lookup(Lba(2)));
+  EXPECT_EQ(rig.ftl->read(Lba(1), out).code(), StatusCode::kCorruption);
+  EXPECT_EQ(rig.ftl->stats().reference_tag_mismatches, 1u);
+}
+
+TEST(Ftl, XtsEncryptionTurnsRedirectsIntoNoise) {
+  FtlConfig config = FtlRig::DefaultConfig();
+  config.xts_encryption = true;
+  config.device_key = 0x1234;
+  FtlRig rig(config);
+  ASSERT_TRUE(rig.ftl->write(Lba(1), Block(0x11)).ok());
+  ASSERT_TRUE(rig.ftl->write(Lba(2), Block(0x22)).ok());
+  // Normal path decrypts correctly.
+  std::vector<std::uint8_t> out(kBlockSize);
+  ASSERT_TRUE(rig.ftl->read(Lba(2), out).ok());
+  EXPECT_EQ(out, Block(0x22));
+  // Redirected read decrypts under the wrong tweak: noise, not 0x22.
+  rig.ftl->debug_store(Lba(1), rig.ftl->debug_lookup(Lba(2)));
+  ASSERT_TRUE(rig.ftl->read(Lba(1), out).ok());
+  EXPECT_NE(out, Block(0x22));
+  EXPECT_NE(out, Block(0x11));
+}
+
+TEST(Ftl, XtsSurvivesGarbageCollection) {
+  FtlConfig config = FtlRig::DefaultConfig();
+  config.xts_encryption = true;
+  config.device_key = 0x99;
+  FtlRig rig(config);
+  for (int round = 0; round < 6; ++round) {
+    for (std::uint64_t lba = 0; lba < 64; ++lba) {
+      ASSERT_TRUE(rig.ftl->write(
+          Lba(lba), Block(static_cast<std::uint8_t>(lba))).ok());
+    }
+  }
+  ASSERT_GT(rig.ftl->stats().gc_erases, 0u);
+  for (std::uint64_t lba = 0; lba < 64; ++lba) {
+    std::vector<std::uint8_t> out(kBlockSize);
+    ASSERT_TRUE(rig.ftl->read(Lba(lba), out).ok());
+    EXPECT_EQ(out[0], static_cast<std::uint8_t>(lba));
+  }
+}
+
+TEST(Ftl, CorruptedEntryBeyondDeviceReadsAsUnmapped) {
+  FtlRig rig;
+  ASSERT_TRUE(rig.ftl->write(Lba(1), Block(0x11)).ok());
+  // A flip that pushes the PBA past the device: treated as unmapped
+  // (read returns zeros) rather than crashing.
+  rig.ftl->debug_store(Lba(1), 0x7FFFFFFF);
+  std::vector<std::uint8_t> out(kBlockSize);
+  FtlIoInfo info;
+  ASSERT_TRUE(rig.ftl->read(Lba(1), out, &info).ok());
+  EXPECT_EQ(out, Block(0));
+  EXPECT_FALSE(info.flash_accessed);
+}
+
+TEST(Ftl, TableInitializedUnmapped) {
+  FtlRig rig;
+  for (std::uint64_t lba = 0; lba < 64; ++lba) {
+    EXPECT_EQ(rig.ftl->debug_lookup(Lba(lba)), kUnmappedPba32);
+  }
+}
+
+TEST(Ftl, RejectsMisconfiguredGeometry) {
+  // L2P table bigger than the DRAM.
+  FtlConfig config;
+  config.num_lbas = 1 << 20;
+  SimClock clock;
+  DramConfig dc;
+  dc.geometry = test::SmallDram();  // 64 KiB
+  dc.profile = DramProfile::Invulnerable();
+  DramDevice dram(dc, MakeLinearMapper(dc.geometry), clock);
+  NandDevice nand(NandGeometry::ForCapacity(16 * kMiB));
+  EXPECT_THROW(Ftl(config, nand, dram), CheckFailure);
+}
+
+}  // namespace
+}  // namespace rhsd

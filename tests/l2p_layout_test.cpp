@@ -1,0 +1,121 @@
+// Tests for L2P table layouts: the linear SPDK-style array and the
+// keyed Feistel permutation (hash-table / §5 randomization stand-in).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ftl/l2p_layout.hpp"
+
+namespace rhsd {
+namespace {
+
+TEST(LinearLayout, EntryAddressesAreContiguous) {
+  LinearL2pLayout layout(DramAddr(0x1000), 256);
+  for (std::uint64_t lpn = 0; lpn < 256; ++lpn) {
+    EXPECT_EQ(layout.entry_addr(lpn).value(), 0x1000 + lpn * 4);
+  }
+  EXPECT_EQ(layout.table_bytes(), 1024u);
+}
+
+TEST(LinearLayout, InverseRecoversLpn) {
+  LinearL2pLayout layout(DramAddr(0x1000), 256);
+  for (std::uint64_t lpn = 0; lpn < 256; ++lpn) {
+    const auto back = layout.lpn_of_entry(layout.entry_addr(lpn));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, lpn);
+  }
+}
+
+TEST(LinearLayout, InverseRejectsOutsideAndMisaligned) {
+  LinearL2pLayout layout(DramAddr(0x1000), 256);
+  EXPECT_FALSE(layout.lpn_of_entry(DramAddr(0x0FFC)).has_value());
+  EXPECT_FALSE(layout.lpn_of_entry(DramAddr(0x1002)).has_value());
+  EXPECT_FALSE(
+      layout.lpn_of_entry(DramAddr(0x1000 + 256 * 4)).has_value());
+}
+
+class HashedLayoutSizes : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HashedLayoutSizes, PermutationIsABijectionWithinTable) {
+  const std::uint64_t n = GetParam();
+  HashedL2pLayout layout(DramAddr(0), n, /*device_key=*/0xC0FFEE);
+  std::set<std::uint64_t> slots;
+  for (std::uint64_t lpn = 0; lpn < n; ++lpn) {
+    const DramAddr addr = layout.entry_addr(lpn);
+    EXPECT_LT(addr.value(), layout.table_bytes());
+    EXPECT_EQ(addr.value() % L2pLayout::kEntryBytes, 0u);
+    EXPECT_TRUE(slots.insert(addr.value()).second)
+        << "collision for lpn " << lpn;
+    const auto back = layout.lpn_of_entry(addr);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, lpn);
+  }
+  EXPECT_EQ(slots.size(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HashedLayoutSizes,
+                         ::testing::Values(4, 16, 100, 256, 1000, 4096,
+                                           5000));
+
+TEST(HashedLayout, DifferentKeysGiveDifferentPlacements) {
+  HashedL2pLayout a(DramAddr(0), 1024, 1);
+  HashedL2pLayout b(DramAddr(0), 1024, 2);
+  int differing = 0;
+  for (std::uint64_t lpn = 0; lpn < 1024; ++lpn) {
+    if (a.entry_addr(lpn) != b.entry_addr(lpn)) ++differing;
+  }
+  // A keyed permutation should disagree almost everywhere.
+  EXPECT_GT(differing, 1000);
+}
+
+TEST(HashedLayout, ScattersSequentialLpns) {
+  // §5: randomization thwarts offline placement planning — consecutive
+  // LPNs must not be placed contiguously.
+  HashedL2pLayout layout(DramAddr(0), 4096, 0xABCD);
+  int adjacent = 0;
+  for (std::uint64_t lpn = 0; lpn + 1 < 4096; ++lpn) {
+    const std::uint64_t d =
+        layout.entry_addr(lpn + 1).value() > layout.entry_addr(lpn).value()
+            ? layout.entry_addr(lpn + 1).value() -
+                  layout.entry_addr(lpn).value()
+            : layout.entry_addr(lpn).value() -
+                  layout.entry_addr(lpn + 1).value();
+    if (d == L2pLayout::kEntryBytes) ++adjacent;
+  }
+  EXPECT_LT(adjacent, 40);  // ~1% by chance
+}
+
+TEST(HashedLayout, DeterministicPerKey) {
+  HashedL2pLayout a(DramAddr(64), 512, 99);
+  HashedL2pLayout b(DramAddr(64), 512, 99);
+  for (std::uint64_t lpn = 0; lpn < 512; ++lpn) {
+    EXPECT_EQ(a.entry_addr(lpn), b.entry_addr(lpn));
+  }
+}
+
+TEST(HashedLayout, RespectsBaseOffset) {
+  HashedL2pLayout layout(DramAddr(0x2000), 128, 7);
+  for (std::uint64_t lpn = 0; lpn < 128; ++lpn) {
+    EXPECT_GE(layout.entry_addr(lpn).value(), 0x2000u);
+    EXPECT_LT(layout.entry_addr(lpn).value(), 0x2000u + 128 * 4);
+  }
+}
+
+TEST(MakeL2pLayout, FactoryDispatch) {
+  auto linear = MakeL2pLayout(L2pLayoutKind::kLinear, DramAddr(0), 64);
+  auto hashed = MakeL2pLayout(L2pLayoutKind::kHashed, DramAddr(0), 64, 5);
+  EXPECT_NE(dynamic_cast<LinearL2pLayout*>(linear.get()), nullptr);
+  EXPECT_NE(dynamic_cast<HashedL2pLayout*>(hashed.get()), nullptr);
+}
+
+TEST(L2pLayout, RejectsEmptyTable) {
+  EXPECT_THROW(LinearL2pLayout(DramAddr(0), 0), CheckFailure);
+}
+
+TEST(L2pLayout, EntryAddrOutOfRangeThrows) {
+  LinearL2pLayout layout(DramAddr(0), 16);
+  EXPECT_THROW((void)layout.entry_addr(16), CheckFailure);
+}
+
+}  // namespace
+}  // namespace rhsd

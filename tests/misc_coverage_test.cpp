@@ -1,0 +1,198 @@
+// Additional coverage: DemoSetup scaling, deep filesystem semantics,
+// DRAM inspection edges, and end-to-end outcome classification.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "attack/aggressor_finder.hpp"
+#include "attack/end_to_end.hpp"
+#include "fs/fsck.hpp"
+#include "test_util.hpp"
+
+namespace rhsd {
+namespace {
+
+// ---- DemoSetup must yield attackable geometries at any capacity ----
+
+class DemoSetupSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DemoSetupSweep, ProducesCrossPartitionTriples) {
+  const SsdConfig config = SsdConfig::DemoSetup(GetParam() * kMiB);
+  SsdDevice ssd(config);
+  L2pRowMap map(ssd.ftl().layout(), ssd.dram().mapper());
+  AggressorFinder finder(map);
+  const std::uint64_t half = config.num_lbas() / 2;
+  const auto cross = finder.cross_partition_triples(
+      LpnRange{half, 2 * half}, LpnRange{0, half});
+  EXPECT_GT(cross.size(), 4u) << GetParam() << " MiB";
+  // The table must fit the DRAM.
+  EXPECT_LE(ssd.ftl().layout().table_bytes(),
+            config.dram_geometry.total_bytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, DemoSetupSweep,
+                         ::testing::Values(16, 32, 64, 128, 256));
+
+// ---- Filesystem details ----
+
+TEST(FsDeep, NestedDirectoriesAndTraversalBits) {
+  fs::MemBlockDevice dev(1024);
+  auto fs = std::move(fs::FileSystem::Format(dev)).value();
+  const fs::Credentials root{0};
+  const fs::Credentials alice{1000};
+
+  ASSERT_TRUE(fs->mkdir(root, "/a", 0755).ok());
+  ASSERT_TRUE(fs->mkdir(root, "/a/b", 0755).ok());
+  ASSERT_TRUE(fs->mkdir(root, "/a/b/c", 0700).ok());  // root-only
+  ASSERT_TRUE(fs->create(root, "/a/b/c/file", 0644).ok());
+
+  // Alice can resolve through 0755 dirs but not into the 0700 one.
+  EXPECT_TRUE(fs->lookup(alice, "/a/b").ok());
+  EXPECT_EQ(fs->lookup(alice, "/a/b/c/file").status().code(),
+            StatusCode::kPermissionDenied);
+  // Root path still works.
+  EXPECT_TRUE(fs->lookup(root, "/a/b/c/file").ok());
+}
+
+TEST(FsDeep, FileComponentInMiddleOfPathRejected) {
+  fs::MemBlockDevice dev(512);
+  auto fs = std::move(fs::FileSystem::Format(dev)).value();
+  const fs::Credentials root{0};
+  ASSERT_TRUE(fs->create(root, "/plain", 0644).ok());
+  EXPECT_FALSE(fs->create(root, "/plain/child", 0644).ok());
+}
+
+TEST(FsDeep, ReaddirRequiresReadPermission) {
+  fs::MemBlockDevice dev(512);
+  auto fs = std::move(fs::FileSystem::Format(dev)).value();
+  const fs::Credentials root{0};
+  const fs::Credentials alice{1000};
+  ASSERT_TRUE(fs->mkdir(root, "/private", 0711).ok());
+  EXPECT_EQ(fs->readdir(alice, "/private").status().code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_TRUE(fs->readdir(root, "/private").ok());
+}
+
+TEST(FsDeep, SparseIndirectFileSurvivesRemountAndFsck) {
+  fs::MemBlockDevice dev(1024);
+  {
+    auto fs = std::move(fs::FileSystem::Format(dev)).value();
+    const fs::Credentials user{1000};
+    auto ino =
+        fs->create(user, "/sparse", 0644, /*use_extents=*/false);
+    ASSERT_TRUE(ino.ok());
+    std::vector<std::uint8_t> tail(100, 0xEE);
+    ASSERT_TRUE(
+        fs->write(user, *ino, 12ull * fs::kFsBlockSize + 7, tail).ok());
+  }
+  auto fs = std::move(fs::FileSystem::Mount(dev)).value();
+  const fs::Credentials user{1000};
+  auto ino = fs->lookup(user, "/sparse");
+  ASSERT_TRUE(ino.ok());
+  std::vector<std::uint8_t> out(100);
+  auto n = fs->read(user, *ino, 12ull * fs::kFsBlockSize + 7, out);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(out, std::vector<std::uint8_t>(100, 0xEE));
+  EXPECT_TRUE(fs::Fsck::Check(*fs).clean());
+}
+
+// ---- DRAM inspection edges ----
+
+TEST(DramEdge, PeekPokeAcrossRowBoundary) {
+  SimClock clock;
+  DramConfig config;
+  config.geometry = DramGeometry::Tiny();
+  config.profile = DramProfile::Invulnerable();
+  DramDevice dram(config, MakeLinearMapper(config.geometry), clock);
+  std::vector<std::uint8_t> data(300);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i);
+  }
+  dram.poke(DramAddr(100), data);  // spans rows 0,1,2 (128 B rows)
+  std::vector<std::uint8_t> out(300);
+  dram.peek(DramAddr(100), out);
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(dram.stats().activations, 0u);
+}
+
+TEST(DramEdge, FlipEventsAreTimeOrdered) {
+  SimClock clock;
+  DramConfig config;
+  config.geometry = DramGeometry::Tiny();
+  config.profile = test::EasyFlipProfile();
+  config.seed = 3;
+  DramDevice dram(config, MakeLinearMapper(config.geometry), clock);
+  std::uint8_t byte;
+  for (int window = 0; window < 3; ++window) {
+    for (int i = 0; i < 4000; ++i) {
+      ASSERT_TRUE(dram.read(DramAddr(1 * 128), {&byte, 1}).ok());
+      ASSERT_TRUE(dram.read(DramAddr(3 * 128), {&byte, 1}).ok());
+    }
+    // Rewrite row 2 so its cells recharge for the next window.
+    std::vector<std::uint8_t> fresh(128, 0xFF);
+    dram.poke(DramAddr(2 * 128), fresh);
+    clock.advance_seconds(0.065);
+  }
+  std::uint64_t prev = 0;
+  for (const FlipEvent& e : dram.flip_events()) {
+    EXPECT_GE(e.time_ns, prev);
+    prev = e.time_ns;
+  }
+  EXPECT_GT(dram.flip_events().size(), 1u);
+}
+
+// ---- End-to-end outcome classification ----
+
+TEST(Outcomes, EccTurnsTheExploitIntoDetectedCorruption) {
+  SsdConfig config = test::SmallSsd();
+  config.dram_mitigations.ecc = true;
+  CloudHost host(config);
+  auto secret = test::MarkedBlock("ECC-GUARDED");
+  RHSD_CHECK(host.install_secret("/s", secret).ok());
+  EndToEndConfig attack;
+  attack.files_per_cycle = 200;
+  attack.max_cycles = 6;
+  attack.hammer_seconds_per_triple = 0.02;
+  attack.max_triples_per_cycle = 0;
+  attack.targets_per_cycle = 64;
+  attack.dump_blocks = 64;
+  attack.sweep_targets = false;
+  const char* marker = "ECC-GUARDED";
+  attack.secret_marker.assign(marker, marker + 11);
+  EndToEndAttack e2e(host, attack);
+  auto report = e2e.run();
+  ASSERT_TRUE(report.ok());
+  // No leak; single-bit flips are corrected, double flips become
+  // detected errors that may abort the loop as "fs corrupted".
+  EXPECT_FALSE(report->success);
+  if (report->victim_fs_corrupted) {
+    EXPECT_FALSE(report->corruption_detail.empty());
+  }
+}
+
+TEST(Outcomes, ReportExposesCorruptionDetail) {
+  // Force the corruption path cheaply: forbid-indirect FS triggers
+  // the PermissionDenied path instead (covered elsewhere), so here we
+  // verify the happy path leaves the flags clear.
+  CloudHost host(test::SmallSsd());
+  auto secret = test::MarkedBlock("CLEAN-RUN");
+  RHSD_CHECK(host.install_secret("/s", secret).ok());
+  EndToEndConfig attack;
+  attack.files_per_cycle = 100;
+  attack.max_cycles = 1;
+  attack.hammer_seconds_per_triple = 0.005;
+  attack.max_triples_per_cycle = 4;
+  attack.targets_per_cycle = 64;
+  attack.dump_blocks = 16;
+  attack.sweep_targets = false;
+  const char* marker = "CLEAN-RUN";
+  attack.secret_marker.assign(marker, marker + 9);
+  EndToEndAttack e2e(host, attack);
+  auto report = e2e.run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->victim_fs_corrupted);
+  EXPECT_TRUE(report->corruption_detail.empty());
+}
+
+}  // namespace
+}  // namespace rhsd

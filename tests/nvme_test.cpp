@@ -1,0 +1,218 @@
+// Tests for the NVMe front end: namespace translation and isolation,
+// the IOPS timing model, and the rate-limiter mitigation.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "nvme/nvme_controller.hpp"
+#include "test_util.hpp"
+
+namespace rhsd {
+namespace {
+
+struct NvmeRig {
+  explicit NvmeRig(NvmeConfig config = DefaultConfig()) {
+    DramConfig dc;
+    dc.geometry = test::SmallDram();
+    dc.profile = DramProfile::Invulnerable();
+    dram = std::make_unique<DramDevice>(
+        dc, MakeLinearMapper(dc.geometry), clock);
+    nand = std::make_unique<NandDevice>(
+        NandGeometry{.channels = 1,
+                     .dies_per_channel = 1,
+                     .planes_per_die = 1,
+                     .blocks_per_plane = 8,
+                     .pages_per_block = 16,
+                     .page_bytes = kBlockSize});
+    FtlConfig fc;
+    fc.num_lbas = 64;
+    ftl = std::make_unique<Ftl>(fc, *nand, *dram);
+    controller = std::make_unique<NvmeController>(config, *ftl, clock);
+  }
+
+  static NvmeConfig DefaultConfig() {
+    NvmeConfig c;
+    c.namespaces = {NvmeNamespaceConfig{Lba(0), 32},
+                    NvmeNamespaceConfig{Lba(32), 32}};
+    c.iops = IopsModel(1e6);
+    return c;
+  }
+
+  SimClock clock;
+  std::unique_ptr<DramDevice> dram;
+  std::unique_ptr<NandDevice> nand;
+  std::unique_ptr<Ftl> ftl;
+  std::unique_ptr<NvmeController> controller;
+};
+
+std::vector<std::uint8_t> Block(std::uint8_t fill) {
+  return std::vector<std::uint8_t>(kBlockSize, fill);
+}
+
+TEST(Nvme, WriteReadWithinNamespace) {
+  NvmeRig rig;
+  ASSERT_TRUE(rig.controller->write(1, 5, Block(0xAA)).ok());
+  std::vector<std::uint8_t> out(kBlockSize);
+  ASSERT_TRUE(rig.controller->read(1, 5, out).ok());
+  EXPECT_EQ(out, Block(0xAA));
+}
+
+TEST(Nvme, NamespacesAreDisjointWindows) {
+  NvmeRig rig;
+  ASSERT_TRUE(rig.controller->write(1, 0, Block(0x11)).ok());
+  ASSERT_TRUE(rig.controller->write(2, 0, Block(0x22)).ok());
+  std::vector<std::uint8_t> out(kBlockSize);
+  ASSERT_TRUE(rig.controller->read(1, 0, out).ok());
+  EXPECT_EQ(out, Block(0x11));
+  ASSERT_TRUE(rig.controller->read(2, 0, out).ok());
+  EXPECT_EQ(out, Block(0x22));
+  // They map to different device LBAs on the shared FTL.
+  EXPECT_NE(rig.ftl->debug_lookup(Lba(0)), rig.ftl->debug_lookup(Lba(32)));
+}
+
+TEST(Nvme, SlbaBeyondNamespaceRejected) {
+  NvmeRig rig;
+  std::vector<std::uint8_t> buf(kBlockSize);
+  // Device LBA 32 is valid, but it belongs to namespace 2 — namespace 1
+  // cannot address it ("a block address is only valid within its
+  // partition", §4.1).
+  EXPECT_EQ(rig.controller->read(1, 32, buf).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(rig.controller->write(2, 32, buf).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(rig.controller->stats().errors, 2u);
+}
+
+TEST(Nvme, UnknownNamespaceRejected) {
+  NvmeRig rig;
+  std::vector<std::uint8_t> buf(kBlockSize);
+  EXPECT_EQ(rig.controller->read(0, 0, buf).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(rig.controller->read(3, 0, buf).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(rig.controller->flush(9).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Nvme, MultiBlockTransfers) {
+  NvmeRig rig;
+  std::vector<std::uint8_t> data(4 * kBlockSize);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i / kBlockSize + 1);
+  }
+  ASSERT_TRUE(rig.controller->write(1, 8, data).ok());
+  std::vector<std::uint8_t> out(4 * kBlockSize);
+  ASSERT_TRUE(rig.controller->read(1, 8, out).ok());
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(rig.controller->stats().write_cmds, 4u);
+  EXPECT_EQ(rig.controller->stats().read_cmds, 4u);
+}
+
+TEST(Nvme, UnalignedLengthRejected) {
+  NvmeRig rig;
+  std::vector<std::uint8_t> buf(kBlockSize + 5);
+  EXPECT_EQ(rig.controller->read(1, 0, buf).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(rig.controller->write(1, 0, buf).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Nvme, TrimUnmapsRange) {
+  NvmeRig rig;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(rig.controller->write(1, i, Block(7)).ok());
+  }
+  ASSERT_TRUE(rig.controller->trim(1, 0, 4).ok());
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(rig.ftl->debug_lookup(Lba(i)), kUnmappedPba32);
+  }
+  EXPECT_EQ(rig.controller->stats().trim_cmds, 4u);
+}
+
+TEST(Nvme, CommandsAdvanceSimulatedTime) {
+  NvmeRig rig;
+  const auto t0 = rig.clock.now_ns();
+  std::vector<std::uint8_t> buf(kBlockSize);
+  ASSERT_TRUE(rig.controller->read(1, 0, buf).ok());  // unmapped read
+  // At 1M IOPS one command takes ~1 us.
+  EXPECT_GE(rig.clock.now_ns() - t0, 900u);
+  EXPECT_LE(rig.clock.now_ns() - t0, 1200u);
+}
+
+TEST(Nvme, MeasuredIopsApproachesModelLimit) {
+  NvmeRig rig;
+  std::vector<std::uint8_t> buf(kBlockSize);
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(rig.controller->read(1, 0, buf).ok());
+  }
+  EXPECT_NEAR(rig.controller->measured_iops(), 1e6, 1e5);
+}
+
+TEST(Nvme, RateLimiterCapsEffectiveRate) {
+  NvmeConfig config = NvmeRig::DefaultConfig();
+  config.rate_limit = RateLimiterConfig{.max_iops = 100e3, .burst = 8};
+  NvmeRig rig(config);
+  std::vector<std::uint8_t> buf(kBlockSize);
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(rig.controller->read(1, 0, buf).ok());
+  }
+  EXPECT_LT(rig.controller->measured_iops(), 115e3);
+}
+
+TEST(Nvme, FlushIsAcceptedAndCharged) {
+  NvmeRig rig;
+  const auto t0 = rig.clock.now_ns();
+  ASSERT_TRUE(rig.controller->flush(1).ok());
+  EXPECT_GT(rig.clock.now_ns(), t0);
+  EXPECT_EQ(rig.controller->stats().flush_cmds, 1u);
+}
+
+TEST(Nvme, RejectsOverlappingNamespaces) {
+  NvmeConfig config = NvmeRig::DefaultConfig();
+  config.namespaces = {NvmeNamespaceConfig{Lba(0), 40},
+                       NvmeNamespaceConfig{Lba(32), 32}};
+  EXPECT_THROW(NvmeRig rig(config), CheckFailure);
+}
+
+TEST(Nvme, RejectsNamespaceBeyondCapacity) {
+  NvmeConfig config = NvmeRig::DefaultConfig();
+  config.namespaces = {NvmeNamespaceConfig{Lba(0), 65}};
+  EXPECT_THROW(NvmeRig rig(config), CheckFailure);
+}
+
+TEST(IopsModel, InterfaceCalibrations) {
+  // §3.1 and §4's cited numbers.
+  EXPECT_DOUBLE_EQ(MaxIops(HostInterface::kPcie4), 1.5e6);
+  EXPECT_GT(MaxIops(HostInterface::kPcie5), 2e6);
+  EXPECT_DOUBLE_EQ(MaxIops(HostInterface::kCloudVm), 2e6);
+  // Figure 2: the unprivileged testbed host is slower than the
+  // attacker VM's direct path.
+  EXPECT_LT(MaxIops(HostInterface::kTestbedHost),
+            MaxIops(HostInterface::kTestbedVmDirect));
+}
+
+TEST(IopsModel, UnmappedReadsAreFasterThanFlashReads) {
+  const IopsModel model(1e6, /*flash_parallelism=*/4.0);
+  const NandLatency nand;  // 50 us tR
+  const auto no_flash = model.service_ns(false, nand);
+  const auto with_flash = model.service_ns(true, nand);
+  EXPECT_LT(no_flash, with_flash);  // §3: trimmed blocks hammer faster
+  EXPECT_EQ(with_flash, 50'000u / 4);
+}
+
+TEST(RateLimiter, TokenBucketMath) {
+  RateLimiter limiter(RateLimiterConfig{.max_iops = 1000, .burst = 2});
+  // Burst passes immediately.
+  EXPECT_EQ(limiter.acquire(0), 0u);
+  EXPECT_EQ(limiter.acquire(0), 0u);
+  // Third command at t=0 must wait ~1ms for a token.
+  const auto stall = limiter.acquire(0);
+  EXPECT_NEAR(static_cast<double>(stall), 1e6, 1e4);
+  // After a long idle period the bucket refills (up to burst).
+  EXPECT_EQ(limiter.acquire(1'000'000'000), 0u);
+  EXPECT_EQ(limiter.acquire(1'000'000'000), 0u);
+  EXPECT_GT(limiter.acquire(1'000'000'000), 0u);
+}
+
+}  // namespace
+}  // namespace rhsd

@@ -1,0 +1,149 @@
+// Tests for §3.2 polyglot blocks and the privilege-escalation scenario.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "attack/escalation.hpp"
+#include "attack/polyglot.hpp"
+#include "test_util.hpp"
+
+namespace rhsd {
+namespace {
+
+std::vector<std::uint8_t> Marker() {
+  return EscalationConfig::DefaultMarker();
+}
+
+TEST(Polyglot, BlockIsValidUnderAllThreeInterpretations) {
+  const auto marker = Marker();
+  const auto block = Polyglot::MakeBlock(marker, /*max_block=*/2048);
+  // "valid as executable code, file data, and file metadata" (§3.2).
+  EXPECT_TRUE(Polyglot::LooksLikeExecutable(block));
+  EXPECT_TRUE(Polyglot::ValidAsIndirectArray(block, 2048));
+  EXPECT_TRUE(Polyglot::ValidAsDirentBlock(block, /*max_inode=*/4096));
+}
+
+TEST(Polyglot, ExecutionRecognizesPayload) {
+  const auto marker = Marker();
+  const auto polyglot = Polyglot::MakeBlock(marker, 2048);
+  EXPECT_EQ(Polyglot::CheckExecution(polyglot, marker),
+            ExecOutcome::kRunsAttackerCode);
+}
+
+TEST(Polyglot, OriginalBinaryRunsClean) {
+  const auto marker = Marker();
+  const auto original = Polyglot::MakeOriginalBinaryBlock(0);
+  EXPECT_TRUE(Polyglot::LooksLikeExecutable(original));
+  EXPECT_EQ(Polyglot::CheckExecution(original, marker),
+            ExecOutcome::kRunsOriginal);
+}
+
+TEST(Polyglot, GarbageCrashes) {
+  const auto marker = Marker();
+  std::vector<std::uint8_t> garbage(kBlockSize, 0xEE);
+  EXPECT_EQ(Polyglot::CheckExecution(garbage, marker),
+            ExecOutcome::kCrashes);
+  std::vector<std::uint8_t> empty;
+  EXPECT_EQ(Polyglot::CheckExecution(empty, marker),
+            ExecOutcome::kCrashes);
+}
+
+TEST(Polyglot, OriginalBinaryBlocksDiffer) {
+  EXPECT_NE(Polyglot::MakeOriginalBinaryBlock(0),
+            Polyglot::MakeOriginalBinaryBlock(1));
+  EXPECT_EQ(Polyglot::MakeOriginalBinaryBlock(3),
+            Polyglot::MakeOriginalBinaryBlock(3));
+}
+
+TEST(Polyglot, IndirectValidityRejectsBigPointers) {
+  auto block = Polyglot::MakeBlock(Marker(), 2048);
+  const std::uint32_t big = 1 << 20;
+  std::memcpy(block.data() + 512, &big, 4);
+  EXPECT_FALSE(Polyglot::ValidAsIndirectArray(block, 2048));
+}
+
+TEST(Polyglot, DirentValidityRejectsBadNameLen) {
+  auto block = Polyglot::MakeBlock(Marker(), 2048);
+  // Corrupt slot 1's name_len beyond the maximum.
+  block[64 + 4] = 200;
+  EXPECT_FALSE(Polyglot::ValidAsDirentBlock(block, 4096));
+}
+
+TEST(Polyglot, MarkerTooLongRejected) {
+  std::vector<std::uint8_t> huge(100, 1);
+  EXPECT_THROW((void)Polyglot::MakeBlock(huge, 2048), CheckFailure);
+}
+
+TEST(Escalation, ManualRedirectExecutesAttackerCode) {
+  // The primitive in isolation: repoint the setuid binary's first-block
+  // entry at an attacker polyglot page and watch root "run" it.
+  CloudHost host(test::SmallSsd());
+  EscalationConfig config;
+  config.max_cycles = 0;  // no hammering; we drive the flip by hand
+  PrivilegeEscalationScenario scenario(host, config);
+  auto report = scenario.run();
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_NE(scenario.binary_ino(), 0u);
+
+  // Locate the binary's first block and an attacker polyglot page.
+  fs::FileSystem& vfs = host.victim_fs();
+  const std::uint64_t fs_block = *vfs.bmap(scenario.binary_ino(), 0);
+  ASSERT_NE(fs_block, 0u);
+  Ftl& ftl = host.ssd().ftl();
+  const auto [vf, vl] = host.partition_range(host.victim_tenant());
+  const auto [af, al] = host.partition_range(host.attacker_tenant());
+  const Lba binary_lba(vf.value() + fs_block);
+  const Lba polyglot_lba(af.value());  // attacker sprayed from slba 0
+
+  ftl.debug_store(binary_lba, ftl.debug_lookup(polyglot_lba));
+
+  // Root executes the binary: attacker code runs.
+  const fs::Credentials root{0};
+  std::vector<std::uint8_t> first(kBlockSize);
+  auto n = vfs.read(root, scenario.binary_ino(), 0, first);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(Polyglot::CheckExecution(first,
+                                     EscalationConfig::DefaultMarker()),
+            ExecOutcome::kRunsAttackerCode);
+}
+
+TEST(Escalation, ScenarioReportsWriteSomethingSomewhereEvents) {
+  // With every row vulnerable and a large binary, hammering produces
+  // observable victim-LBA-to-attacker-page redirects within a few
+  // cycles, and exec outcomes are classified.
+  CloudHost host(test::SmallSsd());
+  EscalationConfig config;
+  config.binary_blocks = 256;
+  config.max_cycles = 8;
+  config.hammer_seconds_per_triple = 0.01;
+  config.max_triples_per_cycle = 0;
+  PrivilegeEscalationScenario scenario(host, config);
+  auto report = scenario.run();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_GT(report->cycles_run, 0u);
+  EXPECT_GT(report->total_flips, 0u);
+  for (const EscalationCycle& c : report->cycles) {
+    // Execution outcome is always one of the three §3.2 cases.
+    EXPECT_TRUE(c.exec == ExecOutcome::kRunsOriginal ||
+                c.exec == ExecOutcome::kRunsAttackerCode ||
+                c.exec == ExecOutcome::kCrashes);
+  }
+  // Escalation is "the hardest to exploit" (§3.2) — we don't demand
+  // success, but the write-something-somewhere counter is the leading
+  // indicator and must be wired up.
+  EXPECT_EQ(report->cycles.size(), report->cycles_run);
+}
+
+TEST(Escalation, NoTriplesMeansCleanNoop) {
+  SsdConfig config = test::SmallSsd();
+  config.xor_mapping = false;  // (almost) no cross-partition sets
+  CloudHost host(config);
+  EscalationConfig esc;
+  PrivilegeEscalationScenario scenario(host, esc);
+  auto report = scenario.run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->escalated);
+}
+
+}  // namespace
+}  // namespace rhsd

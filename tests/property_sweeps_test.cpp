@@ -1,0 +1,248 @@
+// Cross-module property sweeps (parameterized): physical monotonicity
+// properties of the disturbance model, mapper fuzzing over random
+// configurations, FTL invariants under alternative configurations, and
+// end-to-end determinism.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "attack/end_to_end.hpp"
+#include "common/rng.hpp"
+#include "test_util.hpp"
+
+namespace rhsd {
+namespace {
+
+// ---- Disturbance physics ----
+
+std::uint64_t FlipsAtRate(double total_rate, double window_ms,
+                          std::uint64_t seed) {
+  SimClock clock;
+  DramConfig config;
+  config.geometry = test::SmallDram();
+  config.profile = DramProfile::Testbed();
+  config.profile.vulnerable_row_fraction = 1.0;
+  config.profile.threshold_spread = 2.0;
+  config.mitigations.refresh_interval_ms_override = window_ms;
+  config.seed = seed;
+  DramDevice dram(config, MakeLinearMapper(config.geometry), clock);
+
+  // Prime the victim rows so every cell is observable.
+  for (std::uint64_t row : {1ull, 2ull, 3ull}) {
+    std::vector<std::uint8_t> primed(config.geometry.row_bytes, 0);
+    for (const VulnCell& cell : dram.disturbance().cells(row)) {
+      if (cell.failure_value == 0) {
+        primed[cell.byte_offset] |=
+            static_cast<std::uint8_t>(1u << cell.bit);
+      }
+    }
+    dram.poke(DramAddr(row * config.geometry.row_bytes), primed);
+  }
+
+  // One refresh window of double-sided hammering rows 1 and 3 at the
+  // given total access rate.
+  const auto accesses =
+      static_cast<std::uint64_t>(total_rate * window_ms * 1e-3);
+  const double step_ns = 1e9 / total_rate;
+  std::uint8_t byte;
+  double carry = 0;
+  for (std::uint64_t i = 0; i < accesses; ++i) {
+    const std::uint64_t row = (i % 2 == 0) ? 1 : 3;
+    EXPECT_TRUE(
+        dram.read(DramAddr(row * config.geometry.row_bytes), {&byte, 1})
+            .ok());
+    carry += step_ns;
+    if (carry >= 1.0) {
+      clock.advance_ns(static_cast<std::uint64_t>(carry));
+      carry = 0;
+    }
+  }
+  return dram.stats().bitflips;
+}
+
+class DisturbanceRateSweep : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(DisturbanceRateSweep, FlipCountMonotoneInAccessRate) {
+  const std::uint64_t seed = GetParam();
+  std::uint64_t prev = 0;
+  for (const double rate : {1e6, 3e6, 6e6, 12e6, 24e6}) {
+    const std::uint64_t flips = FlipsAtRate(rate, 64.0, seed);
+    EXPECT_GE(flips, prev) << "rate " << rate;
+    prev = flips;
+  }
+}
+
+TEST_P(DisturbanceRateSweep, ShorterWindowNeverFlipsMore) {
+  const std::uint64_t seed = GetParam();
+  // Same access rate, smaller refresh window => less exposure.
+  const double rate = 8e6;
+  const std::uint64_t flips64 = FlipsAtRate(rate, 64.0, seed);
+  const std::uint64_t flips16 = FlipsAtRate(rate, 16.0, seed);
+  EXPECT_LE(flips16, flips64);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DisturbanceRateSweep,
+                         ::testing::Values(1, 7, 42, 1337));
+
+// ---- Mapper fuzz over random configurations ----
+
+class MapperFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MapperFuzz, RandomXorConfigsRoundTrip) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    DramGeometry g;
+    g.channels = 1u << rng.next_below(2);
+    g.dimms_per_channel = 1;
+    g.ranks_per_dimm = 1u << rng.next_below(2);
+    g.banks_per_rank = 1u << (1 + rng.next_below(3));
+    g.rows_per_bank = 1u << (4 + rng.next_below(5));
+    g.row_bytes = 1u << (6 + rng.next_below(4));
+    XorMapperConfig config;
+    config.interleaved_bank_bits =
+        static_cast<std::uint32_t>(rng.next_below(4));
+    config.row_remap_bits = static_cast<std::uint32_t>(rng.next_below(6));
+    config.row_remap_rotate =
+        static_cast<std::uint32_t>(rng.next_below(4));
+    config.row_remap_salt = rng.next();
+    XorMapper mapper(g, config);
+
+    for (int probe = 0; probe < 200; ++probe) {
+      const std::uint64_t addr = rng.next_below(g.total_bytes());
+      const DramCoord coord = mapper.decode(DramAddr(addr));
+      ASSERT_LT(coord.row, g.rows_per_bank);
+      ASSERT_LT(coord.col, g.row_bytes);
+      ASSERT_LT(coord.flat_bank(g), g.total_banks());
+      ASSERT_EQ(mapper.encode(coord).value(), addr)
+          << "trial " << trial << " addr " << addr;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MapperFuzz,
+                         ::testing::Values(11, 22, 33, 44));
+
+// ---- FTL invariants under alternative configurations ----
+
+struct FtlVariant {
+  const char* name;
+  L2pLayoutKind layout;
+  bool xts;
+  bool t10;
+};
+
+class FtlVariantSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FtlVariantSweep, RandomOpsKeepReadYourWrites) {
+  static const FtlVariant variants[] = {
+      {"linear", L2pLayoutKind::kLinear, false, false},
+      {"hashed", L2pLayoutKind::kHashed, false, false},
+      {"linear+xts", L2pLayoutKind::kLinear, true, false},
+      {"hashed+t10", L2pLayoutKind::kHashed, false, true},
+      {"hashed+xts+t10", L2pLayoutKind::kHashed, true, true},
+  };
+  const FtlVariant& variant = variants[GetParam()];
+
+  SimClock clock;
+  DramConfig dc;
+  dc.geometry = test::SmallDram();
+  dc.profile = DramProfile::Invulnerable();
+  DramDevice dram(dc, MakeLinearMapper(dc.geometry), clock);
+  NandDevice nand(NandGeometry{.channels = 1,
+                               .dies_per_channel = 1,
+                               .planes_per_die = 1,
+                               .blocks_per_plane = 8,
+                               .pages_per_block = 16,
+                               .page_bytes = kBlockSize});
+  FtlConfig fc;
+  fc.num_lbas = 64;
+  fc.layout = variant.layout;
+  fc.device_key = 0x5EED;
+  fc.xts_encryption = variant.xts;
+  fc.t10_reference_tag = variant.t10;
+  Ftl ftl(fc, nand, dram);
+
+  Rng rng(99);
+  std::vector<int> model(64, -1);
+  std::vector<std::uint8_t> block(kBlockSize);
+  for (int op = 0; op < 600; ++op) {
+    const auto lba = rng.next_below(64);
+    if (rng.next_bool(0.55)) {
+      const auto fill = static_cast<std::uint8_t>(rng.next_below(256));
+      std::fill(block.begin(), block.end(), fill);
+      ASSERT_TRUE(ftl.write(Lba(lba), block).ok()) << variant.name;
+      model[lba] = fill;
+    } else if (rng.next_bool(0.3)) {
+      ASSERT_TRUE(ftl.trim(Lba(lba)).ok());
+      model[lba] = -1;
+    } else {
+      std::vector<std::uint8_t> out(kBlockSize);
+      ASSERT_TRUE(ftl.read(Lba(lba), out).ok()) << variant.name;
+      const std::uint8_t expect =
+          model[lba] < 0 ? 0 : static_cast<std::uint8_t>(model[lba]);
+      ASSERT_EQ(out[0], expect) << variant.name << " lba " << lba;
+      ASSERT_EQ(out[kBlockSize / 2], expect);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, FtlVariantSweep,
+                         ::testing::Range(0, 5));
+
+// ---- End-to-end determinism ----
+
+TEST(Determinism, IdenticalSeedsGiveIdenticalAttacks) {
+  auto run = [] {
+    SsdConfig config = test::SmallSsd();
+    CloudHost host(config);
+    auto secret = test::MarkedBlock("SEED-DETERMINISM");
+    RHSD_CHECK(host.install_secret("/s", secret).ok());
+    EndToEndConfig attack;
+    attack.files_per_cycle = 120;
+    attack.max_cycles = 4;
+    attack.hammer_seconds_per_triple = 0.01;
+    attack.max_triples_per_cycle = 0;
+    attack.targets_per_cycle = 64;
+    attack.dump_blocks = 64;
+    attack.sweep_targets = false;
+    const char* marker = "SEED-DETERMINISM";
+    attack.secret_marker.assign(marker, marker + 16);
+    EndToEndAttack e2e(host, attack);
+    auto report = e2e.run();
+    RHSD_CHECK(report.ok());
+    return std::tuple(report->success, report->cycles_run,
+                      report->total_flips, report->total_hammer_reads,
+                      report->total_sim_seconds);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Determinism, AdaptiveTemplatingIsAlsoDeterministic) {
+  auto run = [] {
+    SsdConfig config = test::SmallSsd();
+    CloudHost host(config);
+    auto secret = test::MarkedBlock("ADAPTIVE-RUN");
+    RHSD_CHECK(host.install_secret("/s", secret).ok());
+    EndToEndConfig attack;
+    attack.files_per_cycle = 120;
+    attack.max_cycles = 6;
+    attack.hammer_seconds_per_triple = 0.01;
+    attack.max_triples_per_cycle = 6;
+    attack.targets_per_cycle = 64;
+    attack.dump_blocks = 64;
+    attack.sweep_targets = false;
+    attack.adaptive_templating = true;
+    const char* marker = "ADAPTIVE-RUN";
+    attack.secret_marker.assign(marker, marker + 12);
+    EndToEndAttack e2e(host, attack);
+    auto report = e2e.run();
+    RHSD_CHECK(report.ok());
+    return std::tuple(report->success, report->cycles_run,
+                      report->total_flips);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace rhsd

@@ -1,0 +1,97 @@
+// Tests for the assembled SSD device (wiring, paper configuration).
+#include <gtest/gtest.h>
+
+#include "ssd/ssd_device.hpp"
+#include "test_util.hpp"
+
+namespace rhsd {
+namespace {
+
+TEST(SsdConfig, PaperSetupMatchesSection41) {
+  const SsdConfig c = SsdConfig::PaperSetup();
+  EXPECT_EQ(c.capacity_bytes, 1ull * kGiB);           // 1 GiB SSD
+  EXPECT_EQ(c.num_lbas(), (1ull * kGiB) / kBlockSize);
+  EXPECT_EQ(c.dram_geometry.total_bytes(), 16ull * kGiB);  // host DDR3
+  EXPECT_EQ(c.hammers_per_io, 5u);                    // amplification
+  ASSERT_EQ(c.partition_blocks.size(), 2u);           // victim+attacker
+  EXPECT_EQ(c.partition_blocks[0], c.partition_blocks[1]);
+  // No ECC/TRR on the testbed (§4.1).
+  EXPECT_FALSE(c.dram_mitigations.ecc);
+  EXPECT_FALSE(c.dram_mitigations.trr);
+}
+
+TEST(SsdDevice, L2pTableIs1MiBFor1GiB) {
+  // §2.3 / §4.1: "1 GiB of SSD capacity requires 1 MiB of DRAM".
+  SsdDevice ssd(SsdConfig::PaperSetup());
+  EXPECT_EQ(ssd.ftl().layout().table_bytes(), 1ull * kMiB);
+}
+
+TEST(SsdDevice, SmallConfigEndToEndIo) {
+  SsdDevice ssd(test::SmallSsd());
+  auto block = test::MarkedBlock("hello-ssd");
+  ASSERT_TRUE(ssd.controller().write(1, 10, block).ok());
+  std::vector<std::uint8_t> out(kBlockSize);
+  ASSERT_TRUE(ssd.controller().read(1, 10, out).ok());
+  EXPECT_EQ(out, block);
+}
+
+TEST(SsdDevice, PartitionsShareTheFtl) {
+  SsdDevice ssd(test::SmallSsd());
+  auto block = test::MarkedBlock("tenant");
+  ASSERT_TRUE(ssd.controller().write(1, 0, block).ok());
+  ASSERT_TRUE(ssd.controller().write(2, 0, block).ok());
+  // Both tenants' mappings live in the same table (different entries).
+  EXPECT_NE(ssd.ftl().debug_lookup(Lba(0)), kUnmappedPba32);
+  EXPECT_NE(ssd.ftl().debug_lookup(Lba(2048)), kUnmappedPba32);
+}
+
+TEST(SsdDevice, DefaultSingleNamespaceCoversDevice) {
+  SsdConfig c = test::SmallSsd();
+  c.partition_blocks.clear();
+  SsdDevice ssd(c);
+  EXPECT_EQ(ssd.controller().namespace_count(), 1u);
+  EXPECT_EQ(ssd.controller().namespace_info(1).blocks, c.num_lbas());
+}
+
+TEST(SsdDevice, LinearMappingOption) {
+  SsdConfig c = test::SmallSsd();
+  c.xor_mapping = false;
+  SsdDevice ssd(c);
+  // With the linear mapper, adjacent table rows are adjacent addresses.
+  const auto& mapper = ssd.dram().mapper();
+  const DramCoord c0 = mapper.decode(DramAddr(0));
+  const DramCoord c1 =
+      mapper.decode(DramAddr(c.dram_geometry.row_bytes));
+  EXPECT_EQ(c1.global_row(c.dram_geometry),
+            c0.global_row(c.dram_geometry) + 1);
+}
+
+TEST(SsdDevice, HashedLayoutOption) {
+  SsdConfig c = test::SmallSsd();
+  c.l2p_layout = L2pLayoutKind::kHashed;
+  c.device_key = 1234;
+  SsdDevice ssd(c);
+  auto block = test::MarkedBlock("hashed");
+  ASSERT_TRUE(ssd.controller().write(1, 3, block).ok());
+  std::vector<std::uint8_t> out(kBlockSize);
+  ASSERT_TRUE(ssd.controller().read(1, 3, out).ok());
+  EXPECT_EQ(out, block);
+}
+
+TEST(SsdDevice, RejectsOversizedPartitions) {
+  SsdConfig c = test::SmallSsd();
+  c.partition_blocks = {4096, 4096};  // 2x the device
+  EXPECT_THROW(SsdDevice ssd(c), CheckFailure);
+}
+
+TEST(SsdDevice, ClockSharedAcrossComponents) {
+  SsdDevice ssd(test::SmallSsd());
+  const auto t0 = ssd.clock().now_ns();
+  auto block = test::MarkedBlock("t");
+  ASSERT_TRUE(ssd.controller().write(1, 0, block).ok());
+  EXPECT_GT(ssd.clock().now_ns(), t0);
+  EXPECT_EQ(&ssd.clock(), &ssd.controller().clock());
+}
+
+}  // namespace
+}  // namespace rhsd

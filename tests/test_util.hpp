@@ -1,0 +1,64 @@
+// Shared test fixtures: small, fast configurations.
+//
+// Unit/integration tests run on shrunken geometries so the whole suite
+// finishes in seconds; the bench binaries use the paper-scale setup.
+#pragma once
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "dram/dram_device.hpp"
+#include "ssd/ssd_device.hpp"
+
+namespace rhsd::test {
+
+/// DRAM profile that flips easily: threshold ~6.4K effective activations
+/// per 64 ms window, every row vulnerable.  Keeps hammer loops short.
+inline DramProfile EasyFlipProfile() {
+  DramProfile p;
+  p.name = "test-easyflip";
+  p.min_rate_kaccess_s = 50.0;  // threshold = 2 * 50e3 * 0.064 = 6400
+  p.vulnerable_row_fraction = 1.0;
+  p.max_cells_per_row = 2;
+  p.threshold_spread = 0.5;
+  return p;
+}
+
+/// Small DRAM: 2 banks x 64 rows x 512 B = 64 KiB.
+inline DramGeometry SmallDram() {
+  return DramGeometry{.channels = 1,
+                      .dimms_per_channel = 1,
+                      .ranks_per_dimm = 1,
+                      .banks_per_rank = 2,
+                      .rows_per_bank = 64,
+                      .row_bytes = 512};
+}
+
+/// Small SSD: 16 MiB (4096 LBAs), L2P = 16 KiB spanning 32 row-chunks of
+/// the small DRAM, two equal partitions, easy-flip DRAM.
+inline SsdConfig SmallSsd() {
+  SsdConfig c;
+  c.capacity_bytes = 16 * kMiB;
+  c.dram_geometry = SmallDram();
+  c.dram_profile = EasyFlipProfile();
+  c.xor_config.interleaved_bank_bits = 1;
+  c.xor_config.row_remap_bits = 4;
+  c.hammers_per_io = 5;
+  c.host_interface = HostInterface::kTestbedVmDirect;
+  c.partition_blocks = {2048, 2048};
+  c.seed = 42;
+  return c;
+}
+
+/// 4 KiB block filled with a repeating marker string.
+inline std::vector<std::uint8_t> MarkedBlock(const std::string& marker) {
+  std::vector<std::uint8_t> block(kBlockSize, 0);
+  for (std::size_t off = 0; off + marker.size() <= block.size();
+       off += marker.size()) {
+    std::memcpy(block.data() + off, marker.data(), marker.size());
+  }
+  return block;
+}
+
+}  // namespace rhsd::test
