@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_feasibility_matrix.dir/bench/bench_feasibility_matrix.cpp.o"
+  "CMakeFiles/bench_feasibility_matrix.dir/bench/bench_feasibility_matrix.cpp.o.d"
+  "bench/bench_feasibility_matrix"
+  "bench/bench_feasibility_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_feasibility_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_two_sided.dir/bench/bench_fig1_two_sided.cpp.o"
+  "CMakeFiles/bench_fig1_two_sided.dir/bench/bench_fig1_two_sided.cpp.o.d"
+  "bench/bench_fig1_two_sided"
+  "bench/bench_fig1_two_sided.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_two_sided.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

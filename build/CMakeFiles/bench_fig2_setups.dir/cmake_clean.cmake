@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_setups.dir/bench/bench_fig2_setups.cpp.o"
+  "CMakeFiles/bench_fig2_setups.dir/bench/bench_fig2_setups.cpp.o.d"
+  "bench/bench_fig2_setups"
+  "bench/bench_fig2_setups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_setups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ftl_behaviour.dir/bench/bench_ftl_behaviour.cpp.o"
+  "CMakeFiles/bench_ftl_behaviour.dir/bench/bench_ftl_behaviour.cpp.o.d"
+  "bench/bench_ftl_behaviour"
+  "bench/bench_ftl_behaviour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ftl_behaviour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

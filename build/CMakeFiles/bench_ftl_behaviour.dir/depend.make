@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ftl_behaviour.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec32_outcomes.dir/bench/bench_sec32_outcomes.cpp.o"
+  "CMakeFiles/bench_sec32_outcomes.dir/bench/bench_sec32_outcomes.cpp.o.d"
+  "bench/bench_sec32_outcomes"
+  "bench/bench_sec32_outcomes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec32_outcomes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

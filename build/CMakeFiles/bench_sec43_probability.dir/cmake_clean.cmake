@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec43_probability.dir/bench/bench_sec43_probability.cpp.o"
+  "CMakeFiles/bench_sec43_probability.dir/bench/bench_sec43_probability.cpp.o.d"
+  "bench/bench_sec43_probability"
+  "bench/bench_sec43_probability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec43_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_self_hammer.dir/bench/bench_self_hammer.cpp.o"
+  "CMakeFiles/bench_self_hammer.dir/bench/bench_self_hammer.cpp.o.d"
+  "bench/bench_self_hammer"
+  "bench/bench_self_hammer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_self_hammer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_min_rates.dir/bench/bench_table1_min_rates.cpp.o"
+  "CMakeFiles/bench_table1_min_rates.dir/bench/bench_table1_min_rates.cpp.o.d"
+  "bench/bench_table1_min_rates"
+  "bench/bench_table1_min_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_min_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_io_tour.dir/async_io_tour.cpp.o"
+  "CMakeFiles/async_io_tour.dir/async_io_tour.cpp.o.d"
+  "async_io_tour"
+  "async_io_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_io_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_info_leak.dir/cloud_info_leak.cpp.o"
+  "CMakeFiles/cloud_info_leak.dir/cloud_info_leak.cpp.o.d"
+  "cloud_info_leak"
+  "cloud_info_leak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_info_leak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftl_rowhammer_demo.dir/ftl_rowhammer_demo.cpp.o"
+  "CMakeFiles/ftl_rowhammer_demo.dir/ftl_rowhammer_demo.cpp.o.d"
+  "ftl_rowhammer_demo"
+  "ftl_rowhammer_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftl_rowhammer_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

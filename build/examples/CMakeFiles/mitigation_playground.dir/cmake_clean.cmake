@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitigation_playground.dir/mitigation_playground.cpp.o"
+  "CMakeFiles/mitigation_playground.dir/mitigation_playground.cpp.o.d"
+  "mitigation_playground"
+  "mitigation_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitigation_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

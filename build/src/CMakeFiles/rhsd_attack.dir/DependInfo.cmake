@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/aggressor_finder.cpp" "src/CMakeFiles/rhsd_attack.dir/attack/aggressor_finder.cpp.o" "gcc" "src/CMakeFiles/rhsd_attack.dir/attack/aggressor_finder.cpp.o.d"
+  "/root/repo/src/attack/bitflip_scanner.cpp" "src/CMakeFiles/rhsd_attack.dir/attack/bitflip_scanner.cpp.o" "gcc" "src/CMakeFiles/rhsd_attack.dir/attack/bitflip_scanner.cpp.o.d"
+  "/root/repo/src/attack/end_to_end.cpp" "src/CMakeFiles/rhsd_attack.dir/attack/end_to_end.cpp.o" "gcc" "src/CMakeFiles/rhsd_attack.dir/attack/end_to_end.cpp.o.d"
+  "/root/repo/src/attack/escalation.cpp" "src/CMakeFiles/rhsd_attack.dir/attack/escalation.cpp.o" "gcc" "src/CMakeFiles/rhsd_attack.dir/attack/escalation.cpp.o.d"
+  "/root/repo/src/attack/hammer_orchestrator.cpp" "src/CMakeFiles/rhsd_attack.dir/attack/hammer_orchestrator.cpp.o" "gcc" "src/CMakeFiles/rhsd_attack.dir/attack/hammer_orchestrator.cpp.o.d"
+  "/root/repo/src/attack/polyglot.cpp" "src/CMakeFiles/rhsd_attack.dir/attack/polyglot.cpp.o" "gcc" "src/CMakeFiles/rhsd_attack.dir/attack/polyglot.cpp.o.d"
+  "/root/repo/src/attack/probability_model.cpp" "src/CMakeFiles/rhsd_attack.dir/attack/probability_model.cpp.o" "gcc" "src/CMakeFiles/rhsd_attack.dir/attack/probability_model.cpp.o.d"
+  "/root/repo/src/attack/row_templating.cpp" "src/CMakeFiles/rhsd_attack.dir/attack/row_templating.cpp.o" "gcc" "src/CMakeFiles/rhsd_attack.dir/attack/row_templating.cpp.o.d"
+  "/root/repo/src/attack/sprayer.cpp" "src/CMakeFiles/rhsd_attack.dir/attack/sprayer.cpp.o" "gcc" "src/CMakeFiles/rhsd_attack.dir/attack/sprayer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rhsd_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rhsd_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rhsd_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rhsd_nvme.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rhsd_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rhsd_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rhsd_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rhsd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

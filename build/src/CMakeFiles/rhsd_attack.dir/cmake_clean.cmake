@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhsd_attack.dir/attack/aggressor_finder.cpp.o"
+  "CMakeFiles/rhsd_attack.dir/attack/aggressor_finder.cpp.o.d"
+  "CMakeFiles/rhsd_attack.dir/attack/bitflip_scanner.cpp.o"
+  "CMakeFiles/rhsd_attack.dir/attack/bitflip_scanner.cpp.o.d"
+  "CMakeFiles/rhsd_attack.dir/attack/end_to_end.cpp.o"
+  "CMakeFiles/rhsd_attack.dir/attack/end_to_end.cpp.o.d"
+  "CMakeFiles/rhsd_attack.dir/attack/escalation.cpp.o"
+  "CMakeFiles/rhsd_attack.dir/attack/escalation.cpp.o.d"
+  "CMakeFiles/rhsd_attack.dir/attack/hammer_orchestrator.cpp.o"
+  "CMakeFiles/rhsd_attack.dir/attack/hammer_orchestrator.cpp.o.d"
+  "CMakeFiles/rhsd_attack.dir/attack/polyglot.cpp.o"
+  "CMakeFiles/rhsd_attack.dir/attack/polyglot.cpp.o.d"
+  "CMakeFiles/rhsd_attack.dir/attack/probability_model.cpp.o"
+  "CMakeFiles/rhsd_attack.dir/attack/probability_model.cpp.o.d"
+  "CMakeFiles/rhsd_attack.dir/attack/row_templating.cpp.o"
+  "CMakeFiles/rhsd_attack.dir/attack/row_templating.cpp.o.d"
+  "CMakeFiles/rhsd_attack.dir/attack/sprayer.cpp.o"
+  "CMakeFiles/rhsd_attack.dir/attack/sprayer.cpp.o.d"
+  "librhsd_attack.a"
+  "librhsd_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhsd_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

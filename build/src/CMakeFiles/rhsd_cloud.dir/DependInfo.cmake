@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/cloud_host.cpp" "src/CMakeFiles/rhsd_cloud.dir/cloud/cloud_host.cpp.o" "gcc" "src/CMakeFiles/rhsd_cloud.dir/cloud/cloud_host.cpp.o.d"
+  "/root/repo/src/cloud/tenant.cpp" "src/CMakeFiles/rhsd_cloud.dir/cloud/tenant.cpp.o" "gcc" "src/CMakeFiles/rhsd_cloud.dir/cloud/tenant.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rhsd_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rhsd_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rhsd_nvme.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rhsd_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rhsd_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rhsd_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rhsd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

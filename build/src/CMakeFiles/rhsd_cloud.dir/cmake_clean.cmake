@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhsd_cloud.dir/cloud/cloud_host.cpp.o"
+  "CMakeFiles/rhsd_cloud.dir/cloud/cloud_host.cpp.o.d"
+  "CMakeFiles/rhsd_cloud.dir/cloud/tenant.cpp.o"
+  "CMakeFiles/rhsd_cloud.dir/cloud/tenant.cpp.o.d"
+  "librhsd_cloud.a"
+  "librhsd_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhsd_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

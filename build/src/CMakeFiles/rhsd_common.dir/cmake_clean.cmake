@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhsd_common.dir/common/crc32c.cpp.o"
+  "CMakeFiles/rhsd_common.dir/common/crc32c.cpp.o.d"
+  "CMakeFiles/rhsd_common.dir/common/hexdump.cpp.o"
+  "CMakeFiles/rhsd_common.dir/common/hexdump.cpp.o.d"
+  "CMakeFiles/rhsd_common.dir/common/rng.cpp.o"
+  "CMakeFiles/rhsd_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/rhsd_common.dir/common/status.cpp.o"
+  "CMakeFiles/rhsd_common.dir/common/status.cpp.o.d"
+  "librhsd_common.a"
+  "librhsd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhsd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

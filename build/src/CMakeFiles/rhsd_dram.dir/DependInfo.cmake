@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/address_mapper.cpp" "src/CMakeFiles/rhsd_dram.dir/dram/address_mapper.cpp.o" "gcc" "src/CMakeFiles/rhsd_dram.dir/dram/address_mapper.cpp.o.d"
+  "/root/repo/src/dram/cache_model.cpp" "src/CMakeFiles/rhsd_dram.dir/dram/cache_model.cpp.o" "gcc" "src/CMakeFiles/rhsd_dram.dir/dram/cache_model.cpp.o.d"
+  "/root/repo/src/dram/disturbance_model.cpp" "src/CMakeFiles/rhsd_dram.dir/dram/disturbance_model.cpp.o" "gcc" "src/CMakeFiles/rhsd_dram.dir/dram/disturbance_model.cpp.o.d"
+  "/root/repo/src/dram/dram_device.cpp" "src/CMakeFiles/rhsd_dram.dir/dram/dram_device.cpp.o" "gcc" "src/CMakeFiles/rhsd_dram.dir/dram/dram_device.cpp.o.d"
+  "/root/repo/src/dram/ecc.cpp" "src/CMakeFiles/rhsd_dram.dir/dram/ecc.cpp.o" "gcc" "src/CMakeFiles/rhsd_dram.dir/dram/ecc.cpp.o.d"
+  "/root/repo/src/dram/profiles.cpp" "src/CMakeFiles/rhsd_dram.dir/dram/profiles.cpp.o" "gcc" "src/CMakeFiles/rhsd_dram.dir/dram/profiles.cpp.o.d"
+  "/root/repo/src/dram/trr.cpp" "src/CMakeFiles/rhsd_dram.dir/dram/trr.cpp.o" "gcc" "src/CMakeFiles/rhsd_dram.dir/dram/trr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rhsd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhsd_dram.dir/dram/address_mapper.cpp.o"
+  "CMakeFiles/rhsd_dram.dir/dram/address_mapper.cpp.o.d"
+  "CMakeFiles/rhsd_dram.dir/dram/cache_model.cpp.o"
+  "CMakeFiles/rhsd_dram.dir/dram/cache_model.cpp.o.d"
+  "CMakeFiles/rhsd_dram.dir/dram/disturbance_model.cpp.o"
+  "CMakeFiles/rhsd_dram.dir/dram/disturbance_model.cpp.o.d"
+  "CMakeFiles/rhsd_dram.dir/dram/dram_device.cpp.o"
+  "CMakeFiles/rhsd_dram.dir/dram/dram_device.cpp.o.d"
+  "CMakeFiles/rhsd_dram.dir/dram/ecc.cpp.o"
+  "CMakeFiles/rhsd_dram.dir/dram/ecc.cpp.o.d"
+  "CMakeFiles/rhsd_dram.dir/dram/profiles.cpp.o"
+  "CMakeFiles/rhsd_dram.dir/dram/profiles.cpp.o.d"
+  "CMakeFiles/rhsd_dram.dir/dram/trr.cpp.o"
+  "CMakeFiles/rhsd_dram.dir/dram/trr.cpp.o.d"
+  "librhsd_dram.a"
+  "librhsd_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhsd_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

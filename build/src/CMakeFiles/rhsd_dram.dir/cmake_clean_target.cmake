@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librhsd_dram.a"
+)

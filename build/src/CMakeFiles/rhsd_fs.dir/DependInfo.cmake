@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/block_device.cpp" "src/CMakeFiles/rhsd_fs.dir/fs/block_device.cpp.o" "gcc" "src/CMakeFiles/rhsd_fs.dir/fs/block_device.cpp.o.d"
+  "/root/repo/src/fs/directory.cpp" "src/CMakeFiles/rhsd_fs.dir/fs/directory.cpp.o" "gcc" "src/CMakeFiles/rhsd_fs.dir/fs/directory.cpp.o.d"
+  "/root/repo/src/fs/extent_tree.cpp" "src/CMakeFiles/rhsd_fs.dir/fs/extent_tree.cpp.o" "gcc" "src/CMakeFiles/rhsd_fs.dir/fs/extent_tree.cpp.o.d"
+  "/root/repo/src/fs/filesystem.cpp" "src/CMakeFiles/rhsd_fs.dir/fs/filesystem.cpp.o" "gcc" "src/CMakeFiles/rhsd_fs.dir/fs/filesystem.cpp.o.d"
+  "/root/repo/src/fs/fsck.cpp" "src/CMakeFiles/rhsd_fs.dir/fs/fsck.cpp.o" "gcc" "src/CMakeFiles/rhsd_fs.dir/fs/fsck.cpp.o.d"
+  "/root/repo/src/fs/indirect.cpp" "src/CMakeFiles/rhsd_fs.dir/fs/indirect.cpp.o" "gcc" "src/CMakeFiles/rhsd_fs.dir/fs/indirect.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rhsd_nvme.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rhsd_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rhsd_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rhsd_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rhsd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

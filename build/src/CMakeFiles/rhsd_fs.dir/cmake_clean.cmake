@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhsd_fs.dir/fs/block_device.cpp.o"
+  "CMakeFiles/rhsd_fs.dir/fs/block_device.cpp.o.d"
+  "CMakeFiles/rhsd_fs.dir/fs/directory.cpp.o"
+  "CMakeFiles/rhsd_fs.dir/fs/directory.cpp.o.d"
+  "CMakeFiles/rhsd_fs.dir/fs/extent_tree.cpp.o"
+  "CMakeFiles/rhsd_fs.dir/fs/extent_tree.cpp.o.d"
+  "CMakeFiles/rhsd_fs.dir/fs/filesystem.cpp.o"
+  "CMakeFiles/rhsd_fs.dir/fs/filesystem.cpp.o.d"
+  "CMakeFiles/rhsd_fs.dir/fs/fsck.cpp.o"
+  "CMakeFiles/rhsd_fs.dir/fs/fsck.cpp.o.d"
+  "CMakeFiles/rhsd_fs.dir/fs/indirect.cpp.o"
+  "CMakeFiles/rhsd_fs.dir/fs/indirect.cpp.o.d"
+  "librhsd_fs.a"
+  "librhsd_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhsd_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

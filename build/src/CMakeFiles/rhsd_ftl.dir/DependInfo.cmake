@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ftl/ftl.cpp" "src/CMakeFiles/rhsd_ftl.dir/ftl/ftl.cpp.o" "gcc" "src/CMakeFiles/rhsd_ftl.dir/ftl/ftl.cpp.o.d"
+  "/root/repo/src/ftl/l2p_layout.cpp" "src/CMakeFiles/rhsd_ftl.dir/ftl/l2p_layout.cpp.o" "gcc" "src/CMakeFiles/rhsd_ftl.dir/ftl/l2p_layout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rhsd_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rhsd_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rhsd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhsd_ftl.dir/ftl/ftl.cpp.o"
+  "CMakeFiles/rhsd_ftl.dir/ftl/ftl.cpp.o.d"
+  "CMakeFiles/rhsd_ftl.dir/ftl/l2p_layout.cpp.o"
+  "CMakeFiles/rhsd_ftl.dir/ftl/l2p_layout.cpp.o.d"
+  "librhsd_ftl.a"
+  "librhsd_ftl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhsd_ftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhsd_mitigations.dir/mitigations/study.cpp.o"
+  "CMakeFiles/rhsd_mitigations.dir/mitigations/study.cpp.o.d"
+  "librhsd_mitigations.a"
+  "librhsd_mitigations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhsd_mitigations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhsd_nand.dir/nand/nand_device.cpp.o"
+  "CMakeFiles/rhsd_nand.dir/nand/nand_device.cpp.o.d"
+  "librhsd_nand.a"
+  "librhsd_nand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhsd_nand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

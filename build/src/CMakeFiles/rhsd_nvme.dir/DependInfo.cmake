@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nvme/iops_model.cpp" "src/CMakeFiles/rhsd_nvme.dir/nvme/iops_model.cpp.o" "gcc" "src/CMakeFiles/rhsd_nvme.dir/nvme/iops_model.cpp.o.d"
+  "/root/repo/src/nvme/nvme_controller.cpp" "src/CMakeFiles/rhsd_nvme.dir/nvme/nvme_controller.cpp.o" "gcc" "src/CMakeFiles/rhsd_nvme.dir/nvme/nvme_controller.cpp.o.d"
+  "/root/repo/src/nvme/queue_pair.cpp" "src/CMakeFiles/rhsd_nvme.dir/nvme/queue_pair.cpp.o" "gcc" "src/CMakeFiles/rhsd_nvme.dir/nvme/queue_pair.cpp.o.d"
+  "/root/repo/src/nvme/rate_limiter.cpp" "src/CMakeFiles/rhsd_nvme.dir/nvme/rate_limiter.cpp.o" "gcc" "src/CMakeFiles/rhsd_nvme.dir/nvme/rate_limiter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rhsd_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rhsd_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rhsd_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rhsd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhsd_nvme.dir/nvme/iops_model.cpp.o"
+  "CMakeFiles/rhsd_nvme.dir/nvme/iops_model.cpp.o.d"
+  "CMakeFiles/rhsd_nvme.dir/nvme/nvme_controller.cpp.o"
+  "CMakeFiles/rhsd_nvme.dir/nvme/nvme_controller.cpp.o.d"
+  "CMakeFiles/rhsd_nvme.dir/nvme/queue_pair.cpp.o"
+  "CMakeFiles/rhsd_nvme.dir/nvme/queue_pair.cpp.o.d"
+  "CMakeFiles/rhsd_nvme.dir/nvme/rate_limiter.cpp.o"
+  "CMakeFiles/rhsd_nvme.dir/nvme/rate_limiter.cpp.o.d"
+  "librhsd_nvme.a"
+  "librhsd_nvme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhsd_nvme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

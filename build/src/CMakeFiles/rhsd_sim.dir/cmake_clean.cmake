@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhsd_sim.dir/sim/workload.cpp.o"
+  "CMakeFiles/rhsd_sim.dir/sim/workload.cpp.o.d"
+  "librhsd_sim.a"
+  "librhsd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhsd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhsd_ssd.dir/ssd/ssd_device.cpp.o"
+  "CMakeFiles/rhsd_ssd.dir/ssd/ssd_device.cpp.o.d"
+  "librhsd_ssd.a"
+  "librhsd_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhsd_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/address_mapper_test.dir/address_mapper_test.cpp.o"
+  "CMakeFiles/address_mapper_test.dir/address_mapper_test.cpp.o.d"
+  "address_mapper_test"
+  "address_mapper_test.pdb"
+  "address_mapper_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/address_mapper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

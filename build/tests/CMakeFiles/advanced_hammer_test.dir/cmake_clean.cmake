@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advanced_hammer_test.dir/advanced_hammer_test.cpp.o"
+  "CMakeFiles/advanced_hammer_test.dir/advanced_hammer_test.cpp.o.d"
+  "advanced_hammer_test"
+  "advanced_hammer_test.pdb"
+  "advanced_hammer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advanced_hammer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/attack_test.cpp" "tests/CMakeFiles/attack_test.dir/attack_test.cpp.o" "gcc" "tests/CMakeFiles/attack_test.dir/attack_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rhsd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rhsd_mitigations.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rhsd_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rhsd_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rhsd_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rhsd_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rhsd_nvme.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rhsd_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rhsd_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rhsd_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rhsd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

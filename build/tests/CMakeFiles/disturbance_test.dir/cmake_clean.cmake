@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disturbance_test.dir/disturbance_test.cpp.o"
+  "CMakeFiles/disturbance_test.dir/disturbance_test.cpp.o.d"
+  "disturbance_test"
+  "disturbance_test.pdb"
+  "disturbance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disturbance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dram_geometry_test.dir/dram_geometry_test.cpp.o"
+  "CMakeFiles/dram_geometry_test.dir/dram_geometry_test.cpp.o.d"
+  "dram_geometry_test"
+  "dram_geometry_test.pdb"
+  "dram_geometry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dram_geometry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l2p_layout_test.dir/l2p_layout_test.cpp.o"
+  "CMakeFiles/l2p_layout_test.dir/l2p_layout_test.cpp.o.d"
+  "l2p_layout_test"
+  "l2p_layout_test.pdb"
+  "l2p_layout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l2p_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nand_reliability_test.dir/nand_reliability_test.cpp.o"
+  "CMakeFiles/nand_reliability_test.dir/nand_reliability_test.cpp.o.d"
+  "nand_reliability_test"
+  "nand_reliability_test.pdb"
+  "nand_reliability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nand_reliability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polyglot_test.dir/polyglot_test.cpp.o"
+  "CMakeFiles/polyglot_test.dir/polyglot_test.cpp.o.d"
+  "polyglot_test"
+  "polyglot_test.pdb"
+  "polyglot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polyglot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queue_pair_test.dir/queue_pair_test.cpp.o"
+  "CMakeFiles/queue_pair_test.dir/queue_pair_test.cpp.o.d"
+  "queue_pair_test"
+  "queue_pair_test.pdb"
+  "queue_pair_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_pair_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/row_buffer_test.dir/row_buffer_test.cpp.o"
+  "CMakeFiles/row_buffer_test.dir/row_buffer_test.cpp.o.d"
+  "row_buffer_test"
+  "row_buffer_test.pdb"
+  "row_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/row_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/dram_geometry_test[1]_include.cmake")
+include("/root/repo/build/tests/address_mapper_test[1]_include.cmake")
+include("/root/repo/build/tests/disturbance_test[1]_include.cmake")
+include("/root/repo/build/tests/ecc_test[1]_include.cmake")
+include("/root/repo/build/tests/trr_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_test[1]_include.cmake")
+include("/root/repo/build/tests/dram_device_test[1]_include.cmake")
+include("/root/repo/build/tests/row_buffer_test[1]_include.cmake")
+include("/root/repo/build/tests/nand_test[1]_include.cmake")
+include("/root/repo/build/tests/nand_reliability_test[1]_include.cmake")
+include("/root/repo/build/tests/l2p_layout_test[1]_include.cmake")
+include("/root/repo/build/tests/ftl_test[1]_include.cmake")
+include("/root/repo/build/tests/nvme_test[1]_include.cmake")
+include("/root/repo/build/tests/queue_pair_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_coverage_test[1]_include.cmake")
+include("/root/repo/build/tests/ssd_test[1]_include.cmake")
+include("/root/repo/build/tests/fs_test[1]_include.cmake")
+include("/root/repo/build/tests/fs_property_test[1]_include.cmake")
+include("/root/repo/build/tests/property_sweeps_test[1]_include.cmake")
+include("/root/repo/build/tests/cloud_test[1]_include.cmake")
+include("/root/repo/build/tests/attack_test[1]_include.cmake")
+include("/root/repo/build/tests/end_to_end_test[1]_include.cmake")
+include("/root/repo/build/tests/mitigation_test[1]_include.cmake")
+include("/root/repo/build/tests/advanced_hammer_test[1]_include.cmake")
+include("/root/repo/build/tests/polyglot_test[1]_include.cmake")
