@@ -1,8 +1,15 @@
 # Bench binaries land directly in build/bench/ (and nothing else does),
 # so `for b in build/bench/*; do $b; done` runs the whole suite.
+
+# Host-performance JSON reporting shared by the benches (BENCH_hotpath.json).
+add_library(rhsd_bench_report STATIC
+  ${CMAKE_CURRENT_SOURCE_DIR}/bench/bench_report.cpp)
+target_include_directories(rhsd_bench_report PUBLIC
+  ${CMAKE_CURRENT_SOURCE_DIR}/bench)
+
 function(rhsd_bench name)
   add_executable(${name} ${CMAKE_CURRENT_SOURCE_DIR}/bench/${name}.cpp)
-  target_link_libraries(${name} PRIVATE rhsd)
+  target_link_libraries(${name} PRIVATE rhsd rhsd_bench_report)
   set_target_properties(${name} PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 endfunction()

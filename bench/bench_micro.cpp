@@ -5,8 +5,10 @@
 // which report *simulated-device* behaviour.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <memory>
 
+#include "bench_report.hpp"
 #include "common/crc32c.hpp"
 #include "common/rng.hpp"
 #include "dram/dram_device.hpp"
@@ -86,6 +88,45 @@ void BM_DramHammerActivation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DramHammerActivation);
+
+/// Device used by the scalar-vs-batched hammer comparison: every row
+/// vulnerable (worst case for the early-out logic) but with testbed-level
+/// thresholds, i.e. the common regime where aggressors are hammered hard
+/// without crossing a threshold on every window.
+std::unique_ptr<DramDevice> MakeHammerDevice(SimClock& clock) {
+  DramConfig config;
+  config.geometry = DramGeometry{.channels = 1,
+                                 .dimms_per_channel = 1,
+                                 .ranks_per_dimm = 1,
+                                 .banks_per_rank = 2,
+                                 .rows_per_bank = 256,
+                                 .row_bytes = 1024};
+  config.profile = DramProfile::Testbed();
+  config.profile.vulnerable_row_fraction = 1.0;
+  config.seed = 99;
+  return std::make_unique<DramDevice>(config, MakeLinearMapper(config.geometry),
+                                      clock);
+}
+
+void BM_HammerPairScalar(benchmark::State& state) {
+  SimClock clock;
+  auto dram = MakeHammerDevice(clock);
+  for (auto _ : state) {
+    dram->hammer_pair_scalar(9, 11, 64);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 128);
+}
+BENCHMARK(BM_HammerPairScalar);
+
+void BM_HammerPairBatched(benchmark::State& state) {
+  SimClock clock;
+  auto dram = MakeHammerDevice(clock);
+  for (auto _ : state) {
+    dram->hammer_pair(9, 11, 64);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 128);
+}
+BENCHMARK(BM_HammerPairBatched);
 
 void BM_XorMapperDecode(benchmark::State& state) {
   const DramGeometry g = DramGeometry::PaperTestbed();
@@ -181,7 +222,76 @@ void BM_SsdNvmeReadCommand(benchmark::State& state) {
 }
 BENCHMARK(BM_SsdNvmeReadCommand);
 
+/// Chrono-timed scalar-vs-batched comparison feeding BENCH_hotpath.json:
+/// the acceptance metric for the batched fast path.  Uses fresh devices
+/// so both sides pay the same cold-cache costs.
+void ReportHammerHotPath() {
+  constexpr std::uint64_t kBatches = 2000;
+  constexpr std::uint64_t kPairs = 64;  // per batch
+
+  double scalar_s = 0;
+  {
+    SimClock clock;
+    auto dram = MakeHammerDevice(clock);
+    const double t0 = bench::HostSeconds();
+    for (std::uint64_t i = 0; i < kBatches; ++i) {
+      dram->hammer_pair_scalar(9, 11, kPairs);
+    }
+    scalar_s = bench::HostSeconds() - t0;
+  }
+
+  double batched_s = 0;
+  std::uint64_t activations = 0;
+  {
+    SimClock clock;
+    auto dram = MakeHammerDevice(clock);
+    const double t0 = bench::HostSeconds();
+    for (std::uint64_t i = 0; i < kBatches; ++i) {
+      dram->hammer_pair(9, 11, kPairs);
+    }
+    batched_s = bench::HostSeconds() - t0;
+    activations = dram->stats().activations;
+  }
+
+  double ftl_read_ns = 0;
+  {
+    // The attack's amplified hot path end to end: unmapped FTL reads
+    // with hammers_per_io = 5 now ride the batched repeat_read.
+    FtlFixtureState fixture;
+    std::vector<std::uint8_t> out(kBlockSize);
+    constexpr std::uint64_t kReads = 20000;
+    const double t0 = bench::HostSeconds();
+    for (std::uint64_t i = 0; i < kReads; ++i) {
+      benchmark::DoNotOptimize(fixture.ftl->read(Lba(2048), out));
+    }
+    ftl_read_ns = (bench::HostSeconds() - t0) / kReads * 1e9;
+  }
+
+  const double scalar_ns = scalar_s / (kBatches * kPairs) * 1e9;
+  const double batched_ns = batched_s / (kBatches * kPairs) * 1e9;
+  bench::BenchReport report;
+  report.set("hammer_scalar_ns_per_pair", scalar_ns);
+  report.set("hammer_batched_ns_per_pair", batched_ns);
+  report.set("hammer_batched_speedup", scalar_ns / batched_ns);
+  report.set("hammer_batched_activations_per_s",
+             static_cast<double>(activations) / batched_s);
+  report.set("ftl_unmapped_read_ns_per_io", ftl_read_ns);
+  report.write();
+  std::printf(
+      "\nhot path: scalar %.1f ns/pair, batched %.1f ns/pair "
+      "(%.1fx), %.0f activations/s -> BENCH_hotpath.json\n",
+      scalar_ns, batched_ns, scalar_ns / batched_ns,
+      static_cast<double>(activations) / batched_s);
+}
+
 }  // namespace
 }  // namespace rhsd
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  rhsd::ReportHammerHotPath();
+  return 0;
+}

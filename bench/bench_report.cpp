@@ -1,0 +1,93 @@
+#include "bench_report.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace rhsd::bench {
+namespace {
+
+/// Parse the flat `{"key": number, ...}` files write() produces.  Not a
+/// general JSON parser — just enough to round-trip our own output (and
+/// to ignore anything it does not understand).
+std::vector<std::pair<std::string, double>> ParseFlat(
+    const std::string& text) {
+  std::vector<std::pair<std::string, double>> out;
+  std::size_t pos = 0;
+  while ((pos = text.find('"', pos)) != std::string::npos) {
+    const std::size_t key_end = text.find('"', pos + 1);
+    if (key_end == std::string::npos) break;
+    const std::string key = text.substr(pos + 1, key_end - pos - 1);
+    std::size_t colon = text.find(':', key_end);
+    if (colon == std::string::npos) break;
+    char* end = nullptr;
+    const double value = std::strtod(text.c_str() + colon + 1, &end);
+    if (end != text.c_str() + colon + 1) out.emplace_back(key, value);
+    pos = key_end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+BenchReport::BenchReport(std::string path) : path_(std::move(path)) {}
+
+void BenchReport::set(const std::string& key, double value) {
+  for (auto& [k, v] : entries_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  entries_.emplace_back(key, value);
+}
+
+void BenchReport::write() const {
+  // Merge: existing keys keep their order and are overwritten in place;
+  // new keys append.  Lets every bench in the suite contribute to the
+  // same file without clobbering the others.
+  std::vector<std::pair<std::string, double>> merged;
+  {
+    std::ifstream in(path_);
+    if (in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      merged = ParseFlat(ss.str());
+    }
+  }
+  for (const auto& [key, value] : entries_) {
+    bool found = false;
+    for (auto& [k, v] : merged) {
+      if (k == key) {
+        v = value;
+        found = true;
+        break;
+      }
+    }
+    if (!found) merged.emplace_back(key, value);
+  }
+
+  std::ofstream out(path_, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "bench_report: cannot write %s\n", path_.c_str());
+    return;
+  }
+  out << "{\n";
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.10g", merged[i].second);
+    out << "  \"" << merged[i].first << "\": " << buf
+        << (i + 1 < merged.size() ? ",\n" : "\n");
+  }
+  out << "}\n";
+}
+
+double HostSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace rhsd::bench

@@ -1,0 +1,37 @@
+// Perf-trajectory output for the benches.
+//
+// Benches that measure *host* performance (ns per simulated I/O,
+// activations/s, trials/s, thread scaling) record their numbers here;
+// write() merges them into one flat JSON file (default
+// BENCH_hotpath.json in the current directory) so successive runs and
+// successive benches accumulate into a single machine-readable record.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rhsd::bench {
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string path = "BENCH_hotpath.json");
+
+  /// Set (or overwrite) one metric.  Keys should be snake_case and
+  /// self-describing, e.g. "hammer_batched_ns_per_io".
+  void set(const std::string& key, double value);
+
+  /// Merge with whatever is already in the file and rewrite it.
+  /// Existing keys not set in this run are preserved.
+  void write() const;
+
+ private:
+  std::string path_;
+  std::vector<std::pair<std::string, double>> entries_;
+};
+
+/// Monotonic host-time stamp in seconds (std::chrono::steady_clock).
+[[nodiscard]] double HostSeconds();
+
+}  // namespace rhsd::bench

@@ -4,24 +4,36 @@
 // its worked example (~7% per cycle, >50% after 10 cycles), validates
 // the closed form against a Monte-Carlo simulation of flip placement,
 // and sweeps the spray parameters.
+//
+// The Monte Carlo runs on the parallel experiment engine: trials are
+// seeded per-index, so the estimates are identical for any thread
+// count (set RHSD_THREADS to override the default).
 #include <cstdio>
 
 #include "attack/probability_model.hpp"
+#include "bench_report.hpp"
+#include "exec/experiment_engine.hpp"
+#include "exec/thread_pool.hpp"
 
 using namespace rhsd;
 
 int main() {
   std::printf("== §4.3: probability of a useful bitflip ==\n\n");
 
+  exec::ThreadPool pool;
+
   // The worked example: equal partitions, attacker fills 25% of the
   // victim partition and 100% of its own.
   const AttackParameters example = AttackParameters::PaperExample();
   const double p = SingleCycleSuccess(example);
-  Rng rng(20210727);
-  const double mc = SimulateSingleCycle(example, rng, 4'000'000);
+  constexpr std::uint64_t kTrials = 4'000'000;
+  const double t0 = bench::HostSeconds();
+  const double mc = SimulateSingleCycleParallel(example, 20210727, kTrials, pool);
+  const double mc_s = bench::HostSeconds() - t0;
   std::printf("paper example (C_a = C_v = PB/2, F_v = C_v/4, F_a = C_a):\n");
   std::printf("  closed form : %.4f   (paper: ~0.07)\n", p);
-  std::printf("  monte carlo : %.4f   (4M trials)\n\n", mc);
+  std::printf("  monte carlo : %.4f   (4M trials, %zu threads, %.1fM trials/s)\n\n",
+              mc, pool.size(), kTrials / mc_s / 1e6);
 
   std::printf("cumulative success over attack cycles (1-(1-p)^n):\n");
   std::printf("  %-8s", "cycles");
@@ -42,8 +54,8 @@ int main() {
     AttackParameters sweep = AttackParameters::PaperExample();
     sweep.victim_spray = sweep.victim_blocks * fv_fraction;
     const double cf = SingleCycleSuccess(sweep);
-    Rng sweep_rng(static_cast<std::uint64_t>(fv_fraction * 1e6));
-    const double sim = SimulateSingleCycle(sweep, sweep_rng, 1'000'000);
+    const double sim = SimulateSingleCycleParallel(
+        sweep, static_cast<std::uint64_t>(fv_fraction * 1e6), 1'000'000, pool);
     int cycles_to_half = 0;
     while (CumulativeSuccess(cf, cycles_to_half) < 0.5 &&
            cycles_to_half < 1000) {
@@ -64,5 +76,10 @@ int main() {
   std::printf(
       "\nshape check: ~7%% per cycle at the paper's parameters, >50%%\n"
       "within 10 cycles; success scales with both spray terms.\n");
+
+  bench::BenchReport report;
+  report.set("sec43_monte_carlo_trials_per_s", kTrials / mc_s);
+  report.set("sec43_threads", static_cast<double>(pool.size()));
+  report.write();
   return 0;
 }

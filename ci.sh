@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 build + tests, then a ThreadSanitizer smoke of
+# the parallel experiment engine (tests/exec_smoke.cpp) built with
+# -DRHSD_SANITIZE=thread.
+#
+# Usage: ./ci.sh [jobs]
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="${1:-$(nproc)}"
+
+echo "== tier-1: build + ctest =="
+cmake -B build -S .
+cmake --build build -j "${JOBS}"
+(cd build && ctest --output-on-failure -j "${JOBS}")
+
+echo "== tsan smoke: experiment engine under -fsanitize=thread =="
+cmake -B build-tsan -S . -DRHSD_SANITIZE=thread
+cmake --build build-tsan -j "${JOBS}" --target exec_smoke
+./build-tsan/tests/exec_smoke
+
+echo "== ci.sh: all green =="

@@ -1,6 +1,8 @@
 #include "attack/probability_model.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/check.hpp"
 
@@ -51,6 +53,46 @@ double SimulateSingleCycle(const AttackParameters& p, Rng& rng,
     if (hit_indirect && hit_malicious) ++successes;
   }
   return static_cast<double>(successes) / static_cast<double>(trials);
+}
+
+double SimulateSingleCycleParallel(const AttackParameters& p,
+                                   std::uint64_t base_seed,
+                                   std::uint64_t trials,
+                                   exec::ThreadPool& pool) {
+  RHSD_CHECK(trials > 0);
+  // Fixed chunk size, independent of the pool's thread count: the chunk
+  // decomposition (and therefore every chunk's RNG stream) is a pure
+  // function of `trials`, so the estimate is reproducible on any host.
+  constexpr std::uint64_t kChunk = 1ull << 16;
+  const std::uint64_t chunks = (trials + kChunk - 1) / kChunk;
+  const std::vector<std::uint64_t> successes = exec::RunTrials(
+      pool, chunks, base_seed,
+      [&](std::uint64_t chunk, std::uint64_t seed) -> std::uint64_t {
+        const std::uint64_t begin = chunk * kChunk;
+        const std::uint64_t count = std::min(kChunk, trials - begin);
+        Rng rng(seed);
+        std::uint64_t hits = 0;
+        const auto victim_blocks =
+            static_cast<std::uint64_t>(p.victim_blocks);
+        const auto physical_blocks =
+            static_cast<std::uint64_t>(p.physical_blocks);
+        const auto sprayed_indirect =
+            static_cast<std::uint64_t>(p.victim_spray / 2.0);
+        const auto malicious_blocks = static_cast<std::uint64_t>(
+            p.victim_spray / 2.0 + p.attacker_spray);
+        for (std::uint64_t t = 0; t < count; ++t) {
+          const bool hit_indirect =
+              rng.next_below(victim_blocks) < sprayed_indirect;
+          const bool hit_malicious =
+              rng.next_below(physical_blocks) < malicious_blocks;
+          if (hit_indirect && hit_malicious) ++hits;
+        }
+        return hits;
+      });
+  const std::uint64_t total = exec::Reduce(
+      successes, std::uint64_t{0},
+      [](std::uint64_t acc, std::uint64_t s) { return acc + s; });
+  return static_cast<double>(total) / static_cast<double>(trials);
 }
 
 }  // namespace rhsd

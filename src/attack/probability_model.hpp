@@ -16,6 +16,7 @@
 #include <cstdint>
 
 #include "common/rng.hpp"
+#include "exec/experiment_engine.hpp"
 
 namespace rhsd {
 
@@ -44,5 +45,14 @@ struct AttackParameters {
 /// target uniformly over physical blocks.
 [[nodiscard]] double SimulateSingleCycle(const AttackParameters& p,
                                          Rng& rng, std::uint64_t trials);
+
+/// Parallel Monte-Carlo estimate over the experiment engine: `trials`
+/// samples split into fixed-size chunks, chunk i seeded with
+/// exec::TrialSeed(base_seed, i).  The estimate depends only on
+/// (p, base_seed, trials) — never on the pool's thread count.
+[[nodiscard]] double SimulateSingleCycleParallel(const AttackParameters& p,
+                                                 std::uint64_t base_seed,
+                                                 std::uint64_t trials,
+                                                 exec::ThreadPool& pool);
 
 }  // namespace rhsd

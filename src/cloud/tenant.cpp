@@ -16,6 +16,12 @@ Status Tenant::read_blocks(std::uint64_t slba,
   return controller_.read(config_.nsid, slba, out);
 }
 
+Status Tenant::read_pattern(std::span<const std::uint64_t> slbas,
+                            std::span<std::uint8_t> out) {
+  RHSD_RETURN_IF_ERROR(require_direct());
+  return controller_.read_pattern(config_.nsid, slbas, out);
+}
+
 Status Tenant::write_blocks(std::uint64_t slba,
                             std::span<const std::uint8_t> data) {
   RHSD_RETURN_IF_ERROR(require_direct());

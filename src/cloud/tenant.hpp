@@ -41,6 +41,9 @@ class Tenant {
 
   /// Raw block I/O within this tenant's partition.
   Status read_blocks(std::uint64_t slba, std::span<std::uint8_t> out);
+  /// One single-block read per LBA in `slbas`, batched (hammer loop).
+  Status read_pattern(std::span<const std::uint64_t> slbas,
+                      std::span<std::uint8_t> out);
   Status write_blocks(std::uint64_t slba,
                       std::span<const std::uint8_t> data);
   Status trim_blocks(std::uint64_t slba, std::uint64_t nblocks);

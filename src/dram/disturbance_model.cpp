@@ -2,21 +2,58 @@
 
 #include <algorithm>
 
+#include "common/check.hpp"
+
 namespace rhsd {
+namespace {
+
+/// Eagerly probing every row costs one RNG construction + one draw per
+/// row; fine for test/demo geometries, too slow to pay up front for the
+/// paper's 2M-row testbed (which is then filled lazily on first touch).
+constexpr std::uint64_t kEagerProbeLimit = 1ull << 18;
+
+}  // namespace
 
 DisturbanceModel::DisturbanceModel(DramProfile profile, std::uint64_t seed,
-                                   std::uint32_t row_bytes)
-    : profile_(std::move(profile)), seed_(seed), row_bytes_(row_bytes) {
+                                   std::uint32_t row_bytes,
+                                   std::uint64_t total_rows)
+    : profile_(std::move(profile)),
+      seed_(seed),
+      row_bytes_(row_bytes),
+      total_rows_(total_rows),
+      flags_(total_rows, 0),
+      min_threshold_(total_rows, std::numeric_limits<double>::infinity()) {
   RHSD_CHECK(row_bytes_ > 0);
+  RHSD_CHECK(total_rows_ > 0);
+  if (total_rows_ <= kEagerProbeLimit) {
+    for (std::uint64_t row = 0; row < total_rows_; ++row) probe(row);
+  }
+}
+
+bool DisturbanceModel::probe(std::uint64_t global_row) {
+  RHSD_CHECK(global_row < total_rows_);
+  // Same RNG stream as generate(): the vulnerability verdict is its
+  // first draw, so probing and generating can never disagree.
+  Rng rng(Mix64(seed_ ^ Mix64(global_row * 0x9E3779B97F4A7C15ull)));
+  const bool vulnerable = rng.next_bool(profile_.vulnerable_row_fraction);
+  flags_[global_row] |= kProbed | (vulnerable ? kVulnerable : 0);
+  return vulnerable;
 }
 
 const std::vector<VulnCell>& DisturbanceModel::cells(
     std::uint64_t global_row) {
-  auto it = cache_.find(global_row);
-  if (it == cache_.end()) {
-    it = cache_.emplace(global_row, generate(global_row)).first;
+  RHSD_CHECK(global_row < total_rows_);
+  std::uint8_t& f = flags_[global_row];
+  if (!(f & kProbed)) probe(global_row);
+  if (!(f & kVulnerable)) return no_cells_;
+  if (!(f & kGenerated)) {
+    std::vector<VulnCell> generated = generate(global_row);
+    RHSD_CHECK(!generated.empty());
+    min_threshold_[global_row] = generated.front().threshold;
+    f |= kGenerated;
+    return cells_.emplace(global_row, std::move(generated)).first->second;
   }
-  return it->second;
+  return cells_.at(global_row);
 }
 
 std::vector<VulnCell> DisturbanceModel::generate(

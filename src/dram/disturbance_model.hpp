@@ -15,9 +15,16 @@
 //  * directional failure — a cell discharges toward its failure value
 //    and stays there until the row is rewritten (refresh perpetuates the
 //    already-lost value; it does not restore it).
+//
+// Hot-path layout: vulnerability metadata lives in flat per-row arrays
+// (a vulnerable-row bitmap and a min-threshold cache) so the activation
+// path can reject invulnerable victims with one byte load and reject
+// under-threshold exposures with one double compare — the full cell
+// list is only materialized for vulnerable rows that get checked.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <unordered_map>
 #include <vector>
 
@@ -36,8 +43,12 @@ struct VulnCell {
 
 class DisturbanceModel {
  public:
+  /// `total_rows` bounds the flat per-row caches (global row ids are in
+  /// [0, total_rows)).  Small devices get their vulnerability bitmap
+  /// precomputed eagerly at construction; very large ones fill it
+  /// lazily on first touch — either way the cell draws are identical.
   DisturbanceModel(DramProfile profile, std::uint64_t seed,
-                   std::uint32_t row_bytes);
+                   std::uint32_t row_bytes, std::uint64_t total_rows);
 
   [[nodiscard]] const DramProfile& profile() const { return profile_; }
 
@@ -45,9 +56,22 @@ class DisturbanceModel {
   /// ascending threshold. Deterministic in (seed, global_row).
   [[nodiscard]] const std::vector<VulnCell>& cells(std::uint64_t global_row);
 
-  /// True if the row has at least one vulnerable cell.
+  /// True if the row has at least one vulnerable cell.  Flat bitmap
+  /// lookup; does not materialize the cell list.
   [[nodiscard]] bool row_is_vulnerable(std::uint64_t global_row) {
-    return !cells(global_row).empty();
+    const std::uint8_t f = flags_[global_row];
+    if (f & kProbed) return (f & kVulnerable) != 0;
+    return probe(global_row);
+  }
+
+  /// Lowest cell threshold of a row (+inf for invulnerable rows): the
+  /// activation path's early-out bound.  Materializes the cell list on
+  /// first use for a vulnerable row, then costs one array load.
+  [[nodiscard]] double min_threshold(std::uint64_t global_row) {
+    const std::uint8_t f = flags_[global_row];
+    if (f & kGenerated) return min_threshold_[global_row];
+    static_cast<void>(cells(global_row));
+    return min_threshold_[global_row];
   }
 
   /// Effective hammer exposure from per-window aggressor activation
@@ -60,13 +84,29 @@ class DisturbanceModel {
     return profile_.base_threshold_acts();
   }
 
+  [[nodiscard]] std::uint64_t total_rows() const { return total_rows_; }
+
  private:
+  // flags_ bits.
+  static constexpr std::uint8_t kProbed = 1;      // vulnerability known
+  static constexpr std::uint8_t kVulnerable = 2;  // has >= 1 weak cell
+  static constexpr std::uint8_t kGenerated = 4;   // cell list + min cached
+
+  /// First draw of generate(): decides vulnerability without the cell
+  /// draws.  Returns the bit it cached.
+  bool probe(std::uint64_t global_row);
+
   std::vector<VulnCell> generate(std::uint64_t global_row) const;
 
   DramProfile profile_;
   std::uint64_t seed_;
   std::uint32_t row_bytes_;
-  std::unordered_map<std::uint64_t, std::vector<VulnCell>> cache_;
+  std::uint64_t total_rows_;
+  std::vector<std::uint8_t> flags_;
+  std::vector<double> min_threshold_;
+  /// Full cell lists, vulnerable rows only (typically a small fraction).
+  std::unordered_map<std::uint64_t, std::vector<VulnCell>> cells_;
+  const std::vector<VulnCell> no_cells_;
 };
 
 }  // namespace rhsd

@@ -1,5 +1,6 @@
 #include "dram/dram_device.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "dram/ecc.hpp"
@@ -24,7 +25,8 @@ DramDevice::DramDevice(DramConfig config,
     : config_(std::move(config)),
       mapper_(std::move(mapper)),
       clock_(clock),
-      disturbance_(config_.profile, config_.seed, config_.geometry.row_bytes) {
+      disturbance_(config_.profile, config_.seed, config_.geometry.row_bytes,
+                   config_.geometry.total_rows()) {
   RHSD_CHECK(mapper_ != nullptr);
   RHSD_CHECK_MSG(mapper_->geometry().total_bytes() ==
                      config_.geometry.total_bytes(),
@@ -50,40 +52,51 @@ DramDevice::DramDevice(DramConfig config,
   if (config_.row_buffer_policy == RowBufferPolicy::kOpenPage) {
     open_rows_.assign(config_.geometry.total_banks(), ~0ull);
   }
+  const std::uint64_t total_rows = config_.geometry.total_rows();
+  row_window_.assign(total_rows, ~0ull);
+  row_acts_.assign(total_rows, 0);
+  row_data_.resize(total_rows);
+  neighbor_refresh_active_ = config_.mitigations.trr ||
+                             config_.mitigations.para_probability > 0.0;
 }
 
-DramDevice::RowState& DramDevice::state(std::uint64_t global_row) {
-  // unordered_map guarantees reference stability across inserts, which
-  // the activation path relies on (it holds one row's state while
-  // touching neighbors).
-  return rows_[global_row];
-}
-
-void DramDevice::roll_window(RowState& st) const {
+void DramDevice::roll_window(std::uint64_t global_row) {
   const std::uint64_t w = current_window();
-  if (st.window != w) {
-    st.window = w;
-    st.acts = 0;
-    st.base_left = 0;
-    st.base_right = 0;
-    st.base_left2 = 0;
-    st.base_right2 = 0;
+  if (row_window_[global_row] != w) {
+    row_window_[global_row] = w;
+    row_acts_[global_row] = 0;
   }
 }
 
-void DramDevice::materialize(RowState& st) {
-  if (!st.data.empty()) return;
-  st.data.assign(config_.geometry.row_bytes, 0);
-  if (config_.mitigations.ecc) {
-    // SecdedEncode(0) == 0, so zero-filled check bytes are consistent.
-    st.ecc.assign(config_.geometry.row_bytes / 8, 0);
+DramDevice::RowData& DramDevice::materialize(std::uint64_t global_row) {
+  std::unique_ptr<RowData>& p = row_data_[global_row];
+  if (!p) {
+    p = std::make_unique<RowData>();
+    p->data.assign(config_.geometry.row_bytes, 0);
+    if (config_.mitigations.ecc) {
+      // SecdedEncode(0) == 0, so zero-filled check bytes are consistent.
+      p->ecc.assign(config_.geometry.row_bytes / 8, 0);
+    }
   }
+  return *p;
+}
+
+DramDevice::RefreshBases DramDevice::bases_of(
+    std::uint64_t global_row) const {
+  // Baselines are only ever written by targeted refreshes, which only
+  // TRR and PARA issue; with neither enabled every row's baselines are
+  // identically zero and the lookup is skipped.
+  if (!neighbor_refresh_active_) return RefreshBases{};
+  const auto it = refresh_bases_.find(global_row);
+  if (it == refresh_bases_.end() || it->second.window != current_window()) {
+    return RefreshBases{};  // stale entries read as zeros (window rolled)
+  }
+  return it->second;
 }
 
 std::uint64_t DramDevice::acts_now(std::uint64_t global_row) {
-  RowState& st = state(global_row);
-  roll_window(st);
-  return st.acts;
+  roll_window(global_row);
+  return row_acts_[global_row];
 }
 
 std::optional<std::uint64_t> DramDevice::neighbor(std::uint64_t global_row,
@@ -112,9 +125,8 @@ void DramDevice::activate(std::uint64_t global_row) {
     open_rows_[bank] = global_row;
   }
   ++stats_.activations;
-  RowState& st = state(global_row);
-  roll_window(st);
-  ++st.acts;
+  roll_window(global_row);
+  ++row_acts_[global_row];
 
   if (trr_.has_value()) {
     const std::uint64_t w = current_window();
@@ -159,37 +171,33 @@ void DramDevice::target_refresh_neighbors(
       auto victim =
           neighbor(aggressor_global_row, sign * static_cast<int>(d));
       if (!victim.has_value()) continue;
-      RowState& sv = state(*victim);
-      roll_window(sv);
       // Refresh recharges the victim's cells: exposure accumulated so
       // far no longer counts, which we express by re-baselining against
       // the neighbors' current per-window activation counts.
-      sv.base_left = 0;
-      sv.base_right = 0;
-      sv.base_left2 = 0;
-      sv.base_right2 = 0;
-      if (auto l = neighbor(*victim, -1)) sv.base_left = acts_now(*l);
-      if (auto r = neighbor(*victim, +1)) sv.base_right = acts_now(*r);
-      if (auto l2 = neighbor(*victim, -2)) sv.base_left2 = acts_now(*l2);
-      if (auto r2 = neighbor(*victim, +2)) {
-        sv.base_right2 = acts_now(*r2);
-      }
+      RefreshBases nb;
+      nb.window = current_window();
+      if (auto l = neighbor(*victim, -1)) nb.left = acts_now(*l);
+      if (auto r = neighbor(*victim, +1)) nb.right = acts_now(*r);
+      if (auto l2 = neighbor(*victim, -2)) nb.left2 = acts_now(*l2);
+      if (auto r2 = neighbor(*victim, +2)) nb.right2 = acts_now(*r2);
+      refresh_bases_[*victim] = nb;
     }
   }
 }
 
 void DramDevice::check_victim(std::uint64_t victim) {
-  const auto& cells = disturbance_.cells(victim);
-  if (cells.empty()) return;
+  // Flat early-outs: one byte load rejects invulnerable rows, one
+  // double compare rejects under-threshold exposures; the cell list is
+  // only materialized past both.
+  if (!disturbance_.row_is_vulnerable(victim)) return;
 
-  RowState& sv = state(victim);
-  roll_window(sv);
+  const RefreshBases bases = bases_of(victim);
   std::uint64_t left_acts = 0;
   std::uint64_t right_acts = 0;
   if (auto l = neighbor(victim, -1)) left_acts = acts_now(*l);
   if (auto r = neighbor(victim, +1)) right_acts = acts_now(*r);
-  left_acts = left_acts > sv.base_left ? left_acts - sv.base_left : 0;
-  right_acts = right_acts > sv.base_right ? right_acts - sv.base_right : 0;
+  left_acts = left_acts > bases.left ? left_acts - bases.left : 0;
+  right_acts = right_acts > bases.right ? right_acts - bases.right : 0;
 
   double exposure =
       disturbance_.effective_hammer(left_acts, right_acts);
@@ -199,16 +207,17 @@ void DramDevice::check_victim(std::uint64_t victim) {
     std::uint64_t right2 = 0;
     if (auto l2 = neighbor(victim, -2)) left2 = acts_now(*l2);
     if (auto r2 = neighbor(victim, +2)) right2 = acts_now(*r2);
-    left2 = left2 > sv.base_left2 ? left2 - sv.base_left2 : 0;
-    right2 = right2 > sv.base_right2 ? right2 - sv.base_right2 : 0;
+    left2 = left2 > bases.left2 ? left2 - bases.left2 : 0;
+    right2 = right2 > bases.right2 ? right2 - bases.right2 : 0;
     exposure += hd_weight * static_cast<double>(left2 + right2);
   }
-  if (exposure < cells.front().threshold) return;  // sorted ascending
+  if (exposure < disturbance_.min_threshold(victim)) return;
 
-  materialize(sv);
+  const auto& cells = disturbance_.cells(victim);
+  RowData& rd = materialize(victim);
   for (const VulnCell& cell : cells) {
-    if (exposure < cell.threshold) break;
-    std::uint8_t& byte = sv.data[cell.byte_offset];
+    if (exposure < cell.threshold) break;  // sorted ascending
+    std::uint8_t& byte = rd.data[cell.byte_offset];
     const std::uint8_t current = (byte >> cell.bit) & 1u;
     if (current == cell.failure_value) continue;  // already decayed
     if (cell.failure_value) {
@@ -227,28 +236,334 @@ void DramDevice::check_victim(std::uint64_t victim) {
   }
 }
 
-Status DramDevice::verify_and_correct_ecc(RowState& st,
+void DramDevice::hammer_pair(std::uint64_t row_a, std::uint64_t row_b,
+                             std::uint64_t pairs) {
+  hammer_events(row_a, row_b, pairs * 2);
+}
+
+void DramDevice::hammer_row(std::uint64_t global_row, std::uint64_t count) {
+  hammer_events(global_row, global_row, count);
+}
+
+void DramDevice::hammer_pair_scalar(std::uint64_t row_a, std::uint64_t row_b,
+                                    std::uint64_t pairs) {
+  for (std::uint64_t i = 0; i < pairs; ++i) {
+    activate(row_a);
+    activate(row_b);
+  }
+}
+
+void DramDevice::hammer_row_scalar(std::uint64_t global_row,
+                                   std::uint64_t count) {
+  for (std::uint64_t i = 0; i < count; ++i) activate(global_row);
+}
+
+void DramDevice::hammer_events(std::uint64_t a, std::uint64_t b,
+                               std::uint64_t events) {
+  RHSD_CHECK(a < config_.geometry.total_rows());
+  RHSD_CHECK(b < config_.geometry.total_rows());
+  if (events == 0) return;
+
+  // TRR trackers and PARA draws consume per-activation state, so they
+  // must observe every activation individually.
+  if (trr_.has_value() || config_.mitigations.para_probability > 0.0) {
+    for (std::uint64_t e = 1; e <= events; ++e) {
+      activate(e % 2 != 0 ? a : b);
+    }
+    return;
+  }
+
+  if (config_.row_buffer_policy == RowBufferPolicy::kOpenPage) {
+    if (a == b) {
+      // One row: at most the first access activates, the rest hit the
+      // row buffer (activate() resolves hit-vs-conflict itself).
+      activate(a);
+      stats_.row_buffer_hits += events - 1;
+      return;
+    }
+    const std::uint64_t bank_a = a / config_.geometry.rows_per_bank;
+    const std::uint64_t bank_b = b / config_.geometry.rows_per_bank;
+    if (bank_a != bank_b) {
+      // Different banks: the rows never evict each other, so only the
+      // first access to each can activate.
+      activate(a);
+      if (events >= 2) activate(b);
+      stats_.row_buffer_hits += events - std::min<std::uint64_t>(events, 2);
+      return;
+    }
+    // Same bank: the alternation forces a conflict on every access —
+    // unless row_a is already open, in which case only the very first
+    // access hits and the remaining sequence starts from row_b.
+    if (open_rows_[bank_a] == a) {
+      ++stats_.row_buffer_hits;
+      if (events > 1) hammer_events_fast(b, a, events - 1);
+      return;
+    }
+  }
+  hammer_events_fast(a, b, events);
+}
+
+void DramDevice::hammer_events_fast(std::uint64_t a, std::uint64_t b,
+                                    std::uint64_t events) {
+  // Activation counts before the batch (rolls the aggressors' windows);
+  // the per-event exposure reconstruction below is relative to these.
+  const std::uint64_t a0_a = acts_now(a);
+  const std::uint64_t a0_b = a == b ? a0_a : acts_now(b);
+
+  stats_.activations += events;
+  row_acts_[a] += a == b ? events : (events + 1) / 2;
+  if (a != b) row_acts_[b] += events / 2;
+  if (config_.row_buffer_policy == RowBufferPolicy::kOpenPage) {
+    // The last access of the batch leaves its row open.
+    open_rows_[a / config_.geometry.rows_per_bank] =
+        (a == b || events % 2 != 0) ? a : b;
+  }
+
+  const int max_dist =
+      disturbance_.profile().half_double_weight > 0.0 ? 2 : 1;
+
+  // Unique victim rows within disturbance distance of either aggressor.
+  std::uint64_t victims[8];
+  int n_victims = 0;
+  const auto add_victim = [&](std::optional<std::uint64_t> v) {
+    if (!v.has_value()) return;
+    for (int i = 0; i < n_victims; ++i) {
+      if (victims[i] == *v) return;
+    }
+    victims[n_victims++] = *v;
+  };
+  for (int d = 1; d <= max_dist; ++d) {
+    add_victim(neighbor(a, -d));
+    add_victim(neighbor(a, +d));
+    if (a != b) {
+      add_victim(neighbor(b, -d));
+      add_victim(neighbor(b, +d));
+    }
+  }
+
+  std::vector<PendingFlip> pending;
+  for (int i = 0; i < n_victims; ++i) {
+    check_victim_batched(victims[i], a, b, events, a0_a, a0_b, pending);
+  }
+  if (pending.empty()) return;
+
+  // Restore scalar emission order: by activation event, then by the
+  // check-slot order within one activation (left, right, left2,
+  // right2).  stable_sort keeps each victim's per-check cell order.
+  std::stable_sort(pending.begin(), pending.end(),
+                   [](const PendingFlip& x, const PendingFlip& y) {
+                     return x.event != y.event ? x.event < y.event
+                                               : x.slot < y.slot;
+                   });
+  stats_.bitflips += pending.size();
+  for (const PendingFlip& p : pending) flip_events_.push_back(p.flip);
+}
+
+void DramDevice::check_victim_batched(std::uint64_t victim, std::uint64_t a,
+                                      std::uint64_t b, std::uint64_t events,
+                                      std::uint64_t a0_a, std::uint64_t a0_b,
+                                      std::vector<PendingFlip>& pending) {
+  const double hd_weight = disturbance_.profile().half_double_weight;
+  const int max_dist = hd_weight > 0.0 ? 2 : 1;
+
+  // Which aggressors check this victim (i.e. the victim is within
+  // disturbance distance, same bank)?  Row a is accessed at odd events,
+  // row b at even events.
+  const auto within_reach = [&](std::uint64_t agg) {
+    for (int d = 1; d <= max_dist; ++d) {
+      if (neighbor(agg, -d) == std::optional<std::uint64_t>(victim) ||
+          neighbor(agg, +d) == std::optional<std::uint64_t>(victim)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  const bool by_a = within_reach(a);
+  const bool by_b = a != b && within_reach(b);
+  const bool every_event = (a == b) || (by_a && by_b);
+
+  // Check events, 1-based within the batch: all events, the odd ones
+  // (a only), or the even ones (b only).
+  std::uint64_t checks;  // number of check events
+  if (every_event) {
+    checks = events;
+  } else if (by_a) {
+    checks = (events + 1) / 2;
+  } else {
+    checks = events / 2;  // by_b only: first check is event 2
+  }
+  if (checks == 0) return;
+  const auto event_of = [&](std::uint64_t k) {  // k-th check event, 1-based
+    if (every_event) return k;
+    return by_a ? 2 * k - 1 : 2 * k;
+  };
+
+  if (!disturbance_.row_is_vulnerable(victim)) return;
+
+  // Neighbor activation counts as a function of the event index e: the
+  // aggressors advance (a at odd e, b at even e), everything else is
+  // frozen for the duration of the batch.
+  struct NeighborCount {
+    std::uint64_t base = 0;
+    int kind = 0;  // 0 = static (or absent), 1 = row a, 2 = row b
+  };
+  const auto classify = [&](std::optional<std::uint64_t> n) {
+    NeighborCount c;
+    if (!n.has_value()) return c;  // bank edge: counts as zero
+    if (*n == a) {
+      c.kind = 1;
+      c.base = a0_a;
+    } else if (a != b && *n == b) {
+      c.kind = 2;
+      c.base = a0_b;
+    } else {
+      c.base = acts_now(*n);
+    }
+    return c;
+  };
+  const NeighborCount nl = classify(neighbor(victim, -1));
+  const NeighborCount nr = classify(neighbor(victim, +1));
+  const NeighborCount nl2 =
+      max_dist == 2 ? classify(neighbor(victim, -2)) : NeighborCount{};
+  const NeighborCount nr2 =
+      max_dist == 2 ? classify(neighbor(victim, +2)) : NeighborCount{};
+  const auto count_at = [&](const NeighborCount& c, std::uint64_t e) {
+    if (c.kind == 1) return c.base + (a == b ? e : (e + 1) / 2);
+    if (c.kind == 2) return c.base + e / 2;
+    return c.base;
+  };
+
+  // Same arithmetic as the scalar check_victim, with e substituted for
+  // "now" — bit-exact, including the uint64 sum in the Half-Double term.
+  const RefreshBases bases = bases_of(victim);
+  const auto exposure_at = [&](std::uint64_t e) {
+    std::uint64_t left = count_at(nl, e);
+    std::uint64_t right = count_at(nr, e);
+    left = left > bases.left ? left - bases.left : 0;
+    right = right > bases.right ? right - bases.right : 0;
+    double exposure = disturbance_.effective_hammer(left, right);
+    if (hd_weight > 0.0) {
+      std::uint64_t left2 = count_at(nl2, e);
+      std::uint64_t right2 = count_at(nr2, e);
+      left2 = left2 > bases.left2 ? left2 - bases.left2 : 0;
+      right2 = right2 > bases.right2 ? right2 - bases.right2 : 0;
+      exposure += hd_weight * static_cast<double>(left2 + right2);
+    }
+    return exposure;
+  };
+
+  // Exposure is nondecreasing in e, so the final check bounds them all.
+  const double exposure_last = exposure_at(event_of(checks));
+  if (exposure_last < disturbance_.min_threshold(victim)) return;
+
+  const auto& cells = disturbance_.cells(victim);
+  RowData& rd = materialize(victim);
+
+  // Check-slot of this victim at event e (position in the scalar
+  // left/right/left2/right2 sequence of the activated row).
+  const auto slot_at = [&](std::uint64_t e) {
+    const std::uint64_t agg = (a == b || e % 2 != 0) ? a : b;
+    const std::int64_t delta = static_cast<std::int64_t>(victim) -
+                               static_cast<std::int64_t>(agg);
+    switch (delta) {
+      case -1: return 0;
+      case +1: return 1;
+      case -2: return 2;
+      default: return 3;  // +2
+    }
+  };
+  const auto emit = [&](const VulnCell& cell, std::uint64_t e) {
+    std::uint8_t& byte = rd.data[cell.byte_offset];
+    if (cell.failure_value) {
+      byte = static_cast<std::uint8_t>(byte | (1u << cell.bit));
+    } else {
+      byte = static_cast<std::uint8_t>(byte & ~(1u << cell.bit));
+    }
+    pending.push_back(PendingFlip{
+        .event = e,
+        .slot = slot_at(e),
+        .flip = FlipEvent{.time_ns = clock_.now_ns(),
+                          .global_row = victim,
+                          .byte_offset = cell.byte_offset,
+                          .bit = cell.bit,
+                          .new_value = cell.failure_value}});
+  };
+
+  // Two cells aliasing the same (byte, bit) with opposite failure
+  // values re-flip each other at every check; the closed form below
+  // assumes each bit flips at most once, so alias cases replay the
+  // per-event loop exactly.
+  bool aliased = false;
+  for (std::size_t i = 0; i < cells.size() && !aliased; ++i) {
+    if (cells[i].threshold > exposure_last) break;
+    for (std::size_t j = i + 1; j < cells.size(); ++j) {
+      if (cells[j].threshold > exposure_last) break;
+      if (cells[i].byte_offset == cells[j].byte_offset &&
+          cells[i].bit == cells[j].bit) {
+        aliased = true;
+        break;
+      }
+    }
+  }
+  if (aliased) {
+    for (std::uint64_t k = 1; k <= checks; ++k) {
+      const std::uint64_t e = event_of(k);
+      const double exposure = exposure_at(e);
+      for (const VulnCell& cell : cells) {
+        if (exposure < cell.threshold) break;
+        const std::uint8_t current = (rd.data[cell.byte_offset] >> cell.bit) & 1u;
+        if (current == cell.failure_value) continue;
+        emit(cell, e);
+      }
+    }
+    return;
+  }
+
+  // Closed form: each crossing cell flips at the first check event
+  // whose exposure reaches its threshold (found by binary search over
+  // the monotone exposure), unless the bit already holds its failure
+  // value — which, absent aliasing, cannot change during the batch.
+  for (const VulnCell& cell : cells) {
+    if (cell.threshold > exposure_last) break;  // sorted ascending
+    const std::uint8_t current = (rd.data[cell.byte_offset] >> cell.bit) & 1u;
+    if (current == cell.failure_value) continue;  // already decayed
+    std::uint64_t lo = 1;
+    std::uint64_t hi = checks;
+    while (lo < hi) {
+      const std::uint64_t mid = lo + (hi - lo) / 2;
+      if (exposure_at(event_of(mid)) >= cell.threshold) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    emit(cell, event_of(lo));
+  }
+}
+
+Status DramDevice::verify_and_correct_ecc(RowData* rd,
                                           std::uint32_t first_byte,
                                           std::uint32_t length,
                                           std::uint64_t row) {
-  if (!config_.mitigations.ecc || st.data.empty() || length == 0) {
+  if (!config_.mitigations.ecc || rd == nullptr || rd->data.empty() ||
+      length == 0) {
     return Status::Ok();
   }
   const std::uint32_t first_word = first_byte / 8;
   const std::uint32_t last_word = (first_byte + length - 1) / 8;
   for (std::uint32_t w = first_word; w <= last_word; ++w) {
-    const std::uint64_t word = LoadWord(&st.data[w * 8]);
-    const SecdedResult result = SecdedDecode(word, st.ecc[w]);
+    const std::uint64_t word = LoadWord(&rd->data[w * 8]);
+    const SecdedResult result = SecdedDecode(word, rd->ecc[w]);
     switch (result.status) {
       case SecdedStatus::kOk:
         break;
       case SecdedStatus::kCorrectedData:
         // Scrub: repair the array so errors do not accumulate.
-        StoreWord(&st.data[w * 8], result.word);
+        StoreWord(&rd->data[w * 8], result.word);
         ++stats_.ecc_corrected;
         break;
       case SecdedStatus::kCorrectedCheck:
-        st.ecc[w] = SecdedEncode(word);
+        rd->ecc[w] = SecdedEncode(word);
         ++stats_.ecc_corrected;
         break;
       case SecdedStatus::kUncorrectable:
@@ -260,13 +575,13 @@ Status DramDevice::verify_and_correct_ecc(RowState& st,
   return Status::Ok();
 }
 
-void DramDevice::update_ecc(RowState& st, std::uint32_t first_byte,
+void DramDevice::update_ecc(RowData& rd, std::uint32_t first_byte,
                             std::uint32_t length) {
-  if (!config_.mitigations.ecc || st.data.empty() || length == 0) return;
+  if (!config_.mitigations.ecc || rd.data.empty() || length == 0) return;
   const std::uint32_t first_word = first_byte / 8;
   const std::uint32_t last_word = (first_byte + length - 1) / 8;
   for (std::uint32_t w = first_word; w <= last_word; ++w) {
-    st.ecc[w] = SecdedEncode(LoadWord(&st.data[w * 8]));
+    rd.ecc[w] = SecdedEncode(LoadWord(&rd.data[w * 8]));
   }
 }
 
@@ -298,12 +613,12 @@ Status DramDevice::read(DramAddr addr, std::span<std::uint8_t> out) {
     }
     if (need_activate) activate(grow);
 
-    RowState& st = state(grow);
-    RHSD_RETURN_IF_ERROR(verify_and_correct_ecc(st, off, chunk, grow));
-    if (st.data.empty()) {
+    RowData* rd = row_data_[grow].get();
+    RHSD_RETURN_IF_ERROR(verify_and_correct_ecc(rd, off, chunk, grow));
+    if (rd == nullptr || rd->data.empty()) {
       std::memset(out.data() + done, 0, chunk);
     } else {
-      std::memcpy(out.data() + done, st.data.data() + off, chunk);
+      std::memcpy(out.data() + done, rd->data.data() + off, chunk);
     }
     a += chunk;
     done += chunk;
@@ -337,13 +652,77 @@ Status DramDevice::write(DramAddr addr, std::span<const std::uint8_t> data) {
     }
     activate(grow);
 
-    RowState& st = state(grow);
-    materialize(st);
-    std::memcpy(st.data.data() + off, data.data() + done, chunk);
-    update_ecc(st, off, chunk);
+    RowData& rd = materialize(grow);
+    std::memcpy(rd.data.data() + off, data.data() + done, chunk);
+    update_ecc(rd, off, chunk);
     a += chunk;
     done += chunk;
   }
+  return Status::Ok();
+}
+
+Status DramDevice::repeat_read(DramAddr addr, std::span<std::uint8_t> out,
+                               std::uint64_t extra) {
+  if (addr.value() + out.size() > config_.geometry.total_bytes()) {
+    return OutOfRange("DRAM read past end of device");
+  }
+  if (extra == 0) return Status::Ok();
+  if (out.empty()) {
+    stats_.reads += extra;  // empty reads touch no rows
+    return Status::Ok();
+  }
+  const std::uint32_t row_bytes = config_.geometry.row_bytes;
+  const std::uint64_t first_row = addr.value() / row_bytes;
+  const std::uint64_t last_row = (addr.value() + out.size() - 1) / row_bytes;
+  if (cache_.has_value() || first_row != last_row) {
+    // Cache state evolves per access, and a span touching two adjacent
+    // rows lets each repeat disturb data it then reads — replay the
+    // accesses faithfully in either case.
+    for (std::uint64_t i = 0; i < extra; ++i) {
+      RHSD_RETURN_IF_ERROR(read(addr, out));
+    }
+    return Status::Ok();
+  }
+  // One row, no cache: repeats of the just-completed read cannot change
+  // the buffer (the row's own activations disturb only its neighbors),
+  // the ECC state (scrubbed by the first read), or the outcome — only
+  // the activations and their neighbor disturbance remain.
+  stats_.reads += extra;
+  const DramCoord coord =
+      mapper_->decode(DramAddr(addr.value() - addr.value() % row_bytes));
+  hammer_events(coord.global_row(config_.geometry),
+                coord.global_row(config_.geometry), extra);
+  return Status::Ok();
+}
+
+Status DramDevice::repeat_write(DramAddr addr,
+                                std::span<const std::uint8_t> data,
+                                std::uint64_t extra) {
+  if (addr.value() + data.size() > config_.geometry.total_bytes()) {
+    return OutOfRange("DRAM write past end of device");
+  }
+  if (extra == 0) return Status::Ok();
+  if (data.empty()) {
+    stats_.writes += extra;
+    return Status::Ok();
+  }
+  const std::uint32_t row_bytes = config_.geometry.row_bytes;
+  const std::uint64_t first_row = addr.value() / row_bytes;
+  const std::uint64_t last_row = (addr.value() + data.size() - 1) / row_bytes;
+  if (cache_.has_value() || first_row != last_row) {
+    for (std::uint64_t i = 0; i < extra; ++i) {
+      RHSD_RETURN_IF_ERROR(write(addr, data));
+    }
+    return Status::Ok();
+  }
+  // Rewriting identical bytes is idempotent (memcpy and ECC update
+  // reproduce the state the first write left); only the activations and
+  // their neighbor disturbance remain.
+  stats_.writes += extra;
+  const DramCoord coord =
+      mapper_->decode(DramAddr(addr.value() - addr.value() % row_bytes));
+  hammer_events(coord.global_row(config_.geometry),
+                coord.global_row(config_.geometry), extra);
   return Status::Ok();
 }
 
@@ -357,11 +736,11 @@ void DramDevice::peek(DramAddr addr, std::span<std::uint8_t> out) const {
     const auto chunk = static_cast<std::uint32_t>(
         std::min<std::uint64_t>(row_bytes - off, out.size() - done));
     const DramCoord coord = mapper_->decode(DramAddr(a - off));
-    const auto it = rows_.find(coord.global_row(config_.geometry));
-    if (it == rows_.end() || it->second.data.empty()) {
+    const RowData* rd = row_data_[coord.global_row(config_.geometry)].get();
+    if (rd == nullptr || rd->data.empty()) {
       std::memset(out.data() + done, 0, chunk);
     } else {
-      std::memcpy(out.data() + done, it->second.data.data() + off, chunk);
+      std::memcpy(out.data() + done, rd->data.data() + off, chunk);
     }
     a += chunk;
     done += chunk;
@@ -378,10 +757,9 @@ void DramDevice::poke(DramAddr addr, std::span<const std::uint8_t> data) {
     const auto chunk = static_cast<std::uint32_t>(
         std::min<std::uint64_t>(row_bytes - off, data.size() - done));
     const DramCoord coord = mapper_->decode(DramAddr(a - off));
-    RowState& st = state(coord.global_row(config_.geometry));
-    materialize(st);
-    std::memcpy(st.data.data() + off, data.data() + done, chunk);
-    update_ecc(st, off, chunk);
+    RowData& rd = materialize(coord.global_row(config_.geometry));
+    std::memcpy(rd.data.data() + off, data.data() + done, chunk);
+    update_ecc(rd, off, chunk);
     a += chunk;
     done += chunk;
   }

@@ -8,9 +8,22 @@
 // configuration, the FTL's L2P table — organically rather than by fault
 // injection.
 //
+// Two execution paths produce identical results:
+//  * the scalar path — read()/write() activate rows one at a time and
+//    run a victim check per activation;
+//  * the batched fast path — hammer_pair()/hammer_row()/repeat_read()/
+//    repeat_write() coalesce a run of activations whose interleaving is
+//    known (the FTL's per-I/O hammer amplification, the attack
+//    orchestrator's aggressor loops) into one row-state update plus a
+//    single closed-form victim check per refresh-window segment.  The
+//    fast path is bit-exact with the scalar path: same seed, same
+//    FlipEvent sequence, same DramStats.
+//
 // Optional mitigations (all off by default, matching the paper's
 // testbed): SECDED ECC, TRR, a CPU cache in front of the arrays, and a
-// refresh-interval override.
+// refresh-interval override.  TRR and PARA have per-activation state, so
+// the batched entry points transparently fall back to the scalar path
+// when either is enabled.
 #pragma once
 
 #include <cstdint>
@@ -108,6 +121,37 @@ class DramDevice {
   /// Write bytes. Always activates the touched rows.
   Status write(DramAddr addr, std::span<const std::uint8_t> data);
 
+  /// Batched fast path: `pairs` alternating activations of the two
+  /// aggressors (a, b, a, b, ... — 2*pairs accesses), equivalent to the
+  /// scalar loop `for pairs { activate(a); activate(b); }` but with one
+  /// victim check per neighbor instead of one per activation.
+  void hammer_pair(std::uint64_t row_a, std::uint64_t row_b,
+                   std::uint64_t pairs);
+  /// Batched fast path: `count` back-to-back accesses of one row
+  /// (one-location hammering).
+  void hammer_row(std::uint64_t global_row, std::uint64_t count);
+
+  /// Scalar reference implementations of the two batched entry points:
+  /// one activation at a time, one victim check per activation.  Used
+  /// by the parity tests and the microbenchmarks; always produce the
+  /// same FlipEvents and DramStats as the batched versions.
+  void hammer_pair_scalar(std::uint64_t row_a, std::uint64_t row_b,
+                          std::uint64_t pairs);
+  void hammer_row_scalar(std::uint64_t global_row, std::uint64_t count);
+
+  /// Repeat the read of `out`'s span `extra` more times, batched.  Must
+  /// directly follow a *successful* read() of the same span into the
+  /// same buffer: the repeats then cannot change the buffer, the ECC
+  /// state, or the error outcome, so only the activations (and their
+  /// disturbance) are replayed.  Spans crossing a row boundary or a
+  /// configured cache fall back to scalar read() calls.
+  Status repeat_read(DramAddr addr, std::span<std::uint8_t> out,
+                     std::uint64_t extra);
+  /// Repeat the write of `data` `extra` more times, batched.  Must
+  /// directly follow a write() of the same data to the same span.
+  Status repeat_write(DramAddr addr, std::span<const std::uint8_t> data,
+                      std::uint64_t extra);
+
   /// Inspect memory without activations, stats, or ECC (for tests and
   /// experiment harnesses, not part of the modeled device interface).
   void peek(DramAddr addr, std::span<std::uint8_t> out) const;
@@ -134,27 +178,39 @@ class DramDevice {
   }
 
  private:
-  struct RowState {
-    std::vector<std::uint8_t> data;  // empty until first write/flip
-    std::vector<std::uint8_t> ecc;   // one check byte per 8 data bytes
+  /// Lazily allocated backing store of one row.
+  struct RowData {
+    std::vector<std::uint8_t> data;
+    std::vector<std::uint8_t> ecc;  // one check byte per 8 data bytes
+  };
+
+  /// Exposure baselines: neighbor activation counts at the last targeted
+  /// refresh of a row (TRR/PARA), valid only within `window`.  The `2`
+  /// pair covers distance-2 neighbors (Half-Double).  Rows without an
+  /// entry (or with a stale one) have all-zero baselines.
+  struct RefreshBases {
     std::uint64_t window = ~0ull;
-    std::uint64_t acts = 0;
-    // Exposure baselines: neighbor activation counts at the last
-    // targeted refresh of *this* row (TRR/PARA), within the current
-    // window.  The `2` pair covers distance-2 neighbors (Half-Double).
-    std::uint64_t base_left = 0;
-    std::uint64_t base_right = 0;
-    std::uint64_t base_left2 = 0;
-    std::uint64_t base_right2 = 0;
+    std::uint64_t left = 0;
+    std::uint64_t right = 0;
+    std::uint64_t left2 = 0;
+    std::uint64_t right2 = 0;
+  };
+
+  /// A bitflip produced inside a batched hammer, waiting for the global
+  /// (event, check-slot) sort that restores scalar emission order.
+  struct PendingFlip {
+    std::uint64_t event = 0;  // 1-based activation index within the batch
+    int slot = 0;             // victim check order within one activation
+    FlipEvent flip;
   };
 
   [[nodiscard]] std::uint64_t current_window() const {
     return clock_.now_ns() / window_ns_;
   }
 
-  RowState& state(std::uint64_t global_row);
-  void roll_window(RowState& st) const;
-  void materialize(RowState& st);
+  void roll_window(std::uint64_t global_row);
+  RowData& materialize(std::uint64_t global_row);
+  [[nodiscard]] RefreshBases bases_of(std::uint64_t global_row) const;
 
   /// Per-window activation count, rolling the window first.
   std::uint64_t acts_now(std::uint64_t global_row);
@@ -164,13 +220,28 @@ class DramDevice {
   void target_refresh_neighbors(std::uint64_t aggressor_global_row,
                                 std::uint32_t distance);
 
+  /// Batched core: the access sequence a, b, a, b, ... for `events`
+  /// accesses (a == b means one-location).  Dispatches row-buffer
+  /// policy, mitigation fallbacks, and the fast path.
+  void hammer_events(std::uint64_t a, std::uint64_t b, std::uint64_t events);
+  /// Fast path proper: every event is a real activation (precondition:
+  /// no TRR/PARA; closed page, or open page with a conflict per access).
+  void hammer_events_fast(std::uint64_t a, std::uint64_t b,
+                          std::uint64_t events);
+  /// Closed-form victim check over a whole batch; appends any flips
+  /// (tagged with their event index) to `pending`.
+  void check_victim_batched(std::uint64_t victim, std::uint64_t a,
+                            std::uint64_t b, std::uint64_t events,
+                            std::uint64_t a0_a, std::uint64_t a0_b,
+                            std::vector<PendingFlip>& pending);
+
   /// Neighbor within the same bank, or nullopt at bank edges.
   [[nodiscard]] std::optional<std::uint64_t> neighbor(
       std::uint64_t global_row, int delta) const;
 
-  Status verify_and_correct_ecc(RowState& st, std::uint32_t first_byte,
+  Status verify_and_correct_ecc(RowData* rd, std::uint32_t first_byte,
                                 std::uint32_t length, std::uint64_t row);
-  void update_ecc(RowState& st, std::uint32_t first_byte,
+  void update_ecc(RowData& rd, std::uint32_t first_byte,
                   std::uint32_t length);
 
   DramConfig config_;
@@ -186,7 +257,18 @@ class DramDevice {
   std::vector<std::uint64_t> open_rows_;
   DramStats stats_;
   std::vector<FlipEvent> flip_events_;
-  std::unordered_map<std::uint64_t, RowState> rows_;
+
+  // Flat per-row hot state (indexed by global row id).  The activation
+  // path touches only these three arrays plus the disturbance model's
+  // flat caches — no hashing.
+  std::vector<std::uint64_t> row_window_;  // ~0 = never touched
+  std::vector<std::uint64_t> row_acts_;
+  std::vector<std::unique_ptr<RowData>> row_data_;
+  /// Sparse: only rows that received a targeted refresh (TRR/PARA).
+  std::unordered_map<std::uint64_t, RefreshBases> refresh_bases_;
+  /// True iff TRR or PARA can write refresh_bases_; when false the
+  /// activation path skips the baseline lookup entirely.
+  bool neighbor_refresh_active_ = false;
 };
 
 }  // namespace rhsd

@@ -1,0 +1,63 @@
+// Deterministic parallel experiment engine.
+//
+// Contract: a sweep of N independent trials produces *exactly* the same
+// results vector no matter how many threads run it (1, 4, or 64) —
+// which is what lets the paper-reproduction benches keep their golden
+// shapes while using every core.  Three pieces enforce that:
+//
+//   1. TrialSeed(base, i): each trial's randomness is a pure function of
+//      the experiment seed and the trial index, never of scheduling.
+//   2. RunTrials: results are stored into slot i, so the output vector
+//      is ordered by trial index regardless of completion order.
+//   3. Reduce: folds the ordered vector sequentially on the caller's
+//      thread, so floating-point accumulation order is fixed.
+//
+// Each trial must own all mutable state it touches (its SsdDevice, its
+// Rng, its buffers).  Shared inputs (configs, profile tables) must be
+// read-only for the duration of the sweep.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace rhsd::exec {
+
+/// Independent, well-mixed seed for trial `trial` of an experiment
+/// seeded `base_seed`.  Pure function: safe to call from any thread.
+[[nodiscard]] inline std::uint64_t TrialSeed(std::uint64_t base_seed,
+                                             std::uint64_t trial) {
+  // Two SplitMix64 finalizer rounds decorrelate adjacent trial indices
+  // even for adjacent base seeds.
+  return Mix64(Mix64(base_seed ^ 0x7C747269616C5Eull) + trial);
+}
+
+/// Run `fn(trial, TrialSeed(base_seed, trial))` for every trial in
+/// [0, count) on the pool and return the results in trial order.
+/// `fn` must be safe to invoke concurrently for distinct trials.
+template <typename Fn>
+auto RunTrials(ThreadPool& pool, std::uint64_t count,
+               std::uint64_t base_seed, Fn&& fn)
+    -> std::vector<std::invoke_result_t<Fn&, std::uint64_t, std::uint64_t>> {
+  using R = std::invoke_result_t<Fn&, std::uint64_t, std::uint64_t>;
+  std::vector<R> results(count);
+  ParallelFor(pool, 0, count, [&](std::uint64_t trial) {
+    results[trial] = fn(trial, TrialSeed(base_seed, trial));
+  });
+  return results;
+}
+
+/// Sequential left fold over trial-ordered results: the deterministic
+/// reduction step of a parallel sweep.
+template <typename R, typename Acc, typename FoldFn>
+Acc Reduce(const std::vector<R>& results, Acc init, FoldFn&& fold) {
+  Acc acc = std::move(init);
+  for (const R& r : results) acc = fold(std::move(acc), r);
+  return acc;
+}
+
+}  // namespace rhsd::exec

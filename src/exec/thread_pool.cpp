@@ -1,0 +1,110 @@
+#include "exec/thread_pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+
+#include "common/check.hpp"
+
+namespace rhsd::exec {
+
+unsigned ThreadPool::DefaultThreadCount() {
+  if (const char* env = std::getenv("RHSD_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1 && v <= 1024) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : hw;
+}
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  if (num_threads == 0) num_threads = DefaultThreadCount();
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::run(std::function<void()> task) {
+  RHSD_CHECK(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    RHSD_CHECK_MSG(!stop_, "ThreadPool::run after shutdown");
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool& pool, std::uint64_t begin, std::uint64_t end,
+                 const std::function<void(std::uint64_t)>& body) {
+  if (begin >= end) return;
+  const std::uint64_t n = end - begin;
+  // Shared claim counter: each participant grabs the next unclaimed
+  // index.  Scheduling order is nondeterministic; results must be keyed
+  // by index (RunTrials stores into result[i]), never by arrival.
+  struct Shared {
+    std::atomic<std::uint64_t> next;
+    std::atomic<std::uint64_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto shared = std::make_shared<Shared>();
+  shared->next.store(begin);
+
+  auto drain = [shared, end, n, &body] {
+    for (;;) {
+      const std::uint64_t i = shared->next.fetch_add(1);
+      if (i >= end) break;
+      body(i);
+      if (shared->done.fetch_add(1) + 1 == n) {
+        std::lock_guard<std::mutex> lock(shared->mu);
+        shared->cv.notify_all();
+      }
+    }
+  };
+
+  // One helper task per worker is enough: each drains until the range
+  // is exhausted.  The caller drains too, then waits for stragglers.
+  const unsigned helpers =
+      static_cast<unsigned>(std::min<std::uint64_t>(pool.size(), n));
+  for (unsigned t = 0; t < helpers; ++t) pool.run(drain);
+  drain();
+  std::unique_lock<std::mutex> lock(shared->mu);
+  shared->cv.wait(lock, [&] { return shared->done.load() == n; });
+}
+
+}  // namespace rhsd::exec

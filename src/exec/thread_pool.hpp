@@ -1,0 +1,66 @@
+// Fixed-size worker pool for the experiment engine.
+//
+// The simulator itself is single-threaded by design (one SsdDevice, one
+// SimClock, one deterministic event order), but the paper's experiments
+// are embarrassingly parallel across *trials*: every Monte-Carlo sample,
+// feasibility cell, Table 1 profile and mitigation scenario owns its own
+// device and RNG stream.  The pool runs those independent trials
+// concurrently; determinism is preserved by deriving per-trial seeds
+// from the trial index (experiment_engine.hpp), never from scheduling
+// order.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rhsd::exec {
+
+class ThreadPool {
+ public:
+  /// `num_threads == 0` picks DefaultThreadCount().
+  explicit ThreadPool(unsigned num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueue a task.  Tasks must not throw; report failures through
+  /// their own result slots (see RunTrials).
+  void run(std::function<void()> task);
+
+  /// Block until every queued and in-flight task has finished.
+  void wait_idle();
+
+  /// `RHSD_THREADS` env override, else hardware_concurrency(), else 1.
+  [[nodiscard]] static unsigned DefaultThreadCount();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers: work or stop
+  std::condition_variable idle_cv_;   // signals waiters: pool drained
+  std::deque<std::function<void()>> queue_;
+  unsigned active_ = 0;
+  bool stop_ = false;
+};
+
+/// Run `body(i)` for every i in [begin, end) across the pool.  The
+/// calling thread participates, so progress is guaranteed even on a
+/// one-worker pool.  Iterations are claimed dynamically (load balance);
+/// callers must not depend on claim order — derive any randomness from
+/// the index, not from execution order.
+void ParallelFor(ThreadPool& pool, std::uint64_t begin, std::uint64_t end,
+                 const std::function<void(std::uint64_t)>& body);
+
+}  // namespace rhsd::exec

@@ -56,17 +56,45 @@ Status Ftl::check_lba(Lba lba) const {
   return Status::Ok();
 }
 
+bool Ftl::l2p_batched_ok(DramAddr addr) const {
+  // The batched repeat path needs the per-access cache interaction and
+  // cross-row disturbance cases out of the way; otherwise replay the
+  // accesses one by one exactly as before.
+  if (dram_.config().mitigations.cache.has_value()) return false;
+  const std::uint32_t row_bytes = dram_.config().geometry.row_bytes;
+  return addr.value() % row_bytes + L2pLayout::kEntryBytes <= row_bytes;
+}
+
 Status Ftl::l2p_load(Lba lba, std::uint32_t& pba32) {
   const DramAddr addr = layout_->entry_addr(lba.value());
   std::uint8_t buf[L2pLayout::kEntryBytes];
   // Amplification: firmware touches the entry's row several times per
-  // request (§4.1 used 5 hammers per I/O).
-  for (std::uint32_t i = 0; i < config_.hammers_per_io; ++i) {
-    ++stats_.l2p_dram_reads;
-    Status s = dram_.read(addr, buf);
-    if (!s.ok()) {
-      ++stats_.l2p_corruption_errors;
-      return s;
+  // request (§4.1 used 5 hammers per I/O).  The first touch does the
+  // real transfer; the repeats reduce to row activations, which the
+  // DRAM's batched fast path coalesces.
+  ++stats_.l2p_dram_reads;
+  Status s = dram_.read(addr, buf);
+  if (!s.ok()) {
+    ++stats_.l2p_corruption_errors;
+    return s;
+  }
+  if (config_.hammers_per_io > 1) {
+    if (l2p_batched_ok(addr)) {
+      stats_.l2p_dram_reads += config_.hammers_per_io - 1;
+      s = dram_.repeat_read(addr, buf, config_.hammers_per_io - 1);
+      if (!s.ok()) {
+        ++stats_.l2p_corruption_errors;
+        return s;
+      }
+    } else {
+      for (std::uint32_t i = 1; i < config_.hammers_per_io; ++i) {
+        ++stats_.l2p_dram_reads;
+        s = dram_.read(addr, buf);
+        if (!s.ok()) {
+          ++stats_.l2p_corruption_errors;
+          return s;
+        }
+      }
     }
   }
   pba32 = Load32(buf);
@@ -77,9 +105,19 @@ Status Ftl::l2p_store(Lba lba, std::uint32_t pba32) {
   const DramAddr addr = layout_->entry_addr(lba.value());
   std::uint8_t buf[L2pLayout::kEntryBytes];
   Store32(buf, pba32);
-  for (std::uint32_t i = 0; i < config_.hammers_per_io; ++i) {
-    ++stats_.l2p_dram_writes;
-    RHSD_RETURN_IF_ERROR(dram_.write(addr, buf));
+  ++stats_.l2p_dram_writes;
+  RHSD_RETURN_IF_ERROR(dram_.write(addr, buf));
+  if (config_.hammers_per_io > 1) {
+    if (l2p_batched_ok(addr)) {
+      stats_.l2p_dram_writes += config_.hammers_per_io - 1;
+      RHSD_RETURN_IF_ERROR(
+          dram_.repeat_write(addr, buf, config_.hammers_per_io - 1));
+    } else {
+      for (std::uint32_t i = 1; i < config_.hammers_per_io; ++i) {
+        ++stats_.l2p_dram_writes;
+        RHSD_RETURN_IF_ERROR(dram_.write(addr, buf));
+      }
+    }
   }
   return Status::Ok();
 }

@@ -93,6 +93,31 @@ Status NvmeController::read(std::uint32_t nsid, std::uint64_t slba,
   return Status::Ok();
 }
 
+Status NvmeController::read_pattern(std::uint32_t nsid,
+                                    std::span<const std::uint64_t> slbas,
+                                    std::span<std::uint8_t> out) {
+  if (out.size() != kBlockSize) {
+    ++stats_.errors;
+    return InvalidArgument("pattern reads are one 4 KiB block each");
+  }
+  for (const std::uint64_t slba : slbas) {
+    auto lba = translate(nsid, slba);
+    if (!lba.ok()) {
+      ++stats_.errors;
+      return lba.status();
+    }
+    FtlIoInfo info;
+    Status s = ftl_.read(*lba, out, &info);
+    ++stats_.read_cmds;
+    charge(info.flash_accessed);
+    if (!s.ok()) {
+      ++stats_.errors;
+      return s;
+    }
+  }
+  return Status::Ok();
+}
+
 Status NvmeController::write(std::uint32_t nsid, std::uint64_t slba,
                              std::span<const std::uint8_t> data) {
   if (data.size() % kBlockSize != 0 || data.empty()) {

@@ -58,6 +58,13 @@ class NvmeController {
   /// Read `out.size()/4096` blocks starting at namespace-relative slba.
   Status read(std::uint32_t nsid, std::uint64_t slba,
               std::span<std::uint8_t> out);
+  /// Issue one single-block read per namespace-relative LBA in `slbas`,
+  /// all into the same 4 KiB buffer.  Equivalent to calling read() once
+  /// per element (same commands, same clock charges, same stats) but
+  /// submitted as one batch — the hammer orchestrator's hot loop.
+  Status read_pattern(std::uint32_t nsid,
+                      std::span<const std::uint64_t> slbas,
+                      std::span<std::uint8_t> out);
   Status write(std::uint32_t nsid, std::uint64_t slba,
                std::span<const std::uint8_t> data);
   /// Dataset-management deallocate (TRIM).

@@ -18,8 +18,10 @@ DramProfile TestProfile() {
 }
 
 TEST(DisturbanceModel, DeterministicPerSeedAndRow) {
-  DisturbanceModel a(TestProfile(), /*seed=*/1, /*row_bytes=*/4096);
-  DisturbanceModel b(TestProfile(), /*seed=*/1, /*row_bytes=*/4096);
+  DisturbanceModel a(TestProfile(), /*seed=*/1, /*row_bytes=*/4096,
+                     /*total_rows=*/16384);
+  DisturbanceModel b(TestProfile(), /*seed=*/1, /*row_bytes=*/4096,
+                     /*total_rows=*/16384);
   for (std::uint64_t row : {0ull, 17ull, 12345ull}) {
     const auto& ca = a.cells(row);
     const auto& cb = b.cells(row);
@@ -34,8 +36,8 @@ TEST(DisturbanceModel, DeterministicPerSeedAndRow) {
 }
 
 TEST(DisturbanceModel, DifferentSeedsDiffer) {
-  DisturbanceModel a(TestProfile(), 1, 4096);
-  DisturbanceModel b(TestProfile(), 2, 4096);
+  DisturbanceModel a(TestProfile(), 1, 4096, /*total_rows=*/64);
+  DisturbanceModel b(TestProfile(), 2, 4096, /*total_rows=*/64);
   int differing = 0;
   for (std::uint64_t row = 0; row < 64; ++row) {
     if (a.cells(row).size() != b.cells(row).size()) ++differing;
@@ -46,7 +48,7 @@ TEST(DisturbanceModel, DifferentSeedsDiffer) {
 TEST(DisturbanceModel, VulnerableFractionApproximatelyHolds) {
   DramProfile p = TestProfile();
   p.vulnerable_row_fraction = 0.25;
-  DisturbanceModel m(p, 3, 4096);
+  DisturbanceModel m(p, 3, 4096, /*total_rows=*/2000);
   int vulnerable = 0;
   const int n = 2000;
   for (std::uint64_t row = 0; row < n; ++row) {
@@ -58,14 +60,14 @@ TEST(DisturbanceModel, VulnerableFractionApproximatelyHolds) {
 TEST(DisturbanceModel, ZeroFractionMeansNoVulnerableRows) {
   DramProfile p = TestProfile();
   p.vulnerable_row_fraction = 0.0;
-  DisturbanceModel m(p, 3, 4096);
+  DisturbanceModel m(p, 3, 4096, /*total_rows=*/500);
   for (std::uint64_t row = 0; row < 500; ++row) {
     EXPECT_FALSE(m.row_is_vulnerable(row));
   }
 }
 
 TEST(DisturbanceModel, CellsAreSortedByThresholdAndInRange) {
-  DisturbanceModel m(TestProfile(), 5, 4096);
+  DisturbanceModel m(TestProfile(), 5, 4096, /*total_rows=*/200);
   const double base = m.base_threshold();
   for (std::uint64_t row = 0; row < 200; ++row) {
     const auto& cells = m.cells(row);
@@ -97,7 +99,7 @@ TEST(DisturbanceModel, ThresholdCalibrationMatchesTable1Formula) {
 }
 
 TEST(DisturbanceModel, DoubleSidedWeighting) {
-  DisturbanceModel m(TestProfile(), 7, 4096);
+  DisturbanceModel m(TestProfile(), 7, 4096, /*total_rows=*/64);
   // Single-sided: only the max side counts.
   EXPECT_DOUBLE_EQ(m.effective_hammer(1000, 0), 1000.0);
   EXPECT_DOUBLE_EQ(m.effective_hammer(0, 1000), 1000.0);
@@ -108,7 +110,7 @@ TEST(DisturbanceModel, DoubleSidedWeighting) {
 }
 
 TEST(DisturbanceModel, DoubleSidedBeatsSingleSidedPerAccess) {
-  DisturbanceModel m(TestProfile(), 7, 4096);
+  DisturbanceModel m(TestProfile(), 7, 4096, /*total_rows=*/64);
   // Same total access budget of 2000: split double-sided beats
   // single-sided concentration ("single-sided attacks flip fewer bits
   // in practice", §4.2).
@@ -131,7 +133,8 @@ TEST(Profiles, TestbedFlipsAt3MPerSecond) {
 }
 
 TEST(Profiles, InvulnerableNeverGeneratesCells) {
-  DisturbanceModel m(DramProfile::Invulnerable(), 11, 4096);
+  DisturbanceModel m(DramProfile::Invulnerable(), 11, 4096,
+                     /*total_rows=*/300);
   for (std::uint64_t row = 0; row < 300; ++row) {
     EXPECT_FALSE(m.row_is_vulnerable(row));
   }

@@ -1,0 +1,105 @@
+// Tests for the deterministic parallel experiment engine: thread pool
+// sanity, per-trial seed derivation, and — the core contract — that
+// sweep results are identical no matter how many threads execute them.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "attack/probability_model.hpp"
+#include "exec/experiment_engine.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace rhsd {
+namespace {
+
+TEST(ThreadPool, RunsQueuedTasks) {
+  exec::ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.run([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  exec::ThreadPool pool(4);
+  constexpr std::uint64_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  exec::ParallelFor(pool, 0, kN,
+                    [&](std::uint64_t i) { hits[i].fetch_add(1); });
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  exec::ThreadPool pool(2);
+  bool ran = false;
+  exec::ParallelFor(pool, 5, 5, [&](std::uint64_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ExperimentEngine, TrialSeedsAreDistinctAndPure) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t t = 0; t < 10000; ++t) {
+    seeds.insert(exec::TrialSeed(123, t));
+  }
+  EXPECT_EQ(seeds.size(), 10000u);  // no collisions in a small sweep
+  EXPECT_EQ(exec::TrialSeed(123, 42), exec::TrialSeed(123, 42));
+  EXPECT_NE(exec::TrialSeed(123, 42), exec::TrialSeed(124, 42));
+}
+
+TEST(ExperimentEngine, ResultsIndependentOfThreadCount) {
+  const auto trial_fn = [](std::uint64_t trial, std::uint64_t seed) {
+    Rng rng(seed);
+    // Arbitrary per-trial computation with its own RNG stream.
+    return static_cast<double>(trial) + rng.next_double();
+  };
+  exec::ThreadPool pool1(1);
+  exec::ThreadPool pool4(4);
+  const auto r1 = exec::RunTrials(pool1, 500, 99, trial_fn);
+  const auto r4 = exec::RunTrials(pool4, 500, 99, trial_fn);
+  ASSERT_EQ(r1.size(), r4.size());
+  for (std::size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_EQ(r1[i], r4[i]) << "trial " << i;  // bitwise, not approx
+  }
+}
+
+TEST(ExperimentEngine, ReduceFoldsInTrialOrder) {
+  const std::vector<int> results = {1, 2, 3, 4};
+  const int sum = exec::Reduce(results, 100,
+                               [](int acc, int r) { return acc * 2 + r; });
+  // ((((100*2+1)*2+2)*2+3)*2+4): order-sensitive fold.
+  EXPECT_EQ(sum, ((((100 * 2 + 1) * 2 + 2) * 2 + 3) * 2 + 4));
+}
+
+TEST(ExperimentEngine, ParallelMonteCarloIsThreadCountInvariant) {
+  const AttackParameters p = AttackParameters::PaperExample();
+  exec::ThreadPool pool1(1);
+  exec::ThreadPool pool4(4);
+  const double e1 = SimulateSingleCycleParallel(p, 20210727, 300000, pool1);
+  const double e4 = SimulateSingleCycleParallel(p, 20210727, 300000, pool4);
+  EXPECT_EQ(e1, e4);  // bitwise identical estimate
+  // And it still estimates the closed form (§4.3 ~7%).
+  EXPECT_NEAR(e1, SingleCycleSuccess(p), 0.01);
+}
+
+TEST(ExperimentEngine, ParallelMonteCarloPartialChunk) {
+  // Trial counts that are not a multiple of the chunk size must still
+  // sample exactly `trials` points.
+  const AttackParameters p = AttackParameters::PaperExample();
+  exec::ThreadPool pool(2);
+  const double a = SimulateSingleCycleParallel(p, 7, 70001, pool);
+  const double b = SimulateSingleCycleParallel(p, 7, 70001, pool);
+  EXPECT_EQ(a, b);
+  EXPECT_GE(a, 0.0);
+  EXPECT_LE(a, 1.0);
+}
+
+}  // namespace
+}  // namespace rhsd
