@@ -9,11 +9,14 @@
 // testbed DRAM profile (flips from direct accesses at ~3 M/s; SPDK-level
 // accesses needed ~7 M/s, hence the paper's 5x amplification).
 #include <cstdio>
+#include <iterator>
+#include <vector>
 
 #include "attack/aggressor_finder.hpp"
 #include "attack/hammer_orchestrator.hpp"
 #include "cloud/cloud_host.hpp"
 #include "common/hexdump.hpp"
+#include "exec/experiment_engine.hpp"
 
 using namespace rhsd;
 
@@ -96,10 +99,19 @@ int main() {
        5},
       {"future: PCIe 5.0 direct", HostInterface::kPcie5, 5},
   };
-  for (const Row& row : rows) {
-    const SetupResult r = RunSetup(row.iface, row.hammers);
-    std::printf("%-34s %4ux %10s %12s %8llu %10s\n", row.name,
-                row.hammers, HumanCount(r.iops).c_str(),
+  // Each setup owns its SsdDevice/CloudHost, so the rows are independent
+  // trials for the experiment engine; printing stays in canonical order
+  // because RunTrials returns results indexed by trial.
+  exec::ThreadPool pool;
+  const std::vector<SetupResult> results = exec::RunTrials(
+      pool, std::size(rows), /*base_seed=*/0,
+      [&rows](std::uint64_t trial, std::uint64_t) {
+        return RunSetup(rows[trial].iface, rows[trial].hammers);
+      });
+  for (std::size_t i = 0; i < std::size(rows); ++i) {
+    const SetupResult& r = results[i];
+    std::printf("%-34s %4ux %10s %12s %8llu %10s\n", rows[i].name,
+                rows[i].hammers, HumanCount(r.iops).c_str(),
                 HumanCount(r.l2p_access_rate).c_str(),
                 static_cast<unsigned long long>(r.flips),
                 r.flips > 0 ? "YES" : "no");

@@ -10,9 +10,12 @@
 // pairs" — and "a linear layout is *more challenging* for a two-sided
 // rowhammering attack than a hash map."
 #include <cstdio>
+#include <iterator>
 #include <memory>
+#include <vector>
 
 #include "attack/aggressor_finder.hpp"
+#include "exec/experiment_engine.hpp"
 #include "ssd/ssd_device.hpp"
 
 using namespace rhsd;
@@ -87,10 +90,18 @@ int main() {
       {"XOR + row remap, hashed L2P (key known)", true, 4,
        L2pLayoutKind::kHashed},
   };
-  for (const Variant& v : variants) {
-    const Counts c = Count(v);
-    std::printf("%-44s %6zu %8zu %7zu %8zu %10zu\n", v.name, c.rows,
-                c.triples, c.cross, c.cross_vulnerable,
+  // One SsdDevice per variant: independent trials, run concurrently and
+  // printed in canonical order afterwards.
+  exec::ThreadPool pool;
+  const std::vector<Counts> results = exec::RunTrials(
+      pool, std::size(variants), /*base_seed=*/0,
+      [&variants](std::uint64_t trial, std::uint64_t) {
+        return Count(variants[trial]);
+      });
+  for (std::size_t i = 0; i < std::size(variants); ++i) {
+    const Counts& c = results[i];
+    std::printf("%-44s %6zu %8zu %7zu %8zu %10zu\n", variants[i].name,
+                c.rows, c.triples, c.cross, c.cross_vulnerable,
                 c.victim_entries_reachable);
   }
   std::printf(

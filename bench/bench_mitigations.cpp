@@ -49,11 +49,12 @@ int main() {
   std::printf("== §5 mitigations vs the FTL rowhammer exploit ==\n");
   std::printf("(primitive = hammer 8 aggressor sets for 200 ms each; "
               "exploit = full\n spray/hammer/scan loop, up to 8 cycles)\n\n");
-  std::printf("%-28s | %9s | %8s %8s %6s | %-8s %6s\n", "mitigation",
-              "flips", "ecc-fix", "tag-miss", "trr", "exploit", "cycles");
-  std::printf("%.*s\n", 92,
+  std::printf("%-28s | %9s | %8s %8s %6s %6s | %-8s %6s\n", "mitigation",
+              "flips", "ecc-fix", "tag-miss", "trr", "scrub", "exploit",
+              "cycles");
+  std::printf("%.*s\n", 99,
               "----------------------------------------------------------"
-              "----------------------------------");
+              "-----------------------------------------");
 
   const std::vector<MitigationScenario> scenarios =
       MitigationStudy::StandardScenarios();
@@ -73,12 +74,13 @@ int main() {
     const char* outcome = r.e2e_success       ? "LEAKED"
                           : r.e2e_fs_corrupted ? "fs-corrupt"
                                                : "blocked";
-    std::printf("%-28s | %9llu | %8llu %8llu %6llu | %-10s %6u\n",
+    std::printf("%-28s | %9llu | %8llu %8llu %6llu %6llu | %-10s %6u\n",
                 r.name.c_str(),
                 static_cast<unsigned long long>(r.primitive_flips),
                 static_cast<unsigned long long>(r.ecc_corrected),
                 static_cast<unsigned long long>(r.reference_tag_mismatches),
                 static_cast<unsigned long long>(r.trr_refreshes),
+                static_cast<unsigned long long>(r.scrub_repairs),
                 outcome, r.e2e_cycles);
   }
 

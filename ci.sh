@@ -19,4 +19,37 @@ cmake -B build-tsan -S . -DRHSD_SANITIZE=thread
 cmake --build build-tsan -j "${JOBS}" --target exec_smoke
 ./build-tsan/tests/exec_smoke
 
+echo "== perf gate: batched hammer hot path =="
+# bench_micro emits BENCH_hotpath.json into its working directory; the
+# hot-path comparison runs from main() even when the filter matches no
+# registered benchmark, which keeps the gate fast.
+PERF_DIR="build/perf-gate"
+rm -rf "${PERF_DIR}"
+mkdir -p "${PERF_DIR}"
+(cd "${PERF_DIR}" && ../bench/bench_micro \
+    --benchmark_filter='^$' >/dev/null)
+REPORT="${PERF_DIR}/BENCH_hotpath.json"
+if [[ ! -f "${REPORT}" ]]; then
+  echo "perf gate: bench_micro produced no ${REPORT}" >&2
+  exit 1
+fi
+
+# Archive the raw report so regressions can be traced across CI runs.
+mkdir -p bench_history
+cp "${REPORT}" \
+  "bench_history/BENCH_hotpath.$(date -u +%Y%m%dT%H%M%SZ).$$.json"
+
+SPEEDUP="$(sed -n \
+  's/.*"hammer_batched_speedup": *\([0-9.eE+-]*\).*/\1/p' \
+  "${REPORT}" | head -n 1)"
+if [[ -z "${SPEEDUP}" ]]; then
+  echo "perf gate: hammer_batched_speedup missing from ${REPORT}" >&2
+  exit 1
+fi
+echo "hammer_batched_speedup = ${SPEEDUP}x (gate: >= 3x)"
+awk -v s="${SPEEDUP}" 'BEGIN { exit !(s + 0 >= 3.0) }' || {
+  echo "perf gate: batched hammer speedup ${SPEEDUP}x < 3x" >&2
+  exit 1
+}
+
 echo "== ci.sh: all green =="

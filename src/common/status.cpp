@@ -14,6 +14,9 @@ const char* to_string(StatusCode code) {
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
     case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+    case StatusCode::kAborted: return "ABORTED";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }
@@ -54,6 +57,15 @@ Status FailedPrecondition(std::string msg) {
 }
 Status Unimplemented(std::string msg) {
   return {StatusCode::kUnimplemented, std::move(msg)};
+}
+Status Aborted(std::string msg) {
+  return {StatusCode::kAborted, std::move(msg)};
+}
+Status DeadlineExceeded(std::string msg) {
+  return {StatusCode::kDeadlineExceeded, std::move(msg)};
+}
+Status Unavailable(std::string msg) {
+  return {StatusCode::kUnavailable, std::move(msg)};
 }
 
 }  // namespace rhsd

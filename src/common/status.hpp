@@ -26,6 +26,9 @@ enum class StatusCode {
   kResourceExhausted, // no free blocks / inodes / pages
   kFailedPrecondition,// operation not valid in current state
   kUnimplemented,
+  kAborted,           // operation cut short (power loss, host abort)
+  kDeadlineExceeded,  // command timed out (retries exhausted)
+  kUnavailable,       // transient device failure (may succeed on retry)
 };
 
 [[nodiscard]] const char* to_string(StatusCode code);
@@ -62,6 +65,9 @@ class [[nodiscard]] Status {
 [[nodiscard]] Status ResourceExhausted(std::string msg);
 [[nodiscard]] Status FailedPrecondition(std::string msg);
 [[nodiscard]] Status Unimplemented(std::string msg);
+[[nodiscard]] Status Aborted(std::string msg);
+[[nodiscard]] Status DeadlineExceeded(std::string msg);
+[[nodiscard]] Status Unavailable(std::string msg);
 
 /// Value-or-Status. Minimal std::expected stand-in (C++20 toolchain).
 template <typename T>

@@ -590,6 +590,23 @@ Status DramDevice::read(DramAddr addr, std::span<std::uint8_t> out) {
     return OutOfRange("DRAM read past end of device");
   }
   ++stats_.reads;
+  if (injector_ != nullptr) {
+    if (const auto fault = injector_->tick(FaultClass::kDramBitError);
+        fault.has_value() && !out.empty()) {
+      // Transient (soft) bit error: flip one stored bit, leaving the
+      // check bytes untouched so SECDED sees a genuine mismatch — the
+      // same corruption shape as a disturbance flip.  param selects the
+      // bit (low 3 bits) and the byte within the accessed span.
+      const std::uint64_t target =
+          addr.value() + (fault->param >> 3) % out.size();
+      RowData& rd = materialize(
+          mapper_->decode(DramAddr(target - target % config_.geometry.row_bytes))
+              .global_row(config_.geometry));
+      rd.data[target % config_.geometry.row_bytes] ^=
+          static_cast<std::uint8_t>(1u << (fault->param & 7));
+      ++stats_.injected_bit_errors;
+    }
+  }
   const std::uint32_t row_bytes = config_.geometry.row_bytes;
   std::uint64_t a = addr.value();
   std::size_t done = 0;

@@ -42,6 +42,7 @@
 #include "dram/disturbance_model.hpp"
 #include "dram/profiles.hpp"
 #include "dram/trr.hpp"
+#include "fault/fault_injector.hpp"
 
 namespace rhsd {
 
@@ -93,6 +94,7 @@ struct DramStats {
   std::uint64_t para_refreshes = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  std::uint64_t injected_bit_errors = 0;  // fault-injected soft errors
 };
 
 /// One disturbance-induced bitflip, for scanning and experiment output.
@@ -177,6 +179,12 @@ class DramDevice {
     return window_ns_;
   }
 
+  /// Attach a fault injector (nullptr detaches).  Consulted once per
+  /// read(); an injected FaultClass::kDramBitError flips one stored bit
+  /// without updating the check bytes — indistinguishable from a
+  /// disturbance flip to the ECC machinery.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
  private:
   /// Lazily allocated backing store of one row.
   struct RowData {
@@ -246,6 +254,7 @@ class DramDevice {
 
   DramConfig config_;
   std::unique_ptr<AddressMapper> mapper_;
+  FaultInjector* injector_ = nullptr;
   SimClock& clock_;
   DisturbanceModel disturbance_;
   std::optional<TrrTracker> trr_;

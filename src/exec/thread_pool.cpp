@@ -1,5 +1,6 @@
 #include "exec/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <memory>
@@ -74,8 +75,13 @@ void ParallelFor(ThreadPool& pool, std::uint64_t begin, std::uint64_t end,
   if (begin >= end) return;
   const std::uint64_t n = end - begin;
   // Shared claim counter: each participant grabs the next unclaimed
-  // index.  Scheduling order is nondeterministic; results must be keyed
-  // by index (RunTrials stores into result[i]), never by arrival.
+  // *chunk* of indices per atomic fetch-add, so short iterations don't
+  // serialize on the counter's cache line.  The chunk shrinks with the
+  // participant count (at least 8 claims per participant keeps the load
+  // balanced when iteration costs vary) and is capped so huge ranges
+  // still rebalance.  Scheduling order is nondeterministic; results
+  // must be keyed by index (RunTrials stores into result[i]), never by
+  // arrival.
   struct Shared {
     std::atomic<std::uint64_t> next;
     std::atomic<std::uint64_t> done{0};
@@ -84,13 +90,17 @@ void ParallelFor(ThreadPool& pool, std::uint64_t begin, std::uint64_t end,
   };
   auto shared = std::make_shared<Shared>();
   shared->next.store(begin);
+  const std::uint64_t participants = pool.size() + 1;  // caller drains too
+  const std::uint64_t chunk = std::max<std::uint64_t>(
+      1, std::min<std::uint64_t>(64, n / (participants * 8)));
 
-  auto drain = [shared, end, n, &body] {
+  auto drain = [shared, end, n, chunk, &body] {
     for (;;) {
-      const std::uint64_t i = shared->next.fetch_add(1);
-      if (i >= end) break;
-      body(i);
-      if (shared->done.fetch_add(1) + 1 == n) {
+      const std::uint64_t first = shared->next.fetch_add(chunk);
+      if (first >= end) break;
+      const std::uint64_t count = std::min(chunk, end - first);
+      for (std::uint64_t i = first; i < first + count; ++i) body(i);
+      if (shared->done.fetch_add(count) + count == n) {
         std::lock_guard<std::mutex> lock(shared->mu);
         shared->cv.notify_all();
       }

@@ -1,0 +1,55 @@
+#include "fault/fault_plan.hpp"
+
+#include "common/rng.hpp"
+
+namespace rhsd {
+
+const char* to_string(FaultClass cls) {
+  switch (cls) {
+    case FaultClass::kNandRead: return "nand-read";
+    case FaultClass::kNandProgram: return "nand-program";
+    case FaultClass::kNandErase: return "nand-erase";
+    case FaultClass::kDramBitError: return "dram-bit-error";
+    case FaultClass::kNvmeTimeout: return "nvme-timeout";
+    case FaultClass::kNvmeDrop: return "nvme-drop";
+    case FaultClass::kPowerLoss: return "power-loss";
+  }
+  return "unknown";
+}
+
+FaultPlan FaultPlan::Random(std::uint64_t seed, const FaultRates& rates,
+                            std::uint64_t horizon) {
+  FaultPlan plan;
+  // One independent stream per class so a rate change in one class does
+  // not shift every other class's events.
+  const struct {
+    FaultClass cls;
+    double rate;
+  } classes[] = {
+      {FaultClass::kNandRead, rates.nand_read},
+      {FaultClass::kNandProgram, rates.nand_program},
+      {FaultClass::kNandErase, rates.nand_erase},
+      {FaultClass::kDramBitError, rates.dram_bit_error},
+      {FaultClass::kNvmeTimeout, rates.nvme_timeout},
+      {FaultClass::kNvmeDrop, rates.nvme_drop},
+  };
+  for (const auto& c : classes) {
+    if (c.rate <= 0.0) continue;
+    Rng rng(Mix64(seed ^ (0xFA017ull + static_cast<std::uint64_t>(c.cls))));
+    for (std::uint64_t op = 0; op < horizon; ++op) {
+      if (rng.next_bool(c.rate)) {
+        plan.add(c.cls, op, /*count=*/1, /*param=*/rng.next());
+      }
+    }
+  }
+  if (rates.power_losses > 0.0) {
+    Rng rng(Mix64(seed ^ 0xFA017DEADull));
+    if (horizon > 0 && rng.next_bool(
+            rates.power_losses < 1.0 ? rates.power_losses : 1.0)) {
+      plan.add(FaultClass::kPowerLoss, rng.next_below(horizon));
+    }
+  }
+  return plan;
+}
+
+}  // namespace rhsd

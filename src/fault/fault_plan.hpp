@@ -1,0 +1,98 @@
+// Deterministic fault plans.
+//
+// The paper's threat model is a *logical* fault source — hammer-induced
+// bitflips in the FTL's DRAM — but a firmware robustness story has to
+// survive the whole physical fault surface too: NAND operations that
+// fail, DRAM cells that flip for non-hammer reasons, NVMe commands that
+// vanish or stall, and power that disappears mid-trace.  A FaultPlan is
+// an explicit, replayable schedule of such faults: every event names the
+// fault class, the 0-based operation index (within that class's
+// operation stream) at which it fires, and how many consecutive
+// operations it affects.  Plans are either hand-built (tests pin exact
+// event sequences) or derived from (seed, rates) — both reproduce
+// bit-for-bit, which is what lets the recovery tests crash the simulated
+// firmware at *every* IO index of a trace and compare against a golden
+// no-crash run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rhsd {
+
+/// Which operation stream a fault interposes on.  Each class has its own
+/// monotonically increasing operation counter inside the FaultInjector.
+enum class FaultClass : std::uint8_t {
+  kNandRead = 0,   // read fails (uncorrectable media error)
+  kNandProgram,    // program fails (block should be retired)
+  kNandErase,      // erase fails (grown bad block)
+  kDramBitError,   // transient bit error, distinct from hammer flips
+  kNvmeTimeout,    // device-side stall beyond the host's deadline
+  kNvmeDrop,       // command vanishes; no completion ever arrives
+  kPowerLoss,      // whole-firmware power loss at a host IO index
+};
+
+inline constexpr std::size_t kNumFaultClasses = 7;
+
+[[nodiscard]] const char* to_string(FaultClass cls);
+
+struct FaultEvent {
+  FaultClass cls = FaultClass::kNandRead;
+  /// First operation index (within `cls`'s stream) that faults.
+  std::uint64_t op_index = 0;
+  /// Number of consecutive operations affected.  1 models a transient
+  /// fault (a retry succeeds); a larger count models a persistent fault
+  /// that defeats bounded retry.
+  std::uint32_t count = 1;
+  /// Class-specific parameter.  For kDramBitError: bits [0,3) select the
+  /// bit, bits [3,32) the byte offset within the faulted access (taken
+  /// modulo the access length).  Unused elsewhere.
+  std::uint64_t param = 0;
+};
+
+/// Per-class fault probabilities for randomly generated plans
+/// (probability that any given operation of the class faults).
+struct FaultRates {
+  double nand_read = 0.0;
+  double nand_program = 0.0;
+  double nand_erase = 0.0;
+  double dram_bit_error = 0.0;
+  double nvme_timeout = 0.0;
+  double nvme_drop = 0.0;
+  /// Expected number of power losses over the horizon (0 disables; at
+  /// most one event is generated since the device dies with it).
+  double power_losses = 0.0;
+};
+
+/// An ordered fault schedule.  Events may be added in any order; the
+/// injector sorts per class.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  FaultPlan& add(FaultEvent event) {
+    events_.push_back(event);
+    return *this;
+  }
+  FaultPlan& add(FaultClass cls, std::uint64_t op_index,
+                 std::uint32_t count = 1, std::uint64_t param = 0) {
+    return add(FaultEvent{cls, op_index, count, param});
+  }
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+
+  /// Deterministically sample a plan: each operation index in
+  /// [0, horizon) of each class faults with the class's rate.  The same
+  /// (seed, rates, horizon) always yields the same plan.
+  [[nodiscard]] static FaultPlan Random(std::uint64_t seed,
+                                        const FaultRates& rates,
+                                        std::uint64_t horizon);
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace rhsd

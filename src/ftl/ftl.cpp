@@ -1,5 +1,6 @@
 #include "ftl/ftl.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/rng.hpp"
@@ -33,7 +34,15 @@ Ftl::Ftl(FtlConfig config, NandDevice& nand, DramDevice& dram)
       "L2P table does not fit in device DRAM");
   RHSD_CHECK_MSG(nand_.geometry().page_bytes == kBlockSize,
                  "FTL assumes 4 KiB NAND pages");
-  RHSD_CHECK_MSG(nand_.geometry().total_pages() > config_.num_lbas,
+  RHSD_CHECK_MSG(config_.scrub_interval_ios == 0 || config_.journal.enabled,
+                 "the integrity scrub requires the L2P journal");
+  if (config_.journal.enabled) {
+    journal_ =
+        std::make_unique<L2pJournal>(config_.journal, nand_, config_.num_lbas);
+  }
+  RHSD_CHECK_MSG(static_cast<std::uint64_t>(data_block_count()) *
+                         nand_.geometry().pages_per_block >
+                     config_.num_lbas,
                  "NAND must be over-provisioned beyond logical capacity");
 
   // Power-on initialization: the whole table starts unmapped. Uses poke
@@ -45,13 +54,77 @@ Ftl::Ftl(FtlConfig config, NandDevice& nand, DramDevice& dram)
   page_valid_.assign(nand_.geometry().total_pages(), false);
   block_valid_count_.assign(blocks, 0);
   block_is_free_or_active_.assign(blocks, true);
-  for (std::uint32_t b = 0; b < blocks; ++b) free_blocks_.push_back(b);
+
+  if (journal_ != nullptr) {
+    // "Firmware boot": probe the reserved region for an existing epoch.
+    // Finding one means this NAND carries state from a previous life —
+    // hold all IO until recover() rebuilds the mapping.
+    StatusOr<JournalLoadResult> probe = journal_->load();
+    if (probe.ok() && probe->snapshot_found) {
+      needs_recovery_ = true;
+      boot_load_ = std::move(probe).value();
+      return;  // recover() builds the allocator state
+    }
+    std::vector<std::uint32_t> empty(config_.num_lbas, kUnmappedPba32);
+    const Status fs = journal_->format(empty, /*write_seq=*/0);
+    RHSD_CHECK_MSG(fs.ok(), "L2P journal format failed");
+  }
+  for (std::uint32_t b = 0; b < data_block_count(); ++b) {
+    free_blocks_.push_back(b);
+  }
+}
+
+std::uint32_t Ftl::data_block_count() const {
+  return nand_.geometry().total_blocks() -
+         (journal_ != nullptr ? journal_->block_count() : 0);
+}
+
+std::uint64_t Ftl::spare_data_blocks() const {
+  const std::uint32_t ppb = nand_.geometry().pages_per_block;
+  std::uint64_t good = 0;
+  for (std::uint32_t b = 0; b < data_block_count(); ++b) {
+    if (!nand_.is_bad(b)) ++good;
+  }
+  const std::uint64_t needed =
+      (config_.num_lbas + ppb - 1) / ppb + config_.gc_low_watermark + 1;
+  return good > needed ? good - needed : 0;
+}
+
+void Ftl::update_degradation() {
+  if (read_only_) return;
+  const std::uint32_t ppb = nand_.geometry().pages_per_block;
+  std::uint64_t good = 0;
+  for (std::uint32_t b = 0; b < data_block_count(); ++b) {
+    if (!nand_.is_bad(b)) ++good;
+  }
+  const std::uint64_t needed =
+      (config_.num_lbas + ppb - 1) / ppb + config_.gc_low_watermark + 1;
+  if (good < needed) read_only_ = true;
 }
 
 Status Ftl::check_lba(Lba lba) const {
   if (lba.value() >= config_.num_lbas) {
     return OutOfRange("LBA " + std::to_string(lba.value()) +
                       " beyond device capacity");
+  }
+  return Status::Ok();
+}
+
+Status Ftl::guard_op(bool mutating) {
+  if (powered_off_) {
+    return Aborted("device powered off (awaiting reboot)");
+  }
+  if (injector_ != nullptr &&
+      injector_->tick(FaultClass::kPowerLoss).has_value()) {
+    powered_off_ = true;
+    return Aborted("power loss");
+  }
+  if (needs_recovery_) {
+    return FailedPrecondition("L2P not recovered: call Ftl::recover()");
+  }
+  if (mutating && read_only_) {
+    return FailedPrecondition(
+        "device degraded to read-only (spare blocks exhausted)");
   }
   return Status::Ok();
 }
@@ -178,6 +251,82 @@ StatusOr<Pba> Ftl::allocate_page() {
   return ResourceExhausted("page allocation failed to converge");
 }
 
+StatusOr<Pba> Ftl::program_page(std::uint64_t lpn,
+                                std::span<const std::uint8_t> data,
+                                std::uint64_t* seq_out) {
+  // The sequence is drawn *after* allocation so that any GC relocations
+  // the allocation triggered carry older sequences than this page —
+  // recovery orders pages for the same LPN strictly by sequence.
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    RHSD_ASSIGN_OR_RETURN(const Pba dst, allocate_page());
+    const std::uint64_t seq = ++write_seq_;
+    const Status ps = nand_.program_pba(dst, data, PageOob{lpn, seq});
+    if (ps.ok()) {
+      ++stats_.flash_programs;
+      if (seq_out != nullptr) *seq_out = seq;
+      return dst;
+    }
+    if (ps.code() != StatusCode::kUnavailable) return ps;
+    // Program failure: retire the block (relocating its live pages) and
+    // write somewhere else.
+    RHSD_RETURN_IF_ERROR(retire_bad_block(nand_.block_of(dst)));
+  }
+  return Unavailable("NAND program retries exhausted");
+}
+
+Status Ftl::nand_read_retry(Pba pba, std::span<std::uint8_t> out,
+                            PageOob* oob, std::uint32_t* raw_bit_errors) {
+  Status s = nand_.read_pba(pba, out, oob, raw_bit_errors);
+  for (std::uint32_t attempt = 0;
+       !s.ok() && s.code() == StatusCode::kCorruption &&
+       attempt < config_.read_retry_max;
+       ++attempt) {
+    ++stats_.read_retries;
+    s = nand_.read_pba(pba, out, oob, raw_bit_errors);
+    if (s.ok()) ++stats_.read_retry_successes;
+  }
+  return s;
+}
+
+Status Ftl::retire_bad_block(std::uint32_t block) {
+  ++stats_.retired_blocks;
+  if (have_active_block_ && active_block_ == block) {
+    have_active_block_ = false;
+  }
+  block_is_free_or_active_[block] = false;
+  if (const auto it =
+          std::find(free_blocks_.begin(), free_blocks_.end(), block);
+      it != free_blocks_.end()) {
+    free_blocks_.erase(it);
+  }
+  // Relocate whatever live data the dying block still holds.  Its pages
+  // remain readable in this model (as on most real NAND), so this is a
+  // normal read-out; unreadable pages keep their mapping and surface as
+  // read errors later.
+  const std::uint32_t pages_per_block = nand_.geometry().pages_per_block;
+  std::vector<std::uint8_t> page(nand_.geometry().page_bytes);
+  for (std::uint32_t p = 0; p < pages_per_block; ++p) {
+    const Pba src = nand_.make_pba(block, p);
+    if (!page_valid_[static_cast<std::size_t>(src.value())]) continue;
+    PageOob oob;
+    const Status rs = nand_read_retry(src, page, &oob, nullptr);
+    if (!rs.ok() || oob.lpn == PageOob::kNoLpn) continue;
+    ++stats_.flash_reads;
+    std::uint64_t seq = 0;
+    RHSD_ASSIGN_OR_RETURN(const Pba dst, program_page(oob.lpn, page, &seq));
+    mark_invalid(src);
+    mark_valid(dst);
+    RHSD_RETURN_IF_ERROR(
+        l2p_store(Lba(oob.lpn), static_cast<std::uint32_t>(dst.value())));
+    RHSD_RETURN_IF_ERROR(journal_append(
+        oob.lpn, static_cast<std::uint32_t>(dst.value()), seq, false));
+    ++stats_.gc_relocations;
+  }
+  nand_.mark_bad(block);
+  update_degradation();
+  return Status::Ok();
+}
+
 Status Ftl::garbage_collect() {
   // Greedy victim selection: the full block with the fewest valid pages.
   const std::uint32_t blocks = nand_.geometry().total_blocks();
@@ -208,7 +357,7 @@ Status Ftl::garbage_collect() {
     if (!page_valid_[static_cast<std::size_t>(src.value())]) continue;
     PageOob oob;
     std::uint32_t raw_errors = 0;
-    RHSD_RETURN_IF_ERROR(nand_.read(victim, p, page, &oob, &raw_errors));
+    RHSD_RETURN_IF_ERROR(nand_read_retry(src, page, &oob, &raw_errors));
     ++stats_.flash_reads;
     // GC reads get read-retry / soft-decode treatment in real firmware;
     // we count the media errors but let the relocation proceed.
@@ -216,26 +365,38 @@ Status Ftl::garbage_collect() {
     RHSD_CHECK_MSG(oob.lpn != PageOob::kNoLpn,
                    "valid page without OOB reverse mapping");
     // Relocate and repoint the mapping (a DRAM write: GC hammers too).
-    RHSD_ASSIGN_OR_RETURN(const Pba dst, allocate_page());
-    RHSD_RETURN_IF_ERROR(
-        nand_.program_pba(dst, page, PageOob{oob.lpn, ++write_seq_}));
-    ++stats_.flash_programs;
+    std::uint64_t seq = 0;
+    RHSD_ASSIGN_OR_RETURN(const Pba dst, program_page(oob.lpn, page, &seq));
     mark_invalid(src);
     mark_valid(dst);
     RHSD_RETURN_IF_ERROR(
         l2p_store(Lba(oob.lpn), static_cast<std::uint32_t>(dst.value())));
+    RHSD_RETURN_IF_ERROR(journal_append(
+        oob.lpn, static_cast<std::uint32_t>(dst.value()), seq, false));
     ++stats_.gc_relocations;
   }
-  RHSD_RETURN_IF_ERROR(nand_.erase(victim));
-  ++stats_.gc_erases;
-  if (!nand_.is_bad(victim)) {
-    free_blocks_.push_back(victim);
-    block_is_free_or_active_[victim] = true;
+  const Status es = nand_.erase(victim);
+  if (es.ok()) {
+    ++stats_.gc_erases;
+    if (!nand_.is_bad(victim)) {
+      free_blocks_.push_back(victim);
+      block_is_free_or_active_[victim] = true;
+    } else {
+      update_degradation();  // wore out at its PE limit
+    }
+  } else if (es.code() == StatusCode::kUnavailable) {
+    // Erase failure grew a bad block (the NAND marked it); the victim
+    // holds no live data, so just drop it from circulation.
+    ++stats_.retired_blocks;
+    update_degradation();
+  } else {
+    return es;
   }
   return Status::Ok();
 }
 
 Status Ftl::read(Lba lba, std::span<std::uint8_t> out, FtlIoInfo* info) {
+  RHSD_RETURN_IF_ERROR(guard_op(/*mutating=*/false));
   RHSD_RETURN_IF_ERROR(check_lba(lba));
   if (out.size() != kBlockSize) {
     return InvalidArgument("FTL reads are 4 KiB");
@@ -250,11 +411,12 @@ Status Ftl::read(Lba lba, std::span<std::uint8_t> out, FtlIoInfo* info) {
     ++stats_.unmapped_reads;
     std::memset(out.data(), 0, out.size());
     if (info != nullptr) info->flash_accessed = false;
+    maybe_scrub();
     return Status::Ok();
   }
   PageOob oob;
   std::uint32_t raw_errors = 0;
-  RHSD_RETURN_IF_ERROR(nand_.read_pba(Pba(pba32), out, &oob, &raw_errors));
+  RHSD_RETURN_IF_ERROR(nand_read_retry(Pba(pba32), out, &oob, &raw_errors));
   ++stats_.flash_reads;
   stats_.flash_raw_bit_errors += raw_errors;
   if (raw_errors > config_.page_ecc_correctable_bits) {
@@ -273,6 +435,7 @@ Status Ftl::read(Lba lba, std::span<std::uint8_t> out, FtlIoInfo* info) {
   }
   if (config_.xts_encryption) xts_whiten(lba, out);
   if (info != nullptr) info->flash_accessed = true;
+  maybe_scrub();
   return Status::Ok();
 }
 
@@ -294,6 +457,7 @@ void Ftl::xts_whiten(Lba lba, std::span<std::uint8_t> data) const {
 
 Status Ftl::write(Lba lba, std::span<const std::uint8_t> data,
                   FtlIoInfo* info) {
+  RHSD_RETURN_IF_ERROR(guard_op(/*mutating=*/true));
   RHSD_RETURN_IF_ERROR(check_lba(lba));
   if (data.size() != kBlockSize) {
     return InvalidArgument("FTL writes are 4 KiB");
@@ -301,17 +465,15 @@ Status Ftl::write(Lba lba, std::span<const std::uint8_t> data,
   ++stats_.host_writes;
   const std::uint64_t free_before = free_blocks_.size();
 
-  RHSD_ASSIGN_OR_RETURN(const Pba dst, allocate_page());
+  std::uint64_t seq = 0;
+  Pba dst(0);
   if (config_.xts_encryption) {
     std::vector<std::uint8_t> cipher(data.begin(), data.end());
     xts_whiten(lba, cipher);
-    RHSD_RETURN_IF_ERROR(nand_.program_pba(
-        dst, cipher, PageOob{lba.value(), ++write_seq_}));
+    RHSD_ASSIGN_OR_RETURN(dst, program_page(lba.value(), cipher, &seq));
   } else {
-    RHSD_RETURN_IF_ERROR(nand_.program_pba(
-        dst, data, PageOob{lba.value(), ++write_seq_}));
+    RHSD_ASSIGN_OR_RETURN(dst, program_page(lba.value(), data, &seq));
   }
-  ++stats_.flash_programs;
 
   std::uint32_t old = 0;
   RHSD_RETURN_IF_ERROR(l2p_load(lba, old));
@@ -321,14 +483,18 @@ Status Ftl::write(Lba lba, std::span<const std::uint8_t> data,
   mark_valid(dst);
   RHSD_RETURN_IF_ERROR(
       l2p_store(lba, static_cast<std::uint32_t>(dst.value())));
+  RHSD_RETURN_IF_ERROR(journal_append(
+      lba.value(), static_cast<std::uint32_t>(dst.value()), seq, false));
   if (info != nullptr) {
     info->flash_accessed = true;
     info->gc_ran = free_blocks_.size() != free_before;
   }
+  maybe_scrub();
   return Status::Ok();
 }
 
 Status Ftl::trim(Lba lba) {
+  RHSD_RETURN_IF_ERROR(guard_op(/*mutating=*/true));
   RHSD_RETURN_IF_ERROR(check_lba(lba));
   ++stats_.host_trims;
   std::uint32_t old = 0;
@@ -336,7 +502,235 @@ Status Ftl::trim(Lba lba) {
   if (old != kUnmappedPba32 && old < nand_.geometry().total_pages()) {
     mark_invalid(Pba(old));
   }
-  return l2p_store(lba, kUnmappedPba32);
+  // Trims advance the write sequence: the unmap must outrank the stale
+  // flash pages the OOB scan would otherwise resurrect, and sync_trims
+  // flushes the record because a trim leaves no other flash artifact.
+  const std::uint64_t seq = ++write_seq_;
+  RHSD_RETURN_IF_ERROR(l2p_store(lba, kUnmappedPba32));
+  RHSD_RETURN_IF_ERROR(journal_append(lba.value(), kUnmappedPba32, seq,
+                                      config_.journal.sync_trims));
+  maybe_scrub();
+  return Status::Ok();
+}
+
+Status Ftl::journal_append(std::uint64_t lpn, std::uint32_t pba32,
+                           std::uint64_t seq, bool sync) {
+  if (journal_ == nullptr) return Status::Ok();
+  ++stats_.journal_records;
+  const Status s = journal_->append(JournalRecord{lpn, pba32, seq}, sync);
+  if (s.code() == StatusCode::kResourceExhausted ||
+      (s.ok() && journal_->needs_snapshot())) {
+    // Out of (or nearly out of) record space: roll a fresh epoch.  The
+    // snapshot source is the live table, which already contains this
+    // record's effect, so nothing is lost if the append itself failed.
+    return roll_snapshot();
+  }
+  return s;
+}
+
+Status Ftl::roll_snapshot() {
+  const std::vector<std::uint32_t> table = snapshot_table();
+  RHSD_RETURN_IF_ERROR(journal_->snapshot(table, write_seq_));
+  ++stats_.journal_snapshots;
+  return Status::Ok();
+}
+
+std::vector<std::uint32_t> Ftl::snapshot_table() const {
+  std::vector<std::uint32_t> table(config_.num_lbas, kUnmappedPba32);
+  for (std::uint64_t lpn = 0; lpn < config_.num_lbas; ++lpn) {
+    table[lpn] = debug_lookup(Lba(lpn));
+  }
+  return table;
+}
+
+void Ftl::maybe_scrub() {
+  if (config_.scrub_interval_ios == 0 || journal_ == nullptr) return;
+  if (++ios_since_scrub_ < config_.scrub_interval_ios) return;
+  ios_since_scrub_ = 0;
+  // Best-effort: a scrub that cannot trust the journal aborts and is
+  // counted, but never fails the host IO that triggered it.
+  (void)scrub(nullptr);
+}
+
+Status Ftl::scrub(std::uint64_t* repaired) {
+  if (journal_ == nullptr) {
+    return FailedPrecondition("scrub requires the L2P journal");
+  }
+  if (needs_recovery_) {
+    return FailedPrecondition("L2P not recovered: call Ftl::recover()");
+  }
+  ++stats_.scrub_runs;
+  RHSD_RETURN_IF_ERROR(journal_->flush());
+  RHSD_ASSIGN_OR_RETURN(JournalLoadResult r, journal_->load());
+  if (!r.snapshot_found || r.corrupt_pages > 0) {
+    ++stats_.scrub_aborts;
+    return Corruption("journal unusable for scrub (corrupt pages: " +
+                      std::to_string(r.corrupt_pages) + ")");
+  }
+  // Authoritative mapping: snapshot plus every flushed record in
+  // sequence order.
+  std::vector<std::uint32_t> truth = std::move(r.table);
+  std::vector<std::uint64_t> last(config_.num_lbas, r.snapshot_write_seq);
+  std::stable_sort(r.records.begin(), r.records.end(),
+                   [](const JournalRecord& a, const JournalRecord& b) {
+                     return a.seq < b.seq;
+                   });
+  for (const JournalRecord& rec : r.records) {
+    if (rec.lpn >= config_.num_lbas) continue;
+    if (rec.seq > last[rec.lpn]) {
+      truth[rec.lpn] = rec.pba32;
+      last[rec.lpn] = rec.seq;
+    }
+  }
+  std::uint64_t fixed = 0;
+  for (std::uint64_t lpn = 0; lpn < config_.num_lbas; ++lpn) {
+    const std::uint32_t actual = debug_lookup(Lba(lpn));
+    if (actual != truth[lpn]) {
+      // Drifted from the journaled state: a hammer flip or an injected
+      // soft error.  Repair in place (poke: maintenance traffic is not
+      // modeled as hammering).
+      debug_store(Lba(lpn), truth[lpn]);
+      ++fixed;
+    }
+  }
+  stats_.scrub_repairs += fixed;
+  if (repaired != nullptr) *repaired = fixed;
+  return Status::Ok();
+}
+
+Status Ftl::recover(FtlRecoveryReport* report) {
+  FtlRecoveryReport rep;
+  if (journal_ == nullptr) {
+    return FailedPrecondition("recovery requires the L2P journal");
+  }
+  if (!needs_recovery_) {
+    // Fresh (or already recovered) device: nothing to reconstruct.
+    if (report != nullptr) *report = std::move(rep);
+    return Status::Ok();
+  }
+  JournalLoadResult r;
+  if (boot_load_.has_value()) {
+    r = std::move(*boot_load_);
+    boot_load_.reset();
+  } else {
+    RHSD_ASSIGN_OR_RETURN(r, journal_->load());
+  }
+  rep.snapshot_found = r.snapshot_found;
+  rep.epoch = r.epoch;
+  rep.corrupt_journal_pages = r.corrupt_pages;
+
+  const std::uint64_t n = config_.num_lbas;
+  std::vector<std::uint32_t> table =
+      r.snapshot_found ? std::move(r.table)
+                       : std::vector<std::uint32_t>(n, kUnmappedPba32);
+  std::vector<std::uint64_t> last_seq(n, r.snapshot_write_seq);
+  std::uint64_t max_seq = r.snapshot_write_seq;
+
+  // 1. Replay journal records newer than the snapshot, in sequence
+  //    order.
+  std::stable_sort(r.records.begin(), r.records.end(),
+                   [](const JournalRecord& a, const JournalRecord& b) {
+                     return a.seq < b.seq;
+                   });
+  for (const JournalRecord& rec : r.records) {
+    if (rec.lpn >= n) {
+      ++rep.invalid_records;
+      continue;
+    }
+    max_seq = std::max(max_seq, rec.seq);
+    if (rec.seq > last_seq[rec.lpn]) {
+      table[rec.lpn] = rec.pba32;
+      last_seq[rec.lpn] = rec.seq;
+      ++rep.records_applied;
+    }
+  }
+
+  // 2. OOB scan: every programmed data page names its owner and write
+  //    sequence, which re-adopts journaled-but-unflushed writes (data
+  //    is always programmed before its record is appended).
+  const std::uint32_t ppb = nand_.geometry().pages_per_block;
+  const std::uint64_t total_pages = nand_.geometry().total_pages();
+  std::vector<std::uint64_t> page_owner(total_pages, PageOob::kNoLpn);
+  std::vector<std::uint8_t> page(nand_.geometry().page_bytes);
+  for (std::uint32_t b = 0; b < data_block_count(); ++b) {
+    if (nand_.is_bad(b)) continue;  // retired blocks hold no live data
+    const std::uint32_t wp = nand_.write_pointer(b);
+    for (std::uint32_t p = 0; p < wp; ++p) {
+      PageOob oob;
+      const Status rs = nand_.read(b, p, page, &oob);
+      if (!rs.ok()) {
+        ++rep.unreadable_pages;
+        continue;
+      }
+      if (oob.lpn == PageOob::kNoLpn || oob.lpn >= n) continue;
+      const std::uint64_t pba = nand_.make_pba(b, p).value();
+      page_owner[pba] = oob.lpn;
+      max_seq = std::max(max_seq, oob.write_seq);
+      if (oob.write_seq > last_seq[oob.lpn]) {
+        table[oob.lpn] = static_cast<std::uint32_t>(pba);
+        last_seq[oob.lpn] = oob.write_seq;
+        ++rep.oob_adopted;
+      }
+    }
+  }
+
+  // 3. Validate: every mapping must point at a readable page that
+  //    claims the same owner; anything else is quarantined to unmapped
+  //    and reported as lost.
+  for (std::uint64_t lpn = 0; lpn < n; ++lpn) {
+    const std::uint32_t pba = table[lpn];
+    if (pba == kUnmappedPba32) continue;
+    const bool sane = pba < total_pages &&
+                      nand_.block_of(Pba(pba)) < data_block_count() &&
+                      page_owner[pba] == lpn;
+    if (!sane) {
+      table[lpn] = kUnmappedPba32;
+      rep.lost_lbas.push_back(lpn);
+    }
+  }
+
+  // 4. Rebuild the allocator: validity from the recovered table, free
+  //    list from fully-erased blocks, the first partially-written good
+  //    block resumes as the active block.
+  free_blocks_.clear();
+  have_active_block_ = false;
+  page_valid_.assign(total_pages, false);
+  const std::uint32_t blocks = nand_.geometry().total_blocks();
+  block_valid_count_.assign(blocks, 0);
+  block_is_free_or_active_.assign(blocks, false);
+  for (std::uint32_t b = data_block_count(); b < blocks; ++b) {
+    block_is_free_or_active_[b] = true;  // journal region: never GC'd
+  }
+  for (std::uint64_t lpn = 0; lpn < n; ++lpn) {
+    if (table[lpn] != kUnmappedPba32) mark_valid(Pba(table[lpn]));
+  }
+  for (std::uint32_t b = 0; b < data_block_count(); ++b) {
+    if (nand_.is_bad(b)) continue;
+    const std::uint32_t wp = nand_.write_pointer(b);
+    if (wp == 0) {
+      free_blocks_.push_back(b);
+      block_is_free_or_active_[b] = true;
+    } else if (wp < ppb && !have_active_block_) {
+      active_block_ = b;
+      have_active_block_ = true;
+      block_is_free_or_active_[b] = true;
+    }
+    // Other partial/full blocks stay closed; GC reclaims them.
+  }
+  write_seq_ = max_seq;
+
+  // 5. Restore the table into DRAM (poke: bring-up, not hammering) and
+  //    seal the recovery with a fresh epoch.
+  for (std::uint64_t lpn = 0; lpn < n; ++lpn) {
+    debug_store(Lba(lpn), table[lpn]);
+  }
+  needs_recovery_ = false;
+  powered_off_ = false;
+  update_degradation();
+  RHSD_RETURN_IF_ERROR(journal_->snapshot(table, write_seq_));
+  ++stats_.journal_snapshots;
+  if (report != nullptr) *report = std::move(rep);
+  return Status::Ok();
 }
 
 std::uint32_t Ftl::debug_lookup(Lba lba) const {

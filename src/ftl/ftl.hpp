@@ -15,12 +15,15 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "common/status.hpp"
 #include "common/types.hpp"
 #include "dram/dram_device.hpp"
+#include "fault/fault_injector.hpp"
+#include "ftl/l2p_journal.hpp"
 #include "ftl/l2p_layout.hpp"
 #include "nand/nand_device.hpp"
 
@@ -49,6 +52,18 @@ struct FtlConfig {
   /// block's LBA to … encrypt block data"): XTS-style per-LBA tweaked
   /// encryption, so misdirected reads decrypt to noise.
   bool xts_encryption = false;
+  /// Flash-resident L2P journal (snapshot + record log).  Enables
+  /// power-loss recovery via Ftl::recover() and the integrity scrub.
+  L2pJournalConfig journal;
+  /// Extra NAND read attempts after an uncorrectable media error
+  /// (read-retry with shifted reference voltages on real NAND).
+  std::uint32_t read_retry_max = 2;
+  /// Run the integrity scrub every this many host IOs (0 = never).
+  /// Requires the journal: the scrub replays journal state against the
+  /// DRAM-resident table and repairs entries that drifted — the
+  /// "per-block integrity" style defense of §5 applied to the mapping
+  /// itself.
+  std::uint32_t scrub_interval_ios = 0;
 };
 
 struct FtlStats {
@@ -67,6 +82,31 @@ struct FtlStats {
   std::uint64_t reference_tag_mismatches = 0;  // T10-style guard hits
   std::uint64_t flash_raw_bit_errors = 0;      // media errors corrected
   std::uint64_t flash_ecc_uncorrectable = 0;   // reads beyond the budget
+  std::uint64_t read_retries = 0;            // NAND reads retried
+  std::uint64_t read_retry_successes = 0;    // retries that recovered
+  std::uint64_t retired_blocks = 0;          // grown bad blocks retired
+  std::uint64_t journal_records = 0;         // mapping changes journaled
+  std::uint64_t journal_snapshots = 0;       // epoch rolls (excl. format)
+  std::uint64_t scrub_runs = 0;
+  std::uint64_t scrub_repairs = 0;           // L2P entries repaired
+  std::uint64_t scrub_aborts = 0;            // scrubs with unusable journal
+};
+
+/// What Ftl::recover() reconstructed after a power loss.
+struct FtlRecoveryReport {
+  bool snapshot_found = false;
+  std::uint64_t epoch = 0;
+  /// Journal records newer than the snapshot that were applied.
+  std::uint64_t records_applied = 0;
+  /// Mappings adopted from the OOB scan (journaled but unflushed, or
+  /// whose record page was lost).
+  std::uint64_t oob_adopted = 0;
+  std::uint32_t corrupt_journal_pages = 0;
+  std::uint64_t unreadable_pages = 0;  // data pages that failed to read
+  std::uint64_t invalid_records = 0;   // records naming impossible LPNs
+  /// LPNs whose mapping could not be re-established (quarantined to
+  /// unmapped).  Sorted ascending.
+  std::vector<std::uint64_t> lost_lbas;
 };
 
 /// Outcome details of a single FTL operation, for the timing model.
@@ -97,6 +137,40 @@ class Ftl {
   /// Unmap a logical page.
   Status trim(Lba lba);
 
+  /// Reconstruct the L2P table after a power loss: newest complete
+  /// journal snapshot, plus CRC-valid records, plus an OOB scan of the
+  /// data blocks for journaled-but-unflushed writes; mappings that
+  /// cannot be re-established are quarantined and reported.  A fresh
+  /// (formatted) device recovers to an empty table trivially.  Until
+  /// this succeeds on a device that booted with journal history, all
+  /// host operations fail with FailedPrecondition.
+  Status recover(FtlRecoveryReport* report = nullptr);
+
+  /// Integrity scrub: rebuild the authoritative mapping from the
+  /// journal (flushing pending records first) and compare it with the
+  /// DRAM-resident table; entries that differ — hammer flips, injected
+  /// soft errors — are repaired in place.  Returns the repair count.
+  Status scrub(std::uint64_t* repaired = nullptr);
+
+  /// Attach a fault injector (nullptr detaches).  The FTL consults it
+  /// once per host operation for FaultClass::kPowerLoss; after a power
+  /// loss every operation fails with Aborted until the device is
+  /// "rebooted" (a new Ftl constructed over the same NAND) and
+  /// recover()ed.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
+  /// True once grown bad blocks ate the spare pool: reads still work,
+  /// mutations fail with FailedPrecondition.
+  [[nodiscard]] bool read_only() const { return read_only_; }
+  /// True when journal history was found at boot and recover() has not
+  /// yet completed.
+  [[nodiscard]] bool needs_recovery() const { return needs_recovery_; }
+  [[nodiscard]] bool powered_off() const { return powered_off_; }
+  /// Good data blocks beyond what capacity + GC headroom require.
+  [[nodiscard]] std::uint64_t spare_data_blocks() const;
+  /// The journal, or nullptr when disabled.
+  [[nodiscard]] const L2pJournal* journal() const { return journal_.get(); }
+
   [[nodiscard]] const FtlConfig& config() const { return config_; }
   [[nodiscard]] const FtlStats& stats() const { return stats_; }
   [[nodiscard]] const L2pLayout& layout() const { return *layout_; }
@@ -115,6 +189,8 @@ class Ftl {
 
  private:
   Status check_lba(Lba lba) const;
+  /// Per-host-op gate: power-loss tick, recovery and read-only state.
+  Status guard_op(bool mutating);
 
   /// L2P entry access through DRAM, with hammer amplification.
   Status l2p_load(Lba lba, std::uint32_t& pba32);
@@ -125,6 +201,28 @@ class Ftl {
 
   StatusOr<Pba> allocate_page();
   Status garbage_collect();
+  /// Allocate + program with bad-block retirement on program failure.
+  /// Each attempt draws a fresh write sequence (returned via seq_out) so
+  /// sequences stay ordered with any GC the allocation triggered.
+  StatusOr<Pba> program_page(std::uint64_t lpn,
+                             std::span<const std::uint8_t> data,
+                             std::uint64_t* seq_out);
+  /// NAND read with bounded read-retry on uncorrectable media errors.
+  Status nand_read_retry(Pba pba, std::span<std::uint8_t> out,
+                         PageOob* oob, std::uint32_t* raw_bit_errors);
+  /// Relocate live pages off `block`, then mark it bad.
+  Status retire_bad_block(std::uint32_t block);
+  /// Append to the journal (no-op when disabled), rolling a fresh
+  /// snapshot when the active half runs low.
+  Status journal_append(std::uint64_t lpn, std::uint32_t pba32,
+                        std::uint64_t seq, bool sync);
+  Status roll_snapshot();
+  /// The table as currently stored in DRAM (peek; no activations).
+  [[nodiscard]] std::vector<std::uint32_t> snapshot_table() const;
+  void maybe_scrub();
+  /// Recompute read-only degradation from the good-block census.
+  void update_degradation();
+  [[nodiscard]] std::uint32_t data_block_count() const;
   /// XTS-style keystream XOR, tweaked by LBA (applied on write and on
   /// read with the *requested* LBA — misdirected reads come out as
   /// noise).
@@ -136,6 +234,15 @@ class Ftl {
   NandDevice& nand_;
   DramDevice& dram_;
   std::unique_ptr<L2pLayout> layout_;
+  std::unique_ptr<L2pJournal> journal_;
+  FaultInjector* injector_ = nullptr;
+
+  bool powered_off_ = false;
+  bool read_only_ = false;
+  bool needs_recovery_ = false;
+  std::uint64_t ios_since_scrub_ = 0;
+  /// Journal contents found at boot, consumed by recover().
+  std::optional<JournalLoadResult> boot_load_;
 
   std::deque<std::uint32_t> free_blocks_;
   std::uint32_t active_block_ = 0;

@@ -56,6 +56,8 @@ struct MitigationResult {
   std::uint64_t trr_refreshes = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t reference_tag_mismatches = 0;
+  std::uint64_t scrub_runs = 0;
+  std::uint64_t scrub_repairs = 0;  // L2P entries the scrub fixed
 };
 
 class MitigationStudy {

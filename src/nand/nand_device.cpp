@@ -78,6 +78,16 @@ Status NandDevice::erase(std::uint32_t block) {
   if (b.bad) {
     return FailedPrecondition("erase of bad block " + std::to_string(block));
   }
+  ++stats_.erases;
+  if (injector_ != nullptr &&
+      injector_->tick(FaultClass::kNandErase).has_value()) {
+    // An erase failure grows a bad block immediately: the media could
+    // not return to the programmable state.
+    ++stats_.injected_erase_faults;
+    mark_bad(block);
+    return Unavailable("NAND erase failure on block " +
+                       std::to_string(block));
+  }
   for (Page& p : b.pages) {
     p.data.clear();
     p.oob = PageOob{};
@@ -86,7 +96,6 @@ Status NandDevice::erase(std::uint32_t block) {
   b.write_pointer = 0;
   ++b.erase_count;
   reads_since_erase_[block] = 0;
-  ++stats_.erases;
   if (max_pe_cycles_ != 0 && b.erase_count >= max_pe_cycles_) {
     b.bad = true;
   }
@@ -113,6 +122,16 @@ Status NandDevice::program(std::uint32_t block, std::uint32_t page,
         std::to_string(page) + " (write pointer at " +
         std::to_string(b.write_pointer) + ")");
   }
+  if (injector_ != nullptr &&
+      injector_->tick(FaultClass::kNandProgram).has_value()) {
+    // Program failure: the page holds indeterminate data and must not be
+    // used; the write pointer does not advance.  The FTL is expected to
+    // retire the block (mark_bad) and rewrite elsewhere.
+    ++stats_.injected_program_faults;
+    return Unavailable("NAND program failure on block " +
+                       std::to_string(block) + " page " +
+                       std::to_string(page));
+  }
   Page& p = b.pages[page];
   p.data.assign(data.begin(), data.end());
   p.oob = oob;
@@ -132,6 +151,16 @@ Status NandDevice::read(std::uint32_t block, std::uint32_t page,
   const Page& p = blocks_[block].pages[page];
   ++stats_.reads;
   ++reads_since_erase_[block];
+  if (injector_ != nullptr &&
+      injector_->tick(FaultClass::kNandRead).has_value()) {
+    // Uncorrectable read: the sense returned garbage beyond what the
+    // controller ECC can repair.  The FTL may retry (read-retry with
+    // shifted reference voltages often recovers real NAND).
+    ++stats_.injected_read_faults;
+    return Corruption("NAND uncorrectable read on block " +
+                      std::to_string(block) + " page " +
+                      std::to_string(page));
+  }
   if (raw_bit_errors != nullptr) {
     *raw_bit_errors = sample_bit_errors(block);
   }
@@ -175,6 +204,13 @@ std::uint32_t NandDevice::erase_count(std::uint32_t block) const {
 bool NandDevice::is_bad(std::uint32_t block) const {
   RHSD_CHECK(block < blocks_.size());
   return blocks_[block].bad;
+}
+
+void NandDevice::mark_bad(std::uint32_t block) {
+  RHSD_CHECK(block < blocks_.size());
+  if (blocks_[block].bad) return;
+  blocks_[block].bad = true;
+  ++stats_.grown_bad_blocks;
 }
 
 }  // namespace rhsd

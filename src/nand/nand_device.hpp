@@ -17,6 +17,7 @@
 #include "common/rng.hpp"
 #include "common/status.hpp"
 #include "common/types.hpp"
+#include "fault/fault_injector.hpp"
 
 namespace rhsd {
 
@@ -79,6 +80,10 @@ struct NandStats {
   std::uint64_t programs = 0;
   std::uint64_t erases = 0;
   std::uint64_t program_violations = 0;  // rejected out-of-order programs
+  std::uint64_t injected_read_faults = 0;
+  std::uint64_t injected_program_faults = 0;
+  std::uint64_t injected_erase_faults = 0;
+  std::uint64_t grown_bad_blocks = 0;  // marked bad after manufacture
 };
 
 class NandDevice {
@@ -144,6 +149,14 @@ class NandDevice {
   [[nodiscard]] std::uint32_t erase_count(std::uint32_t block) const;
   [[nodiscard]] bool is_bad(std::uint32_t block) const;
 
+  /// Retire a block (grown bad block): the FTL calls this after a
+  /// program failure; erase failures mark the block bad internally.
+  void mark_bad(std::uint32_t block);
+
+  /// Attach a fault injector (nullptr detaches).  The device consults it
+  /// on every read/program/erase; must outlive the device or be detached.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
  private:
   struct Page {
     std::vector<std::uint8_t> data;  // empty until programmed
@@ -164,6 +177,7 @@ class NandDevice {
   NandGeometry geometry_;
   NandLatency latency_;
   std::uint32_t max_pe_cycles_;
+  FaultInjector* injector_ = nullptr;
   NandReliability reliability_;
   std::vector<Block> blocks_;
   /// Per-block reads since last erase (read-disturb pressure); mutable

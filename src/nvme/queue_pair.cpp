@@ -1,5 +1,7 @@
 #include "nvme/queue_pair.hpp"
 
+#include <algorithm>
+
 namespace rhsd {
 
 NvmeCommand NvmeCommand::Read(std::uint16_t cid, std::uint32_t nsid,
@@ -53,12 +55,82 @@ NvmeQueuePair::NvmeQueuePair(NvmeController& controller, std::uint16_t qid,
 
 Status NvmeQueuePair::submit(NvmeCommand command) {
   if (sq_.size() >= depth_) {
-    return FailedPrecondition("submission queue " + std::to_string(qid_) +
-                              " full (depth " + std::to_string(depth_) +
-                              ")");
+    return ResourceExhausted("submission queue " + std::to_string(qid_) +
+                             " full (depth " + std::to_string(depth_) +
+                             ")");
   }
   sq_.push_back(std::move(command));
   return Status::Ok();
+}
+
+Status NvmeQueuePair::abort(std::uint16_t cid) {
+  for (auto it = sq_.begin(); it != sq_.end(); ++it) {
+    if (it->cid != cid) continue;
+    sq_.erase(it);
+    ++stats_.aborts;
+    cq_.push_back(NvmeCompletion{
+        cid, Aborted("command " + std::to_string(cid) + " aborted by host"),
+        controller_.clock().now_ns()});
+    return Status::Ok();
+  }
+  return NotFound("no queued command with cid " + std::to_string(cid));
+}
+
+Status NvmeQueuePair::execute_once(const NvmeCommand& command) {
+  switch (command.op) {
+    case NvmeCommand::Op::kRead:
+      return controller_.read(command.nsid, command.slba, command.read_buf);
+    case NvmeCommand::Op::kWrite:
+      return controller_.write(command.nsid, command.slba,
+                               command.write_data);
+    case NvmeCommand::Op::kTrim:
+      return controller_.trim(command.nsid, command.slba, command.nblocks);
+    case NvmeCommand::Op::kFlush:
+      return controller_.flush(command.nsid);
+  }
+  return InvalidArgument("unknown NVMe opcode");
+}
+
+Status NvmeQueuePair::execute_with_retry(const NvmeCommand& command) {
+  const std::uint32_t attempts = std::max(policy_.max_attempts, 1u);
+  Status status;
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    // Both fault streams advance every attempt, so a count=1 fault
+    // affects exactly one attempt and the retry goes through.
+    const bool timed_out =
+        injector_ != nullptr &&
+        injector_->tick(FaultClass::kNvmeTimeout).has_value();
+    const bool dropped =
+        injector_ != nullptr &&
+        injector_->tick(FaultClass::kNvmeDrop).has_value();
+    if (dropped) {
+      // The command never reached the device; the host discovers this
+      // only by waiting out its deadline.
+      ++stats_.drops;
+      controller_.clock().advance_ns(policy_.timeout_ns);
+      status = Unavailable("command " + std::to_string(command.cid) +
+                           " lost in transit");
+    } else {
+      status = execute_once(command);
+      if (timed_out) {
+        // The device did the work but the completion stalled past the
+        // host's deadline (writes may thus apply twice across retries —
+        // block rewrites are idempotent, as on real hardware).
+        ++stats_.timeouts;
+        controller_.clock().advance_ns(policy_.timeout_ns);
+        status = DeadlineExceeded("command " + std::to_string(command.cid) +
+                                  " timed out");
+      }
+    }
+    const bool retryable = status.code() == StatusCode::kUnavailable ||
+                           status.code() == StatusCode::kDeadlineExceeded;
+    if (!retryable || attempt >= attempts) return status;
+    ++stats_.retries;
+    const std::uint64_t backoff =
+        std::min(policy_.backoff_base_ns << (attempt - 1),
+                 policy_.backoff_cap_ns);
+    controller_.clock().advance_ns(backoff);
+  }
 }
 
 std::uint32_t NvmeQueuePair::process(std::uint32_t max_commands) {
@@ -67,26 +139,7 @@ std::uint32_t NvmeQueuePair::process(std::uint32_t max_commands) {
          cq_.size() < depth_) {
     NvmeCommand command = std::move(sq_.front());
     sq_.pop_front();
-
-    Status status;
-    switch (command.op) {
-      case NvmeCommand::Op::kRead:
-        status = controller_.read(command.nsid, command.slba,
-                                  command.read_buf);
-        break;
-      case NvmeCommand::Op::kWrite:
-        status = controller_.write(command.nsid, command.slba,
-                                   command.write_data);
-        break;
-      case NvmeCommand::Op::kTrim:
-        status = controller_.trim(command.nsid, command.slba,
-                                  command.nblocks);
-        break;
-      case NvmeCommand::Op::kFlush:
-        status = controller_.flush(command.nsid);
-        break;
-    }
-    cq_.push_back(NvmeCompletion{command.cid, std::move(status),
+    cq_.push_back(NvmeCompletion{command.cid, execute_with_retry(command),
                                  controller_.clock().now_ns()});
     ++processed;
   }

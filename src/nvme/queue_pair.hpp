@@ -17,9 +17,31 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "fault/fault_injector.hpp"
 #include "nvme/nvme_controller.hpp"
 
 namespace rhsd {
+
+/// Host-side command robustness: per-command timeout detection and
+/// bounded retry with capped exponential backoff, the way kernel NVMe
+/// drivers recover from lost or stalled commands.
+struct NvmeRetryPolicy {
+  /// Total attempts per command (1 = no retry).
+  std::uint32_t max_attempts = 1;
+  /// Simulated time the host waits before declaring an attempt dead
+  /// (charged on every timeout/drop).
+  std::uint64_t timeout_ns = 1'000'000;  // 1 ms
+  /// Backoff before attempt k+1 is min(base << (k-1), cap).
+  std::uint64_t backoff_base_ns = 100'000;
+  std::uint64_t backoff_cap_ns = 10'000'000;
+};
+
+struct NvmeQueueStats {
+  std::uint64_t timeouts = 0;  // attempts that timed out device-side
+  std::uint64_t drops = 0;     // attempts that vanished in transit
+  std::uint64_t retries = 0;   // re-submissions after a failed attempt
+  std::uint64_t aborts = 0;    // commands removed via abort()
+};
 
 struct NvmeCommand {
   enum class Op { kRead, kWrite, kTrim, kFlush };
@@ -65,10 +87,15 @@ class NvmeQueuePair {
   NvmeQueuePair(const NvmeQueuePair&) = delete;
   NvmeQueuePair& operator=(const NvmeQueuePair&) = delete;
 
-  /// Enqueue a command. FailedPrecondition when the submission ring is
+  /// Enqueue a command. ResourceExhausted when the submission ring is
   /// full (caller must process()/poll() first — queue-depth
   /// back-pressure, exactly what bounds real io_uring pipelines).
   Status submit(NvmeCommand command);
+
+  /// Remove a not-yet-processed command from the submission ring and
+  /// post an Aborted completion for it (NVMe Abort).  NotFound if no
+  /// such cid is queued.
+  Status abort(std::uint16_t cid);
 
   /// Ring the doorbell: the controller consumes up to `max_commands`
   /// submissions in order, executes them against the device (advancing
@@ -91,12 +118,30 @@ class NvmeQueuePair {
     return static_cast<std::uint32_t>(cq_.size());
   }
 
+  void set_retry_policy(NvmeRetryPolicy policy) { policy_ = policy; }
+  [[nodiscard]] const NvmeRetryPolicy& retry_policy() const {
+    return policy_;
+  }
+  /// Attach a fault injector (nullptr detaches).  Consulted once per
+  /// attempt for kNvmeTimeout (command executes, completion is lost and
+  /// the host waits out the timeout) and kNvmeDrop (command never
+  /// reaches the device).
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  [[nodiscard]] const NvmeQueueStats& queue_stats() const { return stats_; }
+
  private:
+  /// One command through the attempt/timeout/backoff loop.
+  Status execute_with_retry(const NvmeCommand& command);
+  Status execute_once(const NvmeCommand& command);
+
   NvmeController& controller_;
   std::uint16_t qid_;
   std::uint32_t depth_;
+  NvmeRetryPolicy policy_;
+  FaultInjector* injector_ = nullptr;
   std::deque<NvmeCommand> sq_;
   std::deque<NvmeCompletion> cq_;
+  NvmeQueueStats stats_;
 };
 
 }  // namespace rhsd

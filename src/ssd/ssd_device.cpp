@@ -42,6 +42,9 @@ SsdConfig SsdConfig::DemoSetup(std::uint64_t capacity_bytes) {
 }
 
 SsdDevice::SsdDevice(SsdConfig config) : config_(std::move(config)) {
+  if (!config_.fault_plan.empty()) {
+    injector_ = std::make_unique<FaultInjector>(config_.fault_plan);
+  }
   DramConfig dram_config;
   dram_config.geometry = config_.dram_geometry;
   dram_config.profile = config_.dram_profile;
@@ -68,7 +71,17 @@ SsdDevice::SsdDevice(SsdConfig config) : config_(std::move(config)) {
   ftl_config.t10_reference_tag = config_.t10_reference_tag;
   ftl_config.xts_encryption = config_.xts_encryption;
   ftl_config.page_ecc_correctable_bits = config_.page_ecc_correctable_bits;
+  ftl_config.journal = config_.l2p_journal;
+  ftl_config.read_retry_max = config_.read_retry_max;
+  ftl_config.scrub_interval_ios = config_.scrub_interval_ios;
+  // Attach faults to the media models before the FTL touches them so
+  // even bring-up operations count against the plan's op streams.
+  if (injector_ != nullptr) {
+    dram_->set_fault_injector(injector_.get());
+    nand_->set_fault_injector(injector_.get());
+  }
   ftl_ = std::make_unique<Ftl>(ftl_config, *nand_, *dram_);
+  if (injector_ != nullptr) ftl_->set_fault_injector(injector_.get());
 
   NvmeConfig nvme_config;
   nvme_config.iops = IopsModel::ForInterface(config_.host_interface);

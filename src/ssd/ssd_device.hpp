@@ -16,6 +16,7 @@
 
 #include "common/sim_clock.hpp"
 #include "dram/dram_device.hpp"
+#include "fault/fault_injector.hpp"
 #include "ftl/ftl.hpp"
 #include "nand/nand_device.hpp"
 #include "nvme/nvme_controller.hpp"
@@ -48,6 +49,18 @@ struct SsdConfig {
 
   HostInterface host_interface = HostInterface::kTestbedVmDirect;
   std::optional<RateLimiterConfig> rate_limit;
+
+  /// Robustness machinery (all off by default, preserving the paper's
+  /// bare testbed): flash-resident L2P journal, NAND read-retry budget,
+  /// and the periodic integrity scrub over the mapping table.
+  L2pJournalConfig l2p_journal;
+  std::uint32_t read_retry_max = 2;
+  std::uint32_t scrub_interval_ios = 0;
+
+  /// Deterministic fault schedule.  Non-empty plans create a
+  /// FaultInjector wired into the NAND, DRAM and FTL; NVMe queue pairs
+  /// attach via SsdDevice::fault_injector().
+  FaultPlan fault_plan;
 
   /// Partition sizes in 4 KiB blocks; empty = one namespace covering the
   /// whole device. Sizes must sum to <= capacity.
@@ -83,10 +96,13 @@ class SsdDevice {
   [[nodiscard]] NandDevice& nand() { return *nand_; }
   [[nodiscard]] Ftl& ftl() { return *ftl_; }
   [[nodiscard]] NvmeController& controller() { return *controller_; }
+  /// The shared injector, or nullptr when the fault plan is empty.
+  [[nodiscard]] FaultInjector* fault_injector() { return injector_.get(); }
 
  private:
   SsdConfig config_;
   SimClock clock_;
+  std::unique_ptr<FaultInjector> injector_;
   std::unique_ptr<DramDevice> dram_;
   std::unique_ptr<NandDevice> nand_;
   std::unique_ptr<Ftl> ftl_;

@@ -209,15 +209,18 @@ TEST(HalfDouble, OrchestratorDrivesDistanceTwoRows) {
 
 TEST(MitigationCatalog, IncludesTheNewScenarios) {
   const auto scenarios = MitigationStudy::StandardScenarios();
-  EXPECT_EQ(scenarios.size(), 15u);
+  EXPECT_EQ(scenarios.size(), 16u);
   bool has_para = false;
   bool has_half_double = false;
+  bool has_scrub = false;
   for (const auto& s : scenarios) {
     has_para |= s.name == "PARA";
     has_half_double |= s.name.find("half-double") != std::string::npos;
+    has_scrub |= s.name.find("integrity scrub") != std::string::npos;
   }
   EXPECT_TRUE(has_para);
   EXPECT_TRUE(has_half_double);
+  EXPECT_TRUE(has_scrub);
 }
 
 }  // namespace

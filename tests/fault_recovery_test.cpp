@@ -1,0 +1,255 @@
+// Firmware reactions to injected physical faults: NAND read-retry,
+// program-failure block retirement, erase-failure bad-block growth with
+// graceful degradation to read-only, DRAM soft errors (raw and under
+// SECDED), and the journal-backed integrity scrub.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "fault/fault_injector.hpp"
+#include "ftl/ftl.hpp"
+#include "test_util.hpp"
+
+namespace rhsd {
+namespace {
+
+struct FaultRig {
+  explicit FaultRig(FaultPlan plan, FtlConfig config = DefaultConfig(),
+                    std::uint32_t blocks = 16)
+      : injector(std::move(plan)) {
+    DramConfig dc;
+    dc.geometry = test::SmallDram();
+    dc.profile = DramProfile::Invulnerable();
+    dram = std::make_unique<DramDevice>(
+        dc, MakeLinearMapper(dc.geometry), clock);
+    nand = std::make_unique<NandDevice>(
+        NandGeometry{.channels = 1,
+                     .dies_per_channel = 1,
+                     .planes_per_die = 1,
+                     .blocks_per_plane = blocks,
+                     .pages_per_block = 16,
+                     .page_bytes = kBlockSize});
+    dram->set_fault_injector(&injector);
+    nand->set_fault_injector(&injector);
+    ftl = std::make_unique<Ftl>(config, *nand, *dram);
+    ftl->set_fault_injector(&injector);
+  }
+
+  static FtlConfig DefaultConfig() {
+    FtlConfig c;
+    c.num_lbas = 64;
+    c.hammers_per_io = 1;
+    return c;
+  }
+
+  static FtlConfig JournalConfig() {
+    FtlConfig c = DefaultConfig();
+    c.journal.enabled = true;
+    return c;
+  }
+
+  SimClock clock;
+  FaultInjector injector;
+  std::unique_ptr<DramDevice> dram;
+  std::unique_ptr<NandDevice> nand;
+  std::unique_ptr<Ftl> ftl;
+};
+
+std::vector<std::uint8_t> Block(std::uint8_t fill) {
+  return std::vector<std::uint8_t>(kBlockSize, fill);
+}
+
+TEST(FaultRecovery, ReadRetryRecoversTransientMediaError) {
+  FaultPlan plan;
+  plan.add(FaultClass::kNandRead, /*op_index=*/0, /*count=*/1);
+  FaultRig rig(plan);
+  ASSERT_TRUE(rig.ftl->write(Lba(7), Block(0x7A)).ok());
+
+  std::vector<std::uint8_t> out(kBlockSize);
+  ASSERT_TRUE(rig.ftl->read(Lba(7), out).ok());
+  EXPECT_EQ(out, Block(0x7A));
+  EXPECT_EQ(rig.ftl->stats().read_retries, 1u);
+  EXPECT_EQ(rig.ftl->stats().read_retry_successes, 1u);
+  EXPECT_EQ(rig.nand->stats().injected_read_faults, 1u);
+}
+
+TEST(FaultRecovery, PersistentReadFaultSurfacesCorruption) {
+  FaultPlan plan;
+  // Initial attempt + read_retry_max (2) retries, all faulted.
+  plan.add(FaultClass::kNandRead, 0, /*count=*/3);
+  FaultRig rig(plan);
+  ASSERT_TRUE(rig.ftl->write(Lba(7), Block(0x7A)).ok());
+
+  std::vector<std::uint8_t> out(kBlockSize);
+  EXPECT_EQ(rig.ftl->read(Lba(7), out).code(), StatusCode::kCorruption);
+  EXPECT_EQ(rig.ftl->stats().read_retries, 2u);
+  EXPECT_EQ(rig.ftl->stats().read_retry_successes, 0u);
+}
+
+TEST(FaultRecovery, ProgramFaultRetiresBlockAndWriteSucceeds) {
+  FaultPlan plan;
+  plan.add(FaultClass::kNandProgram, /*op_index=*/0, /*count=*/1);
+  FaultRig rig(plan);  // 16 blocks: plenty of spares
+
+  ASSERT_TRUE(rig.ftl->write(Lba(1), Block(0xC3)).ok());
+  std::vector<std::uint8_t> out(kBlockSize);
+  ASSERT_TRUE(rig.ftl->read(Lba(1), out).ok());
+  EXPECT_EQ(out, Block(0xC3));
+
+  EXPECT_EQ(rig.nand->stats().injected_program_faults, 1u);
+  EXPECT_EQ(rig.nand->stats().grown_bad_blocks, 1u);
+  EXPECT_EQ(rig.ftl->stats().retired_blocks, 1u);
+  EXPECT_FALSE(rig.ftl->read_only());  // spares absorbed the loss
+}
+
+TEST(FaultRecovery, RetirementRelocatesLiveData) {
+  // Fault the program of LBA 9's overwrite: the victim block already
+  // holds earlier live pages, which retirement must carry over.
+  FaultPlan plan;
+  plan.add(FaultClass::kNandProgram, /*op_index=*/3, /*count=*/1);
+  FaultRig rig(plan);
+  ASSERT_TRUE(rig.ftl->write(Lba(1), Block(0x11)).ok());
+  ASSERT_TRUE(rig.ftl->write(Lba(2), Block(0x22)).ok());
+  ASSERT_TRUE(rig.ftl->write(Lba(3), Block(0x33)).ok());
+  ASSERT_TRUE(rig.ftl->write(Lba(9), Block(0x99)).ok());  // faulted program
+
+  EXPECT_EQ(rig.ftl->stats().retired_blocks, 1u);
+  std::vector<std::uint8_t> out(kBlockSize);
+  const std::pair<std::uint64_t, std::uint8_t> expected[] = {
+      {1, 0x11}, {2, 0x22}, {3, 0x33}, {9, 0x99}};
+  for (const auto& [lba, fill] : expected) {
+    ASSERT_TRUE(rig.ftl->read(Lba(lba), out).ok()) << lba;
+    EXPECT_EQ(out, Block(fill)) << lba;
+  }
+}
+
+TEST(FaultRecovery, EraseFaultDegradesToReadOnlyAtTheSpareFloor) {
+  // 8 data blocks is exactly the floor (4 capacity + 3 GC watermark +
+  // 1): the first grown bad block tips the device into read-only.
+  FaultPlan plan;
+  plan.add(FaultClass::kNandErase, /*op_index=*/0, /*count=*/1);
+  FaultRig rig(plan, FaultRig::DefaultConfig(), /*blocks=*/8);
+
+  // Fill the device, then overwrite until GC needs to erase a victim.
+  Status ws = Status::Ok();
+  for (int round = 0; ws.ok() && round < 64; ++round) {
+    for (std::uint64_t lba = 0; lba < 64 && ws.ok(); ++lba) {
+      ws = rig.ftl->write(Lba(lba), Block(static_cast<std::uint8_t>(lba)));
+    }
+  }
+  ASSERT_EQ(rig.nand->stats().injected_erase_faults, 1u);
+  ASSERT_TRUE(rig.ftl->read_only());
+  EXPECT_EQ(rig.ftl->spare_data_blocks(), 0u);
+
+  // Mutations now fail fast; reads keep working.
+  EXPECT_EQ(rig.ftl->write(Lba(0), Block(1)).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(rig.ftl->trim(Lba(0)).code(),
+            StatusCode::kFailedPrecondition);
+  std::vector<std::uint8_t> out(kBlockSize);
+  for (std::uint64_t lba = 0; lba < 64; ++lba) {
+    ASSERT_TRUE(rig.ftl->read(Lba(lba), out).ok()) << lba;
+    EXPECT_EQ(out, Block(static_cast<std::uint8_t>(lba))) << lba;
+  }
+}
+
+TEST(FaultRecovery, DramBitErrorFlipsExactlyTheChosenBit) {
+  SimClock clock;
+  DramConfig dc;
+  dc.geometry = test::SmallDram();
+  dc.profile = DramProfile::Invulnerable();
+  DramDevice dram(dc, MakeLinearMapper(dc.geometry), clock);
+  FaultPlan plan;
+  plan.add(FaultClass::kDramBitError, /*op_index=*/1, /*count=*/1,
+           /*param=*/(5u << 3) | 2u);  // byte 5, bit 2
+  FaultInjector injector(plan);
+  dram.set_fault_injector(&injector);
+
+  std::vector<std::uint8_t> data(16, 0x00);
+  ASSERT_TRUE(dram.write(DramAddr(0), data).ok());
+  std::vector<std::uint8_t> out(16);
+  ASSERT_TRUE(dram.read(DramAddr(0), out).ok());  // op 0: clean
+  EXPECT_EQ(out, data);
+  ASSERT_TRUE(dram.read(DramAddr(0), out).ok());  // op 1: faulted
+  EXPECT_EQ(out[5], 0x04);
+  out[5] = 0;
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(dram.stats().injected_bit_errors, 1u);
+}
+
+TEST(FaultRecovery, SecdedCorrectsInjectedSoftError) {
+  SimClock clock;
+  DramConfig dc;
+  dc.geometry = test::SmallDram();
+  dc.profile = DramProfile::Invulnerable();
+  dc.mitigations.ecc = true;
+  DramDevice dram(dc, MakeLinearMapper(dc.geometry), clock);
+  FaultPlan plan;
+  plan.add(FaultClass::kDramBitError, 1, 1, (3u << 3) | 7u);
+  FaultInjector injector(plan);
+  dram.set_fault_injector(&injector);
+
+  std::vector<std::uint8_t> data(16, 0xA5);
+  ASSERT_TRUE(dram.write(DramAddr(0), data).ok());
+  std::vector<std::uint8_t> out(16);
+  ASSERT_TRUE(dram.read(DramAddr(0), out).ok());
+  const std::uint64_t corrected_before = dram.stats().ecc_corrected;
+  ASSERT_TRUE(dram.read(DramAddr(0), out).ok());  // faulted, corrected
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(dram.stats().injected_bit_errors, 1u);
+  EXPECT_GT(dram.stats().ecc_corrected, corrected_before);
+}
+
+TEST(FaultRecovery, ScrubRepairsCorruptedMapping) {
+  FaultRig rig(FaultPlan{}, FaultRig::JournalConfig());
+  for (std::uint64_t lba = 0; lba < 10; ++lba) {
+    ASSERT_TRUE(
+        rig.ftl->write(Lba(lba), Block(static_cast<std::uint8_t>(lba + 1)))
+            .ok());
+  }
+  // Simulate a hammer flip landing in the L2P entry of LBA 3.
+  const std::uint32_t good = rig.ftl->debug_lookup(Lba(3));
+  rig.ftl->debug_store(Lba(3), good ^ 0x40);
+
+  std::uint64_t repaired = 0;
+  ASSERT_TRUE(rig.ftl->scrub(&repaired).ok());
+  EXPECT_EQ(repaired, 1u);
+  EXPECT_EQ(rig.ftl->debug_lookup(Lba(3)), good);
+  EXPECT_EQ(rig.ftl->stats().scrub_repairs, 1u);
+
+  std::vector<std::uint8_t> out(kBlockSize);
+  ASSERT_TRUE(rig.ftl->read(Lba(3), out).ok());
+  EXPECT_EQ(out, Block(4));
+
+  // A clean table scrubs to zero repairs.
+  ASSERT_TRUE(rig.ftl->scrub(&repaired).ok());
+  EXPECT_EQ(repaired, 0u);
+}
+
+TEST(FaultRecovery, PeriodicScrubRunsAndRepairsAutomatically) {
+  FtlConfig config = FaultRig::JournalConfig();
+  config.scrub_interval_ios = 4;
+  FaultRig rig(FaultPlan{}, config);
+  for (std::uint64_t lba = 0; lba < 3; ++lba) {
+    ASSERT_TRUE(rig.ftl->write(Lba(lba), Block(0x55)).ok());
+  }
+  const std::uint32_t good = rig.ftl->debug_lookup(Lba(1));
+  rig.ftl->debug_store(Lba(1), good ^ 1);
+
+  std::vector<std::uint8_t> out(kBlockSize);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(rig.ftl->read(Lba(2), out).ok());
+  }
+  EXPECT_GE(rig.ftl->stats().scrub_runs, 1u);
+  EXPECT_EQ(rig.ftl->stats().scrub_repairs, 1u);
+  EXPECT_EQ(rig.ftl->debug_lookup(Lba(1)), good);
+}
+
+TEST(FaultRecovery, ScrubWithoutJournalIsRejected) {
+  FaultRig rig(FaultPlan{});  // journal disabled
+  EXPECT_EQ(rig.ftl->scrub().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace rhsd

@@ -190,7 +190,7 @@ TEST_F(MitigationFixture, XtsEncryptionScramblesMisdirectedReadsOnly) {
 
 TEST(MitigationScenarios, CatalogIsComplete) {
   const auto scenarios = MitigationStudy::StandardScenarios();
-  EXPECT_EQ(scenarios.size(), 15u);
+  EXPECT_EQ(scenarios.size(), 16u);
   EXPECT_EQ(scenarios.front().name, "baseline (no mitigation)");
   for (const auto& s : scenarios) {
     EXPECT_FALSE(s.name.empty());

@@ -73,11 +73,112 @@ TEST(QueuePair, SubmissionBackPressureAtDepth) {
   for (std::uint16_t i = 0; i < 4; ++i) {
     ASSERT_TRUE(qp.submit(NvmeCommand::Flush(i, 1)).ok());
   }
+  // A full ring is a transient resource condition, not a caller bug.
   EXPECT_EQ(qp.submit(NvmeCommand::Flush(9, 1)).code(),
-            StatusCode::kFailedPrecondition);
+            StatusCode::kResourceExhausted);
   // Draining frees the slot.
   (void)qp.drain();
   EXPECT_TRUE(qp.submit(NvmeCommand::Flush(9, 1)).ok());
+}
+
+TEST(QueuePair, SqFullIsResourceExhaustedAtMinimumDepth) {
+  QpRig rig;
+  NvmeQueuePair qp(*rig.controller, 1, /*depth=*/2);
+  ASSERT_TRUE(qp.submit(NvmeCommand::Flush(1, 1)).ok());
+  ASSERT_TRUE(qp.submit(NvmeCommand::Flush(2, 1)).ok());
+  const Status full = qp.submit(NvmeCommand::Flush(3, 1));
+  EXPECT_EQ(full.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(full.message().find("full"), std::string::npos);
+  EXPECT_EQ(qp.sq_inflight(), 2u);  // rejected command was not enqueued
+}
+
+TEST(QueuePair, RetryRecoversFromTimeoutAndDrop) {
+  QpRig rig;
+  FaultPlan plan;
+  plan.add({FaultClass::kNvmeTimeout, /*op_index=*/0, /*count=*/1});
+  plan.add({FaultClass::kNvmeDrop, /*op_index=*/2, /*count=*/1});
+  FaultInjector injector(plan);
+  NvmeQueuePair qp(*rig.controller, 1, 8);
+  qp.set_fault_injector(&injector);
+  qp.set_retry_policy(NvmeRetryPolicy{.max_attempts = 3});
+
+  ASSERT_TRUE(qp.submit(NvmeCommand::Write(1, 1, 5, Block(0x5A))).ok());
+  ASSERT_TRUE(qp.submit(NvmeCommand::Write(2, 1, 6, Block(0x6B))).ok());
+  auto completions = qp.drain();
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_TRUE(completions[0].status.ok()) << completions[0].status;
+  EXPECT_TRUE(completions[1].status.ok()) << completions[1].status;
+  EXPECT_EQ(qp.queue_stats().timeouts, 1u);
+  EXPECT_EQ(qp.queue_stats().drops, 1u);
+  EXPECT_EQ(qp.queue_stats().retries, 2u);
+
+  // Both writes landed despite the faulted first attempts.
+  std::vector<std::uint8_t> out(kBlockSize);
+  ASSERT_TRUE(rig.controller->read(1, 5, out).ok());
+  EXPECT_EQ(out, Block(0x5A));
+  ASSERT_TRUE(rig.controller->read(1, 6, out).ok());
+  EXPECT_EQ(out, Block(0x6B));
+}
+
+TEST(QueuePair, RetryExhaustionSurfacesDeadlineExceeded) {
+  QpRig rig;
+  FaultPlan plan;
+  // Every attempt of the single command times out.
+  plan.add({FaultClass::kNvmeTimeout, /*op_index=*/0, /*count=*/2});
+  FaultInjector injector(plan);
+  NvmeQueuePair qp(*rig.controller, 1, 8);
+  qp.set_fault_injector(&injector);
+  qp.set_retry_policy(NvmeRetryPolicy{.max_attempts = 2});
+
+  const SimClock::Nanos start = rig.clock.now_ns();
+  ASSERT_TRUE(qp.submit(NvmeCommand::Flush(1, 1)).ok());
+  auto completions = qp.drain();
+  ASSERT_EQ(completions.size(), 1u);
+  EXPECT_EQ(completions[0].status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(qp.queue_stats().timeouts, 2u);
+  EXPECT_EQ(qp.queue_stats().retries, 1u);
+  // The host paid both timeouts plus one backoff in simulated time.
+  const NvmeRetryPolicy policy = qp.retry_policy();
+  EXPECT_GE(rig.clock.now_ns() - start,
+            2 * policy.timeout_ns + policy.backoff_base_ns);
+}
+
+TEST(QueuePair, DroppedCommandWithoutRetryIsUnavailable) {
+  QpRig rig;
+  FaultPlan plan;
+  plan.add({FaultClass::kNvmeDrop, /*op_index=*/0, /*count=*/1});
+  FaultInjector injector(plan);
+  NvmeQueuePair qp(*rig.controller, 1, 8);
+  qp.set_fault_injector(&injector);  // default policy: max_attempts = 1
+
+  ASSERT_TRUE(qp.submit(NvmeCommand::Write(1, 1, 5, Block(0xEE))).ok());
+  auto completions = qp.drain();
+  ASSERT_EQ(completions.size(), 1u);
+  EXPECT_EQ(completions[0].status.code(), StatusCode::kUnavailable);
+  // The drop happened before the device saw the command.
+  EXPECT_EQ(rig.ftl->debug_lookup(Lba(5)), kUnmappedPba32);
+}
+
+TEST(QueuePair, AbortRemovesQueuedCommand) {
+  QpRig rig;
+  NvmeQueuePair qp(*rig.controller, 1, 8);
+  ASSERT_TRUE(qp.submit(NvmeCommand::Write(1, 1, 3, Block(0x11))).ok());
+  ASSERT_TRUE(qp.submit(NvmeCommand::Write(2, 1, 4, Block(0x22))).ok());
+
+  ASSERT_TRUE(qp.abort(2).ok());
+  EXPECT_EQ(qp.abort(2).code(), StatusCode::kNotFound);
+  EXPECT_EQ(qp.queue_stats().aborts, 1u);
+
+  auto completions = qp.drain();
+  ASSERT_EQ(completions.size(), 2u);
+  // The abort completion was posted immediately, ahead of cid 1.
+  EXPECT_EQ(completions[0].cid, 2u);
+  EXPECT_EQ(completions[0].status.code(), StatusCode::kAborted);
+  EXPECT_EQ(completions[1].cid, 1u);
+  EXPECT_TRUE(completions[1].status.ok());
+  // The aborted write never reached the device.
+  EXPECT_EQ(rig.ftl->debug_lookup(Lba(4)), kUnmappedPba32);
+  EXPECT_NE(rig.ftl->debug_lookup(Lba(3)), kUnmappedPba32);
 }
 
 TEST(QueuePair, ProcessRespectsCompletionRingCapacity) {

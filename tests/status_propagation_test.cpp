@@ -1,0 +1,164 @@
+// End-to-end Status propagation: faults injected at the NAND/firmware
+// layers must surface, with the right code, in the NVMe completion the
+// host polls — submit -> process -> controller -> FTL -> NAND and back.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "fault/fault_injector.hpp"
+#include "nvme/queue_pair.hpp"
+#include "test_util.hpp"
+
+namespace rhsd {
+namespace {
+
+struct PathRig {
+  explicit PathRig(FaultPlan plan, std::uint32_t blocks = 16)
+      : injector(std::move(plan)) {
+    DramConfig dc;
+    dc.geometry = test::SmallDram();
+    dc.profile = DramProfile::Invulnerable();
+    dram = std::make_unique<DramDevice>(
+        dc, MakeLinearMapper(dc.geometry), clock);
+    nand = std::make_unique<NandDevice>(
+        NandGeometry{.channels = 1,
+                     .dies_per_channel = 1,
+                     .planes_per_die = 1,
+                     .blocks_per_plane = blocks,
+                     .pages_per_block = 16,
+                     .page_bytes = kBlockSize});
+    dram->set_fault_injector(&injector);
+    nand->set_fault_injector(&injector);
+    FtlConfig fc;
+    fc.num_lbas = 64;
+    ftl = std::make_unique<Ftl>(fc, *nand, *dram);
+    ftl->set_fault_injector(&injector);
+    NvmeConfig nc;
+    nc.namespaces = {NvmeNamespaceConfig{Lba(0), 64}};
+    nc.iops = IopsModel(1e6);
+    controller = std::make_unique<NvmeController>(nc, *ftl, clock);
+  }
+
+  SimClock clock;
+  FaultInjector injector;
+  std::unique_ptr<DramDevice> dram;
+  std::unique_ptr<NandDevice> nand;
+  std::unique_ptr<Ftl> ftl;
+  std::unique_ptr<NvmeController> controller;
+};
+
+std::vector<std::uint8_t> Block(std::uint8_t fill) {
+  return std::vector<std::uint8_t>(kBlockSize, fill);
+}
+
+TEST(StatusPropagation, NandReadFaultReachesTheCompletion) {
+  FaultPlan plan;
+  // Outlast the initial read and both read-retries.
+  plan.add(FaultClass::kNandRead, 0, /*count=*/8);
+  PathRig rig(plan);
+  NvmeQueuePair qp(*rig.controller, 1, 8);
+
+  ASSERT_TRUE(qp.submit(NvmeCommand::Write(1, 1, 5, Block(0xAB))).ok());
+  std::vector<std::uint8_t> out(kBlockSize);
+  ASSERT_TRUE(qp.submit(NvmeCommand::Read(2, 1, 5, out)).ok());
+  auto completions = qp.drain();
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_TRUE(completions[0].status.ok());  // the write
+  EXPECT_EQ(completions[1].status.code(), StatusCode::kCorruption);
+  EXPECT_GE(rig.ftl->stats().read_retries, 2u);
+}
+
+TEST(StatusPropagation, TransientNandFaultIsInvisibleToTheHost) {
+  FaultPlan plan;
+  plan.add(FaultClass::kNandRead, 0, /*count=*/1);
+  PathRig rig(plan);
+  NvmeQueuePair qp(*rig.controller, 1, 8);
+
+  ASSERT_TRUE(qp.submit(NvmeCommand::Write(1, 1, 5, Block(0xAB))).ok());
+  std::vector<std::uint8_t> out(kBlockSize);
+  ASSERT_TRUE(qp.submit(NvmeCommand::Read(2, 1, 5, out)).ok());
+  for (const auto& completion : qp.drain()) {
+    EXPECT_TRUE(completion.status.ok()) << completion.status;
+  }
+  EXPECT_EQ(out, Block(0xAB));  // firmware retry hid the media error
+}
+
+TEST(StatusPropagation, PersistentProgramFaultExhaustsRetirement) {
+  FaultPlan plan;
+  // Every program attempt fails: the FTL retires block after block and
+  // finally gives up; the host must see the device-unavailable code,
+  // not a silent success.
+  plan.add(FaultClass::kNandProgram, 0, /*count=*/64);
+  PathRig rig(plan);
+  NvmeQueuePair qp(*rig.controller, 1, 8);
+
+  ASSERT_TRUE(qp.submit(NvmeCommand::Write(1, 1, 3, Block(0x77))).ok());
+  auto completions = qp.drain();
+  ASSERT_EQ(completions.size(), 1u);
+  EXPECT_EQ(completions[0].status.code(), StatusCode::kUnavailable);
+  EXPECT_GE(rig.ftl->stats().retired_blocks, 4u);
+  // Nothing was mapped by the failed write.
+  EXPECT_EQ(rig.ftl->debug_lookup(Lba(3)), kUnmappedPba32);
+}
+
+TEST(StatusPropagation, DegradedDeviceFailsWritesButServesReads) {
+  FaultPlan plan;
+  plan.add(FaultClass::kNandProgram, 1, /*count=*/64);
+  // 8 data blocks == the spare floor: one retirement tips read-only.
+  PathRig rig(plan, /*blocks=*/8);
+  NvmeQueuePair qp(*rig.controller, 1, 8);
+
+  // Program op 0 (this write's first attempt) succeeds...
+  ASSERT_TRUE(qp.submit(NvmeCommand::Write(1, 1, 3, Block(0x44))).ok());
+  // ...the next write burns through the retry budget and fails.
+  ASSERT_TRUE(qp.submit(NvmeCommand::Write(2, 1, 4, Block(0x55))).ok());
+  auto completions = qp.drain();
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_TRUE(completions[0].status.ok());
+  EXPECT_EQ(completions[1].status.code(), StatusCode::kUnavailable);
+  ASSERT_TRUE(rig.ftl->read_only());
+
+  // Later writes are rejected up front; reads still flow end to end.
+  std::vector<std::uint8_t> out(kBlockSize);
+  ASSERT_TRUE(qp.submit(NvmeCommand::Write(3, 1, 5, Block(0x66))).ok());
+  ASSERT_TRUE(qp.submit(NvmeCommand::Read(4, 1, 3, out)).ok());
+  completions = qp.drain();
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_EQ(completions[0].status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(completions[1].status.ok());
+  EXPECT_EQ(out, Block(0x44));
+}
+
+TEST(StatusPropagation, PowerLossAbortsEverythingUntilReboot) {
+  FaultPlan plan;
+  plan.add(FaultClass::kPowerLoss, 1);
+  PathRig rig(plan);
+  NvmeQueuePair qp(*rig.controller, 1, 8);
+
+  std::vector<std::uint8_t> out(kBlockSize);
+  ASSERT_TRUE(qp.submit(NvmeCommand::Write(1, 1, 0, Block(0x10))).ok());
+  ASSERT_TRUE(qp.submit(NvmeCommand::Write(2, 1, 1, Block(0x20))).ok());
+  ASSERT_TRUE(qp.submit(NvmeCommand::Read(3, 1, 0, out)).ok());
+  auto completions = qp.drain();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_TRUE(completions[0].status.ok());
+  EXPECT_EQ(completions[1].status.code(), StatusCode::kAborted);
+  EXPECT_EQ(completions[2].status.code(), StatusCode::kAborted);
+  EXPECT_TRUE(rig.ftl->powered_off());
+}
+
+TEST(StatusPropagation, OutOfRangeStillBeatsInjectedFaults) {
+  FaultPlan plan;
+  plan.add(FaultClass::kNandRead, 0, /*count=*/64);
+  PathRig rig(plan);
+  NvmeQueuePair qp(*rig.controller, 1, 8);
+  std::vector<std::uint8_t> out(kBlockSize);
+  ASSERT_TRUE(qp.submit(NvmeCommand::Read(1, 1, 9999, out)).ok());
+  auto completions = qp.drain();
+  ASSERT_EQ(completions.size(), 1u);
+  EXPECT_EQ(completions[0].status.code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace rhsd
