@@ -93,7 +93,8 @@ BENCHMARK(BM_DramHammerActivation);
 /// vulnerable (worst case for the early-out logic) but with testbed-level
 /// thresholds, i.e. the common regime where aggressors are hammered hard
 /// without crossing a threshold on every window.
-std::unique_ptr<DramDevice> MakeHammerDevice(SimClock& clock) {
+std::unique_ptr<DramDevice> MakeHammerDevice(SimClock& clock,
+                                             bool trr = false) {
   DramConfig config;
   config.geometry = DramGeometry{.channels = 1,
                                  .dimms_per_channel = 1,
@@ -104,6 +105,13 @@ std::unique_ptr<DramDevice> MakeHammerDevice(SimClock& clock) {
   config.profile = DramProfile::Testbed();
   config.profile.vulnerable_row_fraction = 1.0;
   config.seed = 99;
+  if (trr) {
+    // Threshold low enough that the tracker fires repeatedly over the
+    // bench workload: the batched path must replay real emissions, not
+    // coast through an emission-free run.
+    config.mitigations.trr = true;
+    config.mitigations.trr_config.activation_threshold = 5000;
+  }
   return std::make_unique<DramDevice>(config, MakeLinearMapper(config.geometry),
                                       clock);
 }
@@ -226,32 +234,52 @@ BENCHMARK(BM_SsdNvmeReadCommand);
 /// the acceptance metric for the batched fast path.  Uses fresh devices
 /// so both sides pay the same cold-cache costs.
 void ReportHammerHotPath() {
-  constexpr std::uint64_t kBatches = 2000;
+  constexpr std::uint64_t kBatches = 10000;
   constexpr std::uint64_t kPairs = 64;  // per batch
+  constexpr int kRepeats = 5;
 
-  double scalar_s = 0;
-  {
-    SimClock clock;
-    auto dram = MakeHammerDevice(clock);
-    const double t0 = bench::HostSeconds();
-    for (std::uint64_t i = 0; i < kBatches; ++i) {
-      dram->hammer_pair_scalar(9, 11, kPairs);
+  // Best-of-N timing on a fresh device per repetition: the batched side
+  // runs at ~1 ns/pair, so single-shot ratios are noisy enough to trip
+  // the CI trajectory gate on scheduler jitter alone.  Min time is the
+  // standard stable estimator for a fixed workload.
+  const auto time_hammer = [&](bool trr, bool batched,
+                               DramStats* stats_out) {
+    double best = 0;
+    for (int rep = 0; rep < kRepeats; ++rep) {
+      SimClock clock;
+      auto dram = MakeHammerDevice(clock, trr);
+      const double t0 = bench::HostSeconds();
+      for (std::uint64_t i = 0; i < kBatches; ++i) {
+        if (batched) {
+          dram->hammer_pair(9, 11, kPairs);
+        } else {
+          dram->hammer_pair_scalar(9, 11, kPairs);
+        }
+      }
+      const double elapsed = bench::HostSeconds() - t0;
+      if (rep == 0 || elapsed < best) best = elapsed;
+      if (stats_out != nullptr) *stats_out = dram->stats();
     }
-    scalar_s = bench::HostSeconds() - t0;
-  }
+    return best;
+  };
 
-  double batched_s = 0;
-  std::uint64_t activations = 0;
-  {
-    SimClock clock;
-    auto dram = MakeHammerDevice(clock);
-    const double t0 = bench::HostSeconds();
-    for (std::uint64_t i = 0; i < kBatches; ++i) {
-      dram->hammer_pair(9, 11, kPairs);
-    }
-    batched_s = bench::HostSeconds() - t0;
-    activations = dram->stats().activations;
-  }
+  DramStats batched_stats;
+  const double scalar_s = time_hammer(false, false, nullptr);
+  const double batched_s = time_hammer(false, true, &batched_stats);
+  const std::uint64_t activations = batched_stats.activations;
+
+  // The same comparison with TRR enabled: the batched path replays the
+  // tracker analytically instead of falling back to scalar, and that
+  // replay must stay comfortably faster than per-event simulation.
+  DramStats trr_scalar_stats;
+  DramStats trr_batched_stats;
+  const double trr_scalar_s = time_hammer(true, false, &trr_scalar_stats);
+  const double trr_batched_s = time_hammer(true, true, &trr_batched_stats);
+  RHSD_CHECK_MSG(
+      trr_batched_stats.trr_refreshes == trr_scalar_stats.trr_refreshes,
+      "batched TRR replay diverged from scalar in the bench");
+  RHSD_CHECK_MSG(trr_scalar_stats.trr_refreshes > 0,
+                 "TRR bench config never fired a target refresh");
 
   double ftl_read_ns = 0;
   {
@@ -269,19 +297,26 @@ void ReportHammerHotPath() {
 
   const double scalar_ns = scalar_s / (kBatches * kPairs) * 1e9;
   const double batched_ns = batched_s / (kBatches * kPairs) * 1e9;
+  const double trr_scalar_ns = trr_scalar_s / (kBatches * kPairs) * 1e9;
+  const double trr_batched_ns = trr_batched_s / (kBatches * kPairs) * 1e9;
   bench::BenchReport report;
   report.set("hammer_scalar_ns_per_pair", scalar_ns);
   report.set("hammer_batched_ns_per_pair", batched_ns);
   report.set("hammer_batched_speedup", scalar_ns / batched_ns);
   report.set("hammer_batched_activations_per_s",
              static_cast<double>(activations) / batched_s);
+  report.set("hammer_trr_scalar_ns_per_pair", trr_scalar_ns);
+  report.set("hammer_trr_batched_ns_per_pair", trr_batched_ns);
+  report.set("hammer_batched_trr_speedup", trr_scalar_ns / trr_batched_ns);
   report.set("ftl_unmapped_read_ns_per_io", ftl_read_ns);
   report.write();
   std::printf(
       "\nhot path: scalar %.1f ns/pair, batched %.1f ns/pair "
-      "(%.1fx), %.0f activations/s -> BENCH_hotpath.json\n",
+      "(%.1fx), %.0f activations/s; with TRR %.1f -> %.1f ns/pair "
+      "(%.1fx) -> BENCH_hotpath.json\n",
       scalar_ns, batched_ns, scalar_ns / batched_ns,
-      static_cast<double>(activations) / batched_s);
+      static_cast<double>(activations) / batched_s, trr_scalar_ns,
+      trr_batched_ns, trr_scalar_ns / trr_batched_ns);
 }
 
 }  // namespace

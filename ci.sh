@@ -34,22 +34,52 @@ if [[ ! -f "${REPORT}" ]]; then
   exit 1
 fi
 
+# Trajectory check against the newest archived report (before this
+# run's report is archived): any *_speedup metric regressing by more
+# than 20% fails the gate even while still above its fixed floor, so
+# slow perf erosion can't hide under a generous absolute threshold.
+extract_metric() {  # extract_metric <file> <key>
+  sed -n "s/.*\"$2\": *\\([0-9.eE+-]*\\).*/\\1/p" "$1" | head -n 1
+}
+
+BASELINE="$(ls -1 bench_history/BENCH_hotpath.*.json 2>/dev/null \
+  | sort | tail -n 1 || true)"
+if [[ -n "${BASELINE}" ]]; then
+  echo "trajectory baseline: ${BASELINE}"
+  for KEY in $(sed -n 's/.*"\([a-z_]*_speedup\)".*/\1/p' "${REPORT}"); do
+    NEW="$(extract_metric "${REPORT}" "${KEY}")"
+    OLD="$(extract_metric "${BASELINE}" "${KEY}")"
+    [[ -z "${NEW}" || -z "${OLD}" ]] && continue
+    echo "${KEY}: ${OLD}x -> ${NEW}x"
+    awk -v n="${NEW}" -v o="${OLD}" 'BEGIN { exit !(n + 0 >= 0.8 * o) }' || {
+      echo "perf gate: ${KEY} regressed >20% (${OLD}x -> ${NEW}x)" >&2
+      exit 1
+    }
+  done
+else
+  echo "trajectory check: no bench_history baseline yet, skipping"
+fi
+
 # Archive the raw report so regressions can be traced across CI runs.
 mkdir -p bench_history
 cp "${REPORT}" \
   "bench_history/BENCH_hotpath.$(date -u +%Y%m%dT%H%M%SZ).$$.json"
 
-SPEEDUP="$(sed -n \
-  's/.*"hammer_batched_speedup": *\([0-9.eE+-]*\).*/\1/p' \
-  "${REPORT}" | head -n 1)"
-if [[ -z "${SPEEDUP}" ]]; then
-  echo "perf gate: hammer_batched_speedup missing from ${REPORT}" >&2
-  exit 1
-fi
-echo "hammer_batched_speedup = ${SPEEDUP}x (gate: >= 3x)"
-awk -v s="${SPEEDUP}" 'BEGIN { exit !(s + 0 >= 3.0) }' || {
-  echo "perf gate: batched hammer speedup ${SPEEDUP}x < 3x" >&2
-  exit 1
+gate_floor() {  # gate_floor <key> <floor>
+  local SPEEDUP
+  SPEEDUP="$(extract_metric "${REPORT}" "$1")"
+  if [[ -z "${SPEEDUP}" ]]; then
+    echo "perf gate: $1 missing from ${REPORT}" >&2
+    exit 1
+  fi
+  echo "$1 = ${SPEEDUP}x (gate: >= $2x)"
+  awk -v s="${SPEEDUP}" -v f="$2" 'BEGIN { exit !(s + 0 >= f + 0) }' || {
+    echo "perf gate: $1 ${SPEEDUP}x < $2x" >&2
+    exit 1
+  }
 }
+
+gate_floor hammer_batched_speedup 3.0
+gate_floor hammer_batched_trr_speedup 2.0
 
 echo "== ci.sh: all green =="

@@ -264,15 +264,6 @@ void DramDevice::hammer_events(std::uint64_t a, std::uint64_t b,
   RHSD_CHECK(b < config_.geometry.total_rows());
   if (events == 0) return;
 
-  // TRR trackers and PARA draws consume per-activation state, so they
-  // must observe every activation individually.
-  if (trr_.has_value() || config_.mitigations.para_probability > 0.0) {
-    for (std::uint64_t e = 1; e <= events; ++e) {
-      activate(e % 2 != 0 ? a : b);
-    }
-    return;
-  }
-
   if (config_.row_buffer_policy == RowBufferPolicy::kOpenPage) {
     if (a == b) {
       // One row: at most the first access activates, the rest hit the
@@ -296,11 +287,21 @@ void DramDevice::hammer_events(std::uint64_t a, std::uint64_t b,
     // access hits and the remaining sequence starts from row_b.
     if (open_rows_[bank_a] == a) {
       ++stats_.row_buffer_hits;
-      if (events > 1) hammer_events_fast(b, a, events - 1);
+      if (events > 1) hammer_events_all_activations(b, a, events - 1);
       return;
     }
   }
-  hammer_events_fast(a, b, events);
+  hammer_events_all_activations(a, b, events);
+}
+
+void DramDevice::hammer_events_all_activations(std::uint64_t a,
+                                               std::uint64_t b,
+                                               std::uint64_t events) {
+  if (trr_.has_value() || config_.mitigations.para_probability > 0.0) {
+    hammer_events_mitigated(a, b, events);
+  } else {
+    hammer_events_fast(a, b, events);
+  }
 }
 
 void DramDevice::hammer_events_fast(std::uint64_t a, std::uint64_t b,
@@ -343,7 +344,7 @@ void DramDevice::hammer_events_fast(std::uint64_t a, std::uint64_t b,
 
   std::vector<PendingFlip> pending;
   for (int i = 0; i < n_victims; ++i) {
-    check_victim_batched(victims[i], a, b, events, a0_a, a0_b, pending);
+    check_victim_batched(victims[i], a, b, events, a0_a, a0_b, {}, pending);
   }
   if (pending.empty()) return;
 
@@ -359,10 +360,192 @@ void DramDevice::hammer_events_fast(std::uint64_t a, std::uint64_t b,
   for (const PendingFlip& p : pending) flip_events_.push_back(p.flip);
 }
 
-void DramDevice::check_victim_batched(std::uint64_t victim, std::uint64_t a,
-                                      std::uint64_t b, std::uint64_t events,
-                                      std::uint64_t a0_a, std::uint64_t a0_b,
-                                      std::vector<PendingFlip>& pending) {
+void DramDevice::hammer_events_mitigated(std::uint64_t a, std::uint64_t b,
+                                         std::uint64_t events) {
+  // The clock is frozen for the whole batch, so the scalar path's lazy
+  // per-activation TRR window roll collapses to one roll up front.
+  const std::uint64_t w = current_window();
+  if (trr_.has_value() && w != trr_window_) {
+    trr_->reset();
+    trr_window_ = w;
+  }
+
+  const std::uint64_t a0_a = acts_now(a);
+  const std::uint64_t a0_b = a == b ? a0_a : acts_now(b);
+
+  stats_.activations += events;
+  row_acts_[a] += a == b ? events : (events + 1) / 2;
+  if (a != b) row_acts_[b] += events / 2;
+  if (config_.row_buffer_policy == RowBufferPolicy::kOpenPage) {
+    open_rows_[a / config_.geometry.rows_per_bank] =
+        (a == b || events % 2 != 0) ? a : b;
+  }
+
+  // Aggressor activation counts as a function of the 1-based event
+  // index (row a is accessed at odd events, row b at even ones) — the
+  // same reconstruction the closed-form victim check uses.
+  const auto count_at_event = [&](std::uint64_t row, std::uint64_t e) {
+    if (row == a) return a0_a + (a == b ? e : (e + 1) / 2);
+    if (row == b) return a0_b + e / 2;
+    return acts_now(row);
+  };
+
+  // -- Replay the mitigation state machines over the batch, collecting
+  // every targeted refresh in scalar order (within one activation the
+  // TRR fire precedes the PARA draw).
+  struct RefreshPoint {
+    std::uint64_t event = 0;
+    std::uint64_t aggressor = 0;  // global row whose neighbors refresh
+    std::uint32_t distance = 1;
+  };
+  std::vector<RefreshPoint> points;
+
+  if (trr_.has_value()) {
+    const std::uint64_t rows_per_bank = config_.geometry.rows_per_bank;
+    const auto bank_a = static_cast<std::uint32_t>(a / rows_per_bank);
+    const auto bank_b = static_cast<std::uint32_t>(b / rows_per_bank);
+    const auto in_a = static_cast<std::uint32_t>(a % rows_per_bank);
+    const auto in_b = static_cast<std::uint32_t>(b % rows_per_bank);
+    const std::uint32_t dist =
+        config_.mitigations.trr_config.refresh_distance;
+    if (a == b || bank_a == bank_b) {
+      for (const TrrEmission& em :
+           trr_->advance(bank_a, in_a, a == b ? in_a : in_b, events)) {
+        const std::uint64_t fired =
+            static_cast<std::uint64_t>(bank_a) * rows_per_bank + em.row;
+        points.push_back({em.index, fired, dist});
+      }
+    } else {
+      // Different banks see independent single-row subsequences: a at
+      // odd events (the odd half-length), b at even events.
+      for (const TrrEmission& em :
+           trr_->advance(bank_a, in_a, in_a, (events + 1) / 2)) {
+        points.push_back({2 * em.index - 1, a, dist});
+      }
+      for (const TrrEmission& em :
+           trr_->advance(bank_b, in_b, in_b, events / 2)) {
+        points.push_back({2 * em.index, b, dist});
+      }
+    }
+    stats_.trr_refreshes = trr_->refreshes_issued();
+  }
+  if (config_.mitigations.para_probability > 0.0) {
+    // Pre-draw the whole batch in scalar order: exactly one next_bool()
+    // per activation keeps the RNG stream bit-identical to the scalar
+    // path, whatever TRR did at the same events.
+    const double p = config_.mitigations.para_probability;
+    for (std::uint64_t e = 1; e <= events; ++e) {
+      if (!para_rng_.next_bool(p)) continue;
+      points.push_back({e, (a == b || e % 2 != 0) ? a : b, 1});
+      ++stats_.para_refreshes;
+    }
+  }
+  // Merge by event; at equal events the TRR fire was pushed first and
+  // stable_sort keeps it ahead of the PARA refresh, matching scalar
+  // order.  (Cross-bank TRR emissions never share an event.)
+  std::stable_sort(points.begin(), points.end(),
+                   [](const RefreshPoint& x, const RefreshPoint& y) {
+                     return x.event < y.event;
+                   });
+
+  // -- Replay each refresh point's re-baselining.  The per-victim base
+  // lists drive the segmented victim checks below; the refresh_bases_
+  // map writes are deferred so those checks still read the pre-batch
+  // baselines for their first segment.
+  std::vector<std::pair<std::uint64_t, std::vector<VictimRefresh>>>
+      refreshed;
+  const auto refresh_list =
+      [&](std::uint64_t row) -> std::vector<VictimRefresh>& {
+    for (auto& [r, list] : refreshed) {
+      if (r == row) return list;
+    }
+    refreshed.emplace_back(row, std::vector<VictimRefresh>{});
+    return refreshed.back().second;
+  };
+  for (const RefreshPoint& rp : points) {
+    for (std::uint32_t d = 1; d <= rp.distance; ++d) {
+      for (const int sign : {-1, +1}) {
+        const auto victim =
+            neighbor(rp.aggressor, sign * static_cast<int>(d));
+        if (!victim.has_value()) continue;
+        RefreshBases nb;
+        nb.window = w;
+        if (auto l = neighbor(*victim, -1)) {
+          nb.left = count_at_event(*l, rp.event);
+        }
+        if (auto r = neighbor(*victim, +1)) {
+          nb.right = count_at_event(*r, rp.event);
+        }
+        if (auto l2 = neighbor(*victim, -2)) {
+          nb.left2 = count_at_event(*l2, rp.event);
+        }
+        if (auto r2 = neighbor(*victim, +2)) {
+          nb.right2 = count_at_event(*r2, rp.event);
+        }
+        auto& list = refresh_list(*victim);
+        if (!list.empty() && list.back().event == rp.event) {
+          list.back().bases = nb;  // TRR + PARA hit it at the same event
+        } else {
+          list.push_back(VictimRefresh{rp.event, nb});
+        }
+      }
+    }
+  }
+
+  const int max_dist =
+      disturbance_.profile().half_double_weight > 0.0 ? 2 : 1;
+  std::uint64_t victims[8];
+  int n_victims = 0;
+  const auto add_victim = [&](std::optional<std::uint64_t> v) {
+    if (!v.has_value()) return;
+    for (int i = 0; i < n_victims; ++i) {
+      if (victims[i] == *v) return;
+    }
+    victims[n_victims++] = *v;
+  };
+  for (int d = 1; d <= max_dist; ++d) {
+    add_victim(neighbor(a, -d));
+    add_victim(neighbor(a, +d));
+    if (a != b) {
+      add_victim(neighbor(b, -d));
+      add_victim(neighbor(b, +d));
+    }
+  }
+
+  std::vector<PendingFlip> pending;
+  for (int i = 0; i < n_victims; ++i) {
+    std::span<const VictimRefresh> segs;
+    for (const auto& [row, list] : refreshed) {
+      if (row == victims[i]) {
+        segs = list;
+        break;
+      }
+    }
+    check_victim_batched(victims[i], a, b, events, a0_a, a0_b, segs,
+                         pending);
+  }
+
+  // Now the deferred baseline writes: scalar leaves each refreshed row's
+  // entry at its *last* refresh of the batch.
+  for (const auto& [row, list] : refreshed) {
+    refresh_bases_[row] = list.back().bases;
+  }
+
+  if (pending.empty()) return;
+  std::stable_sort(pending.begin(), pending.end(),
+                   [](const PendingFlip& x, const PendingFlip& y) {
+                     return x.event != y.event ? x.event < y.event
+                                               : x.slot < y.slot;
+                   });
+  stats_.bitflips += pending.size();
+  for (const PendingFlip& p : pending) flip_events_.push_back(p.flip);
+}
+
+void DramDevice::check_victim_batched(
+    std::uint64_t victim, std::uint64_t a, std::uint64_t b,
+    std::uint64_t events, std::uint64_t a0_a, std::uint64_t a0_b,
+    std::span<const VictimRefresh> refreshes,
+    std::vector<PendingFlip>& pending) {
   const double hd_weight = disturbance_.profile().half_double_weight;
   const int max_dist = hd_weight > 0.0 ? 2 : 1;
 
@@ -434,9 +617,10 @@ void DramDevice::check_victim_batched(std::uint64_t victim, std::uint64_t a,
   };
 
   // Same arithmetic as the scalar check_victim, with e substituted for
-  // "now" — bit-exact, including the uint64 sum in the Half-Double term.
-  const RefreshBases bases = bases_of(victim);
-  const auto exposure_at = [&](std::uint64_t e) {
+  // "now" — bit-exact, including the uint64 sum in the Half-Double
+  // term.  The baselines are a parameter: each targeted refresh of this
+  // victim starts a new segment with its own re-baselined counts.
+  const auto exposure_at = [&](std::uint64_t e, const RefreshBases& bases) {
     std::uint64_t left = count_at(nl, e);
     std::uint64_t right = count_at(nr, e);
     left = left > bases.left ? left - bases.left : 0;
@@ -451,13 +635,14 @@ void DramDevice::check_victim_batched(std::uint64_t victim, std::uint64_t a,
     }
     return exposure;
   };
-
-  // Exposure is nondecreasing in e, so the final check bounds them all.
-  const double exposure_last = exposure_at(event_of(checks));
-  if (exposure_last < disturbance_.min_threshold(victim)) return;
+  // Number of this victim's check events with event index <= e.
+  const auto checks_up_to = [&](std::uint64_t e) {
+    if (every_event) return e;
+    return by_a ? (e + 1) / 2 : e / 2;
+  };
 
   const auto& cells = disturbance_.cells(victim);
-  RowData& rd = materialize(victim);
+  RowData* rd = nullptr;
 
   // Check-slot of this victim at event e (position in the scalar
   // left/right/left2/right2 sequence of the activated row).
@@ -473,7 +658,7 @@ void DramDevice::check_victim_batched(std::uint64_t victim, std::uint64_t a,
     }
   };
   const auto emit = [&](const VulnCell& cell, std::uint64_t e) {
-    std::uint8_t& byte = rd.data[cell.byte_offset];
+    std::uint8_t& byte = rd->data[cell.byte_offset];
     if (cell.failure_value) {
       byte = static_cast<std::uint8_t>(byte | (1u << cell.bit));
     } else {
@@ -489,55 +674,81 @@ void DramDevice::check_victim_batched(std::uint64_t victim, std::uint64_t a,
                           .new_value = cell.failure_value}});
   };
 
-  // Two cells aliasing the same (byte, bit) with opposite failure
-  // values re-flip each other at every check; the closed form below
-  // assumes each bit flips at most once, so alias cases replay the
-  // per-event loop exactly.
-  bool aliased = false;
-  for (std::size_t i = 0; i < cells.size() && !aliased; ++i) {
-    if (cells[i].threshold > exposure_last) break;
-    for (std::size_t j = i + 1; j < cells.size(); ++j) {
-      if (cells[j].threshold > exposure_last) break;
-      if (cells[i].byte_offset == cells[j].byte_offset &&
-          cells[i].bit == cells[j].bit) {
-        aliased = true;
-        break;
-      }
-    }
-  }
-  if (aliased) {
-    for (std::uint64_t k = 1; k <= checks; ++k) {
-      const std::uint64_t e = event_of(k);
-      const double exposure = exposure_at(e);
-      for (const VulnCell& cell : cells) {
-        if (exposure < cell.threshold) break;
-        const std::uint8_t current = (rd.data[cell.byte_offset] >> cell.bit) & 1u;
-        if (current == cell.failure_value) continue;
-        emit(cell, e);
-      }
-    }
-    return;
-  }
+  // Walk the segments between consecutive targeted refreshes of this
+  // victim.  A refresh at event r re-baselines *before* the victim
+  // check of event r runs in the scalar path, so the segment boundary
+  // is [r_prev, r-1], [r, ...].  Within one segment the baselines are
+  // fixed and exposure is nondecreasing in e — the closed form applies
+  // segment by segment.
+  std::uint64_t seg_start = 1;
+  RefreshBases bases = bases_of(victim);
+  for (std::size_t si = 0;; ++si) {
+    const std::uint64_t seg_end =
+        si < refreshes.size() ? refreshes[si].event - 1 : events;
+    // The k-range of this victim's checks inside [seg_start, seg_end].
+    const std::uint64_t k_lo = checks_up_to(seg_start - 1) + 1;
+    const std::uint64_t k_hi = std::min(checks, checks_up_to(seg_end));
+    if (k_lo <= k_hi) {
+      const double exposure_last = exposure_at(event_of(k_hi), bases);
+      if (exposure_last >= disturbance_.min_threshold(victim)) {
+        if (rd == nullptr) rd = &materialize(victim);
 
-  // Closed form: each crossing cell flips at the first check event
-  // whose exposure reaches its threshold (found by binary search over
-  // the monotone exposure), unless the bit already holds its failure
-  // value — which, absent aliasing, cannot change during the batch.
-  for (const VulnCell& cell : cells) {
-    if (cell.threshold > exposure_last) break;  // sorted ascending
-    const std::uint8_t current = (rd.data[cell.byte_offset] >> cell.bit) & 1u;
-    if (current == cell.failure_value) continue;  // already decayed
-    std::uint64_t lo = 1;
-    std::uint64_t hi = checks;
-    while (lo < hi) {
-      const std::uint64_t mid = lo + (hi - lo) / 2;
-      if (exposure_at(event_of(mid)) >= cell.threshold) {
-        hi = mid;
-      } else {
-        lo = mid + 1;
+        // Two cells aliasing the same (byte, bit) with opposite failure
+        // values re-flip each other at every check; the closed form
+        // assumes each bit flips at most once per segment, so alias
+        // cases replay the per-event loop exactly.
+        bool aliased = false;
+        for (std::size_t i = 0; i < cells.size() && !aliased; ++i) {
+          if (cells[i].threshold > exposure_last) break;
+          for (std::size_t j = i + 1; j < cells.size(); ++j) {
+            if (cells[j].threshold > exposure_last) break;
+            if (cells[i].byte_offset == cells[j].byte_offset &&
+                cells[i].bit == cells[j].bit) {
+              aliased = true;
+              break;
+            }
+          }
+        }
+        if (aliased) {
+          for (std::uint64_t k = k_lo; k <= k_hi; ++k) {
+            const std::uint64_t e = event_of(k);
+            const double exposure = exposure_at(e, bases);
+            for (const VulnCell& cell : cells) {
+              if (exposure < cell.threshold) break;
+              const std::uint8_t current =
+                  (rd->data[cell.byte_offset] >> cell.bit) & 1u;
+              if (current == cell.failure_value) continue;
+              emit(cell, e);
+            }
+          }
+        } else {
+          // Closed form: each crossing cell flips at the first check
+          // event of the segment whose exposure reaches its threshold
+          // (binary search over the monotone exposure), unless the bit
+          // already holds its failure value.
+          for (const VulnCell& cell : cells) {
+            if (cell.threshold > exposure_last) break;  // sorted ascending
+            const std::uint8_t current =
+                (rd->data[cell.byte_offset] >> cell.bit) & 1u;
+            if (current == cell.failure_value) continue;  // already decayed
+            std::uint64_t lo = k_lo;
+            std::uint64_t hi = k_hi;
+            while (lo < hi) {
+              const std::uint64_t mid = lo + (hi - lo) / 2;
+              if (exposure_at(event_of(mid), bases) >= cell.threshold) {
+                hi = mid;
+              } else {
+                lo = mid + 1;
+              }
+            }
+            emit(cell, event_of(lo));
+          }
+        }
       }
     }
-    emit(cell, event_of(lo));
+    if (si >= refreshes.size()) break;
+    seg_start = refreshes[si].event;
+    bases = refreshes[si].bases;
   }
 }
 

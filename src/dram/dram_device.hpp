@@ -21,9 +21,13 @@
 //
 // Optional mitigations (all off by default, matching the paper's
 // testbed): SECDED ECC, TRR, a CPU cache in front of the arrays, and a
-// refresh-interval override.  TRR and PARA have per-activation state, so
-// the batched entry points transparently fall back to the scalar path
-// when either is enabled.
+// refresh-interval override.  TRR and PARA have per-activation state,
+// but under the fixed a,b,a,b,... pattern of a hammer batch that state
+// evolves deterministically: the batched path replays the TRR tracker
+// analytically (TrrTracker::advance), pre-draws the PARA decisions in
+// scalar RNG order, and runs the closed-form victim check on the
+// segments between the resulting targeted refreshes — still bit-exact
+// with the scalar path.
 #pragma once
 
 #include <cstdint>
@@ -228,19 +232,42 @@ class DramDevice {
   void target_refresh_neighbors(std::uint64_t aggressor_global_row,
                                 std::uint32_t distance);
 
+  /// One targeted refresh of a victim row inside a batch: the 1-based
+  /// activation index at which it fired, and the re-baselined counts it
+  /// left behind.  The victim check treats the batch as segments
+  /// between consecutive refreshes, each with its own baselines.
+  struct VictimRefresh {
+    std::uint64_t event = 0;
+    RefreshBases bases;
+  };
+
   /// Batched core: the access sequence a, b, a, b, ... for `events`
   /// accesses (a == b means one-location).  Dispatches row-buffer
-  /// policy, mitigation fallbacks, and the fast path.
+  /// policy reductions and the fast path (mitigated or plain).
   void hammer_events(std::uint64_t a, std::uint64_t b, std::uint64_t events);
+  /// Dispatch helper: every event is a real activation; routes to the
+  /// mitigated replay when TRR/PARA is configured, else the plain fast
+  /// path.
+  void hammer_events_all_activations(std::uint64_t a, std::uint64_t b,
+                                     std::uint64_t events);
   /// Fast path proper: every event is a real activation (precondition:
   /// no TRR/PARA; closed page, or open page with a conflict per access).
   void hammer_events_fast(std::uint64_t a, std::uint64_t b,
                           std::uint64_t events);
-  /// Closed-form victim check over a whole batch; appends any flips
-  /// (tagged with their event index) to `pending`.
+  /// Mitigated fast path: same preconditions as hammer_events_fast
+  /// minus the no-TRR/PARA one.  Replays the tracker analytically and
+  /// the PARA stream in scalar draw order, then checks victims per
+  /// refresh segment.
+  void hammer_events_mitigated(std::uint64_t a, std::uint64_t b,
+                               std::uint64_t events);
+  /// Closed-form victim check over a whole batch; `refreshes` holds the
+  /// victim's in-batch targeted refreshes in ascending event order
+  /// (empty when no mitigation touched it).  Appends any flips (tagged
+  /// with their event index) to `pending`.
   void check_victim_batched(std::uint64_t victim, std::uint64_t a,
                             std::uint64_t b, std::uint64_t events,
                             std::uint64_t a0_a, std::uint64_t a0_b,
+                            std::span<const VictimRefresh> refreshes,
                             std::vector<PendingFlip>& pending);
 
   /// Neighbor within the same bank, or nullopt at bank edges.

@@ -18,6 +18,14 @@
 
 namespace rhsd {
 
+/// One target-refresh fired during a batched advance(): the 1-based
+/// activation index within the replayed pattern, and the aggressor row
+/// whose neighbors must be refreshed.
+struct TrrEmission {
+  std::uint64_t index = 0;
+  std::uint32_t row = 0;
+};
+
 struct TrrConfig {
   /// Heavy-hitter table entries per bank (real devices track very few —
   /// TRRespass [17] found 1..4 on most parts).
@@ -41,6 +49,21 @@ class TrrTracker {
   /// whose neighbors must be target-refreshed now, if any.
   [[nodiscard]] std::optional<std::uint32_t> on_activate(std::uint32_t bank,
                                                          std::uint32_t row);
+
+  /// Batched replay: `events` activations of the fixed alternating
+  /// pattern row_a, row_b, row_a, ... against `bank`'s table in one
+  /// call (row_a == row_b replays a one-location pattern).  Returns the
+  /// target-refresh emissions in activation order and leaves the table
+  /// and refreshes_issued() exactly as `events` scalar on_activate()
+  /// calls would have.  Under a fixed two-row pattern the Misra–Gries
+  /// dynamics either absorb both rows (every later activation is a pure
+  /// counter increment — closed form) or settle into a short cycle
+  /// (the TRRespass thrash regime — detected and fast-forwarded), so
+  /// the cost is O(transient + emissions), not O(events).
+  [[nodiscard]] std::vector<TrrEmission> advance(std::uint32_t bank,
+                                                 std::uint32_t row_a,
+                                                 std::uint32_t row_b,
+                                                 std::uint64_t events);
 
   /// Clear all per-window state (call at refresh-window boundaries).
   void reset();

@@ -96,10 +96,19 @@ void ParallelFor(ThreadPool& pool, std::uint64_t begin, std::uint64_t end,
 
   auto drain = [shared, end, n, chunk, &body] {
     for (;;) {
-      const std::uint64_t first = shared->next.fetch_add(chunk);
-      if (first >= end) break;
-      const std::uint64_t count = std::min(chunk, end - first);
-      for (std::uint64_t i = first; i < first + count; ++i) body(i);
+      // Claim [first, claim) by compare-exchange, clamped to `end`: a
+      // bare fetch_add would keep pushing the counter past `end` on
+      // every straggler pass and can wrap std::uint64_t when the range
+      // ends near the top (claim arithmetic below is also phrased to
+      // avoid `first + chunk` overflowing).
+      std::uint64_t first = shared->next.load();
+      std::uint64_t claim;
+      do {
+        if (first >= end) return;
+        claim = end - first > chunk ? first + chunk : end;
+      } while (!shared->next.compare_exchange_weak(first, claim));
+      const std::uint64_t count = claim - first;
+      for (std::uint64_t i = first; i < claim; ++i) body(i);
       if (shared->done.fetch_add(count) + count == n) {
         std::lock_guard<std::mutex> lock(shared->mu);
         shared->cv.notify_all();

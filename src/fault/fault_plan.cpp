@@ -1,5 +1,8 @@
 #include "fault/fault_plan.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/rng.hpp"
 
 namespace rhsd {
@@ -42,11 +45,32 @@ FaultPlan FaultPlan::Random(std::uint64_t seed, const FaultRates& rates,
       }
     }
   }
-  if (rates.power_losses > 0.0) {
+  if (rates.power_losses > 0.0 && horizon > 0) {
     Rng rng(Mix64(seed ^ 0xFA017DEADull));
-    if (horizon > 0 && rng.next_bool(
-            rates.power_losses < 1.0 ? rates.power_losses : 1.0)) {
-      plan.add(FaultClass::kPowerLoss, rng.next_below(horizon));
+    // floor(rate) scheduled losses plus one more with probability
+    // frac(rate).  For rate <= 1.0 that degenerates to a single
+    // Bernoulli draw, phrased so the stream consumption (one next_bool,
+    // then one next_below per event) matches the historical scheme and
+    // old (seed, rate <= 1) plans stay bit-identical.
+    std::uint64_t count;
+    if (rates.power_losses <= 1.0) {
+      count = rng.next_bool(rates.power_losses) ? 1 : 0;
+    } else {
+      const double whole = std::floor(rates.power_losses);
+      const double frac = rates.power_losses - whole;
+      count = static_cast<std::uint64_t>(whole);
+      if (frac > 0.0 && rng.next_bool(frac)) ++count;
+    }
+    count = std::min(count, horizon);  // distinct indices need room
+    std::vector<std::uint64_t> indices;
+    indices.reserve(count);
+    while (indices.size() < count) {
+      const std::uint64_t idx = rng.next_below(horizon);
+      if (std::find(indices.begin(), indices.end(), idx) ==
+          indices.end()) {
+        plan.add(FaultClass::kPowerLoss, idx);
+        indices.push_back(idx);
+      }
     }
   }
   return plan;

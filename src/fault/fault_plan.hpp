@@ -59,8 +59,10 @@ struct FaultRates {
   double dram_bit_error = 0.0;
   double nvme_timeout = 0.0;
   double nvme_drop = 0.0;
-  /// Expected number of power losses over the horizon (0 disables; at
-  /// most one event is generated since the device dies with it).
+  /// Expected number of power losses over the horizon (0 disables).
+  /// Random() schedules floor(rate) losses plus one more with
+  /// probability frac(rate), at distinct operation indices — a device
+  /// can die and be rebooted several times within one trace.
   double power_losses = 0.0;
 };
 

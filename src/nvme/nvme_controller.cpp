@@ -60,6 +60,26 @@ void NvmeController::charge(bool flash_accessed) {
   ++commands_;
 }
 
+NvmeController::TransportFault NvmeController::tick_transport() {
+  if (injector_ == nullptr) return TransportFault::kNone;
+  // Both streams advance for every dispatched command — also for one
+  // the namespace front end will reject — so a command that dies early
+  // never shifts a later event's op index.  Ticked timeout-then-drop;
+  // a drop wins when both fire (the device never saw the command).
+  const bool timed_out =
+      injector_->tick(FaultClass::kNvmeTimeout).has_value();
+  const bool dropped = injector_->tick(FaultClass::kNvmeDrop).has_value();
+  if (dropped) {
+    ++stats_.transport_drops;
+    return TransportFault::kDrop;
+  }
+  if (timed_out) {
+    ++stats_.transport_timeouts;
+    return TransportFault::kTimeout;
+  }
+  return TransportFault::kNone;
+}
+
 double NvmeController::measured_iops() const {
   if (!any_cmd_ || clock_.now_ns() <= first_cmd_ns_) return 0.0;
   const double seconds =
@@ -69,6 +89,19 @@ double NvmeController::measured_iops() const {
 
 Status NvmeController::read(std::uint32_t nsid, std::uint64_t slba,
                             std::span<std::uint8_t> out) {
+  const TransportFault fault = tick_transport();
+  if (fault == TransportFault::kDrop) {
+    return Unavailable("read command lost in transit");
+  }
+  const Status s = read_body(nsid, slba, out);
+  if (fault == TransportFault::kTimeout) {
+    return DeadlineExceeded("read command completion timed out");
+  }
+  return s;
+}
+
+Status NvmeController::read_body(std::uint32_t nsid, std::uint64_t slba,
+                                 std::span<std::uint8_t> out) {
   if (out.size() % kBlockSize != 0 || out.empty()) {
     ++stats_.errors;
     return InvalidArgument("read length must be a multiple of 4 KiB");
@@ -101,25 +134,54 @@ Status NvmeController::read_pattern(std::uint32_t nsid,
     return InvalidArgument("pattern reads are one 4 KiB block each");
   }
   for (const std::uint64_t slba : slbas) {
-    auto lba = translate(nsid, slba);
-    if (!lba.ok()) {
-      ++stats_.errors;
-      return lba.status();
-    }
-    FtlIoInfo info;
-    Status s = ftl_.read(*lba, out, &info);
-    ++stats_.read_cmds;
-    charge(info.flash_accessed);
-    if (!s.ok()) {
-      ++stats_.errors;
-      return s;
-    }
+    // One command per element: each gets its own transport-fault ticks,
+    // exactly as the equivalent read() sequence would.
+    RHSD_RETURN_IF_ERROR(read_one(nsid, slba, out));
   }
   return Status::Ok();
 }
 
+Status NvmeController::read_one(std::uint32_t nsid, std::uint64_t slba,
+                                std::span<std::uint8_t> out) {
+  const TransportFault fault = tick_transport();
+  if (fault == TransportFault::kDrop) {
+    return Unavailable("read command lost in transit");
+  }
+  Status s;
+  {
+    auto lba = translate(nsid, slba);
+    if (!lba.ok()) {
+      ++stats_.errors;
+      s = lba.status();
+    } else {
+      FtlIoInfo info;
+      s = ftl_.read(*lba, out, &info);
+      ++stats_.read_cmds;
+      charge(info.flash_accessed);
+      if (!s.ok()) ++stats_.errors;
+    }
+  }
+  if (fault == TransportFault::kTimeout) {
+    return DeadlineExceeded("read command completion timed out");
+  }
+  return s;
+}
+
 Status NvmeController::write(std::uint32_t nsid, std::uint64_t slba,
                              std::span<const std::uint8_t> data) {
+  const TransportFault fault = tick_transport();
+  if (fault == TransportFault::kDrop) {
+    return Unavailable("write command lost in transit");
+  }
+  const Status s = write_body(nsid, slba, data);
+  if (fault == TransportFault::kTimeout) {
+    return DeadlineExceeded("write command completion timed out");
+  }
+  return s;
+}
+
+Status NvmeController::write_body(std::uint32_t nsid, std::uint64_t slba,
+                                  std::span<const std::uint8_t> data) {
   if (data.size() % kBlockSize != 0 || data.empty()) {
     ++stats_.errors;
     return InvalidArgument("write length must be a multiple of 4 KiB");
@@ -146,6 +208,19 @@ Status NvmeController::write(std::uint32_t nsid, std::uint64_t slba,
 
 Status NvmeController::trim(std::uint32_t nsid, std::uint64_t slba,
                             std::uint64_t nblocks) {
+  const TransportFault fault = tick_transport();
+  if (fault == TransportFault::kDrop) {
+    return Unavailable("trim command lost in transit");
+  }
+  const Status s = trim_body(nsid, slba, nblocks);
+  if (fault == TransportFault::kTimeout) {
+    return DeadlineExceeded("trim command completion timed out");
+  }
+  return s;
+}
+
+Status NvmeController::trim_body(std::uint32_t nsid, std::uint64_t slba,
+                                 std::uint64_t nblocks) {
   for (std::uint64_t i = 0; i < nblocks; ++i) {
     auto lba = translate(nsid, slba + i);
     if (!lba.ok()) {
@@ -164,6 +239,18 @@ Status NvmeController::trim(std::uint32_t nsid, std::uint64_t slba,
 }
 
 Status NvmeController::flush(std::uint32_t nsid) {
+  const TransportFault fault = tick_transport();
+  if (fault == TransportFault::kDrop) {
+    return Unavailable("flush command lost in transit");
+  }
+  const Status s = flush_body(nsid);
+  if (fault == TransportFault::kTimeout) {
+    return DeadlineExceeded("flush command completion timed out");
+  }
+  return s;
+}
+
+Status NvmeController::flush_body(std::uint32_t nsid) {
   if (nsid < 1 || nsid > config_.namespaces.size()) {
     ++stats_.errors;
     return InvalidArgument("unknown namespace " + std::to_string(nsid));

@@ -20,6 +20,7 @@
 #include "common/sim_clock.hpp"
 #include "common/status.hpp"
 #include "common/types.hpp"
+#include "fault/fault_injector.hpp"
 #include "ftl/ftl.hpp"
 #include "nvme/iops_model.hpp"
 #include "nvme/rate_limiter.hpp"
@@ -44,6 +45,12 @@ struct NvmeStats {
   std::uint64_t flush_cmds = 0;
   std::uint64_t errors = 0;
   std::uint64_t busy_ns = 0;  // simulated time spent servicing commands
+  /// Injected transport faults consumed at the namespace front end
+  /// (not counted in `errors`: the command body never ran or its
+  /// completion was lost, which is a transport condition, not a
+  /// device error).
+  std::uint64_t transport_timeouts = 0;
+  std::uint64_t transport_drops = 0;
 };
 
 class NvmeController {
@@ -85,13 +92,38 @@ class NvmeController {
   /// Measured command rate so far (commands / simulated second).
   [[nodiscard]] double measured_iops() const;
 
+  /// Attach a fault injector (nullptr detaches).  Every command —
+  /// including one later rejected at the namespace boundary — consumes
+  /// one kNvmeTimeout and one kNvmeDrop op index at dispatch, so a
+  /// plan's later injections stay aligned with the command trace no
+  /// matter where earlier commands die.  A drop returns Unavailable
+  /// without executing; a timeout executes the command but loses the
+  /// completion (DeadlineExceeded).  read_pattern() ticks once per
+  /// element, matching its one-command-per-LBA contract.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
  private:
+  /// Injected transport outcome of one dispatched command.
+  enum class TransportFault { kNone, kTimeout, kDrop };
+
+  [[nodiscard]] TransportFault tick_transport();
+
   StatusOr<Lba> translate(std::uint32_t nsid, std::uint64_t slba) const;
   void charge(bool flash_accessed);
+  Status read_one(std::uint32_t nsid, std::uint64_t slba,
+                  std::span<std::uint8_t> out);
+  Status read_body(std::uint32_t nsid, std::uint64_t slba,
+                   std::span<std::uint8_t> out);
+  Status write_body(std::uint32_t nsid, std::uint64_t slba,
+                    std::span<const std::uint8_t> data);
+  Status trim_body(std::uint32_t nsid, std::uint64_t slba,
+                   std::uint64_t nblocks);
+  Status flush_body(std::uint32_t nsid);
 
   NvmeConfig config_;
   Ftl& ftl_;
   SimClock& clock_;
+  FaultInjector* injector_ = nullptr;
   std::optional<RateLimiter> limiter_;
   std::uint64_t commands_ = 0;
   SimClock::Nanos first_cmd_ns_ = 0;

@@ -95,32 +95,28 @@ Status NvmeQueuePair::execute_with_retry(const NvmeCommand& command) {
   const std::uint32_t attempts = std::max(policy_.max_attempts, 1u);
   Status status;
   for (std::uint32_t attempt = 1;; ++attempt) {
-    // Both fault streams advance every attempt, so a count=1 fault
-    // affects exactly one attempt and the retry goes through.
-    const bool timed_out =
-        injector_ != nullptr &&
-        injector_->tick(FaultClass::kNvmeTimeout).has_value();
-    const bool dropped =
-        injector_ != nullptr &&
-        injector_->tick(FaultClass::kNvmeDrop).has_value();
-    if (dropped) {
+    // Transport faults are injected at the controller's namespace front
+    // end (both fault streams advance once per dispatched command, so a
+    // count=1 fault affects exactly one attempt and the retry goes
+    // through).  The queue pair learns the injected outcome from the
+    // controller's stats — not from the status code, which the FTL can
+    // also produce for non-transport reasons — and adds the host-side
+    // consequences: waiting out the deadline, and retrying below.
+    const NvmeStats& cs = controller_.stats();
+    const std::uint64_t drops_before = cs.transport_drops;
+    const std::uint64_t timeouts_before = cs.transport_timeouts;
+    status = execute_once(command);
+    if (cs.transport_drops != drops_before) {
       // The command never reached the device; the host discovers this
       // only by waiting out its deadline.
       ++stats_.drops;
       controller_.clock().advance_ns(policy_.timeout_ns);
-      status = Unavailable("command " + std::to_string(command.cid) +
-                           " lost in transit");
-    } else {
-      status = execute_once(command);
-      if (timed_out) {
-        // The device did the work but the completion stalled past the
-        // host's deadline (writes may thus apply twice across retries —
-        // block rewrites are idempotent, as on real hardware).
-        ++stats_.timeouts;
-        controller_.clock().advance_ns(policy_.timeout_ns);
-        status = DeadlineExceeded("command " + std::to_string(command.cid) +
-                                  " timed out");
-      }
+    } else if (cs.transport_timeouts != timeouts_before) {
+      // The device did the work but the completion stalled past the
+      // host's deadline (writes may thus apply twice across retries —
+      // block rewrites are idempotent, as on real hardware).
+      ++stats_.timeouts;
+      controller_.clock().advance_ns(policy_.timeout_ns);
     }
     const bool retryable = status.code() == StatusCode::kUnavailable ||
                            status.code() == StatusCode::kDeadlineExceeded;

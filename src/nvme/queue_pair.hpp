@@ -122,11 +122,17 @@ class NvmeQueuePair {
   [[nodiscard]] const NvmeRetryPolicy& retry_policy() const {
     return policy_;
   }
-  /// Attach a fault injector (nullptr detaches).  Consulted once per
-  /// attempt for kNvmeTimeout (command executes, completion is lost and
-  /// the host waits out the timeout) and kNvmeDrop (command never
-  /// reaches the device).
-  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  /// Attach a fault injector (nullptr detaches).  Forwarded to the
+  /// controller: transport faults are consumed at the namespace front
+  /// end — one kNvmeTimeout and one kNvmeDrop op index per dispatched
+  /// command (also for commands rejected at the namespace boundary), so
+  /// every attempt of the retry loop advances both streams.  The queue
+  /// pair observes the injected outcome through the controller's stats
+  /// and handles host-side timing: waiting out the deadline, counting
+  /// timeouts/drops, and retrying per the policy.
+  void set_fault_injector(FaultInjector* injector) {
+    controller_.set_fault_injector(injector);
+  }
   [[nodiscard]] const NvmeQueueStats& queue_stats() const { return stats_; }
 
  private:
@@ -138,7 +144,6 @@ class NvmeQueuePair {
   std::uint16_t qid_;
   std::uint32_t depth_;
   NvmeRetryPolicy policy_;
-  FaultInjector* injector_ = nullptr;
   std::deque<NvmeCommand> sq_;
   std::deque<NvmeCompletion> cq_;
   NvmeQueueStats stats_;

@@ -101,6 +101,10 @@ SsdDevice::SsdDevice(SsdConfig config) : config_(std::move(config)) {
   }
   controller_ =
       std::make_unique<NvmeController>(nvme_config, *ftl_, clock_);
+  // Transport faults (kNvmeTimeout/kNvmeDrop) tick at the controller's
+  // namespace front end so every dispatched command — even one rejected
+  // at the namespace boundary — consumes its op indices.
+  if (injector_ != nullptr) controller_->set_fault_injector(injector_.get());
 }
 
 }  // namespace rhsd

@@ -37,6 +37,27 @@ TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
   }
 }
 
+TEST(ThreadPool, ParallelForNearUint64Max) {
+  // The claim counter must not run past `end`: with naive fetch_add the
+  // shared cursor keeps growing after the range is exhausted and wraps
+  // uint64 when `end` sits near the top of the range, re-claiming
+  // indices from the bottom.  The clamped compare-exchange never
+  // advances the cursor beyond `end`.
+  exec::ThreadPool pool(4);
+  constexpr std::uint64_t kN = 1000;
+  constexpr std::uint64_t kEnd = UINT64_MAX - 3;
+  constexpr std::uint64_t kFirst = kEnd - kN;
+  std::vector<std::atomic<int>> hits(kN);
+  exec::ParallelFor(pool, kFirst, kEnd, [&](std::uint64_t i) {
+    ASSERT_GE(i, kFirst);
+    ASSERT_LT(i, kEnd);
+    hits[i - kFirst].fetch_add(1);
+  });
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
 TEST(ThreadPool, ParallelForEmptyRange) {
   exec::ThreadPool pool(2);
   bool ran = false;

@@ -3,6 +3,7 @@
 // injection log, and bit-for-bit replayability of random plans.
 #include <gtest/gtest.h>
 
+#include <set>
 #include <string>
 
 #include "fault/fault_injector.hpp"
@@ -158,15 +159,19 @@ TEST(FaultPlan, RandomRatesScaleEventCounts) {
   }
   EXPECT_EQ(erase_events, 100u);
 
-  // At most one power loss is ever scheduled: the device dies with it.
+  // An integer power-loss rate schedules exactly that many losses, at
+  // distinct indices (the device dies and reboots with each one).
   FaultRates power;
   power.power_losses = 50.0;
   const FaultPlan pl = FaultPlan::Random(9, power, 1000);
-  std::uint64_t losses = 0;
+  std::set<std::uint64_t> loss_indices;
   for (const FaultEvent& e : pl.events()) {
-    if (e.cls == FaultClass::kPowerLoss) ++losses;
+    if (e.cls != FaultClass::kPowerLoss) continue;
+    EXPECT_LT(e.op_index, 1000u);
+    EXPECT_TRUE(loss_indices.insert(e.op_index).second)
+        << "duplicate power-loss index " << e.op_index;
   }
-  EXPECT_EQ(losses, 1u);
+  EXPECT_EQ(loss_indices.size(), 50u);
 }
 
 TEST(FaultPlan, ClassNamesAreHumanReadable) {

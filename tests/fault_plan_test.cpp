@@ -1,0 +1,98 @@
+// FaultPlan::Random scheduling semantics, focused on the power-loss
+// stream: rates above 1.0 must schedule floor(rate) losses plus one
+// more with probability frac(rate) — not silently clamp to a single
+// Bernoulli draw — while rates at or below 1.0 keep the legacy
+// single-draw stream so old (seed, rate) plans replay unchanged.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+
+namespace rhsd {
+namespace {
+
+std::vector<std::uint64_t> PowerLossIndices(const FaultPlan& plan) {
+  std::vector<std::uint64_t> indices;
+  for (const FaultEvent& e : plan.events()) {
+    if (e.cls != FaultClass::kPowerLoss) continue;
+    EXPECT_EQ(e.count, 1u);
+    indices.push_back(e.op_index);
+  }
+  return indices;
+}
+
+TEST(FaultPlan, PowerLossRateOneSchedulesExactlyOne) {
+  // frac(1.0) == 0 but the legacy stream drew Bernoulli(1.0), which
+  // always fires: rate 1.0 must keep yielding exactly one loss.
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    FaultRates rates;
+    rates.power_losses = 1.0;
+    const auto losses =
+        PowerLossIndices(FaultPlan::Random(seed, rates, 10'000));
+    ASSERT_EQ(losses.size(), 1u) << "seed " << seed;
+    EXPECT_LT(losses[0], 10'000u);
+  }
+}
+
+TEST(FaultPlan, PowerLossFractionalRateBelowOneIsBernoulli) {
+  std::uint64_t total = 0;
+  for (std::uint64_t seed = 1; seed <= 400; ++seed) {
+    FaultRates rates;
+    rates.power_losses = 0.5;
+    const auto losses =
+        PowerLossIndices(FaultPlan::Random(seed, rates, 10'000));
+    ASSERT_LE(losses.size(), 1u) << "seed " << seed;
+    total += losses.size();
+  }
+  // Mean ~0.5; 400 draws put the sample mean well inside [0.4, 0.6].
+  EXPECT_GT(total, 160u);
+  EXPECT_LT(total, 240u);
+}
+
+TEST(FaultPlan, PowerLossRateAboveOneSchedulesFloorPlusBernoulli) {
+  std::uint64_t total = 0;
+  for (std::uint64_t seed = 1; seed <= 400; ++seed) {
+    FaultRates rates;
+    rates.power_losses = 2.5;
+    const FaultPlan plan = FaultPlan::Random(seed, rates, 10'000);
+    const auto losses = PowerLossIndices(plan);
+    // floor(2.5) = 2 guaranteed, plus one more with probability 0.5.
+    ASSERT_GE(losses.size(), 2u) << "seed " << seed;
+    ASSERT_LE(losses.size(), 3u) << "seed " << seed;
+    const std::set<std::uint64_t> distinct(losses.begin(), losses.end());
+    EXPECT_EQ(distinct.size(), losses.size())
+        << "seed " << seed << ": duplicate power-loss index";
+    for (const std::uint64_t idx : losses) EXPECT_LT(idx, 10'000u);
+    total += losses.size();
+  }
+  // Mean ~2.5 over 400 seeds.
+  EXPECT_GT(total, 400u * 2 + 160);
+  EXPECT_LT(total, 400u * 2 + 240);
+}
+
+TEST(FaultPlan, PowerLossCountIsCappedByTheHorizon) {
+  // More losses than operations cannot fit at distinct indices: the
+  // schedule saturates at one loss per op.
+  FaultRates rates;
+  rates.power_losses = 100.0;
+  const auto losses = PowerLossIndices(FaultPlan::Random(3, rates, 8));
+  EXPECT_EQ(losses.size(), 8u);
+  const std::set<std::uint64_t> distinct(losses.begin(), losses.end());
+  EXPECT_EQ(distinct.size(), 8u);
+  for (const std::uint64_t idx : losses) EXPECT_LT(idx, 8u);
+}
+
+TEST(FaultPlan, PowerLossSchedulingIsReproducible) {
+  FaultRates rates;
+  rates.power_losses = 5.75;
+  const auto a = PowerLossIndices(FaultPlan::Random(42, rates, 1000));
+  const auto b = PowerLossIndices(FaultPlan::Random(42, rates, 1000));
+  EXPECT_EQ(a, b);
+  const auto c = PowerLossIndices(FaultPlan::Random(43, rates, 1000));
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace rhsd

@@ -9,10 +9,12 @@
 // path without changing any experiment's results.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
 #include "dram/dram_device.hpp"
+#include "exec/experiment_engine.hpp"
 #include "test_util.hpp"
 
 namespace rhsd {
@@ -208,20 +210,294 @@ TEST(HammerParity, EccMitigations) {
   });
 }
 
-TEST(HammerParity, TrrFallsBackToScalar) {
+// ---------------------------------------------------------------------
+// TRR / PARA batched-replay parity.  The batched path no longer falls
+// back to scalar under mitigations: TrrTracker::advance replays the
+// tracker analytically and the PARA stream is pre-drawn in scalar
+// order, so the full matrix below (seeds x batch sizes x configs, plus
+// the thread-count sweep) must stay bit-exact: same FlipEvents, same
+// DramStats including trr_refreshes / para_refreshes, same memory.
+// ---------------------------------------------------------------------
+
+/// Hammer `total` pairs in batches of `batch` pairs: tracker and RNG
+/// state must carry over correctly from one batched call to the next.
+void HammerPairBatches(DramDevice& d, std::uint64_t a, std::uint64_t b,
+                       std::uint64_t total, std::uint64_t batch,
+                       bool batched) {
+  for (std::uint64_t done = 0; done < total;) {
+    const std::uint64_t n = std::min(batch, total - done);
+    HammerPairEither(d, a, b, n, batched);
+    done += n;
+  }
+}
+
+TrrConfig TestTrr(std::uint64_t threshold, std::uint32_t trackers = 4,
+                  std::uint32_t distance = 1) {
+  TrrConfig t;
+  t.activation_threshold = threshold;
+  t.trackers_per_bank = trackers;
+  t.refresh_distance = distance;
+  return t;
+}
+
+TEST(HammerParity, TrrMatrixSeedsAndBatchSizes) {
+  // Firing TRR (threshold well inside the run) across seeds and batch
+  // granularities; batch=1 degenerates to per-pair calls, the ragged
+  // sizes exercise odd/even splits of the alternating sequence.
+  for (std::uint64_t seed = 13; seed <= 16; ++seed) {
+    for (const std::uint64_t batch : {1ull, 7ull, 257ull, 6000ull}) {
+      DramConfig c = BaseConfig(seed);
+      c.mitigations.trr = true;
+      c.mitigations.trr_config = TestTrr(1500);
+      RunParity(c, [batch](DramDevice& d, SimClock&, bool batched) {
+        HammerPairBatches(d, 9, 11, 6000, batch, batched);
+      });
+    }
+  }
+}
+
+TEST(HammerParity, TrrFiresAndStillFlips) {
+  // Threshold high enough that victims cross their flip thresholds
+  // before the first targeted refresh: flips and refreshes in one run,
+  // so neither side of the replay is vacuous.
   DramConfig c = BaseConfig(13);
   c.mitigations.trr = true;
+  c.mitigations.trr_config = TestTrr(4500);
   RunParity(c, [](DramDevice& d, SimClock&, bool batched) {
-    HammerPairEither(d, 9, 11, 6000, batched);
+    d.poke(DramAddr(10 * 512), std::vector<std::uint8_t>(512, 0xFF));
+    HammerPairBatches(d, 9, 11, 6000, 1024, batched);
+  });
+
+  SimClock clock;
+  auto probe = MakeDevice(c, clock);
+  probe->poke(DramAddr(10 * 512), std::vector<std::uint8_t>(512, 0xFF));
+  probe->hammer_pair(9, 11, 6000);
+  EXPECT_GT(probe->stats().bitflips, 0u);
+  EXPECT_GT(probe->stats().trr_refreshes, 0u);
+
+  // And the suppression regime: a tight threshold re-baselines victims
+  // long before they can flip.
+  DramConfig tight = BaseConfig(13);
+  tight.mitigations.trr = true;
+  tight.mitigations.trr_config = TestTrr(600);
+  SimClock clock2;
+  auto probe2 = MakeDevice(tight, clock2);
+  probe2->hammer_pair(9, 11, 6000);
+  EXPECT_EQ(probe2->stats().bitflips, 0u);
+  EXPECT_GT(probe2->stats().trr_refreshes, 0u);
+}
+
+TEST(HammerParity, TrrSingleTrackerThrash) {
+  // One tracker per bank, two aggressors: the Misra–Gries table evicts
+  // on every other activation and never absorbs the pattern — the
+  // TRRespass regime, exercised as a non-absorbing cycle in
+  // TrrTracker::advance.  No refreshes fire; flips go through as if
+  // unmitigated.
+  DramConfig c = BaseConfig(14);
+  c.mitigations.trr = true;
+  c.mitigations.trr_config = TestTrr(800, /*trackers=*/1);
+  RunParity(c, [](DramDevice& d, SimClock&, bool batched) {
+    HammerPairBatches(d, 9, 11, 6000, 1024, batched);
+  });
+
+  SimClock clock;
+  auto probe = MakeDevice(c, clock);
+  probe->hammer_pair(9, 11, 6000);
+  EXPECT_GT(probe->stats().bitflips, 0u);
+  EXPECT_EQ(probe->stats().trr_refreshes, 0u);
+
+  // One-location hammering against the same single tracker *does*
+  // absorb and fire.
+  RunParity(c, [](DramDevice& d, SimClock&, bool batched) {
+    HammerRowEither(d, 20, 30000, batched);
+  });
+  SimClock clock2;
+  auto probe2 = MakeDevice(c, clock2);
+  probe2->hammer_row(20, 30000);
+  EXPECT_GT(probe2->stats().trr_refreshes, 0u);
+}
+
+TEST(HammerParity, TrrRefreshDistanceTwo) {
+  // The hardened distance-2 variant re-baselines rows two away from the
+  // fired aggressor — including rows outside the victim check set when
+  // Half-Double is off.
+  DramConfig c = BaseConfig(15);
+  c.mitigations.trr = true;
+  c.mitigations.trr_config = TestTrr(1000, 4, /*distance=*/2);
+  RunParity(c, [](DramDevice& d, SimClock&, bool batched) {
+    HammerPairBatches(d, 9, 11, 6000, 512, batched);
+  });
+
+  // And combined with a Half-Double profile, where the distance-2 bases
+  // actually feed the exposure term.
+  DramConfig hd = c;
+  hd.profile.half_double_weight = 0.1;
+  RunParity(hd, [](DramDevice& d, SimClock&, bool batched) {
+    HammerPairBatches(d, 9, 13, 6000, 512, batched);
   });
 }
 
-TEST(HammerParity, ParaFallsBackToScalar) {
-  DramConfig c = BaseConfig(14);
-  c.mitigations.para_probability = 0.01;
+TEST(HammerParity, TrrAdjacentAndCrossBankAggressors) {
+  // b = a+1: a fired aggressor's targeted refresh lands on the *other*
+  // aggressor, whose re-baselined counts must be reconstructed from the
+  // batch arithmetic, not read live.
+  DramConfig c = BaseConfig(16);
+  c.mitigations.trr = true;
+  c.mitigations.trr_config = TestTrr(1200);
   RunParity(c, [](DramDevice& d, SimClock&, bool batched) {
-    HammerPairEither(d, 9, 11, 6000, batched);
+    HammerPairBatches(d, 10, 11, 6000, 777, batched);
   });
+  // Cross-bank pair: two independent single-row tracker subsequences.
+  RunParity(c, [](DramDevice& d, SimClock&, bool batched) {
+    HammerPairBatches(d, 10, 64 + 10, 6000, 777, batched);
+  });
+}
+
+TEST(HammerParity, TrrOpenPageAndWindowRoll) {
+  DramConfig c = BaseConfig(17);
+  c.mitigations.trr = true;
+  c.mitigations.trr_config = TestTrr(1500);
+  c.row_buffer_policy = RowBufferPolicy::kOpenPage;
+  RunParity(c, [](DramDevice& d, SimClock&, bool batched) {
+    HammerPairEither(d, 9, 11, 3000, batched);
+    // Leading row-buffer hit: row 9 already open, sequence restarts
+    // from row 11.
+    std::uint8_t byte;
+    ASSERT_TRUE(d.read(DramAddr(9 * 512), {&byte, 1}).ok());
+    HammerPairEither(d, 9, 11, 3000, batched);
+  });
+
+  DramConfig roll = BaseConfig(18);
+  roll.mitigations.trr = true;
+  roll.mitigations.trr_config = TestTrr(1500);
+  RunParity(roll, [](DramDevice& d, SimClock& clock, bool batched) {
+    HammerPairEither(d, 9, 11, 2000, batched);
+    clock.advance_ns(d.refresh_window_ns());  // tracker + bases reset
+    HammerPairEither(d, 9, 11, 2000, batched);
+    clock.advance_ns(d.refresh_window_ns() / 2);
+    HammerPairEither(d, 9, 11, 3000, batched);
+  });
+}
+
+TEST(HammerParity, ParaMatrixSeedsAndBatchSizes) {
+  for (std::uint64_t seed = 19; seed <= 22; ++seed) {
+    for (const std::uint64_t batch : {1ull, 64ull, 6000ull}) {
+      DramConfig c = BaseConfig(seed);
+      c.mitigations.para_probability = 0.01;
+      RunParity(c, [batch](DramDevice& d, SimClock&, bool batched) {
+        HammerPairBatches(d, 9, 11, 6000, batch, batched);
+      });
+    }
+  }
+  // Non-vacuity: the PARA stream must actually fire.
+  DramConfig c = BaseConfig(19);
+  c.mitigations.para_probability = 0.01;
+  SimClock clock;
+  auto probe = MakeDevice(c, clock);
+  probe->hammer_pair(9, 11, 6000);
+  EXPECT_GT(probe->stats().para_refreshes, 0u);
+}
+
+TEST(HammerParity, ParaRareEnoughToFlip) {
+  // A low PARA probability leaves refresh gaps long enough to flip:
+  // find a seed where one run yields both flips and PARA refreshes,
+  // then require parity on it.
+  bool found = false;
+  for (std::uint64_t seed = 1; seed <= 60 && !found; ++seed) {
+    DramConfig c = BaseConfig(seed);
+    c.mitigations.para_probability = 0.0004;
+    SimClock clock;
+    auto probe = MakeDevice(c, clock);
+    probe->hammer_pair(9, 11, 6000);
+    if (probe->stats().bitflips == 0 || probe->stats().para_refreshes == 0) {
+      continue;
+    }
+    found = true;
+    RunParity(c, [](DramDevice& d, SimClock&, bool batched) {
+      HammerPairBatches(d, 9, 11, 6000, 919, batched);
+    });
+  }
+  ASSERT_TRUE(found) << "no seed with both flips and PARA refreshes";
+}
+
+TEST(HammerParity, TrrPlusParaCombined) {
+  // Both mitigations at once: TRR fires precede the PARA draw of the
+  // same activation, and both feed the same RefreshBases map.
+  for (const std::uint64_t batch : {311ull, 6000ull}) {
+    DramConfig c = BaseConfig(23);
+    c.mitigations.trr = true;
+    c.mitigations.trr_config = TestTrr(1700);
+    c.mitigations.para_probability = 0.005;
+    RunParity(c, [batch](DramDevice& d, SimClock&, bool batched) {
+      HammerPairBatches(d, 9, 11, 6000, batch, batched);
+      HammerRowEither(d, 40, 5000, batched);
+    });
+  }
+}
+
+TEST(HammerParity, MitigatedParityAcrossThreadCounts) {
+  // The thread-count axis of the matrix: each trial runs a batched and
+  // a scalar device on a TRR+PARA config and fingerprints the outcome.
+  // Per-trial the two fingerprints must match, and the whole results
+  // vector must be identical no matter how many threads run the sweep.
+  struct Fingerprint {
+    std::uint64_t batched = 0;
+    std::uint64_t scalar = 0;
+  };
+  auto fingerprint = [](const DramDevice& d) {
+    std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a
+    auto mix = [&h](std::uint64_t v) {
+      h = (h ^ v) * 0x100000001b3ull;
+    };
+    mix(d.stats().bitflips);
+    mix(d.stats().activations);
+    mix(d.stats().trr_refreshes);
+    mix(d.stats().para_refreshes);
+    for (const FlipEvent& f : d.flip_events()) {
+      mix(f.global_row);
+      mix(f.byte_offset);
+      mix((static_cast<std::uint64_t>(f.bit) << 1) | f.new_value);
+    }
+    return h;
+  };
+  auto trial_fn = [&fingerprint](std::uint64_t /*trial*/,
+                                 std::uint64_t seed) {
+    DramConfig c;
+    c.geometry = test::SmallDram();
+    c.profile = test::EasyFlipProfile();
+    c.seed = seed;
+    c.mitigations.trr = true;
+    c.mitigations.trr_config = TestTrr(1700);
+    c.mitigations.para_probability = 0.005;
+    Fingerprint fp;
+    {
+      SimClock clock;
+      DramDevice d(c, MakeLinearMapper(c.geometry), clock);
+      d.hammer_pair(9, 11, 6000);
+      fp.batched = fingerprint(d);
+    }
+    {
+      SimClock clock;
+      DramDevice d(c, MakeLinearMapper(c.geometry), clock);
+      d.hammer_pair_scalar(9, 11, 6000);
+      fp.scalar = fingerprint(d);
+    }
+    return fp;
+  };
+
+  constexpr std::uint64_t kTrials = 8;
+  constexpr std::uint64_t kBaseSeed = 77;
+  exec::ThreadPool pool1(1);
+  exec::ThreadPool pool4(4);
+  const auto one = exec::RunTrials(pool1, kTrials, kBaseSeed, trial_fn);
+  const auto four = exec::RunTrials(pool4, kTrials, kBaseSeed, trial_fn);
+  ASSERT_EQ(one.size(), kTrials);
+  ASSERT_EQ(four.size(), kTrials);
+  for (std::uint64_t t = 0; t < kTrials; ++t) {
+    EXPECT_EQ(one[t].batched, one[t].scalar) << "trial " << t;
+    EXPECT_EQ(one[t].batched, four[t].batched) << "trial " << t;
+    EXPECT_EQ(one[t].scalar, four[t].scalar) << "trial " << t;
+  }
 }
 
 TEST(HammerParity, RefreshWindowRoll) {

@@ -148,6 +148,34 @@ TEST(StatusPropagation, PowerLossAbortsEverythingUntilReboot) {
   EXPECT_TRUE(rig.ftl->powered_off());
 }
 
+TEST(StatusPropagation, FrontEndRejectionStillConsumesTransportOpIndex) {
+  // Transport faults tick at the controller's namespace front end, so a
+  // command that never reaches the FTL (here: an out-of-range read
+  // rejected at the namespace boundary) still consumes its op index in
+  // both transport streams.  The drop planned at op index 1 must land
+  // on the *second* dispatched command — before this fix the rejected
+  // command skipped its index and every later injection shifted early.
+  FaultPlan plan;
+  plan.add(FaultClass::kNvmeDrop, /*op_index=*/1);
+  PathRig rig(plan);
+  rig.controller->set_fault_injector(&rig.injector);
+  NvmeQueuePair qp(*rig.controller, 1, 8);
+
+  std::vector<std::uint8_t> out(kBlockSize);
+  ASSERT_TRUE(qp.submit(NvmeCommand::Read(1, 1, 9999, out)).ok());  // op 0
+  ASSERT_TRUE(qp.submit(NvmeCommand::Write(2, 1, 4, Block(0x42))).ok());
+  ASSERT_TRUE(qp.submit(NvmeCommand::Write(3, 1, 5, Block(0x43))).ok());
+  auto completions = qp.drain();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_EQ(completions[0].status.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(completions[1].status.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(completions[2].status.ok());
+  EXPECT_EQ(rig.controller->stats().transport_drops, 1u);
+  EXPECT_EQ(qp.queue_stats().drops, 1u);
+  // The dropped write never reached the device.
+  EXPECT_EQ(rig.ftl->debug_lookup(Lba(4)), kUnmappedPba32);
+}
+
 TEST(StatusPropagation, OutOfRangeStillBeatsInjectedFaults) {
   FaultPlan plan;
   plan.add(FaultClass::kNandRead, 0, /*count=*/64);

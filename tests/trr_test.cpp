@@ -2,6 +2,9 @@
 // behaviour many-sided hammering exploits.
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "common/rng.hpp"
 #include "dram/trr.hpp"
 
 namespace rhsd {
@@ -101,6 +104,61 @@ TEST(Trr, ResetClearsState) {
 TEST(Trr, RejectsBadConfig) {
   EXPECT_THROW(TrrTracker(TrrConfig{0, 10}, 1), CheckFailure);
   EXPECT_THROW(TrrTracker(TrrConfig{4, 0}, 1), CheckFailure);
+}
+
+TEST(Trr, BatchedAdvanceMatchesScalarOnRandomHistories) {
+  // advance() must leave the tracker exactly where `events` scalar
+  // on_activate calls would, and emit the same refreshes at the same
+  // activation indices — from *any* starting table, including ones the
+  // two-row pattern thrashes against.  Randomize the prehistory, the
+  // config, the pattern rows, and the batch length.
+  Rng rng(0xADBA7C4);
+  for (int iter = 0; iter < 300; ++iter) {
+    TrrConfig config;
+    config.trackers_per_bank = 1 + static_cast<std::uint32_t>(
+        rng.next_below(4));
+    config.activation_threshold = 3 + rng.next_below(48);
+    TrrTracker batched(config, /*num_banks=*/1);
+    TrrTracker scalar(config, /*num_banks=*/1);
+
+    // Arbitrary starting table: random traffic over a small row pool.
+    const std::uint64_t prehistory = rng.next_below(120);
+    for (std::uint64_t i = 0; i < prehistory; ++i) {
+      const auto row = static_cast<std::uint32_t>(rng.next_below(8));
+      const auto fb = batched.on_activate(0, row);
+      const auto fs = scalar.on_activate(0, row);
+      ASSERT_EQ(fb, fs);
+    }
+
+    const auto row_a = static_cast<std::uint32_t>(rng.next_below(8));
+    const auto row_b = rng.next_bool(0.25)
+                           ? row_a
+                           : static_cast<std::uint32_t>(rng.next_below(8));
+    const std::uint64_t events = rng.next_below(600);
+
+    const std::vector<TrrEmission> emissions =
+        batched.advance(0, row_a, row_b, events);
+    std::size_t next = 0;
+    for (std::uint64_t e = 1; e <= events; ++e) {
+      const auto fired = scalar.on_activate(0, (e % 2) ? row_a : row_b);
+      if (fired.has_value()) {
+        ASSERT_LT(next, emissions.size()) << "iter " << iter << " event " << e;
+        EXPECT_EQ(emissions[next].index, e) << "iter " << iter;
+        EXPECT_EQ(emissions[next].row, *fired) << "iter " << iter;
+        ++next;
+      }
+    }
+    EXPECT_EQ(next, emissions.size()) << "iter " << iter;
+    EXPECT_EQ(batched.refreshes_issued(), scalar.refreshes_issued())
+        << "iter " << iter;
+
+    // Final tracker state must agree: probe both with the same tail.
+    for (std::uint64_t i = 0; i < 80; ++i) {
+      const auto row = static_cast<std::uint32_t>(rng.next_below(8));
+      ASSERT_EQ(batched.on_activate(0, row), scalar.on_activate(0, row))
+          << "iter " << iter << " probe " << i;
+    }
+  }
 }
 
 }  // namespace
