@@ -9,22 +9,22 @@ StatusOr<std::vector<ScanHit>> BitflipScanner::scan(
     std::span<const std::uint32_t> target_blocks) {
   const std::vector<std::uint8_t> expected =
       Sprayer::MaliciousIndirectImage(target_blocks);
-  constexpr std::uint64_t kHoleOffset =
-      static_cast<std::uint64_t>(fs::kDirectBlocks) * kBlockSize;
 
   std::vector<ScanHit> hits;
-  std::vector<std::uint8_t> buf(kBlockSize);
   for (std::size_t i = 0; i < files.size(); ++i) {
-    auto n = fs_.read(cred_, files[i].ino, kHoleOffset, buf);
-    if (!n.ok()) {
+    auto blocks =
+        fs_.read_file_blocks(cred_, files[i].ino, fs::kDirectBlocks, 1);
+    if (!blocks.ok()) {
       // A flip can also make the file unreadable (pointer outside the
       // partition): that still signals a redirected indirect block.
       hits.push_back(ScanHit{i, {}});
       continue;
     }
-    if (*n != buf.size() ||
-        std::memcmp(buf.data(), expected.data(), buf.size()) != 0) {
-      hits.push_back(ScanHit{i, buf});
+    std::vector<std::uint8_t> block = std::move((*blocks)[0]);
+    if (block.size() != expected.size() ||
+        std::memcmp(block.data(), expected.data(), block.size()) != 0) {
+      // An empty block here means the slot was unreadable — same signal.
+      hits.push_back(ScanHit{i, std::move(block)});
     }
   }
   return hits;
@@ -41,20 +41,12 @@ StatusOr<std::vector<std::vector<std::uint8_t>>> BitflipScanner::dump(
       kBlockSize;
   RHSD_RETURN_IF_ERROR(fs_.truncate(cred_, file.ino, need_size));
 
-  std::vector<std::vector<std::uint8_t>> out;
-  out.reserve(num_blocks);
-  for (std::uint32_t i = 0; i < num_blocks; ++i) {
-    std::vector<std::uint8_t> buf(kBlockSize);
-    const std::uint64_t off =
-        (static_cast<std::uint64_t>(fs::kDirectBlocks) + i) * kBlockSize;
-    auto n = fs_.read(cred_, file.ino, off, buf);
-    if (!n.ok() || *n != buf.size()) {
-      out.emplace_back();  // unreadable slot
-    } else {
-      out.push_back(std::move(buf));
-    }
-  }
-  return out;
+  // One batched read: the inode and the (redirected) level-1 indirect
+  // block are fetched once, then each pointer slot costs one data read
+  // — instead of re-walking the whole chain per slot.  Unreadable slots
+  // come back as empty vectors, holes as zero-filled blocks.
+  return fs_.read_file_blocks(cred_, file.ino, fs::kDirectBlocks,
+                              num_blocks);
 }
 
 }  // namespace rhsd

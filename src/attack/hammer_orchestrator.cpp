@@ -117,13 +117,16 @@ StatusOr<HammerStats> HammerOrchestrator::hammer_triple(
       static_cast<std::uint64_t>(duration_s * 1e9);
 
   std::vector<std::uint8_t> buf(kBlockSize);
-  while (clock.now_ns() - start_ns < duration_ns) {
-    // One batched submission per round: same commands, clock charges,
-    // and flips as issuing each read individually, but the FTL's
-    // amplified L2P touches ride the DRAM's batched hammer path.
-    RHSD_RETURN_IF_ERROR(tenant_.read_pattern(pattern, buf));
-    stats.reads_issued += pattern.size();
-  }
+  // The whole hammer duration goes down the stack in one call: the
+  // controller charges queue/clock costs per round in closed form, the
+  // FTL replays the pattern's L2P touches as repeat counts, and the
+  // DRAM consumes the activation stream per refresh-window segment —
+  // bit-exact with issuing read_pattern() round by round.
+  std::uint64_t rounds = 0;
+  RHSD_RETURN_IF_ERROR(
+      tenant_.read_pattern_until(pattern, buf, start_ns + duration_ns,
+                                 &rounds));
+  stats.reads_issued += rounds * pattern.size();
   stats.sim_ns_spent = clock.now_ns() - start_ns;
   stats.flips_after = dram.stats().bitflips;
   return stats;

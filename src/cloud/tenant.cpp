@@ -22,6 +22,22 @@ Status Tenant::read_pattern(std::span<const std::uint64_t> slbas,
   return controller_.read_pattern(config_.nsid, slbas, out);
 }
 
+Status Tenant::read_pattern_repeat(std::span<const std::uint64_t> slbas,
+                                   std::span<std::uint8_t> out,
+                                   std::uint64_t rounds) {
+  RHSD_RETURN_IF_ERROR(require_direct());
+  return controller_.read_pattern_repeat(config_.nsid, slbas, out, rounds);
+}
+
+Status Tenant::read_pattern_until(std::span<const std::uint64_t> slbas,
+                                  std::span<std::uint8_t> out,
+                                  std::uint64_t deadline_ns,
+                                  std::uint64_t* rounds_done) {
+  RHSD_RETURN_IF_ERROR(require_direct());
+  return controller_.read_pattern_until(config_.nsid, slbas, out,
+                                        deadline_ns, rounds_done);
+}
+
 Status Tenant::write_blocks(std::uint64_t slba,
                             std::span<const std::uint8_t> data) {
   RHSD_RETURN_IF_ERROR(require_direct());

@@ -44,6 +44,17 @@ class Tenant {
   /// One single-block read per LBA in `slbas`, batched (hammer loop).
   Status read_pattern(std::span<const std::uint64_t> slbas,
                       std::span<std::uint8_t> out);
+  /// `rounds` whole pattern submissions in one call; bit-exact with the
+  /// equivalent read_pattern() loop but replayed in closed form.
+  Status read_pattern_repeat(std::span<const std::uint64_t> slbas,
+                             std::span<std::uint8_t> out,
+                             std::uint64_t rounds);
+  /// Keep submitting rounds while the simulated clock is before
+  /// `deadline_ns`; `*rounds_done` reports completed rounds.
+  Status read_pattern_until(std::span<const std::uint64_t> slbas,
+                            std::span<std::uint8_t> out,
+                            std::uint64_t deadline_ns,
+                            std::uint64_t* rounds_done);
   Status write_blocks(std::uint64_t slba,
                       std::span<const std::uint8_t> data);
   Status trim_blocks(std::uint64_t slba, std::uint64_t nblocks);

@@ -1,6 +1,12 @@
 #include "common/crc32c.hpp"
 
 #include <array>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#include <nmmintrin.h>
+#endif
 
 namespace rhsd {
 namespace {
@@ -22,14 +28,65 @@ constexpr std::array<std::uint32_t, 256> MakeTable() {
 
 constexpr auto kTable = MakeTable();
 
+std::uint32_t Crc32cTable(const std::uint8_t* p, std::size_t n,
+                          std::uint32_t crc) {
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+
+bool HaveSse42() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) return false;
+  return (ecx & (1u << 20)) != 0;  // SSE4.2 → CRC32 instruction
+}
+
+// The SSE4.2 CRC32 instruction implements exactly this reflected
+// Castagnoli CRC, so the two paths are bit-identical.
+__attribute__((target("sse4.2"))) std::uint32_t Crc32cHw(
+    const std::uint8_t* p, std::size_t n, std::uint32_t crc) {
+#if defined(__x86_64__)
+  std::uint64_t c = crc;
+  while (n >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);
+    c = _mm_crc32_u64(c, word);
+    p += 8;
+    n -= 8;
+  }
+  crc = static_cast<std::uint32_t>(c);
+#endif
+  while (n >= 4) {
+    std::uint32_t word;
+    std::memcpy(&word, p, 4);
+    crc = _mm_crc32_u32(crc, word);
+    p += 4;
+    n -= 4;
+  }
+  while (n > 0) {
+    crc = _mm_crc32_u8(crc, *p);
+    ++p;
+    --n;
+  }
+  return crc;
+}
+
+#endif  // x86
+
 }  // namespace
 
 std::uint32_t Crc32c(std::span<const std::uint8_t> data, std::uint32_t seed) {
   std::uint32_t crc = ~seed;
-  for (std::uint8_t byte : data) {
-    crc = kTable[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+#if defined(__x86_64__) || defined(__i386__)
+  static const bool kHaveHw = HaveSse42();
+  if (kHaveHw) {
+    return ~Crc32cHw(data.data(), data.size(), crc);
   }
-  return ~crc;
+#endif
+  return ~Crc32cTable(data.data(), data.size(), crc);
 }
 
 }  // namespace rhsd

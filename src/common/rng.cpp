@@ -22,18 +22,6 @@ Rng::Rng(std::uint64_t seed) {
   for (auto& word : s_) word = SplitMix64(sm);
 }
 
-std::uint64_t Rng::next() {
-  const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = std::rotl(s_[3], 45);
-  return result;
-}
-
 std::uint64_t Rng::next_below(std::uint64_t bound) {
   RHSD_CHECK(bound > 0);
   // Rejection sampling to avoid modulo bias.
@@ -50,16 +38,6 @@ std::uint64_t Rng::next_in(std::uint64_t lo, std::uint64_t hi) {
   return lo + next_below(hi - lo + 1);
 }
 
-double Rng::next_double() {
-  return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
-bool Rng::next_bool(double p) {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return next_double() < p;
-}
-
 double Rng::next_gaussian() {
   // Box–Muller; u1 in (0,1] so log() stays finite.
   double u1;
@@ -73,6 +51,11 @@ double Rng::next_gaussian() {
 
 double Rng::next_lognormal(double mu, double sigma) {
   return std::exp(mu + sigma * next_gaussian());
+}
+
+std::uint64_t Rng::bool_threshold(double p) {
+  RHSD_CHECK(p > 0.0 && p < 1.0);
+  return static_cast<std::uint64_t>(std::ceil(p * 0x1.0p53));
 }
 
 Rng Rng::fork() { return Rng(next()); }

@@ -5,6 +5,7 @@
 // that all experiments reproduce bit-for-bit.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 
 #include "common/check.hpp"
@@ -12,12 +13,24 @@
 namespace rhsd {
 
 /// xoshiro256** seeded via SplitMix64. Small, fast, well distributed.
+/// The hot draws (next/next_double/next_bool) are inline: PARA-style
+/// mitigations consume one per DRAM activation.
 class Rng {
  public:
   explicit Rng(std::uint64_t seed);
 
   /// Uniform 64-bit value.
-  std::uint64_t next();
+  std::uint64_t next() {
+    const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = std::rotl(s_[3], 45);
+    return result;
+  }
 
   /// Uniform in [0, bound). bound must be > 0.
   std::uint64_t next_below(std::uint64_t bound);
@@ -26,10 +39,28 @@ class Rng {
   std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi);
 
   /// Uniform double in [0, 1).
-  double next_double();
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
 
   /// True with probability p (clamped to [0,1]).
-  bool next_bool(double p);
+  bool next_bool(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return next_double() < p;
+  }
+
+  /// Precomputed threshold for tight next_bool(p) loops with p in (0,1).
+  /// next_bool(p) == next_bool_at(bool_threshold(p)) draw for draw:
+  /// next_double() = (next() >> 11) * 2^-53 and p * 2^53 are both exact
+  /// (power-of-two scaling), so "next_double() < p" is the integer
+  /// comparison "(next() >> 11) < ceil(p * 2^53)".
+  [[nodiscard]] static std::uint64_t bool_threshold(double p);
+
+  /// One Bernoulli draw against a bool_threshold() value.
+  bool next_bool_at(std::uint64_t threshold) {
+    return (next() >> 11) < threshold;
+  }
 
   /// Standard normal via Box–Muller (one value per call; no caching so
   /// the stream position stays easy to reason about).

@@ -53,4 +53,29 @@ void CacheModel::flush_all() {
   for (Line& line : lines_) line.valid = false;
 }
 
+bool CacheModel::contains(DramAddr addr) const {
+  const std::uint64_t id = line_id(addr);
+  const std::uint64_t set = id % config_.sets;
+  const std::uint64_t tag = id / config_.sets;
+  const Line* base = &lines_[set * config_.ways];
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) return true;
+  }
+  return false;
+}
+
+void CacheModel::set_last_use(DramAddr addr, std::uint64_t stamp) {
+  const std::uint64_t id = line_id(addr);
+  const std::uint64_t set = id % config_.sets;
+  const std::uint64_t tag = id / config_.sets;
+  Line* base = &lines_[set * config_.ways];
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) {
+      base[w].lru = stamp;
+      return;
+    }
+  }
+  RHSD_CHECK_MSG(false, "set_last_use on a non-resident line");
+}
+
 }  // namespace rhsd

@@ -42,6 +42,23 @@ class CacheModel {
 
   void flush_all();
 
+  /// Residency probe without LRU/stat side effects (batched-replay
+  /// planning: a pattern whose lines are all resident stays all-hit).
+  [[nodiscard]] bool contains(DramAddr addr) const;
+
+  /// Batched-replay accounting: charge `n` hits exactly as `n` scalar
+  /// access() calls would (hit counter and use counter both advance).
+  /// Callers then pin each touched line's last-use stamp with
+  /// set_last_use so the LRU state matches the scalar interleaving.
+  void account_hits(std::uint64_t n) {
+    hits_ += n;
+    use_counter_ += n;
+  }
+
+  /// Set the last-use stamp of the resident line containing `addr`.
+  void set_last_use(DramAddr addr, std::uint64_t stamp);
+
+  [[nodiscard]] std::uint64_t use_counter() const { return use_counter_; }
   [[nodiscard]] std::uint64_t hits() const { return hits_; }
   [[nodiscard]] std::uint64_t misses() const { return misses_; }
   [[nodiscard]] const CacheConfig& config() const { return config_; }

@@ -432,10 +432,13 @@ void DramDevice::hammer_events_mitigated(std::uint64_t a, std::uint64_t b,
   if (config_.mitigations.para_probability > 0.0) {
     // Pre-draw the whole batch in scalar order: exactly one next_bool()
     // per activation keeps the RNG stream bit-identical to the scalar
-    // path, whatever TRR did at the same events.
+    // path, whatever TRR did at the same events.  (p >= 1 draws
+    // nothing, like scalar next_bool; otherwise the precomputed integer
+    // threshold makes the draw a shift + compare.)
     const double p = config_.mitigations.para_probability;
+    const std::uint64_t thr = p >= 1.0 ? 0 : Rng::bool_threshold(p);
     for (std::uint64_t e = 1; e <= events; ++e) {
-      if (!para_rng_.next_bool(p)) continue;
+      if (p < 1.0 && !para_rng_.next_bool_at(thr)) continue;
       points.push_back({e, (a == b || e % 2 != 0) ? a : b, 1});
       ++stats_.para_refreshes;
     }
@@ -752,6 +755,504 @@ void DramDevice::check_victim_batched(
   }
 }
 
+bool DramDevice::hammer_pattern(std::span<const std::uint64_t> rows,
+                                std::uint64_t n_cmds, std::uint64_t repeat,
+                                std::span<const std::uint64_t> cmd_time_ns,
+                                std::span<const PatternHazard> hazards) {
+  RHSD_CHECK(config_.row_buffer_policy == RowBufferPolicy::kClosedPage);
+  RHSD_CHECK(!cache_.has_value());
+  RHSD_CHECK(!rows.empty());
+  RHSD_CHECK(repeat > 0);
+  RHSD_CHECK(cmd_time_ns.size() >= n_cmds);
+  if (n_cmds == 0) return true;
+  const std::uint64_t P = rows.size();
+  const std::uint64_t h = repeat;
+  const std::uint64_t E = n_cmds * h;  // total activations, events 1..E
+  const std::uint64_t rows_per_bank = config_.geometry.rows_per_bank;
+
+  // All events share the clock's current refresh window; roll the TRR
+  // window once up front, like the first scalar activation would.
+  const std::uint64_t w = current_window();
+  if (trr_.has_value() && w != trr_window_) {
+    trr_->reset();
+    trr_window_ = w;
+  }
+
+  // Distinct pattern rows, their per-period command positions, and their
+  // pre-batch per-window activation counts.
+  std::vector<std::uint64_t> distinct;
+  std::vector<std::vector<std::uint64_t>> pos_of;  // parallel to distinct
+  const auto find_distinct = [&](std::uint64_t r) -> int {
+    for (std::size_t i = 0; i < distinct.size(); ++i) {
+      if (distinct[i] == r) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  for (std::uint64_t p = 0; p < P; ++p) {
+    RHSD_CHECK(rows[p] < config_.geometry.total_rows());
+    int i = find_distinct(rows[p]);
+    if (i < 0) {
+      distinct.push_back(rows[p]);
+      pos_of.emplace_back();
+      i = static_cast<int>(distinct.size()) - 1;
+    }
+    pos_of[static_cast<std::size_t>(i)].push_back(p);
+  }
+  std::vector<std::uint64_t> a0(distinct.size());
+  for (std::size_t i = 0; i < distinct.size(); ++i) {
+    a0[i] = acts_now(distinct[i]);
+  }
+
+  const std::uint64_t full_periods = n_cmds / P;
+  const std::uint64_t rem_cmds = n_cmds % P;
+  // Commands with index < t whose pattern position is in sorted list C.
+  const auto cmds_before = [&](std::uint64_t t,
+                               const std::vector<std::uint64_t>& C) {
+    const std::uint64_t f = t / P;
+    const std::uint64_t r = t % P;
+    std::uint64_t tail = 0;
+    for (const std::uint64_t c : C) {
+      if (c < r) ++tail;
+    }
+    return f * C.size() + tail;
+  };
+  // Activation count of pattern row distinct[i] after event e (1-based),
+  // counting event e itself.
+  const auto count_at_event = [&](int i, std::uint64_t e) {
+    const auto& C = pos_of[static_cast<std::size_t>(i)];
+    const std::uint64_t t = (e - 1) / h;
+    const std::uint64_t o = (e - 1) % h;
+    std::uint64_t cnt = a0[static_cast<std::size_t>(i)] + h * cmds_before(t, C);
+    const std::uint64_t pp = t % P;
+    for (const std::uint64_t c : C) {
+      if (c == pp) {
+        cnt += o + 1;
+        break;
+      }
+    }
+    return cnt;
+  };
+  // Count of an arbitrary row at event e: pattern rows advance, every
+  // other row is frozen for the whole batch.
+  const auto row_count_at = [&](std::uint64_t row, std::uint64_t e) {
+    const int i = find_distinct(row);
+    return i >= 0 ? count_at_event(i, e) : acts_now(row);
+  };
+
+  // -- Replay the mitigation state machines over the whole batch,
+  // collecting targeted refreshes in scalar order (TRR fire before the
+  // PARA draw of the same activation).  Snapshot the replayable state
+  // first: a hazard abort must leave the device untouched.
+  const std::optional<TrrTracker> trr_snapshot = trr_;
+  const Rng para_rng_snapshot = para_rng_;
+  const std::uint64_t para_refreshes_snapshot = stats_.para_refreshes;
+
+  struct RefreshPoint {
+    std::uint64_t event = 0;
+    std::uint64_t aggressor = 0;
+    std::uint32_t distance = 1;
+  };
+  std::vector<RefreshPoint> points;
+
+  if (trr_.has_value()) {
+    const std::uint32_t dist =
+        config_.mitigations.trr_config.refresh_distance;
+    std::vector<std::uint32_t> banks;
+    for (const std::uint64_t r : distinct) {
+      const auto b = static_cast<std::uint32_t>(r / rows_per_bank);
+      if (std::find(banks.begin(), banks.end(), b) == banks.end()) {
+        banks.push_back(b);
+      }
+    }
+    for (const std::uint32_t b : banks) {
+      // This bank's command subsequence within one pattern period.
+      std::vector<std::uint64_t> D;
+      std::vector<std::uint32_t> bank_cmd_rows;
+      for (std::uint64_t p = 0; p < P; ++p) {
+        if (rows[p] / rows_per_bank != b) continue;
+        D.push_back(p);
+        bank_cmd_rows.push_back(
+            static_cast<std::uint32_t>(rows[p] % rows_per_bank));
+      }
+      const std::uint64_t m_b = D.size();
+      std::uint64_t tail = 0;
+      for (const std::uint64_t d : D) {
+        if (d < rem_cmds) ++tail;
+      }
+      const std::uint64_t events_b = h * (full_periods * m_b + tail);
+      if (events_b == 0) continue;
+      for (const TrrEmission& em :
+           trr_->advance_cmds(b, bank_cmd_rows, h, events_b)) {
+        // Bank-local activation k -> global event: k sits in the bank's
+        // ((k-1)/h)-th command, which is global command q*P + D[i].
+        const std::uint64_t j = (em.index - 1) / h;
+        const std::uint64_t o = (em.index - 1) % h;
+        const std::uint64_t e =
+            ((j / m_b) * P + D[j % m_b]) * h + o + 1;
+        points.push_back(RefreshPoint{
+            e, static_cast<std::uint64_t>(b) * rows_per_bank + em.row,
+            dist});
+      }
+    }
+  }
+  if (config_.mitigations.para_probability > 0.0) {
+    const double p = config_.mitigations.para_probability;
+    const std::uint64_t thr = p >= 1.0 ? 0 : Rng::bool_threshold(p);
+    for (std::uint64_t e = 1; e <= E; ++e) {
+      if (p < 1.0 && !para_rng_.next_bool_at(thr)) continue;
+      points.push_back(RefreshPoint{e, rows[((e - 1) / h) % P], 1});
+      ++stats_.para_refreshes;
+    }
+  }
+  std::stable_sort(points.begin(), points.end(),
+                   [](const RefreshPoint& x, const RefreshPoint& y) {
+                     return x.event < y.event;
+                   });
+
+  // -- Per-victim refresh segment lists with deferred refresh_bases_
+  // writes (the first segment must still read pre-batch baselines).
+  std::vector<std::pair<std::uint64_t, std::vector<VictimRefresh>>>
+      refreshed;
+  const auto refresh_list =
+      [&](std::uint64_t row) -> std::vector<VictimRefresh>& {
+    for (auto& [r, list] : refreshed) {
+      if (r == row) return list;
+    }
+    refreshed.emplace_back(row, std::vector<VictimRefresh>{});
+    return refreshed.back().second;
+  };
+  for (const RefreshPoint& rp : points) {
+    for (std::uint32_t d = 1; d <= rp.distance; ++d) {
+      for (const int sign : {-1, +1}) {
+        const auto victim =
+            neighbor(rp.aggressor, sign * static_cast<int>(d));
+        if (!victim.has_value()) continue;
+        RefreshBases nb;
+        nb.window = w;
+        if (auto l = neighbor(*victim, -1)) {
+          nb.left = row_count_at(*l, rp.event);
+        }
+        if (auto r = neighbor(*victim, +1)) {
+          nb.right = row_count_at(*r, rp.event);
+        }
+        if (auto l2 = neighbor(*victim, -2)) {
+          nb.left2 = row_count_at(*l2, rp.event);
+        }
+        if (auto r2 = neighbor(*victim, +2)) {
+          nb.right2 = row_count_at(*r2, rp.event);
+        }
+        auto& list = refresh_list(*victim);
+        if (!list.empty() && list.back().event == rp.event) {
+          list.back().bases = nb;  // TRR + PARA hit it at the same event
+        } else {
+          list.push_back(VictimRefresh{rp.event, nb});
+        }
+      }
+    }
+  }
+
+  // -- Candidate victims: every row within disturbance distance of any
+  // pattern row (pattern rows themselves included — adjacent aggressors
+  // disturb each other).
+  const double hd_weight = disturbance_.profile().half_double_weight;
+  const int max_dist = hd_weight > 0.0 ? 2 : 1;
+  std::vector<std::uint64_t> victims;
+  for (const std::uint64_t r : distinct) {
+    for (int d = 1; d <= max_dist; ++d) {
+      for (const int sign : {-1, +1}) {
+        const auto v = neighbor(r, sign * d);
+        if (!v.has_value()) continue;
+        if (std::find(victims.begin(), victims.end(), *v) == victims.end()) {
+          victims.push_back(*v);
+        }
+      }
+    }
+  }
+
+  // -- Closed-form victim check, generalized from check_victim_batched
+  // to the multi-row periodic stream.
+  std::vector<PendingFlip> pending;
+  const auto check_victim_pattern =
+      [&](std::uint64_t victim, std::span<const VictimRefresh> refreshes) {
+        // Pattern positions whose command activates a row that checks
+        // this victim (the victim is within disturbance distance).
+        std::vector<std::uint64_t> D;
+        for (std::uint64_t p = 0; p < P; ++p) {
+          const std::int64_t delta = static_cast<std::int64_t>(victim) -
+                                     static_cast<std::int64_t>(rows[p]);
+          bool reach = false;
+          for (int d = 1; d <= max_dist && !reach; ++d) {
+            if ((delta == -d &&
+                 neighbor(rows[p], -d) ==
+                     std::optional<std::uint64_t>(victim)) ||
+                (delta == d &&
+                 neighbor(rows[p], d) ==
+                     std::optional<std::uint64_t>(victim))) {
+              reach = true;
+            }
+          }
+          if (reach) D.push_back(p);
+        }
+        if (D.empty()) return;
+        if (!disturbance_.row_is_vulnerable(victim)) return;
+        const std::uint64_t m_v = D.size();
+        const auto checks_up_to = [&](std::uint64_t e) -> std::uint64_t {
+          if (e == 0) return 0;
+          const std::uint64_t t = (e - 1) / h;
+          const std::uint64_t o = (e - 1) % h;
+          std::uint64_t k = h * cmds_before(t, D);
+          const std::uint64_t pp = t % P;
+          for (const std::uint64_t c : D) {
+            if (c == pp) {
+              k += o + 1;
+              break;
+            }
+          }
+          return k;
+        };
+        const auto event_of = [&](std::uint64_t k) {
+          const std::uint64_t j = (k - 1) / h;  // victim-check command index
+          const std::uint64_t o = (k - 1) % h;
+          return ((j / m_v) * P + D[j % m_v]) * h + o + 1;
+        };
+        const std::uint64_t checks = checks_up_to(E);
+        if (checks == 0) return;
+
+        struct NeighborCount {
+          std::uint64_t base = 0;
+          int idx = -1;  // >= 0: index into `distinct` (dynamic count)
+          bool present = false;
+        };
+        const auto classify = [&](std::optional<std::uint64_t> n) {
+          NeighborCount c;
+          if (!n.has_value()) return c;  // bank edge: counts as zero
+          c.present = true;
+          const int i = find_distinct(*n);
+          if (i >= 0) {
+            c.idx = i;
+          } else {
+            c.base = acts_now(*n);
+          }
+          return c;
+        };
+        const NeighborCount nl = classify(neighbor(victim, -1));
+        const NeighborCount nr = classify(neighbor(victim, +1));
+        const NeighborCount nl2 =
+            max_dist == 2 ? classify(neighbor(victim, -2)) : NeighborCount{};
+        const NeighborCount nr2 =
+            max_dist == 2 ? classify(neighbor(victim, +2)) : NeighborCount{};
+        const auto count_nc = [&](const NeighborCount& c, std::uint64_t e) {
+          if (!c.present) return std::uint64_t{0};
+          return c.idx >= 0 ? count_at_event(c.idx, e) : c.base;
+        };
+        const auto exposure_at = [&](std::uint64_t e,
+                                     const RefreshBases& bases) {
+          std::uint64_t left = count_nc(nl, e);
+          std::uint64_t right = count_nc(nr, e);
+          left = left > bases.left ? left - bases.left : 0;
+          right = right > bases.right ? right - bases.right : 0;
+          double exposure = disturbance_.effective_hammer(left, right);
+          if (hd_weight > 0.0) {
+            std::uint64_t left2 = count_nc(nl2, e);
+            std::uint64_t right2 = count_nc(nr2, e);
+            left2 = left2 > bases.left2 ? left2 - bases.left2 : 0;
+            right2 = right2 > bases.right2 ? right2 - bases.right2 : 0;
+            exposure += hd_weight * static_cast<double>(left2 + right2);
+          }
+          return exposure;
+        };
+
+        const auto& cells = disturbance_.cells(victim);
+        RowData* rd = nullptr;
+        const auto slot_at = [&](std::uint64_t e) {
+          const std::uint64_t agg = rows[((e - 1) / h) % P];
+          const std::int64_t delta = static_cast<std::int64_t>(victim) -
+                                     static_cast<std::int64_t>(agg);
+          switch (delta) {
+            case -1: return 0;
+            case +1: return 1;
+            case -2: return 2;
+            default: return 3;  // +2
+          }
+        };
+        const auto emit = [&](const VulnCell& cell, std::uint64_t e) {
+          std::uint8_t& byte = rd->data[cell.byte_offset];
+          if (cell.failure_value) {
+            byte = static_cast<std::uint8_t>(byte | (1u << cell.bit));
+          } else {
+            byte = static_cast<std::uint8_t>(byte & ~(1u << cell.bit));
+          }
+          pending.push_back(PendingFlip{
+              .event = e,
+              .slot = slot_at(e),
+              .flip = FlipEvent{.time_ns = cmd_time_ns[(e - 1) / h],
+                                .global_row = victim,
+                                .byte_offset = cell.byte_offset,
+                                .bit = cell.bit,
+                                .new_value = cell.failure_value}});
+        };
+
+        std::uint64_t seg_start = 1;
+        RefreshBases bases = bases_of(victim);
+        for (std::size_t si = 0;; ++si) {
+          const std::uint64_t seg_end =
+              si < refreshes.size() ? refreshes[si].event - 1 : E;
+          const std::uint64_t k_lo = checks_up_to(seg_start - 1) + 1;
+          const std::uint64_t k_hi = std::min(checks, checks_up_to(seg_end));
+          if (k_lo <= k_hi) {
+            const double exposure_last = exposure_at(event_of(k_hi), bases);
+            if (exposure_last >= disturbance_.min_threshold(victim)) {
+              if (rd == nullptr) rd = &materialize(victim);
+              bool aliased = false;
+              for (std::size_t i = 0; i < cells.size() && !aliased; ++i) {
+                if (cells[i].threshold > exposure_last) break;
+                for (std::size_t j = i + 1; j < cells.size(); ++j) {
+                  if (cells[j].threshold > exposure_last) break;
+                  if (cells[i].byte_offset == cells[j].byte_offset &&
+                      cells[i].bit == cells[j].bit) {
+                    aliased = true;
+                    break;
+                  }
+                }
+              }
+              if (aliased) {
+                for (std::uint64_t k = k_lo; k <= k_hi; ++k) {
+                  const std::uint64_t e = event_of(k);
+                  const double exposure = exposure_at(e, bases);
+                  for (const VulnCell& cell : cells) {
+                    if (exposure < cell.threshold) break;
+                    const std::uint8_t current =
+                        (rd->data[cell.byte_offset] >> cell.bit) & 1u;
+                    if (current == cell.failure_value) continue;
+                    emit(cell, e);
+                  }
+                }
+              } else {
+                for (const VulnCell& cell : cells) {
+                  if (cell.threshold > exposure_last) break;
+                  const std::uint8_t current =
+                      (rd->data[cell.byte_offset] >> cell.bit) & 1u;
+                  if (current == cell.failure_value) continue;
+                  std::uint64_t lo = k_lo;
+                  std::uint64_t hi = k_hi;
+                  while (lo < hi) {
+                    const std::uint64_t mid = lo + (hi - lo) / 2;
+                    if (exposure_at(event_of(mid), bases) >= cell.threshold) {
+                      hi = mid;
+                    } else {
+                      lo = mid + 1;
+                    }
+                  }
+                  emit(cell, event_of(lo));
+                }
+              }
+            }
+          }
+          if (si >= refreshes.size()) break;
+          seg_start = refreshes[si].event;
+          bases = refreshes[si].bases;
+        }
+      };
+
+  for (const std::uint64_t v : victims) {
+    std::span<const VictimRefresh> segs;
+    for (const auto& [row, list] : refreshed) {
+      if (row == v) {
+        segs = list;
+        break;
+      }
+    }
+    check_victim_pattern(v, segs);
+  }
+
+  // -- Hazard gate: a flip inside a hazard range invalidates the whole
+  // replay (the data fed back into the pattern's own reads).  Undo the
+  // flips in reverse (each emit was a toggle) and restore the
+  // mitigation state; the caller replays this chunk scalar.
+  for (const PendingFlip& p : pending) {
+    for (const PatternHazard& hz : hazards) {
+      if (p.flip.global_row == hz.global_row &&
+          p.flip.byte_offset >= hz.byte_lo && p.flip.byte_offset < hz.byte_hi) {
+        for (auto it = pending.rbegin(); it != pending.rend(); ++it) {
+          RowData& rd = materialize(it->flip.global_row);
+          rd.data[it->flip.byte_offset] = static_cast<std::uint8_t>(
+              it->flip.new_value
+                  ? rd.data[it->flip.byte_offset] & ~(1u << it->flip.bit)
+                  : rd.data[it->flip.byte_offset] | (1u << it->flip.bit));
+        }
+        trr_ = trr_snapshot;
+        para_rng_ = para_rng_snapshot;
+        stats_.para_refreshes = para_refreshes_snapshot;
+        return false;
+      }
+    }
+  }
+
+  // -- Commit: bulk row state, deferred baselines, ordered flips.
+  stats_.activations += E;
+  for (std::size_t i = 0; i < distinct.size(); ++i) {
+    const auto& C = pos_of[i];
+    std::uint64_t tail = 0;
+    for (const std::uint64_t c : C) {
+      if (c < rem_cmds) ++tail;
+    }
+    row_acts_[distinct[i]] += h * (full_periods * C.size() + tail);
+  }
+  if (trr_.has_value()) stats_.trr_refreshes = trr_->refreshes_issued();
+  for (const auto& [row, list] : refreshed) {
+    refresh_bases_[row] = list.back().bases;
+  }
+  if (!pending.empty()) {
+    std::stable_sort(pending.begin(), pending.end(),
+                     [](const PendingFlip& x, const PendingFlip& y) {
+                       return x.event != y.event ? x.event < y.event
+                                                 : x.slot < y.slot;
+                     });
+    stats_.bitflips += pending.size();
+    for (const PendingFlip& p : pending) flip_events_.push_back(p.flip);
+  }
+  return true;
+}
+
+void DramDevice::account_cache_pattern(
+    std::span<const DramAddr> lines,
+    std::span<const std::uint64_t> rel_stamps, std::uint64_t hits) {
+  RHSD_CHECK(cache_.has_value());
+  RHSD_CHECK(lines.size() == rel_stamps.size());
+  const std::uint64_t use_before = cache_->use_counter();
+  cache_->account_hits(hits);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    cache_->set_last_use(lines[i], use_before + rel_stamps[i]);
+  }
+  stats_.reads += hits;
+  stats_.cache_hits = cache_->hits();
+  stats_.cache_misses = cache_->misses();
+}
+
+bool DramDevice::ecc_clean(std::uint64_t global_row, std::uint32_t byte_lo,
+                           std::uint32_t byte_hi) const {
+  if (!config_.mitigations.ecc || byte_lo >= byte_hi) return true;
+  const RowData* rd = row_data_[global_row].get();
+  if (rd == nullptr || rd->data.empty()) return true;
+  const std::uint32_t first_word = byte_lo / 8;
+  const std::uint32_t last_word = (byte_hi - 1) / 8;
+  for (std::uint32_t w = first_word; w <= last_word; ++w) {
+    const std::uint64_t word = LoadWord(&rd->data[w * 8]);
+    if (SecdedDecode(word, rd->ecc[w]).status != SecdedStatus::kOk) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t DramDevice::injected_read_faults_away() const {
+  if (injector_ == nullptr) return FaultInjector::kNoFault;
+  const std::uint64_t at =
+      injector_->next_fault_at(FaultClass::kDramBitError);
+  if (at == FaultInjector::kNoFault) return at;
+  return at - injector_->ops(FaultClass::kDramBitError);
+}
+
 Status DramDevice::verify_and_correct_ecc(RowData* rd,
                                           std::uint32_t first_byte,
                                           std::uint32_t length,
@@ -975,8 +1476,21 @@ void DramDevice::peek(DramAddr addr, std::span<std::uint8_t> out) const {
   }
 }
 
+void DramDevice::peek_row(std::uint64_t global_row, std::uint32_t offset,
+                          std::span<std::uint8_t> out) const {
+  RHSD_CHECK(global_row < row_data_.size());
+  RHSD_CHECK(offset + out.size() <= config_.geometry.row_bytes);
+  const RowData* rd = row_data_[global_row].get();
+  if (rd == nullptr || rd->data.empty()) {
+    std::memset(out.data(), 0, out.size());
+  } else {
+    std::memcpy(out.data(), rd->data.data() + offset, out.size());
+  }
+}
+
 void DramDevice::poke(DramAddr addr, std::span<const std::uint8_t> data) {
   RHSD_CHECK(addr.value() + data.size() <= config_.geometry.total_bytes());
+  ++pokes_;
   const std::uint32_t row_bytes = config_.geometry.row_bytes;
   std::uint64_t a = addr.value();
   std::size_t done = 0;

@@ -101,6 +101,16 @@ struct DramStats {
   std::uint64_t injected_bit_errors = 0;  // fault-injected soft errors
 };
 
+/// A byte range of one row in which a batched pattern replay must not
+/// produce a disturbance flip (it would feed back into the replayed
+/// commands themselves — e.g. an L2P entry the pattern keeps reading).
+/// hammer_pattern() aborts without side effects if a flip lands inside.
+struct PatternHazard {
+  std::uint64_t global_row = 0;
+  std::uint32_t byte_lo = 0;  // inclusive
+  std::uint32_t byte_hi = 0;  // exclusive
+};
+
 /// One disturbance-induced bitflip, for scanning and experiment output.
 struct FlipEvent {
   std::uint64_t time_ns = 0;
@@ -145,6 +155,65 @@ class DramDevice {
                           std::uint64_t pairs);
   void hammer_row_scalar(std::uint64_t global_row, std::uint64_t count);
 
+  /// Batched replay of an FTL read-pattern chunk: command c (0-based,
+  /// c < n_cmds) activates rows[c % rows.size()] `repeat` times, i.e.
+  /// the activation stream is rows[0]*repeat, rows[1]*repeat, ...,
+  /// wrapping around the pattern — exactly what `n_cmds` scalar
+  /// unmapped-L2P reads with per-I/O hammer amplification produce.
+  /// `cmd_time_ns[c]` is the simulated time of command c's DRAM work
+  /// (used to stamp FlipEvents); all commands must fall in the refresh
+  /// window the clock currently sits in.  Preconditions: closed-page
+  /// policy, no cache.  Bit-exact with the scalar loop: same flips in
+  /// the same order, same DramStats, same TRR/PARA state.
+  ///
+  /// Returns false and leaves the device completely untouched if a flip
+  /// would land inside one of `hazards` — the caller must then replay
+  /// the chunk through the scalar path (the flip feeds back into data
+  /// the pattern reads, which only the scalar path models).
+  [[nodiscard]] bool hammer_pattern(std::span<const std::uint64_t> rows,
+                                    std::uint64_t n_cmds,
+                                    std::uint64_t repeat,
+                                    std::span<const std::uint64_t> cmd_time_ns,
+                                    std::span<const PatternHazard> hazards);
+
+  /// Replay-accounting hooks for the FTL's batched pattern path.  Each
+  /// mirrors exactly the bookkeeping the equivalent scalar read() calls
+  /// would have performed, without re-running them.
+  ///
+  /// Bump DramStats::reads by `n` (the scalar path counts one per read()
+  /// call; hammer_pattern() replays only the activations).
+  void account_pattern_reads(std::uint64_t n) { stats_.reads += n; }
+  /// True when a cache is configured and `addr`'s line is resident (so a
+  /// read of it is a guaranteed hit that activates nothing).
+  [[nodiscard]] bool cache_resident(DramAddr addr) const {
+    return cache_.has_value() && cache_->contains(addr);
+  }
+  /// Batched all-hit cache replay: account `hits` cache hits (each one
+  /// also a read), then stamp line `lines[i]` with LRU time
+  /// `use_counter_before + rel_stamps[i]` — the stamp its last scalar
+  /// access would have left.  Preconditions: cache configured, every
+  /// line resident.
+  void account_cache_pattern(std::span<const DramAddr> lines,
+                             std::span<const std::uint64_t> rel_stamps,
+                             std::uint64_t hits);
+  /// True when the SECDED state of `[byte_lo, byte_hi)` in `global_row`
+  /// is consistent (a scalar read's ECC verify would be a no-op).  Rows
+  /// never materialized are clean by construction.  Pure check.
+  [[nodiscard]] bool ecc_clean(std::uint64_t global_row,
+                               std::uint32_t byte_lo,
+                               std::uint32_t byte_hi) const;
+  /// Injected-read-fault lookahead/skip, for fault-aligned batching:
+  /// read() ticks FaultClass::kDramBitError once per call, so a batched
+  /// replay of n fault-free reads must skip n ops to stay aligned.
+  /// Returns how many read() ticks away the next injected bit error is
+  /// (0 = the very next read), or FaultInjector::kNoFault.
+  [[nodiscard]] std::uint64_t injected_read_faults_away() const;
+  void skip_injected_read_faults(std::uint64_t n) {
+    if (injector_ != nullptr) {
+      injector_->skip_ops(FaultClass::kDramBitError, n);
+    }
+  }
+
   /// Repeat the read of `out`'s span `extra` more times, batched.  Must
   /// directly follow a *successful* read() of the same span into the
   /// same buffer: the repeats then cannot change the buffer, the ECC
@@ -161,6 +230,12 @@ class DramDevice {
   /// Inspect memory without activations, stats, or ECC (for tests and
   /// experiment harnesses, not part of the modeled device interface).
   void peek(DramAddr addr, std::span<std::uint8_t> out) const;
+  /// peek() with the address already decoded: read `out.size()` bytes at
+  /// `offset` within `global_row` (must not cross the row end).  Lets
+  /// bulk table walks — the FTL's integrity scrub — skip the per-call
+  /// address decode.
+  void peek_row(std::uint64_t global_row, std::uint32_t offset,
+                std::span<std::uint8_t> out) const;
   /// Modify memory without activations; updates ECC check bits.
   void poke(DramAddr addr, std::span<const std::uint8_t> data);
 
@@ -174,6 +249,16 @@ class DramDevice {
     return flip_events_;
   }
   void clear_flip_events() { flip_events_.clear(); }
+
+  /// Monotonic signature of stored-content mutations: host writes,
+  /// committed disturbance flips, ECC in-place corrections, injected
+  /// soft errors, and debug pokes.  Two equal readings prove the memory
+  /// content is unchanged between them — the FTL's integrity scrub uses
+  /// this to skip re-verifying a table nothing has touched.
+  [[nodiscard]] std::uint64_t content_epoch() const {
+    return stats_.writes + stats_.bitflips + stats_.ecc_corrected +
+           stats_.injected_bit_errors + pokes_;
+  }
 
   /// Activations of `global_row` in the current refresh window.
   [[nodiscard]] std::uint64_t row_activations(std::uint64_t global_row);
@@ -293,6 +378,7 @@ class DramDevice {
   std::vector<std::uint64_t> open_rows_;
   DramStats stats_;
   std::vector<FlipEvent> flip_events_;
+  std::uint64_t pokes_ = 0;  // content mutations via poke()
 
   // Flat per-row hot state (indexed by global row id).  The activation
   // path touches only these three arrays plus the disturbance model's

@@ -21,8 +21,12 @@ std::string SerializeState(
                                                                table.end());
   std::sort(entries.begin(), entries.end());
   std::string key;
-  key.reserve(1 + entries.size() * 12);
-  key.push_back(static_cast<char>(parity));
+  key.reserve(8 + entries.size() * 12);
+  // Full-width parity: multi-row patterns use the position within a
+  // period (up to rows * repeat) here, not just a 0/1 bit.
+  for (int s = 0; s < 64; s += 8) {
+    key.push_back(static_cast<char>((parity >> s) & 0xff));
+  }
   for (const auto& [row, count] : entries) {
     for (int s = 0; s < 32; s += 8) {
       key.push_back(static_cast<char>((row >> s) & 0xff));
@@ -178,6 +182,135 @@ std::vector<TrrEmission> TrrTracker::advance(std::uint32_t bank,
       // Interleave the two rows' emission streams; phase-1 emissions
       // all precede `first`, so sorting the whole vector is stable
       // with respect to them.
+      std::sort(out.begin(), out.end(),
+                [](const TrrEmission& x, const TrrEmission& y) {
+                  return x.index < y.index;
+                });
+    }
+  }
+  return out;
+}
+
+std::vector<TrrEmission> TrrTracker::advance_cmds(
+    std::uint32_t bank, std::span<const std::uint32_t> cmd_rows,
+    std::uint64_t repeat, std::uint64_t events) {
+  RHSD_CHECK(bank < tables_.size());
+  RHSD_CHECK(!cmd_rows.empty());
+  RHSD_CHECK(repeat > 0);
+  std::vector<TrrEmission> out;
+  auto& table = tables_[bank];
+  const std::uint64_t threshold = config_.activation_threshold;
+  const std::uint64_t m = cmd_rows.size();
+  const std::uint64_t period = m * repeat;  // activations per pattern period
+
+  std::vector<std::uint32_t> distinct(cmd_rows.begin(), cmd_rows.end());
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  const auto steady = [&] {
+    for (const std::uint32_t r : distinct) {
+      if (table.count(r) == 0) return false;
+    }
+    return true;
+  };
+  const auto row_at = [&](std::uint64_t e) {  // e is 1-based
+    return cmd_rows[((e - 1) / repeat) % m];
+  };
+
+  // Phase 1: scalar transient with cycle detection.  The state key
+  // includes the position within the pattern period, so a repeated key
+  // implies the cycle length is a multiple of the period and the
+  // recorded emissions replay verbatim.
+  std::unordered_map<std::string, std::pair<std::uint64_t, std::size_t>>
+      seen;  // state key -> (activation index, emissions recorded)
+  bool detect = true;
+  std::uint64_t e = 1;
+  while (e <= events && !steady()) {
+    if (detect) {
+      const std::string key = SerializeState(table, (e - 1) % period);
+      const auto [it, inserted] =
+          seen.emplace(key, std::make_pair(e, out.size()));
+      if (!inserted) {
+        const std::uint64_t cycle = e - it->second.first;
+        const std::size_t pat_begin = it->second.second;
+        const std::size_t pat_len = out.size() - pat_begin;
+        const std::uint64_t full = (events - e + 1) / cycle;
+        for (std::uint64_t rep = 1; rep <= full; ++rep) {
+          for (std::size_t i = 0; i < pat_len; ++i) {
+            const TrrEmission& em = out[pat_begin + i];
+            out.push_back(TrrEmission{em.index + rep * cycle, em.row});
+          }
+        }
+        refreshes_issued_ += full * pat_len;
+        e += full * cycle;
+        detect = false;
+        seen.clear();
+      } else if (seen.size() > kMaxCycleStates) {
+        detect = false;
+        seen.clear();
+      }
+    }
+    if (e > events) break;
+    if (auto fired = on_activate(bank, row_at(e))) {
+      out.push_back(TrrEmission{e, *fired});
+    }
+    ++e;
+  }
+
+  if (e <= events) {
+    // Steady: every remaining activation is a pure increment.  First
+    // step scalar to a period boundary (at most one period, and each
+    // step stays steady), then fold whole periods per distinct row.
+    while (e <= events && (e - 1) % period != 0) {
+      if (auto fired = on_activate(bank, row_at(e))) {
+        out.push_back(TrrEmission{e, *fired});
+      }
+      ++e;
+    }
+    if (e <= events) {
+      const std::uint64_t e0 = e;  // activation at pattern position 0
+      const std::uint64_t remaining = events - e0 + 1;
+      const std::uint64_t full = remaining / period;
+      const std::uint64_t rem = remaining % period;
+      for (const std::uint32_t row : distinct) {
+        // Own-activation positions of `row` within one period.
+        std::vector<std::uint64_t> pos;
+        for (std::uint64_t c = 0; c < m; ++c) {
+          if (cmd_rows[c] != row) continue;
+          for (std::uint64_t j = 0; j < repeat; ++j) {
+            pos.push_back(c * repeat + j);
+          }
+        }
+        const std::uint64_t m_r = pos.size();
+        std::uint64_t tail = 0;
+        for (const std::uint64_t p : pos) {
+          if (p < rem) ++tail;
+        }
+        const std::uint64_t n = full * m_r + tail;
+        if (n == 0) continue;
+        std::uint64_t& count = table[row];
+        std::uint64_t j1;  // 1-based own-activation index of the first fire
+        if (count == ~0ull) {
+          j1 = 1 + threshold;  // first increment wraps to 0, no fire
+        } else if (count >= threshold) {
+          j1 = 1;
+        } else {
+          j1 = threshold - count;
+        }
+        const std::uint64_t fires = n >= j1 ? 1 + (n - j1) / threshold : 0;
+        for (std::uint64_t k = 0; k < fires; ++k) {
+          const std::uint64_t j = j1 + k * threshold;  // own index, 1-based
+          const std::uint64_t q = (j - 1) / m_r;
+          const std::uint64_t i = (j - 1) % m_r;
+          out.push_back(TrrEmission{e0 + q * period + pos[i], row});
+        }
+        if (fires == 0) {
+          count += n;  // wrapping add matches repeated wrapping ++
+        } else {
+          count = n - j1 - (fires - 1) * threshold;
+        }
+        refreshes_issued_ += fires;
+      }
       std::sort(out.begin(), out.end(),
                 [](const TrrEmission& x, const TrrEmission& y) {
                   return x.index < y.index;

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -64,6 +65,20 @@ class TrrTracker {
                                                  std::uint32_t row_a,
                                                  std::uint32_t row_b,
                                                  std::uint64_t events);
+
+  /// Batched replay of a periodic multi-row command stream: the bank
+  /// sees `cmd_rows[0]` activated `repeat` times, then `cmd_rows[1]`
+  /// `repeat` times, ..., wrapping around the list, for `events` total
+  /// activations.  This is the shape an FTL read pattern produces (each
+  /// command hammers one row `hammers_per_io` times).  Returns emissions
+  /// with bank-local 1-based activation indices; table state and
+  /// refreshes_issued() end exactly as `events` scalar on_activate()
+  /// calls would.  Same complexity argument as advance(): the table
+  /// either absorbs every pattern row (per-row closed-form fold) or
+  /// cycles (detected and fast-forwarded).
+  [[nodiscard]] std::vector<TrrEmission> advance_cmds(
+      std::uint32_t bank, std::span<const std::uint32_t> cmd_rows,
+      std::uint64_t repeat, std::uint64_t events);
 
   /// Clear all per-window state (call at refresh-window boundaries).
   void reset();

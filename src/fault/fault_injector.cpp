@@ -38,6 +38,23 @@ std::optional<FaultEvent> FaultInjector::tick(FaultClass cls) {
   return std::nullopt;
 }
 
+std::uint64_t FaultInjector::next_fault_at(FaultClass cls) const {
+  const std::size_t c = index(cls);
+  const std::uint64_t counter = counters_[c];
+  std::uint64_t best = kNoFault;
+  for (std::size_t i = cursors_[c]; i < windows_[c].size(); ++i) {
+    const Window& w = windows_[c][i];
+    if (w.begin >= best) break;  // sorted by begin: no better candidate left
+    const std::uint64_t candidate = std::max(w.begin, counter);
+    if (candidate < w.end) best = std::min(best, candidate);
+  }
+  return best;
+}
+
+void FaultInjector::skip_ops(FaultClass cls, std::uint64_t n) {
+  counters_[index(cls)] += n;
+}
+
 void FaultInjector::reset() {
   cursors_.fill(0);
   counters_.fill(0);

@@ -45,6 +45,17 @@ class FaultInjector {
     return counters_[index(cls)];
   }
 
+  /// The next op index >= the current counter at which a `cls` tick
+  /// would fault, or kNoFault if the plan schedules none.  Pure lookahead:
+  /// counters and cursors are not moved.
+  static constexpr std::uint64_t kNoFault = ~0ull;
+  [[nodiscard]] std::uint64_t next_fault_at(FaultClass cls) const;
+
+  /// Advance class `cls`'s counter by `n` operations that are known to be
+  /// fault-free (callers must have checked next_fault_at).  Replaces `n`
+  /// individual ticks without touching the log.
+  void skip_ops(FaultClass cls, std::uint64_t n);
+
   /// Every fault actually injected, in injection order.
   [[nodiscard]] const std::vector<InjectionRecord>& log() const {
     return log_;

@@ -518,6 +518,48 @@ StatusOr<std::size_t> FileSystem::read(const Credentials& cred,
   return static_cast<std::size_t>(limit);
 }
 
+StatusOr<std::vector<std::vector<std::uint8_t>>> FileSystem::read_file_blocks(
+    const Credentials& cred, std::uint32_t ino, std::uint32_t first_block,
+    std::uint32_t count) {
+  RHSD_ASSIGN_OR_RETURN(InodeDisk inode, load_inode(ino));
+  if (!IsReg(inode)) return InvalidArgument("not a regular file");
+  if (!CanRead(cred, inode)) {
+    return PermissionDenied("no read permission");
+  }
+
+  // Resolve every mapping up front so the shared metadata (extent tree
+  // or level-1 indirect tables) is fetched once per run instead of once
+  // per block.
+  std::vector<std::uint64_t> phys(count, IndirectMapper::kUnreadable);
+  if (UsesExtents(inode)) {
+    const ExtentCsumCtx ctx = csum_ctx(ino, inode);
+    auto extents = ExtentTree::Load(dev_, inode, ctx);
+    if (extents.ok()) {
+      for (std::uint32_t i = 0; i < count; ++i) {
+        phys[i] = ExtentTree::Lookup(*extents, first_block + i);
+      }
+    }
+  } else {
+    IndirectMapper mapper(
+        dev_, inode, [this] { return alloc_block(); },
+        [this](std::uint64_t b) { free_block(b); });
+    phys = mapper.get_run(first_block, count);
+  }
+
+  std::vector<std::vector<std::uint8_t>> out(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint64_t off =
+        (static_cast<std::uint64_t>(first_block) + i) * kFsBlockSize;
+    if (off + kFsBlockSize > inode.size) continue;  // not fully inside
+    if (phys[i] == IndirectMapper::kUnreadable) continue;
+    std::vector<std::uint8_t>& block = out[i];
+    block.assign(kFsBlockSize, 0);
+    if (phys[i] == 0) continue;  // hole reads back zeros
+    if (!dev_.read_block(phys[i], block).ok()) block.clear();
+  }
+  return out;
+}
+
 StatusOr<FileInfo> FileSystem::stat(std::uint32_t ino) {
   RHSD_ASSIGN_OR_RETURN(const InodeDisk inode, load_inode(ino));
   return FileInfo{ino,         inode.mode, inode.uid,

@@ -83,6 +83,17 @@ class FileSystem {
   StatusOr<std::size_t> read(const Credentials& cred, std::uint32_t ino,
                              std::uint64_t offset,
                              std::span<std::uint8_t> out);
+  /// Batched whole-block read (the scan/dump stages' shape): loads the
+  /// inode once, resolves all `count` mappings from `first_block` —
+  /// fetching the extent tree or each level-1 indirect table once per
+  /// run instead of once per block — then reads the data blocks.
+  /// result[i] is the 4 KiB content of file block first_block+i:
+  /// zero-filled for holes, empty where the block is unreadable
+  /// (mapping/device error, or not fully inside the file), matching
+  /// what a per-block read() loop would observe.
+  StatusOr<std::vector<std::vector<std::uint8_t>>> read_file_blocks(
+      const Credentials& cred, std::uint32_t ino, std::uint32_t first_block,
+      std::uint32_t count);
   StatusOr<FileInfo> stat(std::uint32_t ino);
   Status chown(const Credentials& cred, std::uint32_t ino,
                std::uint16_t new_uid);

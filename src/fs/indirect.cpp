@@ -1,5 +1,6 @@
 #include "fs/indirect.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 namespace rhsd::fs {
@@ -8,6 +9,18 @@ namespace {
 constexpr std::uint64_t kL1Span = kPtrsPerBlock;                  // 1024
 constexpr std::uint64_t kL2Span = kL1Span * kPtrsPerBlock;        // 2^20
 constexpr std::uint64_t kL3Span = kL2Span * kPtrsPerBlock;        // 2^30
+
+/// Index of `file_block`'s pointer within its level-1 table (the block
+/// must be indirect-addressed, i.e. >= kDirectBlocks).
+std::uint32_t L1IndexOf(std::uint32_t file_block) {
+  std::uint64_t fb =
+      static_cast<std::uint64_t>(file_block) - kDirectBlocks;
+  if (fb < kL1Span) return static_cast<std::uint32_t>(fb);
+  fb -= kL1Span;
+  if (fb < kL2Span) return static_cast<std::uint32_t>(fb % kL1Span);
+  fb -= kL2Span;
+  return static_cast<std::uint32_t>(fb % kL1Span);
+}
 
 }  // namespace
 
@@ -99,6 +112,44 @@ StatusOr<std::uint64_t> IndirectMapper::get(std::uint32_t file_block) {
   RHSD_ASSIGN_OR_RETURN(const std::uint32_t ptr,
                         load_ptr(loc.first, loc.second));
   return static_cast<std::uint64_t>(ptr);
+}
+
+std::vector<std::uint64_t> IndirectMapper::get_run(std::uint32_t first,
+                                                   std::uint32_t count) {
+  std::vector<std::uint64_t> phys(count, 0);
+  std::uint32_t i = 0;
+  for (; i < count && first + i < kDirectBlocks; ++i) {
+    phys[i] = inode_.block[first + i];
+  }
+  std::vector<std::uint8_t> table(kFsBlockSize);
+  while (i < count) {
+    const std::uint32_t fb = first + i;
+    if (static_cast<std::uint64_t>(fb) >= max_file_blocks()) {
+      for (; i < count; ++i) phys[i] = kUnreadable;
+      break;
+    }
+    // Consecutive file blocks share a level-1 table until its pointer
+    // index wraps; resolve and read the table once for the whole run.
+    const std::uint32_t l1 = L1IndexOf(fb);
+    const auto run = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(count - i, kL1Span - l1));
+    const auto loc = locate(fb, /*alloc=*/false);
+    if (!loc.ok()) {
+      for (std::uint32_t j = 0; j < run; ++j) phys[i + j] = kUnreadable;
+    } else if (loc->first == 0) {
+      // Absent chain: every block under this table is a hole (already 0).
+    } else if (!dev_.read_block(loc->first, table).ok()) {
+      for (std::uint32_t j = 0; j < run; ++j) phys[i + j] = kUnreadable;
+    } else {
+      for (std::uint32_t j = 0; j < run; ++j) {
+        std::uint32_t ptr;
+        std::memcpy(&ptr, table.data() + (l1 + j) * 4, 4);
+        phys[i + j] = ptr;
+      }
+    }
+    i += run;
+  }
+  return phys;
 }
 
 StatusOr<std::uint64_t> IndirectMapper::get_or_alloc(

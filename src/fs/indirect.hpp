@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "common/status.hpp"
 #include "fs/block_device.hpp"
@@ -38,6 +39,17 @@ class IndirectMapper {
 
   /// Like get(), allocating data and intermediate blocks as needed.
   StatusOr<std::uint64_t> get_or_alloc(std::uint32_t file_block);
+
+  /// Sentinel result value of get_run(): the pointer walk for that
+  /// block failed (unreadable), as opposed to 0 (a hole).
+  static constexpr std::uint64_t kUnreadable = ~0ull;
+
+  /// Batched get(): map `count` consecutive file blocks starting at
+  /// `first`, reading each level-1 table block once per run of blocks
+  /// it maps instead of once per block.  Entries are the physical
+  /// block, 0 for holes, kUnreadable where the walk failed.
+  std::vector<std::uint64_t> get_run(std::uint32_t first,
+                                     std::uint32_t count);
 
   /// Free every data and metadata block reachable from the inode.
   Status free_all();

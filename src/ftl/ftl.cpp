@@ -299,6 +299,12 @@ Status Ftl::retire_bad_block(std::uint32_t block) {
       it != free_blocks_.end()) {
     free_blocks_.erase(it);
   }
+  // Mark the block bad *before* relocating: the relocation programs
+  // below can run GC (the dying block is no longer free-or-active, so
+  // nothing stops victim selection from picking it), and a not-yet-bad
+  // block would be erased and pushed back onto the free list mid-retire.
+  // Reads still work on bad blocks, which is all relocation needs.
+  nand_.mark_bad(block);
   // Relocate whatever live data the dying block still holds.  Its pages
   // remain readable in this model (as on most real NAND), so this is a
   // normal read-out; unreadable pages keep their mapping and surface as
@@ -322,7 +328,6 @@ Status Ftl::retire_bad_block(std::uint32_t block) {
         oob.lpn, static_cast<std::uint32_t>(dst.value()), seq, false));
     ++stats_.gc_relocations;
   }
-  nand_.mark_bad(block);
   update_degradation();
   return Status::Ok();
 }
@@ -439,6 +444,217 @@ Status Ftl::read(Lba lba, std::span<std::uint8_t> out, FtlIoInfo* info) {
   return Status::Ok();
 }
 
+bool Ftl::plan_pattern_replay(std::span<const Lba> lbas,
+                              PatternReplayPlan* plan) {
+  *plan = PatternReplayPlan{};
+  if (lbas.empty() || powered_off_ || needs_recovery_) return false;
+  const auto& geo = dram_.config().geometry;
+  const std::uint32_t row_bytes = geo.row_bytes;
+  const bool cache = dram_.config().mitigations.cache.has_value();
+  if (!cache &&
+      dram_.config().row_buffer_policy != RowBufferPolicy::kClosedPage) {
+    // hammer_pattern models closed-page activation streams only.
+    return false;
+  }
+  plan->cache_mode = cache;
+  plan->hammers_per_io = config_.hammers_per_io;
+  plan->scrub_enabled =
+      config_.scrub_interval_ios > 0 && journal_ != nullptr;
+  const bool ecc = dram_.config().mitigations.ecc;
+  const std::uint64_t total_pages = nand_.geometry().total_pages();
+  for (const Lba lba : lbas) {
+    if (!check_lba(lba).ok()) return false;
+    const DramAddr addr = layout_->entry_addr(lba.value());
+    const auto off = static_cast<std::uint32_t>(addr.value() % row_bytes);
+    if (cache) {
+      // One access batch per read: the entry must sit in one row and
+      // one cache line, so a resident line means a pure hit.
+      const std::uint32_t line =
+          dram_.config().mitigations.cache->line_bytes;
+      if (off + L2pLayout::kEntryBytes > row_bytes) return false;
+      if (addr.value() / line !=
+          (addr.value() + L2pLayout::kEntryBytes - 1) / line) {
+        return false;
+      }
+    } else if (!l2p_batched_ok(addr)) {
+      return false;
+    }
+    const std::uint64_t row_base = addr.value() - off;
+    const std::uint64_t grow =
+        dram_.mapper().decode(DramAddr(row_base)).global_row(geo);
+    plan->lbas.push_back(lba);
+    plan->entry_addrs.push_back(addr);
+    plan->entry_rows.push_back(grow);
+    if (cache) continue;  // all-hit replay activates nothing
+    // Hazard analysis: could a disturbance flip inside this entry feed
+    // back into the replayed reads?  With ECC the entry's check words
+    // must stay consistent (a dirty word makes the scalar read correct
+    // it — an observable event), so the whole covering word range is a
+    // hazard.  Without ECC only a flip that could make the entry read
+    // as *mapped* changes behaviour; flips drive bits to their failure
+    // values monotonically, so the reachable minimum is the current
+    // value with every vulnerable clear-to-0 bit cleared.
+    PatternHazard hz;
+    hz.global_row = grow;
+    if (ecc) {
+      hz.byte_lo = off & ~7u;
+      hz.byte_hi = (off + L2pLayout::kEntryBytes + 7u) & ~7u;
+    } else {
+      DisturbanceModel& dm = dram_.disturbance();
+      if (!dm.row_is_vulnerable(grow)) continue;
+      std::uint32_t clear_mask = 0;
+      for (const VulnCell& c : dm.cells(grow)) {
+        if (c.byte_offset < off ||
+            c.byte_offset >= off + L2pLayout::kEntryBytes) {
+          continue;
+        }
+        if (c.failure_value == 0) {
+          clear_mask |= 1u << ((c.byte_offset - off) * 8 + c.bit);
+        }
+      }
+      std::uint8_t buf[L2pLayout::kEntryBytes];
+      dram_.peek(addr, buf);
+      const std::uint32_t reach_min = Load32(buf) & ~clear_mask;
+      if (reach_min == kUnmappedPba32 || reach_min >= total_pages) {
+        continue;  // provably stays unmapped under any flip subset
+      }
+      hz.byte_lo = off;
+      hz.byte_hi = off + L2pLayout::kEntryBytes;
+    }
+    bool dup = false;
+    for (const PatternHazard& other : plan->hazards) {
+      if (other.global_row == hz.global_row &&
+          other.byte_lo == hz.byte_lo && other.byte_hi == hz.byte_hi) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) plan->hazards.push_back(hz);
+  }
+  return true;
+}
+
+bool Ftl::pattern_state_ok(const PatternReplayPlan& plan) const {
+  if (powered_off_ || needs_recovery_) return false;
+  const std::uint64_t total_pages = nand_.geometry().total_pages();
+  const std::uint32_t row_bytes = dram_.config().geometry.row_bytes;
+  const bool ecc = dram_.config().mitigations.ecc;
+  for (std::size_t i = 0; i < plan.lbas.size(); ++i) {
+    const std::uint32_t pba32 = debug_lookup(plan.lbas[i]);
+    if (pba32 != kUnmappedPba32 && pba32 < total_pages) return false;
+    if (ecc) {
+      const auto off =
+          static_cast<std::uint32_t>(plan.entry_addrs[i].value() % row_bytes);
+      if (!dram_.ecc_clean(plan.entry_rows[i], off & ~7u,
+                           (off + L2pLayout::kEntryBytes + 7u) & ~7u)) {
+        return false;
+      }
+    }
+    if (plan.cache_mode && !dram_.cache_resident(plan.entry_addrs[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t Ftl::replay_safe_cmds(const PatternReplayPlan& plan) const {
+  std::uint64_t safe = FaultInjector::kNoFault;
+  if (injector_ != nullptr) {
+    const std::uint64_t at = injector_->next_fault_at(FaultClass::kPowerLoss);
+    if (at != FaultInjector::kNoFault) {
+      safe = std::min(safe, at - injector_->ops(FaultClass::kPowerLoss));
+    }
+  }
+  const std::uint64_t d = dram_.injected_read_faults_away();
+  if (d != FaultInjector::kNoFault) {
+    // One DRAM read tick per command — hammers_per_io of them when each
+    // amplified touch is a separate cache-path read() call.
+    const std::uint64_t mult = plan.cache_mode ? plan.hammers_per_io : 1;
+    safe = std::min(safe, d / mult);
+  }
+  if (plan.scrub_enabled) {
+    safe = std::min<std::uint64_t>(
+        safe, config_.scrub_interval_ios - 1 - ios_since_scrub_);
+  }
+  return safe;
+}
+
+Status Ftl::replay_pattern_reads(const PatternReplayPlan& plan,
+                                 std::uint64_t start_cmd,
+                                 std::uint64_t n_cmds,
+                                 std::span<const std::uint64_t> cmd_time_ns,
+                                 bool* applied) {
+  RHSD_CHECK(applied != nullptr);
+  *applied = false;
+  if (n_cmds == 0) {
+    *applied = true;
+    return Status::Ok();
+  }
+  const std::uint64_t P = plan.lbas.size();
+  const std::uint64_t h = plan.hammers_per_io;
+  if (!plan.cache_mode) {
+    // Rotate the row pattern so the replay starts at start_cmd's
+    // pattern position; the hazard list is row-keyed and unaffected.
+    std::vector<std::uint64_t> rot(P);
+    for (std::uint64_t i = 0; i < P; ++i) {
+      rot[i] = plan.entry_rows[(start_cmd + i) % P];
+    }
+    if (!dram_.hammer_pattern(rot, n_cmds, h, cmd_time_ns, plan.hazards)) {
+      return Status::Ok();  // hazard: caller replays this chunk scalar
+    }
+    dram_.account_pattern_reads(h * n_cmds);
+    dram_.skip_injected_read_faults(n_cmds);
+  } else {
+    // All-hit steady state: no activations; replay is hit accounting
+    // plus the final LRU stamp each touched line would carry.
+    std::vector<DramAddr> lines;
+    std::vector<std::uint64_t> stamps;
+    const std::uint32_t line_bytes =
+        dram_.config().mitigations.cache->line_bytes;
+    const std::uint64_t s0 = start_cmd % P;
+    for (std::uint64_t q = 0; q < P; ++q) {
+      const std::uint64_t id = plan.entry_addrs[q].value() / line_bytes;
+      bool seen = false;
+      for (const DramAddr& prev : lines) {
+        if (prev.value() / line_bytes == id) {
+          seen = true;
+          break;
+        }
+      }
+      if (seen) continue;
+      // Last chunk-local command touching this line, across all pattern
+      // positions that live in it.
+      std::uint64_t last = 0;
+      bool touched = false;
+      for (std::uint64_t q2 = 0; q2 < P; ++q2) {
+        if (plan.entry_addrs[q2].value() / line_bytes != id) continue;
+        const std::uint64_t c0 = (q2 + P - s0) % P;
+        if (c0 >= n_cmds) continue;
+        const std::uint64_t c_last = c0 + ((n_cmds - 1 - c0) / P) * P;
+        if (!touched || c_last > last) last = c_last;
+        touched = true;
+      }
+      if (!touched) continue;
+      lines.push_back(plan.entry_addrs[q]);
+      stamps.push_back((last + 1) * h);
+    }
+    dram_.account_cache_pattern(lines, stamps, h * n_cmds);
+    dram_.skip_injected_read_faults(n_cmds * h);
+  }
+  stats_.host_reads += n_cmds;
+  stats_.l2p_dram_reads += h * n_cmds;
+  stats_.unmapped_reads += n_cmds;
+  if (plan.scrub_enabled) {
+    ios_since_scrub_ += n_cmds;
+    RHSD_CHECK(ios_since_scrub_ < config_.scrub_interval_ios);
+  }
+  if (injector_ != nullptr) {
+    injector_->skip_ops(FaultClass::kPowerLoss, n_cmds);
+  }
+  *applied = true;
+  return Status::Ok();
+}
+
 void Ftl::xts_whiten(Lba lba, std::span<std::uint8_t> data) const {
   // Toy tweakable stream standing in for AES-XTS [32]: keystream depends
   // on (device key, LBA, offset), so data only decrypts under the LBA it
@@ -552,6 +768,15 @@ void Ftl::maybe_scrub() {
   (void)scrub(nullptr);
 }
 
+bool Ftl::scrub_cacheable() const {
+  if (injector_ == nullptr) return true;
+  constexpr std::uint64_t kNone = FaultInjector::kNoFault;
+  return injector_->next_fault_at(FaultClass::kNandRead) == kNone &&
+         injector_->next_fault_at(FaultClass::kNandProgram) == kNone &&
+         injector_->next_fault_at(FaultClass::kNandErase) == kNone &&
+         injector_->next_fault_at(FaultClass::kPowerLoss) == kNone;
+}
+
 Status Ftl::scrub(std::uint64_t* repaired) {
   if (journal_ == nullptr) {
     return FailedPrecondition("scrub requires the L2P journal");
@@ -561,39 +786,95 @@ Status Ftl::scrub(std::uint64_t* repaired) {
   }
   ++stats_.scrub_runs;
   RHSD_RETURN_IF_ERROR(journal_->flush());
-  RHSD_ASSIGN_OR_RETURN(JournalLoadResult r, journal_->load());
-  if (!r.snapshot_found || r.corrupt_pages > 0) {
-    ++stats_.scrub_aborts;
-    return Corruption("journal unusable for scrub (corrupt pages: " +
-                      std::to_string(r.corrupt_pages) + ")");
-  }
-  // Authoritative mapping: snapshot plus every flushed record in
-  // sequence order.
-  std::vector<std::uint32_t> truth = std::move(r.table);
-  std::vector<std::uint64_t> last(config_.num_lbas, r.snapshot_write_seq);
-  std::stable_sort(r.records.begin(), r.records.end(),
-                   [](const JournalRecord& a, const JournalRecord& b) {
-                     return a.seq < b.seq;
-                   });
-  for (const JournalRecord& rec : r.records) {
-    if (rec.lpn >= config_.num_lbas) continue;
-    if (rec.seq > last[rec.lpn]) {
-      truth[rec.lpn] = rec.pba32;
-      last[rec.lpn] = rec.seq;
+
+  // The journal flash changes only through this FTL's own writer, so
+  // while the writer position is unchanged — and the fault plan cannot
+  // alter the media behind it — the truth parsed by the last load() is
+  // still exact and re-reading the flash would be pure overhead.
+  const bool cacheable = scrub_cacheable();
+  const bool cache_hit = cacheable && scrub_truth_valid_ &&
+                         scrub_truth_epoch_ == journal_->epoch() &&
+                         scrub_truth_next_page_ == journal_->next_page();
+  if (!cache_hit) {
+    scrub_truth_valid_ = false;
+    scrub_clean_epoch_.reset();
+    RHSD_ASSIGN_OR_RETURN(JournalLoadResult r, journal_->load());
+    if (!r.snapshot_found || r.corrupt_pages > 0) {
+      ++stats_.scrub_aborts;
+      return Corruption("journal unusable for scrub (corrupt pages: " +
+                        std::to_string(r.corrupt_pages) + ")");
+    }
+    // Authoritative mapping: snapshot plus every flushed record in
+    // sequence order.
+    std::vector<std::uint32_t> truth = std::move(r.table);
+    std::vector<std::uint64_t> last(config_.num_lbas, r.snapshot_write_seq);
+    std::stable_sort(r.records.begin(), r.records.end(),
+                     [](const JournalRecord& a, const JournalRecord& b) {
+                       return a.seq < b.seq;
+                     });
+    for (const JournalRecord& rec : r.records) {
+      if (rec.lpn >= config_.num_lbas) continue;
+      if (rec.seq > last[rec.lpn]) {
+        truth[rec.lpn] = rec.pba32;
+        last[rec.lpn] = rec.seq;
+      }
+    }
+    scrub_truth_ = std::move(truth);
+    if (cacheable) {
+      scrub_truth_valid_ = true;
+      scrub_truth_epoch_ = journal_->epoch();
+      scrub_truth_next_page_ = journal_->next_page();
     }
   }
+
   std::uint64_t fixed = 0;
-  for (std::uint64_t lpn = 0; lpn < config_.num_lbas; ++lpn) {
-    const std::uint32_t actual = debug_lookup(Lba(lpn));
-    if (actual != truth[lpn]) {
-      // Drifted from the journaled state: a hammer flip or an injected
-      // soft error.  Repair in place (poke: maintenance traffic is not
-      // modeled as hammering).
-      debug_store(Lba(lpn), truth[lpn]);
-      ++fixed;
+  // Skip the verify walk only when the truth is the cached one AND the
+  // DRAM provably has not mutated since the table was last drift-free.
+  if (!(cache_hit && scrub_clean_epoch_.has_value() &&
+        *scrub_clean_epoch_ == dram_.content_epoch())) {
+    if (scrub_locs_.empty()) {
+      // Decode every entry's DRAM location once; the layout never
+      // changes underneath a live FTL.
+      const std::uint32_t row_bytes = dram_.config().geometry.row_bytes;
+      scrub_locs_.resize(config_.num_lbas);
+      for (std::uint64_t lpn = 0; lpn < config_.num_lbas; ++lpn) {
+        const DramAddr addr = layout_->entry_addr(lpn);
+        const auto off = static_cast<std::uint32_t>(
+            addr.value() % row_bytes);
+        if (off + L2pLayout::kEntryBytes <= row_bytes) {
+          const DramCoord coord =
+              dram_.mapper().decode(DramAddr(addr.value() - off));
+          scrub_locs_[lpn].row =
+              coord.global_row(dram_.config().geometry);
+          scrub_locs_[lpn].offset = off;
+        }
+      }
     }
+    std::uint8_t entry[L2pLayout::kEntryBytes];
+    for (std::uint64_t lpn = 0; lpn < config_.num_lbas; ++lpn) {
+      const ScrubLoc& loc = scrub_locs_[lpn];
+      std::uint32_t actual;
+      if (loc.row != ScrubLoc::kNoRow) {
+        dram_.peek_row(loc.row, loc.offset, entry);
+        actual = Load32(entry);
+      } else {
+        actual = debug_lookup(Lba(lpn));
+      }
+      if (actual != scrub_truth_[lpn]) {
+        // Drifted from the journaled state: a hammer flip or an injected
+        // soft error.  Repair in place (poke: maintenance traffic is not
+        // modeled as hammering).
+        debug_store(Lba(lpn), scrub_truth_[lpn]);
+        ++fixed;
+      }
+    }
+    stats_.scrub_repairs += fixed;
+    // Post-repair epoch: the table now equals the truth, and the
+    // repairs' own pokes are inside this reading.
+    scrub_clean_epoch_ =
+        cacheable ? std::optional<std::uint64_t>(dram_.content_epoch())
+                  : std::nullopt;
   }
-  stats_.scrub_repairs += fixed;
   if (repaired != nullptr) *repaired = fixed;
   return Status::Ok();
 }

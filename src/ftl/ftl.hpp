@@ -115,6 +115,27 @@ struct FtlIoInfo {
   bool gc_ran = false;
 };
 
+/// Precomputed per-entry state for replaying a fixed read pattern many
+/// times in closed form (the batched hammer path).  Built once by
+/// Ftl::plan_pattern_replay(); immutable while the pattern runs.
+struct PatternReplayPlan {
+  /// The pattern's device LBAs, in issue order (duplicates allowed).
+  std::vector<Lba> lbas;
+  /// L2P entry address and containing global DRAM row, per element.
+  std::vector<DramAddr> entry_addrs;
+  std::vector<std::uint64_t> entry_rows;
+  /// Byte ranges a batched replay must not flip (entries whose value
+  /// could feed back into the replay itself); see DramDevice::
+  /// hammer_pattern.
+  std::vector<PatternHazard> hazards;
+  /// True when a DRAM cache is configured: steady-state replay is pure
+  /// hit accounting (no activations) instead of hammering.
+  bool cache_mode = false;
+  /// Whether ios_since_scrub advances per command (journal + interval).
+  bool scrub_enabled = false;
+  std::uint32_t hammers_per_io = 1;
+};
+
 class Ftl {
  public:
   /// `nand`, `dram` must outlive the FTL.  The DRAM must be large enough
@@ -136,6 +157,42 @@ class Ftl {
 
   /// Unmap a logical page.
   Status trim(Lba lba);
+
+  /// Build a replay plan for `lbas` — the state needed to push whole
+  /// rounds of read(lbas[0]), read(lbas[1]), ... down to the DRAM in
+  /// one call.  Returns false when the pattern cannot take the batched
+  /// path (open-page DRAM, an entry crossing a row or cache line,
+  /// device not operational); the caller then stays on scalar reads.
+  [[nodiscard]] bool plan_pattern_replay(std::span<const Lba> lbas,
+                                         PatternReplayPlan* plan);
+
+  /// True while the planned pattern still replays exactly: device
+  /// operational, every entry still unmapped, its ECC state clean (a
+  /// scalar read's verify would be a no-op), and — in cache mode —
+  /// every entry line resident (all-hit).  Callers re-check after any
+  /// scalar command that may have perturbed state.
+  [[nodiscard]] bool pattern_state_ok(const PatternReplayPlan& plan) const;
+
+  /// Commands that may be replayed in closed form before one must run
+  /// scalar: the distance (in commands) to the next injected power
+  /// loss or DRAM bit error, or to the integrity-scrub trigger.
+  /// Returns FaultInjector::kNoFault when nothing is scheduled.
+  [[nodiscard]] std::uint64_t replay_safe_cmds(
+      const PatternReplayPlan& plan) const;
+
+  /// Replay commands [start_cmd, start_cmd + n_cmds) of the pattern —
+  /// command g reads plan.lbas[g % size] — in closed form, bit-exact
+  /// with the scalar loop: same FtlStats, DramStats, flips, scrub
+  /// counter and fault-op alignment.  `cmd_time_ns[i]` is the simulated
+  /// time command start_cmd+i's DRAM work happens (all in the DRAM's
+  /// current refresh window).  Preconditions: pattern_state_ok(), fewer
+  /// than replay_safe_cmds() commands.  Sets *applied=false (and does
+  /// nothing) when a disturbance flip would land in a hazard range —
+  /// the caller must run this chunk through scalar reads.
+  Status replay_pattern_reads(const PatternReplayPlan& plan,
+                              std::uint64_t start_cmd, std::uint64_t n_cmds,
+                              std::span<const std::uint64_t> cmd_time_ns,
+                              bool* applied);
 
   /// Reconstruct the L2P table after a power loss: newest complete
   /// journal snapshot, plus CRC-valid records, plus an OOB scan of the
@@ -220,6 +277,10 @@ class Ftl {
   /// The table as currently stored in DRAM (peek; no activations).
   [[nodiscard]] std::vector<std::uint32_t> snapshot_table() const;
   void maybe_scrub();
+  /// Whether scrub may trust a cached journal parse: true unless the
+  /// fault plan still schedules NAND or power faults that could change
+  /// flash content outside the journal writer.
+  [[nodiscard]] bool scrub_cacheable() const;
   /// Recompute read-only degradation from the good-block census.
   void update_degradation();
   [[nodiscard]] std::uint32_t data_block_count() const;
@@ -243,6 +304,28 @@ class Ftl {
   std::uint64_t ios_since_scrub_ = 0;
   /// Journal contents found at boot, consumed by recover().
   std::optional<JournalLoadResult> boot_load_;
+
+  /// Integrity-scrub fast path (see Ftl::scrub): the authoritative
+  /// table parsed from the last clean journal load, reusable while the
+  /// journal writer has not moved and no injected NAND/power fault
+  /// could alter the flash behind the FTL's back.  `scrub_clean_epoch_`
+  /// is the DRAM content epoch right after the table was last verified
+  /// drift-free; while it still matches, the verify walk is skipped.
+  std::vector<std::uint32_t> scrub_truth_;
+  bool scrub_truth_valid_ = false;
+  std::uint64_t scrub_truth_epoch_ = 0;
+  std::uint32_t scrub_truth_next_page_ = 0;
+  std::optional<std::uint64_t> scrub_clean_epoch_;
+  /// Pre-decoded DRAM location of each LPN's L2P entry (the layout is
+  /// fixed for the FTL's lifetime), so the verify walk reads rows
+  /// directly instead of decoding every address.  `row == kNoRow` marks
+  /// an entry crossing a row end — walked through debug_lookup().
+  struct ScrubLoc {
+    static constexpr std::uint64_t kNoRow = ~0ull;
+    std::uint64_t row = kNoRow;
+    std::uint32_t offset = 0;
+  };
+  std::vector<ScrubLoc> scrub_locs_;  // built on first scrub walk
 
   std::deque<std::uint32_t> free_blocks_;
   std::uint32_t active_block_ = 0;

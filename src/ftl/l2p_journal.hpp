@@ -93,6 +93,11 @@ class L2pJournal {
   [[nodiscard]] const L2pJournalConfig& config() const { return config_; }
   [[nodiscard]] const JournalStats& stats() const { return stats_; }
   [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  /// Writer position within the active half.  (epoch, next_page)
+  /// together identify the flash content exactly: pages are programmed
+  /// strictly in order and only through this writer, so an unchanged
+  /// position means unchanged media (absent injected faults).
+  [[nodiscard]] std::uint32_t next_page() const { return next_page_; }
   [[nodiscard]] std::size_t pending_records() const {
     return pending_.size();
   }

@@ -1,5 +1,7 @@
 #include "nvme/nvme_controller.hpp"
 
+#include <algorithm>
+
 namespace rhsd {
 
 NvmeController::NvmeController(NvmeConfig config, Ftl& ftl, SimClock& clock)
@@ -139,6 +141,256 @@ Status NvmeController::read_pattern(std::uint32_t nsid,
     RHSD_RETURN_IF_ERROR(read_one(nsid, slba, out));
   }
   return Status::Ok();
+}
+
+std::uint64_t NvmeController::transport_faults_away() const {
+  if (injector_ == nullptr) return FaultInjector::kNoFault;
+  std::uint64_t d = FaultInjector::kNoFault;
+  for (const FaultClass cls :
+       {FaultClass::kNvmeTimeout, FaultClass::kNvmeDrop}) {
+    const std::uint64_t at = injector_->next_fault_at(cls);
+    if (at != FaultInjector::kNoFault) {
+      d = std::min(d, at - injector_->ops(cls));
+    }
+  }
+  return d;
+}
+
+Status NvmeController::read_pattern_repeat(
+    std::uint32_t nsid, std::span<const std::uint64_t> slbas,
+    std::span<std::uint8_t> out, std::uint64_t rounds) {
+  std::uint64_t done = 0;
+  return run_pattern(nsid, slbas, out, rounds, kNoDeadline, &done);
+}
+
+Status NvmeController::read_pattern_until(
+    std::uint32_t nsid, std::span<const std::uint64_t> slbas,
+    std::span<std::uint8_t> out, std::uint64_t deadline_ns,
+    std::uint64_t* rounds_done) {
+  std::uint64_t local = 0;
+  return run_pattern(nsid, slbas, out, /*max_rounds=*/0, deadline_ns,
+                     rounds_done != nullptr ? rounds_done : &local);
+}
+
+Status NvmeController::run_pattern(std::uint32_t nsid,
+                                   std::span<const std::uint64_t> slbas,
+                                   std::span<std::uint8_t> out,
+                                   std::uint64_t max_rounds,
+                                   std::uint64_t deadline_ns,
+                                   std::uint64_t* rounds_done) {
+  *rounds_done = 0;
+  const bool until = deadline_ns != kNoDeadline;
+  if (out.size() != kBlockSize) {
+    ++stats_.errors;
+    return InvalidArgument("pattern reads are one 4 KiB block each");
+  }
+  if (slbas.empty()) {
+    if (until) {
+      ++stats_.errors;
+      return InvalidArgument(
+          "deadline-bound pattern must not be empty (it would never "
+          "advance the clock)");
+    }
+    *rounds_done = max_rounds;  // empty rounds are no-ops
+    return Status::Ok();
+  }
+  const std::uint64_t P = slbas.size();
+
+  // Set up the closed-form replay; any obstacle (bad LBA, open-page
+  // DRAM, entry crossing a row/line, device down) leaves can_batch
+  // false and every round below runs scalar — identical behaviour,
+  // original speed.
+  PatternReplayPlan plan;
+  bool can_batch = true;
+  {
+    std::vector<Lba> lbas;
+    lbas.reserve(P);
+    for (const std::uint64_t slba : slbas) {
+      const auto lba = translate(nsid, slba);
+      if (!lba.ok()) {
+        can_batch = false;
+        break;
+      }
+      lbas.push_back(*lba);
+    }
+    if (can_batch) can_batch = ftl_.plan_pattern_replay(lbas, &plan);
+  }
+
+  const std::uint64_t service_ns =
+      config_.iops.service_ns(/*flash_accessed=*/false, ftl_.nand().latency());
+  const std::uint64_t window_ns = ftl_.dram().refresh_window_ns();
+  const auto allow_round = [&](std::uint64_t now_ns, std::uint64_t r) {
+    return until ? now_ns < deadline_ns : r < max_rounds;
+  };
+
+  std::uint64_t g = 0;   // commands completed so far
+  bool warmed = false;   // the mandatory first scalar round ran
+  std::vector<std::uint64_t> times;
+  for (;;) {
+    if (g % P == 0) {
+      *rounds_done = g / P;
+      if (!allow_round(clock_.now_ns(), g / P)) return Status::Ok();
+      if (!can_batch || !warmed) {
+        // The first round always runs scalar: it settles the state the
+        // replay then proves invariant (cache residency, latent ECC
+        // corrections, the zeroed output buffer).
+        for (std::uint64_t p = 0; p < P; ++p) {
+          RHSD_RETURN_IF_ERROR(read_one(nsid, slbas[p], out));
+          ++g;
+        }
+        *rounds_done = g / P;
+        warmed = true;
+        continue;
+      }
+    }
+    if (!ftl_.pattern_state_ok(plan)) {
+      // The replay invariants drifted (a flip hit an entry, a scrub
+      // repaired one, a line got evicted): finish this round scalar and
+      // re-check at the next boundary.
+      do {
+        RHSD_RETURN_IF_ERROR(read_one(nsid, slbas[g % P], out));
+        ++g;
+      } while (g % P != 0);
+      *rounds_done = g / P;
+      continue;
+    }
+    std::uint64_t safe = ftl_.replay_safe_cmds(plan);
+    safe = std::min(safe, transport_faults_away());
+    if (safe == 0) {
+      // This command carries an injected fault or the scrub trigger —
+      // run it for real so the event lands exactly where the scalar
+      // loop would put it.
+      RHSD_RETURN_IF_ERROR(read_one(nsid, slbas[g % P], out));
+      ++g;
+      *rounds_done = g / P;
+      continue;
+    }
+    // Size the chunk by the exact per-command cost model (limiter stall
+    // + constant non-flash service time) up to the next refresh-window
+    // edge, disallowed round, or fault horizon.  Command bodies run at
+    // the pre-charge clock, so command i's DRAM work happens at
+    // times[i].
+    times.clear();
+    std::optional<RateLimiter> lim = limiter_;
+    std::uint64_t t = clock_.now_ns();
+    const std::uint64_t w0 = t / window_ns;
+    std::uint64_t n = 0;
+    if (!lim.has_value()) {
+      // Constant stride: command i runs at t0 + i*service_ns, so each
+      // break condition of the scalar walk below has a closed form —
+      // take the smallest.
+      const std::uint64_t t0 = t;
+      n = safe;
+      // Refresh-window edge: first command at or past it stops the chunk.
+      const std::uint64_t edge_ns = (w0 + 1) * window_ns;
+      n = std::min(n, (edge_ns - t0 + service_ns - 1) / service_ns);
+      // Round gate, checked only where a round would start (gg % P == 0).
+      if (until) {
+        const std::uint64_t base = g % P;
+        const std::uint64_t nb0 = base == 0 ? P : P - base;
+        std::uint64_t nb = nb0;
+        if (t0 < deadline_ns) {
+          // Smallest command index at or past the deadline, rounded up
+          // to the boundary grid.
+          const std::uint64_t nd =
+              (deadline_ns - t0 + service_ns - 1) / service_ns;
+          if (nd > nb0) nb = nb0 + ((nd - nb0 + P - 1) / P) * P;
+        }
+        n = std::min(n, nb);
+      } else {
+        n = std::min(n, max_rounds * P - g);
+      }
+      times.resize(n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        times[i] = t0 + i * service_ns;
+      }
+      t = t0 + n * service_ns;
+    } else {
+      // The token bucket reaches a fixed point once it drains: a
+      // stalling acquire() sets tokens to zero and bumps last_ns_ to
+      // the command time plus the stall, so the *next* acquire's
+      // refill elapsed time is exactly service_ns.  From the second
+      // consecutive stall on, every (refill, stall) pair is therefore
+      // bit-identical, and the rest of the chunk is an arithmetic
+      // progression with stride service_ns + stall.
+      std::uint64_t last_stall = 0;
+      bool have_last = false;
+      bool steady = false;
+      while (n < safe) {
+        const std::uint64_t gg = g + n;
+        if (n > 0) {
+          if (gg % P == 0 && !allow_round(t, gg / P)) break;
+          if (t / window_ns != w0) break;
+        }
+        if (steady) {
+          // Closed forms mirror the no-limiter branch with stride
+          // `step`; command gg at time t already passed the loop-top
+          // gates, so every bound is >= 1.
+          const std::uint64_t step = service_ns + last_stall;
+          std::uint64_t m = safe - n;
+          const std::uint64_t edge_ns = (w0 + 1) * window_ns;
+          m = std::min(m, (edge_ns - t + step - 1) / step);
+          if (until) {
+            const std::uint64_t base = gg % P;
+            const std::uint64_t nb0 = base == 0 ? P : P - base;
+            std::uint64_t nb = nb0;
+            if (t < deadline_ns) {
+              const std::uint64_t nd =
+                  (deadline_ns - t + step - 1) / step;
+              if (nd > nb0) nb = nb0 + ((nd - nb0 + P - 1) / P) * P;
+            }
+            m = std::min(m, nb);
+          } else {
+            m = std::min(m, max_rounds * P - gg);
+          }
+          for (std::uint64_t i = 0; i < m; ++i) {
+            times.push_back(t + i * step);
+          }
+          lim->skip_steady(m, last_stall, t + (m - 1) * step);
+          t += m * step;
+          n += m;
+          break;
+        }
+        times.push_back(t);
+        const std::uint64_t stall = lim->acquire(t);
+        steady = have_last && stall > 0 && stall == last_stall;
+        last_stall = stall;
+        have_last = true;
+        t += service_ns + stall;
+        ++n;
+      }
+    }
+    bool applied = false;
+    RHSD_RETURN_IF_ERROR(
+        ftl_.replay_pattern_reads(plan, g, n, times, &applied));
+    if (!applied) {
+      // A disturbance flip would land inside the pattern's own entries;
+      // only the scalar path models that feedback.  Scalar to the round
+      // edge, then re-plan from the new state.
+      do {
+        RHSD_RETURN_IF_ERROR(read_one(nsid, slbas[g % P], out));
+        ++g;
+      } while (g % P != 0);
+      *rounds_done = g / P;
+      continue;
+    }
+    // Commit the closed-form queue/clock charges for the n commands.
+    if (!any_cmd_) {
+      any_cmd_ = true;
+      first_cmd_ns_ = times[0];
+    }
+    stats_.busy_ns += t - times[0];
+    clock_.advance_ns(t - clock_.now_ns());
+    if (limiter_.has_value()) *limiter_ = *lim;
+    commands_ += n;
+    stats_.read_cmds += n;
+    if (injector_ != nullptr) {
+      injector_->skip_ops(FaultClass::kNvmeTimeout, n);
+      injector_->skip_ops(FaultClass::kNvmeDrop, n);
+    }
+    g += n;
+    *rounds_done = g / P;
+  }
 }
 
 Status NvmeController::read_one(std::uint32_t nsid, std::uint64_t slba,

@@ -72,6 +72,28 @@ class NvmeController {
   Status read_pattern(std::uint32_t nsid,
                       std::span<const std::uint64_t> slbas,
                       std::span<std::uint8_t> out);
+  /// `rounds` whole read_pattern() submissions in one call — bit-exact
+  /// with the equivalent scalar loop (same commands, charges, stats,
+  /// flips and fault-op alignment), but entire fault-free stretches are
+  /// replayed in closed form per layer instead of per command.  The
+  /// first round always runs scalar (it settles cache/ECC state the
+  /// replay then proves invariant); commands carrying injected faults,
+  /// scrub triggers or refresh-window crossings drop back to scalar
+  /// automatically.  Aborts on the first command error, exactly like
+  /// the scalar loop.
+  Status read_pattern_repeat(std::uint32_t nsid,
+                             std::span<const std::uint64_t> slbas,
+                             std::span<std::uint8_t> out,
+                             std::uint64_t rounds);
+  /// Same engine, duration-bound: keeps starting rounds while the
+  /// simulated clock is before `deadline_ns` (the hammer loop's shape:
+  /// `while (now < deadline) read_pattern(...)`).  `*rounds_done`
+  /// reports completed rounds, also on error.
+  Status read_pattern_until(std::uint32_t nsid,
+                            std::span<const std::uint64_t> slbas,
+                            std::span<std::uint8_t> out,
+                            std::uint64_t deadline_ns,
+                            std::uint64_t* rounds_done);
   Status write(std::uint32_t nsid, std::uint64_t slba,
                std::span<const std::uint8_t> data);
   /// Dataset-management deallocate (TRIM).
@@ -110,6 +132,17 @@ class NvmeController {
 
   StatusOr<Lba> translate(std::uint32_t nsid, std::uint64_t slba) const;
   void charge(bool flash_accessed);
+  /// Shared engine behind read_pattern_repeat / read_pattern_until.
+  /// Exactly one of the limits applies: `max_rounds` when
+  /// `deadline_ns == kNoDeadline`, the deadline otherwise.
+  static constexpr std::uint64_t kNoDeadline = ~0ull;
+  Status run_pattern(std::uint32_t nsid,
+                     std::span<const std::uint64_t> slbas,
+                     std::span<std::uint8_t> out, std::uint64_t max_rounds,
+                     std::uint64_t deadline_ns, std::uint64_t* rounds_done);
+  /// Commands until the next injected transport fault (timeout or
+  /// drop), or FaultInjector::kNoFault.
+  [[nodiscard]] std::uint64_t transport_faults_away() const;
   Status read_one(std::uint32_t nsid, std::uint64_t slba,
                   std::span<std::uint8_t> out);
   Status read_body(std::uint32_t nsid, std::uint64_t slba,

@@ -31,6 +31,20 @@ class RateLimiter {
   /// stall in nanoseconds the caller must apply before servicing it.
   [[nodiscard]] std::uint64_t acquire(SimClock::Nanos now_ns);
 
+  /// Fast-forward `k` steady-state acquires that each stall exactly
+  /// `stall_ns`, the last one at `last_cmd_ns`.  Callers may use this
+  /// only in the drained fixed point (two consecutive stalling
+  /// acquires with a constant inter-command gap), where every acquire
+  /// repeats bit-identically: the bucket stays at zero tokens and the
+  /// refill elapsed time is the constant gap, so this produces the
+  /// exact state `k` scalar acquire() calls would.
+  void skip_steady(std::uint64_t k, std::uint64_t stall_ns,
+                   SimClock::Nanos last_cmd_ns) {
+    tokens_ = 0.0;
+    last_ns_ = last_cmd_ns + stall_ns;
+    total_stall_ns_ += k * stall_ns;
+  }
+
   [[nodiscard]] std::uint64_t total_stall_ns() const {
     return total_stall_ns_;
   }

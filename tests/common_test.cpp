@@ -207,6 +207,22 @@ TEST(Rng, BoolProbability) {
   EXPECT_TRUE(rng.next_bool(1.0));
 }
 
+TEST(Rng, BoolThresholdMatchesNextBoolDrawForDraw) {
+  // The precomputed-threshold form must agree with next_bool on every
+  // draw (and consume the stream identically), including probabilities
+  // that are exact multiples of 2^-53 and ones that are not.
+  for (const double p : {0.25, 1.0 / 3.0, 0.001, 0x1.0p-53, 0.9999,
+                         5e-7, 0.5}) {
+    Rng a(99);
+    Rng b(99);
+    const std::uint64_t thr = Rng::bool_threshold(p);
+    for (int i = 0; i < 20000; ++i) {
+      ASSERT_EQ(a.next_bool(p), b.next_bool_at(thr)) << "p=" << p;
+    }
+    EXPECT_EQ(a.next(), b.next());  // identical stream position
+  }
+}
+
 TEST(Rng, GaussianMoments) {
   Rng rng(17);
   double sum = 0, sq = 0;

@@ -181,6 +181,53 @@ TEST(FullExploitAblation, KnowingTheHashedLayoutRestoresTheAttack) {
   EXPECT_TRUE(report->success);
 }
 
+TEST(FullExploitRobustness, ExploitTemplatesThroughRandomFaultStorm) {
+  // Carried ROADMAP item: the exploit chain must keep templating while
+  // the firmware is fighting a physical fault storm underneath it — NAND
+  // reads that need a retry, program/erase failures that retire blocks
+  // mid-spray, and periodic scrubs that reload (replay) the L2P journal
+  // between hammer rounds.  None of that machinery is visible at the
+  // host interface, so the attack should neither corrupt the filesystem
+  // nor lose the leak.
+  SsdConfig config = test::SmallSsd();
+  // Extra over-provisioning: the default 16 MiB rig sits exactly at the
+  // read-only spare floor, where a single grown bad block degrades the
+  // device; a storm that retires blocks needs spares to retire into.
+  config.op_fraction = 0.25;
+  config.l2p_journal.enabled = true;
+  config.scrub_interval_ios = 200'000;
+  FaultRates rates;
+  rates.nand_read = 2e-4;     // transient; absorbed by read-retry
+  rates.nand_program = 1.2e-4;  // retires the block, reprograms elsewhere
+  rates.nand_erase = 3e-3;      // grown bad block at erase time
+  config.fault_plan = FaultPlan::Random(/*seed=*/2021, rates,
+                                        /*horizon=*/50'000);
+  ASSERT_FALSE(config.fault_plan.empty());
+  E2eRig rig(config);
+  EndToEndAttack attack(rig.host, FastAttackConfig());
+  auto report = attack.run();
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  EXPECT_TRUE(report->success)
+      << "no leak after " << report->cycles_run << " cycles";
+  EXPECT_FALSE(report->victim_fs_corrupted) << report->corruption_detail;
+  const std::string leaked(report->leaked_secret.begin(),
+                           report->leaked_secret.end());
+  EXPECT_NE(leaked.find(kMarker), std::string::npos);
+
+  // The storm really happened: faults fired, blocks were retired, reads
+  // were retried, and the journal was written and replayed by scrubs —
+  // all while the exploit was running.
+  ASSERT_NE(rig.host.ssd().fault_injector(), nullptr);
+  EXPECT_FALSE(rig.host.ssd().fault_injector()->log().empty());
+  const FtlStats& ftl = rig.host.ssd().ftl().stats();
+  EXPECT_GT(ftl.read_retries, 0u);
+  EXPECT_GT(ftl.retired_blocks, 0u);
+  EXPECT_GT(ftl.journal_records, 0u);
+  EXPECT_GT(ftl.scrub_runs, 0u);
+  EXPECT_EQ(ftl.scrub_aborts, 0u);
+}
+
 TEST(FullExploitAblation, AmplificationGovernsTheHammerBudget) {
   // §4.1: the testbed needed 5 hammers/IO because SPDK-level accesses
   // had to reach ~7M/s while the DRAM flips at 3M/s.  Hammer one triple

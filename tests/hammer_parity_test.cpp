@@ -583,5 +583,365 @@ TEST(HammerParity, AliasedOppositeCellsFallBackExactly) {
   ASSERT_TRUE(found) << "no aliasing seed found; widen the search";
 }
 
+// ---- Full-stack pattern replay parity (read_pattern_repeat) ----
+//
+// Two identically configured SSDs: one pushes `rounds` whole pattern
+// submissions down the stack in a single read_pattern_repeat() call,
+// the other loops scalar read_pattern() round by round.  Everything
+// observable must match: the returned status, the simulated clock, the
+// DRAM stats / flip events / memory image, the FTL and NVMe stats, the
+// read buffer, and the fault injector's per-class op counters and log.
+
+void ExpectSameFtlStats(const FtlStats& a, const FtlStats& b) {
+  EXPECT_EQ(a.host_reads, b.host_reads);
+  EXPECT_EQ(a.host_writes, b.host_writes);
+  EXPECT_EQ(a.host_trims, b.host_trims);
+  EXPECT_EQ(a.unmapped_reads, b.unmapped_reads);
+  EXPECT_EQ(a.flash_reads, b.flash_reads);
+  EXPECT_EQ(a.flash_programs, b.flash_programs);
+  EXPECT_EQ(a.l2p_dram_reads, b.l2p_dram_reads);
+  EXPECT_EQ(a.l2p_dram_writes, b.l2p_dram_writes);
+  EXPECT_EQ(a.l2p_corruption_errors, b.l2p_corruption_errors);
+  EXPECT_EQ(a.scrub_runs, b.scrub_runs);
+  EXPECT_EQ(a.scrub_repairs, b.scrub_repairs);
+  EXPECT_EQ(a.scrub_aborts, b.scrub_aborts);
+}
+
+void ExpectSameNvmeStats(const NvmeStats& a, const NvmeStats& b) {
+  EXPECT_EQ(a.read_cmds, b.read_cmds);
+  EXPECT_EQ(a.write_cmds, b.write_cmds);
+  EXPECT_EQ(a.trim_cmds, b.trim_cmds);
+  EXPECT_EQ(a.errors, b.errors);
+  EXPECT_EQ(a.busy_ns, b.busy_ns);
+  EXPECT_EQ(a.transport_timeouts, b.transport_timeouts);
+  EXPECT_EQ(a.transport_drops, b.transport_drops);
+}
+
+struct DriveResult {
+  std::string status;
+  std::vector<std::uint8_t> buf;
+};
+
+DriveResult DriveRounds(SsdDevice& ssd,
+                        std::span<const std::uint64_t> pattern,
+                        std::uint64_t rounds, bool batched) {
+  std::vector<std::uint8_t> buf(kBlockSize);
+  Status st = Status::Ok();
+  if (batched) {
+    st = ssd.controller().read_pattern_repeat(1, pattern, buf, rounds);
+  } else {
+    for (std::uint64_t r = 0; r < rounds; ++r) {
+      st = ssd.controller().read_pattern(1, pattern, buf);
+      if (!st.ok()) break;
+    }
+  }
+  return DriveResult{st.to_string(), std::move(buf)};
+}
+
+void ExpectSameStack(SsdDevice& batched, SsdDevice& scalar,
+                     const DriveResult& rb, const DriveResult& rs) {
+  EXPECT_EQ(rb.status, rs.status);
+  EXPECT_EQ(rb.buf, rs.buf);
+  EXPECT_EQ(batched.clock().now_ns(), scalar.clock().now_ns());
+  ExpectSameOutcome(batched.dram(), scalar.dram());
+  ExpectSameFtlStats(batched.ftl().stats(), scalar.ftl().stats());
+  ExpectSameNvmeStats(batched.controller().stats(),
+                      scalar.controller().stats());
+  FaultInjector* ib = batched.fault_injector();
+  FaultInjector* is = scalar.fault_injector();
+  ASSERT_EQ(ib == nullptr, is == nullptr);
+  if (ib != nullptr) {
+    for (std::size_t c = 0; c < kNumFaultClasses; ++c) {
+      const auto cls = static_cast<FaultClass>(c);
+      EXPECT_EQ(ib->ops(cls), is->ops(cls)) << to_string(cls);
+    }
+    ASSERT_EQ(ib->log().size(), is->log().size());
+    for (std::size_t i = 0; i < ib->log().size(); ++i) {
+      EXPECT_EQ(static_cast<int>(ib->log()[i].cls),
+                static_cast<int>(is->log()[i].cls));
+      EXPECT_EQ(ib->log()[i].op_index, is->log()[i].op_index);
+      EXPECT_EQ(ib->log()[i].param, is->log()[i].param);
+    }
+  }
+}
+
+/// Map every pattern LBA (so trim has something to drop), then trim the
+/// unique ones — the orchestrator's setup shape.  `keep_mapped` LBAs
+/// are written but NOT trimmed, so their reads go to flash.
+void PrepStack(SsdDevice& ssd, std::span<const std::uint64_t> pattern,
+               std::span<const std::uint64_t> keep_mapped = {}) {
+  const std::vector<std::uint8_t> data = test::MarkedBlock("prep-data!");
+  std::vector<std::uint64_t> unique(pattern.begin(), pattern.end());
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+  for (const std::uint64_t slba : unique) {
+    ASSERT_TRUE(ssd.controller().write(1, slba, data).ok());
+  }
+  for (const std::uint64_t slba : keep_mapped) {
+    ASSERT_TRUE(ssd.controller().write(1, slba, data).ok());
+  }
+  for (const std::uint64_t slba : unique) {
+    ASSERT_TRUE(ssd.controller().trim(1, slba, 1).ok());
+  }
+}
+
+void RunStackParity(const SsdConfig& config,
+                    std::span<const std::uint64_t> pattern,
+                    std::uint64_t rounds,
+                    std::span<const std::uint64_t> keep_mapped = {}) {
+  SsdDevice batched(config);
+  SsdDevice scalar(config);
+  std::vector<std::uint64_t> trimmed;
+  for (const std::uint64_t s : pattern) {
+    if (std::find(keep_mapped.begin(), keep_mapped.end(), s) ==
+        keep_mapped.end()) {
+      trimmed.push_back(s);
+    }
+  }
+  PrepStack(batched, trimmed, keep_mapped);
+  PrepStack(scalar, trimmed, keep_mapped);
+  const DriveResult rb = DriveRounds(batched, pattern, rounds, true);
+  const DriveResult rs = DriveRounds(scalar, pattern, rounds, false);
+  ExpectSameStack(batched, scalar, rb, rs);
+}
+
+TEST(PatternReplayParity, BaselineAcrossSeeds) {
+  const std::vector<std::uint64_t> pattern = {100, 228};
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    SsdConfig c = test::SmallSsd();
+    c.seed = seed;
+    RunStackParity(c, pattern, 2500);
+  }
+}
+
+TEST(PatternReplayParity, FlipsActuallyHappen) {
+  // The parity matrix is vacuous if no run ever flips a bit: confirm
+  // the baseline config actually disturbs the L2P table.
+  SsdConfig c = test::SmallSsd();
+  SsdDevice ssd(c);
+  const std::vector<std::uint64_t> pattern = {100, 228};
+  PrepStack(ssd, pattern);
+  std::vector<std::uint8_t> buf(kBlockSize);
+  ASSERT_TRUE(
+      ssd.controller().read_pattern_repeat(1, pattern, buf, 4000).ok());
+  EXPECT_GT(ssd.dram().stats().bitflips, 0u);
+}
+
+TEST(PatternReplayParity, ManySidedDuplicateLbas) {
+  // Many-sided patterns repeat the aggressor pair between decoys, so
+  // the same LBA appears several times per round.
+  const std::vector<std::uint64_t> pattern = {100, 228, 356, 484, 612,
+                                              100, 228, 740, 868, 996};
+  SsdConfig c = test::SmallSsd();
+  c.seed = 9;
+  RunStackParity(c, pattern, 800);
+}
+
+TEST(PatternReplayParity, MappedLbaForcesScalarFallback) {
+  // One pattern LBA stays mapped: its reads hit flash, the replay plan
+  // is rejected, and the engine must degrade to the scalar path with
+  // identical results.
+  const std::vector<std::uint64_t> pattern = {100, 228, 356};
+  const std::vector<std::uint64_t> keep = {228};
+  SsdConfig c = test::SmallSsd();
+  c.seed = 3;
+  RunStackParity(c, pattern, 200, keep);
+}
+
+TEST(PatternReplayParity, TrrConfig) {
+  const std::vector<std::uint64_t> pattern = {100, 228};
+  for (std::uint64_t seed = 4; seed <= 6; ++seed) {
+    SsdConfig c = test::SmallSsd();
+    c.seed = seed;
+    c.dram_mitigations.trr = true;
+    c.dram_mitigations.trr_config = TestTrr(1700);
+    RunStackParity(c, pattern, 2500);
+  }
+}
+
+TEST(PatternReplayParity, ParaConfig) {
+  const std::vector<std::uint64_t> pattern = {100, 228};
+  for (std::uint64_t seed = 7; seed <= 9; ++seed) {
+    SsdConfig c = test::SmallSsd();
+    c.seed = seed;
+    c.dram_mitigations.para_probability = 0.005;
+    RunStackParity(c, pattern, 2500);
+  }
+}
+
+TEST(PatternReplayParity, EccConfig) {
+  const std::vector<std::uint64_t> pattern = {100, 228};
+  SsdConfig c = test::SmallSsd();
+  c.seed = 11;
+  c.dram_mitigations.ecc = true;
+  RunStackParity(c, pattern, 2500);
+}
+
+TEST(PatternReplayParity, CacheConfigSteadyState) {
+  const std::vector<std::uint64_t> pattern = {100, 228};
+  SsdConfig c = test::SmallSsd();
+  c.seed = 12;
+  c.dram_mitigations.cache = CacheConfig{64, 4, 16};
+  RunStackParity(c, pattern, 2000);
+}
+
+TEST(PatternReplayParity, RateLimiterCharges) {
+  const std::vector<std::uint64_t> pattern = {100, 228};
+  SsdConfig c = test::SmallSsd();
+  c.seed = 13;
+  c.rate_limit = RateLimiterConfig{.max_iops = 100e3, .burst = 8};
+  RunStackParity(c, pattern, 2000);
+}
+
+TEST(PatternReplayParity, ScrubTriggersMidStream) {
+  const std::vector<std::uint64_t> pattern = {100, 228};
+  SsdConfig c = test::SmallSsd();
+  c.seed = 14;
+  c.l2p_journal.enabled = true;
+  c.scrub_interval_ios = 97;  // several scrubs inside the run
+  RunStackParity(c, pattern, 1200);
+}
+
+TEST(PatternReplayParity, NvmeFaultsMidStream) {
+  // Transport faults abort the round loop mid-stream; both paths must
+  // stop at the same command with the same error and op alignment.
+  const std::vector<std::uint64_t> pattern = {100, 228};
+  const FaultClass classes[] = {FaultClass::kNvmeTimeout,
+                                FaultClass::kNvmeDrop};
+  // Prep issues 2 writes + 2 trims = 4 commands before the rounds.
+  for (const FaultClass cls : classes) {
+    for (const std::uint64_t at : {7ull, 44ull, 1203ull}) {
+      SsdConfig c = test::SmallSsd();
+      c.seed = 15;
+      c.fault_plan.add(cls, at);
+      RunStackParity(c, pattern, 900);
+    }
+  }
+}
+
+TEST(PatternReplayParity, DramBitErrorsMidStream) {
+  // Injected DRAM bit errors do not abort the stream: the replay must
+  // break around them, apply the same corruption, and carry on — with
+  // and without ECC soaking the error up.
+  const std::vector<std::uint64_t> pattern = {100, 228};
+  for (const bool ecc : {false, true}) {
+    SsdConfig c = test::SmallSsd();
+    c.seed = 16;
+    c.dram_mitigations.ecc = ecc;
+    c.fault_plan.add(FaultClass::kDramBitError, 900, 1, 0x15);
+    c.fault_plan.add(FaultClass::kDramBitError, 2400, 1, 0x2A);
+    RunStackParity(c, pattern, 1500);
+  }
+}
+
+TEST(PatternReplayParity, PowerLossMidStream) {
+  // A scheduled power loss kills the command stream at one host IO:
+  // both paths must die at the same index with the same status.
+  const std::vector<std::uint64_t> pattern = {100, 228};
+  SsdConfig c = test::SmallSsd();
+  c.seed = 17;
+  c.l2p_journal.enabled = true;
+  c.fault_plan.add(FaultClass::kPowerLoss, 800);
+  RunStackParity(c, pattern, 1000);
+}
+
+TEST(PatternReplayParity, RepeatAcrossThreadCounts) {
+  // The thread-count axis: each trial fingerprints a batched and a
+  // scalar full-stack run.  Per-trial fingerprints must match, and the
+  // results vector must not depend on the pool width.
+  struct Fingerprint {
+    std::uint64_t batched = 0;
+    std::uint64_t scalar = 0;
+  };
+  auto fingerprint = [](SsdDevice& ssd, const DriveResult& r) {
+    std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a
+    auto mix = [&h](std::uint64_t v) { h = (h ^ v) * 0x100000001b3ull; };
+    mix(ssd.clock().now_ns());
+    mix(ssd.dram().stats().bitflips);
+    mix(ssd.dram().stats().activations);
+    mix(ssd.dram().stats().trr_refreshes);
+    mix(ssd.dram().stats().para_refreshes);
+    mix(ssd.ftl().stats().unmapped_reads);
+    mix(ssd.ftl().stats().l2p_dram_reads);
+    mix(ssd.controller().stats().read_cmds);
+    mix(ssd.controller().stats().busy_ns);
+    for (const FlipEvent& f : ssd.dram().flip_events()) {
+      mix(f.time_ns);
+      mix(f.global_row);
+      mix(f.byte_offset);
+      mix((static_cast<std::uint64_t>(f.bit) << 1) | f.new_value);
+    }
+    for (const std::uint8_t byte : r.buf) mix(byte);
+    return h;
+  };
+  auto trial_fn = [&fingerprint](std::uint64_t /*trial*/,
+                                 std::uint64_t seed) {
+    const std::vector<std::uint64_t> pattern = {100, 228};
+    SsdConfig c = test::SmallSsd();
+    c.seed = seed;
+    c.dram_mitigations.trr = true;
+    c.dram_mitigations.trr_config = TestTrr(1700);
+    Fingerprint fp;
+    {
+      SsdDevice ssd(c);
+      PrepStack(ssd, pattern);
+      const DriveResult r = DriveRounds(ssd, pattern, 1200, true);
+      fp.batched = fingerprint(ssd, r);
+    }
+    {
+      SsdDevice ssd(c);
+      PrepStack(ssd, pattern);
+      const DriveResult r = DriveRounds(ssd, pattern, 1200, false);
+      fp.scalar = fingerprint(ssd, r);
+    }
+    return fp;
+  };
+
+  constexpr std::uint64_t kTrials = 8;
+  constexpr std::uint64_t kBaseSeed = 77;
+  exec::ThreadPool pool1(1);
+  exec::ThreadPool pool4(4);
+  const auto one = exec::RunTrials(pool1, kTrials, kBaseSeed, trial_fn);
+  const auto four = exec::RunTrials(pool4, kTrials, kBaseSeed, trial_fn);
+  ASSERT_EQ(one.size(), kTrials);
+  ASSERT_EQ(four.size(), kTrials);
+  for (std::uint64_t t = 0; t < kTrials; ++t) {
+    EXPECT_EQ(one[t].batched, one[t].scalar) << "trial " << t;
+    EXPECT_EQ(one[t].batched, four[t].batched) << "trial " << t;
+    EXPECT_EQ(one[t].scalar, four[t].scalar) << "trial " << t;
+  }
+}
+
+TEST(PatternReplayParity, UntilMatchesScalarDeadlineLoop) {
+  // read_pattern_until == "while (now < deadline) read_pattern()".
+  const std::vector<std::uint64_t> pattern = {100, 228};
+  SsdConfig c = test::SmallSsd();
+  c.seed = 18;
+  SsdDevice batched(c);
+  SsdDevice scalar(c);
+  PrepStack(batched, pattern);
+  PrepStack(scalar, pattern);
+  const std::uint64_t deadline_b =
+      batched.clock().now_ns() + 3'000'000;  // 3 ms of simulated time
+  const std::uint64_t deadline_s = scalar.clock().now_ns() + 3'000'000;
+  ASSERT_EQ(deadline_b, deadline_s);
+
+  std::vector<std::uint8_t> bb(kBlockSize);
+  std::uint64_t rounds_done = 0;
+  ASSERT_TRUE(batched.controller()
+                  .read_pattern_until(1, pattern, bb, deadline_b,
+                                      &rounds_done)
+                  .ok());
+  std::vector<std::uint8_t> bs(kBlockSize);
+  std::uint64_t scalar_rounds = 0;
+  while (scalar.clock().now_ns() < deadline_s) {
+    ASSERT_TRUE(scalar.controller().read_pattern(1, pattern, bs).ok());
+    ++scalar_rounds;
+  }
+  EXPECT_EQ(rounds_done, scalar_rounds);
+  ExpectSameStack(batched, scalar, DriveResult{"OK", bb},
+                  DriveResult{"OK", bs});
+}
+
 }  // namespace
 }  // namespace rhsd
