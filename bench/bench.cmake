@@ -25,6 +25,7 @@ rhsd_bench(bench_layout_ablation)
 rhsd_bench(bench_sec32_outcomes)
 rhsd_bench(bench_self_hammer)
 rhsd_bench(bench_ftl_behaviour)
+rhsd_bench(bench_cloud_scale)
 
 rhsd_bench(bench_micro)
 target_link_libraries(bench_micro PRIVATE benchmark::benchmark)

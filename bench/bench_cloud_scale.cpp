@@ -1,0 +1,289 @@
+// N-tenant cloud scale: attacker flip probability and victim read
+// latency vs background load, across tenant counts.
+//
+// One shared SSD hosts the paper's victim/attacker pair plus N-2
+// background tenants.  All of them push traffic through the async NVMe
+// event loop (per-bank sharded execution on a thread pool): the victim
+// issues hot/cold reads whose p50/p99 completion latency we measure in
+// simulated time, the attacker hammers a fixed set of aggressor L2P
+// rows in its own partition, and the background tenants generate
+// Zipfian / bursty mixed traffic.  As the tenant count grows, the
+// arbiter multiplexes more queues, background IOPS climb and victim
+// tail latency stretches — while the attacker keeps flipping its
+// target rows, because namespace isolation partitions the flash, not
+// the shared DRAM holding the L2P table (§4.1's cloud setting measured
+// end to end).
+//
+// Host-perf trajectory: `cloud_tenant_iops` = simulated commands
+// retired per host second across the whole sweep (the sharded event
+// loop is the hot path being sized).  `--quick` runs a reduced sweep
+// for CI.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench_report.hpp"
+#include "cloud/cloud_host.hpp"
+#include "exec/thread_pool.hpp"
+#include "nvme/event_loop.hpp"
+#include "sim/workload.hpp"
+
+using namespace rhsd;
+
+namespace {
+
+/// 64 MiB SSD (16384 LBAs): victim and attacker keep the paper's
+/// 2048-block partitions, the rest is split across background tenants.
+SsdConfig ScaleConfig(std::uint32_t tenants) {
+  SsdConfig c;
+  c.capacity_bytes = 64 * kMiB;
+  c.dram_geometry = DramGeometry{.channels = 1,
+                                 .dimms_per_channel = 1,
+                                 .ranks_per_dimm = 1,
+                                 .banks_per_rank = 2,
+                                 .rows_per_bank = 256,
+                                 .row_bytes = 512};
+  // Weak part so the attacker's budget per refresh window matters:
+  // threshold = 2 * 10e3 * 0.064 = 1280 effective activations.
+  c.dram_profile.min_rate_kaccess_s = 10.0;
+  c.dram_profile.vulnerable_row_fraction = 1.0;
+  c.dram_profile.max_cells_per_row = 2;
+  c.dram_profile.threshold_spread = 0.5;
+  c.xor_config.interleaved_bank_bits = 1;
+  c.xor_config.row_remap_bits = 4;
+  c.hammers_per_io = 5;
+  c.host_interface = HostInterface::kTestbedVmDirect;
+  c.partition_blocks = {2048, 2048};
+  std::uint64_t spare = c.num_lbas() - 4096;
+  if (tenants > 2) {
+    const std::uint64_t per = spare / (tenants - 2);
+    c.partition_blocks.insert(c.partition_blocks.end(), tenants - 2, per);
+  } else {
+    c.partition_blocks[1] += spare;  // attacker absorbs the spare space
+  }
+  c.seed = 42;
+  return c;
+}
+
+struct ScaleResult {
+  std::uint64_t commands = 0;
+  std::uint64_t sharded = 0;
+  double sim_seconds = 0.0;
+  double sim_iops = 0.0;
+  double victim_p50_us = 0.0;
+  double victim_p99_us = 0.0;
+  std::uint64_t flips = 0;
+  double flip_probability = 0.0;  // flipped rows / hammered victim rows
+};
+
+/// The attacker's aggressor set: 8 slbas, one per 128-entry L2P row
+/// chunk, so 8 distinct DRAM rows get hammered (16 victim neighbours).
+constexpr std::uint64_t kAggressors = 8;
+
+ScaleResult RunScale(std::uint32_t tenants, exec::ThreadPool& pool,
+                     bool quick) {
+  CloudHost host(ScaleConfig(tenants));
+  for (std::uint32_t t = 2; t < tenants; ++t) {
+    auto id = host.add_tenant(
+        TenantConfig{.name = "bg-" + std::to_string(t)});
+    RHSD_CHECK_MSG(id.ok(), "tenant " << t << ": " << id.status());
+  }
+  SsdDevice& ssd = host.ssd();
+  NvmeController& ctrl = ssd.controller();
+
+  EventLoopConfig lc;
+  lc.policy = ArbitrationPolicy::kRoundRobin;
+  lc.seed = 7;
+  lc.sharded = true;
+  lc.pool = &pool;
+  NvmeEventLoop loop(ctrl, lc);
+
+  // The attacker's victim rows: physical same-bank neighbours of the
+  // DRAM rows holding the aggressor L2P entries.  Flip probability is
+  // measured against this set only — background tenants' own hot
+  // traffic also disturbs rows, but that is their problem, not the
+  // attacker's success rate.
+  const DramGeometry& geom = ssd.dram().mapper().geometry();
+  const std::uint64_t attacker_base =
+      host.partition_range(CloudHost::kAttackerId).first.value();
+  std::set<std::uint64_t> victim_rows;
+  for (std::uint64_t a = 0; a < kAggressors; ++a) {
+    const DramCoord c = ssd.dram().mapper().decode(
+        ssd.ftl().layout().entry_addr(attacker_base + a * 128));
+    const std::uint64_t row = c.global_row(geom);
+    if (row % geom.rows_per_bank > 0) victim_rows.insert(row - 1);
+    if (row % geom.rows_per_bank + 1 < geom.rows_per_bank) {
+      victim_rows.insert(row + 1);
+    }
+  }
+
+  constexpr std::uint32_t kDepth = 16;
+  std::vector<std::unique_ptr<NvmeQueuePair>> qps;
+  for (std::uint32_t t = 0; t < tenants; ++t) {
+    qps.push_back(std::make_unique<NvmeQueuePair>(
+        ctrl, static_cast<std::uint16_t>(t + 1), kDepth));
+    // Foreground pair gets double the arbitration weight of background.
+    loop.attach(*qps[t], t < 2 ? 2 : 1);
+  }
+
+  // Scripts.  Victim: read-only hot/cold over its partition.  Attacker:
+  // round-robin reads of the aggressor set.  Background: Zipfian /
+  // bursty mixes with 10% writes.
+  const std::uint64_t victim_ops = quick ? 1500 : 4000;
+  const std::uint64_t attacker_ops = quick ? 4000 : 20000;
+  const std::uint64_t bg_ops = quick ? 256 : 512;
+  struct Op {
+    bool is_write = false;
+    std::uint64_t slba = 0;
+  };
+  std::vector<std::vector<Op>> scripts(tenants);
+  {
+    WorkloadConfig wc;
+    wc.pattern = AccessPattern::kHotCold;
+    wc.working_set = host.tenant(CloudHost::kVictimId).blocks();
+    wc.write_fraction = 0.0;
+    wc.seed = 1;
+    WorkloadGenerator gen(wc);
+    for (std::uint64_t i = 0; i < victim_ops; ++i) {
+      scripts[0].push_back({false, gen.next().slba});
+    }
+  }
+  for (std::uint64_t i = 0; i < attacker_ops; ++i) {
+    scripts[1].push_back({false, (i % kAggressors) * 128});
+  }
+  for (std::uint32_t t = 2; t < tenants; ++t) {
+    WorkloadConfig wc;
+    wc.pattern = t % 2 == 0 ? AccessPattern::kZipfLike
+                            : AccessPattern::kBursty;
+    wc.working_set = host.tenant(t).blocks();
+    wc.write_fraction = 0.1;
+    wc.seed = 1000 + t;
+    WorkloadGenerator gen(wc);
+    for (std::uint64_t i = 0; i < bg_ops; ++i) {
+      const WorkloadOp op = gen.next();
+      scripts[t].push_back({op.is_write, op.slba});
+    }
+  }
+
+  // Drive everything to completion in waves; victim read latency =
+  // completion stamp minus the clock when its wave was submitted.
+  std::vector<std::vector<std::uint8_t>> bufs(
+      tenants, std::vector<std::uint8_t>(kBlockSize));
+  std::vector<std::size_t> next(tenants, 0);
+  std::vector<std::uint16_t> cid(tenants, 0);
+  std::vector<std::uint64_t> victim_submit_ns(kDepth, 0);
+  std::vector<std::uint64_t> latencies;
+  latencies.reserve(victim_ops);
+  ScaleResult res;
+  for (;;) {
+    bool pending = false;
+    const std::uint64_t wave_ns = ssd.clock().now_ns();
+    for (std::uint32_t t = 0; t < tenants; ++t) {
+      while (next[t] < scripts[t].size()) {
+        const Op& op = scripts[t][next[t]];
+        NvmeCommand cmd =
+            op.is_write
+                ? NvmeCommand::Write(
+                      cid[t], t + 1, op.slba,
+                      std::vector<std::uint8_t>(kBlockSize,
+                                                std::uint8_t(cid[t])))
+                : NvmeCommand::Read(cid[t], t + 1, op.slba, bufs[t]);
+        if (!qps[t]->submit(std::move(cmd)).ok()) break;
+        if (t == 0) victim_submit_ns[cid[t] % kDepth] = wave_ns;
+        ++next[t];
+        ++cid[t];
+      }
+      pending = pending || next[t] < scripts[t].size() ||
+                qps[t]->sq_inflight() > 0;
+    }
+    if (!pending) break;
+    res.commands += loop.run_until_idle();
+    for (std::uint32_t t = 0; t < tenants; ++t) {
+      while (auto cqe = qps[t]->poll()) {
+        RHSD_CHECK(cqe->status.ok());
+        if (t == 0) {
+          latencies.push_back(cqe->completed_ns -
+                              victim_submit_ns[cqe->cid % kDepth]);
+        }
+      }
+    }
+  }
+
+  std::sort(latencies.begin(), latencies.end());
+  RHSD_CHECK(!latencies.empty());
+  res.victim_p50_us = latencies[latencies.size() / 2] / 1e3;
+  res.victim_p99_us = latencies[latencies.size() * 99 / 100] / 1e3;
+  res.sharded = loop.stats().sharded_commands;
+  res.sim_seconds = ssd.clock().now_ns() * 1e-9;
+  res.sim_iops = res.commands / res.sim_seconds;
+  std::set<std::uint64_t> flipped_victims;
+  for (const FlipEvent& f : ssd.dram().flip_events()) {
+    if (victim_rows.count(f.global_row) > 0) {
+      flipped_victims.insert(f.global_row);
+      ++res.flips;
+    }
+  }
+  res.flip_probability = static_cast<double>(flipped_victims.size()) /
+                         static_cast<double>(victim_rows.size());
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick =
+      argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  const std::vector<std::uint32_t> counts =
+      quick ? std::vector<std::uint32_t>{2, 8, 32}
+            : std::vector<std::uint32_t>{2, 4, 16, 64, 256, 1024};
+
+  exec::ThreadPool pool;
+  std::printf("== N-tenant cloud host: flips + victim latency vs "
+              "background load ==\n");
+  std::printf("(async event loop, round-robin arbitration, per-bank "
+              "sharding on %u threads%s)\n\n",
+              static_cast<unsigned>(pool.size()),
+              quick ? ", --quick" : "");
+  std::printf("%7s | %8s %8s | %9s | %9s %9s | %5s %9s\n", "tenants",
+              "cmds", "sharded", "sim-kIOPS", "p50-us", "p99-us", "flips",
+              "flip-prob");
+  std::printf("%.*s\n", 84,
+              "----------------------------------------------------------"
+              "--------------------------");
+
+  std::uint64_t total_commands = 0;
+  const double t0 = bench::HostSeconds();
+  for (const std::uint32_t tenants : counts) {
+    const ScaleResult r = RunScale(tenants, pool, quick);
+    total_commands += r.commands;
+    std::printf("%7u | %8llu %8llu | %9.1f | %9.2f %9.2f | %5llu %9.2f\n",
+                tenants, static_cast<unsigned long long>(r.commands),
+                static_cast<unsigned long long>(r.sharded),
+                r.sim_iops / 1e3, r.victim_p50_us, r.victim_p99_us,
+                static_cast<unsigned long long>(r.flips),
+                r.flip_probability);
+  }
+  const double elapsed_s = bench::HostSeconds() - t0;
+
+  std::printf(
+      "\nshape check: background load grows with the tenant count and "
+      "the\nvictim's p99 stretches (noisy neighbours in the completion "
+      "stream),\nyet the attacker keeps flipping its target rows — "
+      "namespace\nisolation partitions the flash, not the DRAM holding "
+      "the L2P table.\n");
+  std::printf("\nhost throughput: %.0f simulated cmds/s (%llu cmds in "
+              "%.2f s)\n",
+              total_commands / elapsed_s,
+              static_cast<unsigned long long>(total_commands), elapsed_s);
+
+  bench::BenchReport report;
+  report.set("cloud_tenant_iops", total_commands / elapsed_s);
+  report.set("cloud_scale_threads", static_cast<double>(pool.size()));
+  report.write();
+  return 0;
+}

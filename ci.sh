@@ -16,8 +16,11 @@ cmake --build build -j "${JOBS}"
 
 echo "== tsan smoke: experiment engine under -fsanitize=thread =="
 cmake -B build-tsan -S . -DRHSD_SANITIZE=thread
-cmake --build build-tsan -j "${JOBS}" --target exec_smoke
+cmake --build build-tsan -j "${JOBS}" --target exec_smoke --target event_loop_smoke
 ./build-tsan/tests/exec_smoke
+# Race-check the event loop's sharded execution (thread-local shard
+# sinks, per-bank undo logs, commit/rollback) under real contention.
+./build-tsan/tests/event_loop_smoke
 
 echo "== perf gate: batched hammer hot path =="
 # bench_micro emits BENCH_hotpath.json into its working directory; the
@@ -32,6 +35,9 @@ mkdir -p "${PERF_DIR}"
 # hammering per triple): BenchReport merges its throughput metric into
 # the same BENCH_hotpath.json.
 (cd "${PERF_DIR}" && ../bench/bench_mitigations >/dev/null)
+# The N-tenant event-loop sweep (--quick keeps it to 2..32 tenants):
+# merges cloud_tenant_iops into the same report.
+(cd "${PERF_DIR}" && ../bench/bench_cloud_scale --quick >/dev/null)
 REPORT="${PERF_DIR}/BENCH_hotpath.json"
 if [[ ! -f "${REPORT}" ]]; then
   echo "perf gate: bench_micro produced no ${REPORT}" >&2
@@ -39,8 +45,8 @@ if [[ ! -f "${REPORT}" ]]; then
 fi
 
 # Trajectory check against the newest archived report (before this
-# run's report is archived): any *_speedup ratio or *_per_s throughput
-# metric regressing by more than 20% fails the gate even while still
+# run's report is archived): any *_speedup ratio or *_per_s / *_iops
+# throughput metric regressing by more than 20% fails the gate even while still
 # above its fixed floor, so slow perf erosion can't hide under a
 # generous absolute threshold.
 extract_metric() {  # extract_metric <file> <key>
@@ -51,7 +57,8 @@ BASELINE="$(ls -1 bench_history/BENCH_hotpath.*.json 2>/dev/null \
   | sort | tail -n 1 || true)"
 if [[ -n "${BASELINE}" ]]; then
   echo "trajectory baseline: ${BASELINE}"
-  for KEY in $(sed -n 's/.*"\([a-z_]*_speedup\|[a-z_]*_per_s\)".*/\1/p' \
+  for KEY in $(sed -n \
+      's/.*"\([a-z_]*_speedup\|[a-z_]*_per_s\|[a-z_]*_iops\)".*/\1/p' \
       "${REPORT}"); do
     NEW="$(extract_metric "${REPORT}" "${KEY}")"
     OLD="$(extract_metric "${BASELINE}" "${KEY}")"
@@ -90,5 +97,9 @@ gate_floor hammer_batched_trr_speedup 2.0
 # >=20x over the ~0.056 scenarios/s the scalar round loop managed at
 # production trace lengths (0.5 s of hammering per triple, single core).
 gate_floor mitigations_scenarios_per_s 1.12
+# Simulated commands retired per host second by the sharded event loop
+# across the --quick tenant sweep (~550k+ on a single idle core; floor
+# leaves headroom for loaded CI machines).
+gate_floor cloud_tenant_iops 100000
 
 echo "== ci.sh: all green =="

@@ -17,9 +17,9 @@ EndToEndAttack::EndToEndAttack(CloudHost& host, EndToEndConfig config)
   row_map_ = std::make_unique<L2pRowMap>(*plan, ssd.dram().mapper());
   finder_ = std::make_unique<AggressorFinder>(*row_map_);
 
-  const auto [vfirst, vlast] = host_.partition_range(host_.victim_tenant());
+  const auto [vfirst, vlast] = host_.partition_range(CloudHost::kVictimId);
   const auto [afirst, alast] =
-      host_.partition_range(host_.attacker_tenant());
+      host_.partition_range(CloudHost::kAttackerId);
   victim_range_ = LpnRange{vfirst.value(), vlast.value()};
   attacker_range_ = LpnRange{afirst.value(), alast.value()};
   // Half-Double drives distance-2 rows, so its placement sets are found

@@ -23,8 +23,8 @@ PrivilegeEscalationScenario::PrivilegeEscalationScenario(
   if (config_.payload_marker.empty()) {
     config_.payload_marker = EscalationConfig::DefaultMarker();
   }
-  const auto [vf, vl] = host_.partition_range(host_.victim_tenant());
-  const auto [af, al] = host_.partition_range(host_.attacker_tenant());
+  const auto [vf, vl] = host_.partition_range(CloudHost::kVictimId);
+  const auto [af, al] = host_.partition_range(CloudHost::kAttackerId);
   victim_range_ = LpnRange{vf.value(), vl.value()};
   attacker_range_ = LpnRange{af.value(), al.value()};
   triples_ =

@@ -121,11 +121,12 @@ StatusOr<HammerStats> HammerOrchestrator::hammer_triple(
   // controller charges queue/clock costs per round in closed form, the
   // FTL replays the pattern's L2P touches as repeat counts, and the
   // DRAM consumes the activation stream per refresh-window segment —
-  // bit-exact with issuing read_pattern() round by round.
+  // bit-exact with issuing the pattern round by round.
   std::uint64_t rounds = 0;
-  RHSD_RETURN_IF_ERROR(
-      tenant_.read_pattern_until(pattern, buf, start_ns + duration_ns,
-                                 &rounds));
+  RHSD_RETURN_IF_ERROR(tenant_.submit({.slbas = pattern,
+                                       .out = buf,
+                                       .deadline_ns = start_ns + duration_ns,
+                                       .rounds_done = &rounds}));
   stats.reads_issued += rounds * pattern.size();
   stats.sim_ns_spent = clock.now_ns() - start_ns;
   stats.flips_after = dram.stats().bitflips;

@@ -1,33 +1,100 @@
 #include "cloud/cloud_host.hpp"
 
+#include <algorithm>
+#include <utility>
+
 namespace rhsd {
 
 CloudHost::CloudHost(SsdConfig config, const fs::FormatOptions& fs_options) {
   RHSD_CHECK_MSG(config.partition_blocks.size() >= 2,
                  "cloud host needs victim and attacker partitions");
   ssd_ = std::make_unique<SsdDevice>(std::move(config));
-  victim_ = std::make_unique<Tenant>(
-      TenantConfig{"victim-vm", 1, /*direct_access=*/false},
-      ssd_->controller());
-  attacker_ = std::make_unique<Tenant>(
-      TenantConfig{"attacker-vm", 2, /*direct_access=*/true},
-      ssd_->controller());
+  auto victim = add_tenant(
+      TenantConfig{"victim-vm", 1, /*direct_access=*/false}, fs_options);
+  RHSD_CHECK_MSG(victim.ok(), "victim tenant: " << victim.status());
+  auto attacker =
+      add_tenant(TenantConfig{"attacker-vm", 2, /*direct_access=*/true});
+  RHSD_CHECK_MSG(attacker.ok(), "attacker tenant: " << attacker.status());
+}
 
-  victim_bdev_ =
-      std::make_unique<fs::NvmeBlockDevice>(ssd_->controller(), 1);
-  auto fs = fs::FileSystem::Format(*victim_bdev_, fs_options);
-  RHSD_CHECK_MSG(fs.ok(), "victim filesystem format failed: "
-                              << fs.status());
-  victim_fs_ = std::move(fs).value();
+StatusOr<TenantId> CloudHost::add_tenant(
+    TenantConfig config, const fs::FormatOptions& fs_options) {
+  NvmeController& controller = ssd_->controller();
+  if (config.nsid == TenantConfig::kAutoNsid) {
+    // Lowest namespace no registered tenant claims yet.
+    for (std::uint32_t nsid = 1; nsid <= controller.namespace_count();
+         ++nsid) {
+      const auto taken = [&](const TenantSlot& s) {
+        return s.tenant->nsid() == nsid;
+      };
+      if (std::none_of(slots_.begin(), slots_.end(), taken)) {
+        config.nsid = nsid;
+        break;
+      }
+    }
+    if (config.nsid == TenantConfig::kAutoNsid) {
+      return ResourceExhausted("no free namespace for tenant '" +
+                               config.name + "'");
+    }
+  } else {
+    if (config.nsid < 1 || config.nsid > controller.namespace_count()) {
+      return InvalidArgument("namespace " + std::to_string(config.nsid) +
+                             " does not exist");
+    }
+    for (const TenantSlot& s : slots_) {
+      if (s.tenant->nsid() == config.nsid) {
+        return AlreadyExists("namespace " + std::to_string(config.nsid) +
+                             " already claimed by tenant '" +
+                             s.tenant->name() + "'");
+      }
+    }
+  }
+
+  TenantSlot slot;
+  slot.tenant = std::make_unique<Tenant>(config, controller);
+  if (!config.direct_access) {
+    slot.bdev =
+        std::make_unique<fs::NvmeBlockDevice>(controller, config.nsid);
+    RHSD_ASSIGN_OR_RETURN(slot.fs,
+                          fs::FileSystem::Format(*slot.bdev, fs_options));
+  }
+  slots_.push_back(std::move(slot));
+  return static_cast<TenantId>(slots_.size() - 1);
+}
+
+Tenant& CloudHost::tenant(TenantId id) {
+  RHSD_CHECK_MSG(id < slots_.size(), "bad tenant id");
+  return *slots_[id].tenant;
+}
+
+const Tenant& CloudHost::tenant(TenantId id) const {
+  RHSD_CHECK_MSG(id < slots_.size(), "bad tenant id");
+  return *slots_[id].tenant;
+}
+
+fs::FileSystem* CloudHost::fs(TenantId id) {
+  RHSD_CHECK_MSG(id < slots_.size(), "bad tenant id");
+  return slots_[id].fs.get();
 }
 
 StatusOr<std::uint32_t> CloudHost::install_secret(
-    const std::string& path, std::span<const std::uint8_t> body) {
+    TenantId id, const std::string& path,
+    std::span<const std::uint8_t> body) {
+  fs::FileSystem* tenant_fs = fs(id);
+  if (tenant_fs == nullptr) {
+    return FailedPrecondition("tenant '" + tenant(id).name() +
+                              "' has no filesystem");
+  }
   const fs::Credentials root{0};
   RHSD_ASSIGN_OR_RETURN(const std::uint32_t ino,
-                        victim_fs_->create(root, path, 0600));
-  RHSD_RETURN_IF_ERROR(victim_fs_->write(root, ino, 0, body));
+                        tenant_fs->create(root, path, 0600));
+  RHSD_RETURN_IF_ERROR(tenant_fs->write(root, ino, 0, body));
   return ino;
+}
+
+std::pair<Lba, Lba> CloudHost::partition_range(TenantId id) const {
+  const auto& info = ssd_->controller().namespace_info(tenant(id).nsid());
+  return {info.start, info.start + info.blocks};
 }
 
 std::pair<Lba, Lba> CloudHost::partition_range(const Tenant& t) const {

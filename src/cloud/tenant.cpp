@@ -16,26 +16,9 @@ Status Tenant::read_blocks(std::uint64_t slba,
   return controller_.read(config_.nsid, slba, out);
 }
 
-Status Tenant::read_pattern(std::span<const std::uint64_t> slbas,
-                            std::span<std::uint8_t> out) {
+Status Tenant::submit(const PatternRequest& req) {
   RHSD_RETURN_IF_ERROR(require_direct());
-  return controller_.read_pattern(config_.nsid, slbas, out);
-}
-
-Status Tenant::read_pattern_repeat(std::span<const std::uint64_t> slbas,
-                                   std::span<std::uint8_t> out,
-                                   std::uint64_t rounds) {
-  RHSD_RETURN_IF_ERROR(require_direct());
-  return controller_.read_pattern_repeat(config_.nsid, slbas, out, rounds);
-}
-
-Status Tenant::read_pattern_until(std::span<const std::uint64_t> slbas,
-                                  std::span<std::uint8_t> out,
-                                  std::uint64_t deadline_ns,
-                                  std::uint64_t* rounds_done) {
-  RHSD_RETURN_IF_ERROR(require_direct());
-  return controller_.read_pattern_until(config_.nsid, slbas, out,
-                                        deadline_ns, rounds_done);
+  return controller_.submit_pattern(config_.nsid, req);
 }
 
 Status Tenant::write_blocks(std::uint64_t slba,

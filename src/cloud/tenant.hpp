@@ -20,8 +20,13 @@
 namespace rhsd {
 
 struct TenantConfig {
+  /// `nsid == kAutoNsid` asks CloudHost::add_tenant to assign the next
+  /// free namespace; constructing a Tenant directly requires a concrete
+  /// namespace id.
+  static constexpr std::uint32_t kAutoNsid = 0;
+
   std::string name;
-  std::uint32_t nsid = 1;
+  std::uint32_t nsid = kAutoNsid;
   /// Whether the tenant may issue raw block I/O (SR-IOV-style direct
   /// access inside its own VM).
   bool direct_access = true;
@@ -41,20 +46,31 @@ class Tenant {
 
   /// Raw block I/O within this tenant's partition.
   Status read_blocks(std::uint64_t slba, std::span<std::uint8_t> out);
-  /// One single-block read per LBA in `slbas`, batched (hammer loop).
-  Status read_pattern(std::span<const std::uint64_t> slbas,
-                      std::span<std::uint8_t> out);
-  /// `rounds` whole pattern submissions in one call; bit-exact with the
-  /// equivalent read_pattern() loop but replayed in closed form.
-  Status read_pattern_repeat(std::span<const std::uint64_t> slbas,
-                             std::span<std::uint8_t> out,
-                             std::uint64_t rounds);
-  /// Keep submitting rounds while the simulated clock is before
-  /// `deadline_ns`; `*rounds_done` reports completed rounds.
-  Status read_pattern_until(std::span<const std::uint64_t> slbas,
-                            std::span<std::uint8_t> out,
-                            std::uint64_t deadline_ns,
-                            std::uint64_t* rounds_done);
+  /// The batched pattern entry point (the hammer loop): one
+  /// single-block read per LBA in `req.slbas` per round, until the
+  /// round and/or deadline bound is hit.  Bit-exact with the
+  /// equivalent scalar read_blocks() loop but replayed in closed form.
+  Status submit(const PatternRequest& req);
+  /// Deprecated single-round form of submit().
+  [[deprecated("use submit()")]] Status read_pattern(
+      std::span<const std::uint64_t> slbas, std::span<std::uint8_t> out) {
+    return submit({.slbas = slbas, .out = out, .rounds = 1});
+  }
+  /// Deprecated round-bound form of submit().
+  [[deprecated("use submit()")]] Status read_pattern_repeat(
+      std::span<const std::uint64_t> slbas, std::span<std::uint8_t> out,
+      std::uint64_t rounds) {
+    return submit({.slbas = slbas, .out = out, .rounds = rounds});
+  }
+  /// Deprecated deadline-bound form of submit().
+  [[deprecated("use submit()")]] Status read_pattern_until(
+      std::span<const std::uint64_t> slbas, std::span<std::uint8_t> out,
+      std::uint64_t deadline_ns, std::uint64_t* rounds_done) {
+    return submit({.slbas = slbas,
+                   .out = out,
+                   .deadline_ns = deadline_ns,
+                   .rounds_done = rounds_done});
+  }
   Status write_blocks(std::uint64_t slba,
                       std::span<const std::uint8_t> data);
   Status trim_blocks(std::uint64_t slba, std::uint64_t nblocks);

@@ -20,6 +20,8 @@ void StoreWord(std::uint8_t* p, std::uint64_t w) {
 
 }  // namespace
 
+thread_local DramShardSink* DramDevice::shard_sink_ = nullptr;
+
 DramDevice::DramDevice(DramConfig config,
                        std::unique_ptr<AddressMapper> mapper, SimClock& clock)
     : config_(std::move(config)),
@@ -61,10 +63,52 @@ DramDevice::DramDevice(DramConfig config,
 }
 
 void DramDevice::roll_window(std::uint64_t global_row) {
+  if (DramShardSink* sink = shard_sink_; sink != nullptr) {
+    // Every counter mutation is preceded by a roll of the row's window,
+    // so snapshotting here captures the pre-state of all of them
+    // (duplicates are fine: rollback restores newest-first, leaving the
+    // oldest — pre-shard — snapshot in effect).
+    sink->rows.push_back(DramShardSink::RowUndo{
+        global_row, row_window_[global_row], row_acts_[global_row]});
+  }
   const std::uint64_t w = current_window();
   if (row_window_[global_row] != w) {
     row_window_[global_row] = w;
     row_acts_[global_row] = 0;
+  }
+}
+
+void DramDevice::emit_flip(const FlipEvent& flip) {
+  if (DramShardSink* sink = shard_sink_; sink != nullptr) {
+    sink->flips.push_back(
+        DramShardSink::OrderedFlip{sink->order, sink->flip_seq++, flip});
+  } else {
+    flip_events_.push_back(flip);
+  }
+}
+
+void DramDevice::merge_shard_stats(const DramStats& delta) {
+  stats_.reads += delta.reads;
+  stats_.writes += delta.writes;
+  stats_.activations += delta.activations;
+  stats_.row_buffer_hits += delta.row_buffer_hits;
+  stats_.bitflips += delta.bitflips;
+  stats_.ecc_corrected += delta.ecc_corrected;
+  stats_.ecc_uncorrectable += delta.ecc_uncorrectable;
+  stats_.trr_refreshes += delta.trr_refreshes;
+  stats_.para_refreshes += delta.para_refreshes;
+  stats_.cache_hits += delta.cache_hits;
+  stats_.cache_misses += delta.cache_misses;
+  stats_.injected_bit_errors += delta.injected_bit_errors;
+}
+
+void DramDevice::rollback_shard(const DramShardSink& sink) {
+  for (auto it = sink.bytes.rbegin(); it != sink.bytes.rend(); ++it) {
+    row_data_[it->row]->data[it->byte_offset] = it->value;
+  }
+  for (auto it = sink.rows.rbegin(); it != sink.rows.rend(); ++it) {
+    row_window_[it->row] = it->window;
+    row_acts_[it->row] = it->acts;
   }
 }
 
@@ -124,7 +168,7 @@ void DramDevice::activate(std::uint64_t global_row) {
     }
     open_rows_[bank] = global_row;
   }
-  ++stats_.activations;
+  ++stats_mut().activations;
   roll_window(global_row);
   ++row_acts_[global_row];
 
@@ -220,19 +264,23 @@ void DramDevice::check_victim(std::uint64_t victim) {
     std::uint8_t& byte = rd.data[cell.byte_offset];
     const std::uint8_t current = (byte >> cell.bit) & 1u;
     if (current == cell.failure_value) continue;  // already decayed
+    if (shard_sink_ != nullptr) {
+      shard_sink_->bytes.push_back(
+          DramShardSink::ByteUndo{victim, cell.byte_offset, byte});
+    }
     if (cell.failure_value) {
       byte = static_cast<std::uint8_t>(byte | (1u << cell.bit));
     } else {
       byte = static_cast<std::uint8_t>(byte & ~(1u << cell.bit));
     }
-    ++stats_.bitflips;
+    ++stats_mut().bitflips;
     // Deliberately *not* updating ECC: the flip happens underneath the
     // code, which is exactly what lets ECC catch it.
-    flip_events_.push_back(FlipEvent{.time_ns = clock_.now_ns(),
-                                     .global_row = victim,
-                                     .byte_offset = cell.byte_offset,
-                                     .bit = cell.bit,
-                                     .new_value = cell.failure_value});
+    emit_flip(FlipEvent{.time_ns = sim_now(),
+                        .global_row = victim,
+                        .byte_offset = cell.byte_offset,
+                        .bit = cell.bit,
+                        .new_value = cell.failure_value});
   }
 }
 
@@ -311,7 +359,7 @@ void DramDevice::hammer_events_fast(std::uint64_t a, std::uint64_t b,
   const std::uint64_t a0_a = acts_now(a);
   const std::uint64_t a0_b = a == b ? a0_a : acts_now(b);
 
-  stats_.activations += events;
+  stats_mut().activations += events;
   row_acts_[a] += a == b ? events : (events + 1) / 2;
   if (a != b) row_acts_[b] += events / 2;
   if (config_.row_buffer_policy == RowBufferPolicy::kOpenPage) {
@@ -356,8 +404,8 @@ void DramDevice::hammer_events_fast(std::uint64_t a, std::uint64_t b,
                      return x.event != y.event ? x.event < y.event
                                                : x.slot < y.slot;
                    });
-  stats_.bitflips += pending.size();
-  for (const PendingFlip& p : pending) flip_events_.push_back(p.flip);
+  stats_mut().bitflips += pending.size();
+  for (const PendingFlip& p : pending) emit_flip(p.flip);
 }
 
 void DramDevice::hammer_events_mitigated(std::uint64_t a, std::uint64_t b,
@@ -662,6 +710,10 @@ void DramDevice::check_victim_batched(
   };
   const auto emit = [&](const VulnCell& cell, std::uint64_t e) {
     std::uint8_t& byte = rd->data[cell.byte_offset];
+    if (shard_sink_ != nullptr) {
+      shard_sink_->bytes.push_back(
+          DramShardSink::ByteUndo{victim, cell.byte_offset, byte});
+    }
     if (cell.failure_value) {
       byte = static_cast<std::uint8_t>(byte | (1u << cell.bit));
     } else {
@@ -670,7 +722,7 @@ void DramDevice::check_victim_batched(
     pending.push_back(PendingFlip{
         .event = e,
         .slot = slot_at(e),
-        .flip = FlipEvent{.time_ns = clock_.now_ns(),
+        .flip = FlipEvent{.time_ns = sim_now(),
                           .global_row = victim,
                           .byte_offset = cell.byte_offset,
                           .bit = cell.bit,
@@ -1301,7 +1353,7 @@ Status DramDevice::read(DramAddr addr, std::span<std::uint8_t> out) {
   if (addr.value() + out.size() > config_.geometry.total_bytes()) {
     return OutOfRange("DRAM read past end of device");
   }
-  ++stats_.reads;
+  ++stats_mut().reads;
   if (injector_ != nullptr) {
     if (const auto fault = injector_->tick(FaultClass::kDramBitError);
         fault.has_value() && !out.empty()) {
@@ -1397,7 +1449,7 @@ Status DramDevice::repeat_read(DramAddr addr, std::span<std::uint8_t> out,
   }
   if (extra == 0) return Status::Ok();
   if (out.empty()) {
-    stats_.reads += extra;  // empty reads touch no rows
+    stats_mut().reads += extra;  // empty reads touch no rows
     return Status::Ok();
   }
   const std::uint32_t row_bytes = config_.geometry.row_bytes;
@@ -1416,7 +1468,7 @@ Status DramDevice::repeat_read(DramAddr addr, std::span<std::uint8_t> out,
   // the buffer (the row's own activations disturb only its neighbors),
   // the ECC state (scrubbed by the first read), or the outcome — only
   // the activations and their neighbor disturbance remain.
-  stats_.reads += extra;
+  stats_mut().reads += extra;
   const DramCoord coord =
       mapper_->decode(DramAddr(addr.value() - addr.value() % row_bytes));
   hammer_events(coord.global_row(config_.geometry),

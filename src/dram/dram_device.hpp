@@ -120,6 +120,57 @@ struct FlipEvent {
   std::uint8_t new_value = 0;
 };
 
+/// Thread-local redirection target for sharded per-bank replay (the
+/// NVMe event loop).  While a thread has a sink bound, the DRAM read /
+/// hammer path sends its statistics and flip events to the sink instead
+/// of the device-global aggregates, stamps flips with the current
+/// command's *planned* simulated time (the shared clock has not moved
+/// yet), and records undo state for every row-counter and data-byte
+/// mutation.  The event loop then either commits the shard — merging
+/// stats and splicing the flips from all shards back into global
+/// command order — or rolls it back byte-exactly when a command's
+/// outcome diverged from its plan.
+///
+/// Only the paths a shard can reach are redirected: read(),
+/// repeat_read()'s single-row fast path, activate(), and the plain
+/// batched victim check.  Mitigated paths (TRR/PARA/ECC/cache/open
+/// page) and writes are gated out by the event loop before sharding and
+/// keep writing the device-global stats directly.  Shards must
+/// partition the banks: disturbance never crosses a bank edge, so
+/// per-bank shards touch disjoint row state.
+struct DramShardSink {
+  /// One flip tagged for the cross-shard merge.  `order` is the global
+  /// command index; `seq` is a per-sink monotone counter that preserves
+  /// emission order within a command.
+  struct OrderedFlip {
+    std::uint64_t order = 0;
+    std::uint32_t seq = 0;
+    FlipEvent flip;
+  };
+  /// Pre-mutation snapshot of a row's per-window counters, pushed every
+  /// time the shard rolls a row's window (i.e. before any counter
+  /// mutation).  Restored newest-first on rollback.
+  struct RowUndo {
+    std::uint64_t row = 0;
+    std::uint64_t window = 0;
+    std::uint64_t acts = 0;
+  };
+  /// Pre-mutation value of a flipped data byte.
+  struct ByteUndo {
+    std::uint64_t row = 0;
+    std::uint32_t byte_offset = 0;
+    std::uint8_t value = 0;
+  };
+
+  DramStats stats;           // this shard's deltas
+  std::uint64_t now_ns = 0;  // planned time of the current command
+  std::uint64_t order = 0;   // global index of the current command
+  std::uint32_t flip_seq = 0;
+  std::vector<OrderedFlip> flips;
+  std::vector<RowUndo> rows;
+  std::vector<ByteUndo> bytes;
+};
+
 class DramDevice {
  public:
   /// `clock` must outlive the device. The mapper's geometry must equal
@@ -273,6 +324,21 @@ class DramDevice {
   /// without updating the check bytes — indistinguishable from a
   /// disturbance flip to the ECC machinery.
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  [[nodiscard]] FaultInjector* fault_injector() const { return injector_; }
+
+  /// Bind the calling thread's shard sink (nullptr unbinds).  See
+  /// DramShardSink for the redirection contract.
+  static void bind_shard_sink(DramShardSink* sink) { shard_sink_ = sink; }
+  /// Merge a committed shard's statistic deltas into the device
+  /// aggregates.  The caller splices the flips of all shards in global
+  /// (order, seq) order and appends them via append_flip_event().
+  void merge_shard_stats(const DramStats& delta);
+  void append_flip_event(const FlipEvent& flip) {
+    flip_events_.push_back(flip);
+  }
+  /// Undo every row-counter and data-byte mutation a shard recorded,
+  /// newest first, leaving the device as if the shard never ran.
+  void rollback_shard(const DramShardSink& sink);
 
  private:
   /// Lazily allocated backing store of one row.
@@ -301,8 +367,22 @@ class DramDevice {
     FlipEvent flip;
   };
 
+  /// Simulated time of the work being executed: the shared clock, or —
+  /// under a bound shard sink — the current command's planned time.
+  [[nodiscard]] std::uint64_t sim_now() const {
+    return shard_sink_ != nullptr ? shard_sink_->now_ns : clock_.now_ns();
+  }
+  /// Statistics target: the bound shard sink's deltas, or the device
+  /// aggregates.  Only used on the paths a shard can reach.
+  [[nodiscard]] DramStats& stats_mut() {
+    return shard_sink_ != nullptr ? shard_sink_->stats : stats_;
+  }
+  /// Flip emission: straight to flip_events_, or — sharded — into the
+  /// sink tagged with the current command's (order, seq).
+  void emit_flip(const FlipEvent& flip);
+
   [[nodiscard]] std::uint64_t current_window() const {
-    return clock_.now_ns() / window_ns_;
+    return sim_now() / window_ns_;
   }
 
   void roll_window(std::uint64_t global_row);
@@ -391,6 +471,8 @@ class DramDevice {
   /// True iff TRR or PARA can write refresh_bases_; when false the
   /// activation path skips the baseline lookup entirely.
   bool neighbor_refresh_active_ = false;
+  /// Per-thread shard sink; null on the sequential path.
+  static thread_local DramShardSink* shard_sink_;
 };
 
 }  // namespace rhsd

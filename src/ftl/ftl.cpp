@@ -6,6 +6,34 @@
 #include "common/rng.hpp"
 
 namespace rhsd {
+
+thread_local FtlStats* Ftl::stats_sink_ = nullptr;
+
+void Ftl::merge_shard_stats(const FtlStats& delta) {
+  stats_.host_reads += delta.host_reads;
+  stats_.host_writes += delta.host_writes;
+  stats_.host_trims += delta.host_trims;
+  stats_.unmapped_reads += delta.unmapped_reads;
+  stats_.flash_reads += delta.flash_reads;
+  stats_.flash_programs += delta.flash_programs;
+  stats_.gc_runs += delta.gc_runs;
+  stats_.gc_relocations += delta.gc_relocations;
+  stats_.gc_erases += delta.gc_erases;
+  stats_.l2p_dram_reads += delta.l2p_dram_reads;
+  stats_.l2p_dram_writes += delta.l2p_dram_writes;
+  stats_.l2p_corruption_errors += delta.l2p_corruption_errors;
+  stats_.reference_tag_mismatches += delta.reference_tag_mismatches;
+  stats_.flash_raw_bit_errors += delta.flash_raw_bit_errors;
+  stats_.flash_ecc_uncorrectable += delta.flash_ecc_uncorrectable;
+  stats_.read_retries += delta.read_retries;
+  stats_.read_retry_successes += delta.read_retry_successes;
+  stats_.retired_blocks += delta.retired_blocks;
+  stats_.journal_records += delta.journal_records;
+  stats_.journal_snapshots += delta.journal_snapshots;
+  stats_.scrub_runs += delta.scrub_runs;
+  stats_.scrub_repairs += delta.scrub_repairs;
+  stats_.scrub_aborts += delta.scrub_aborts;
+}
 namespace {
 
 std::uint32_t Load32(const std::uint8_t* p) {
@@ -145,26 +173,26 @@ Status Ftl::l2p_load(Lba lba, std::uint32_t& pba32) {
   // request (§4.1 used 5 hammers per I/O).  The first touch does the
   // real transfer; the repeats reduce to row activations, which the
   // DRAM's batched fast path coalesces.
-  ++stats_.l2p_dram_reads;
+  ++stats_mut().l2p_dram_reads;
   Status s = dram_.read(addr, buf);
   if (!s.ok()) {
-    ++stats_.l2p_corruption_errors;
+    ++stats_mut().l2p_corruption_errors;
     return s;
   }
   if (config_.hammers_per_io > 1) {
     if (l2p_batched_ok(addr)) {
-      stats_.l2p_dram_reads += config_.hammers_per_io - 1;
+      stats_mut().l2p_dram_reads += config_.hammers_per_io - 1;
       s = dram_.repeat_read(addr, buf, config_.hammers_per_io - 1);
       if (!s.ok()) {
-        ++stats_.l2p_corruption_errors;
+        ++stats_mut().l2p_corruption_errors;
         return s;
       }
     } else {
       for (std::uint32_t i = 1; i < config_.hammers_per_io; ++i) {
-        ++stats_.l2p_dram_reads;
+        ++stats_mut().l2p_dram_reads;
         s = dram_.read(addr, buf);
         if (!s.ok()) {
-          ++stats_.l2p_corruption_errors;
+          ++stats_mut().l2p_corruption_errors;
           return s;
         }
       }
@@ -281,9 +309,9 @@ Status Ftl::nand_read_retry(Pba pba, std::span<std::uint8_t> out,
        !s.ok() && s.code() == StatusCode::kCorruption &&
        attempt < config_.read_retry_max;
        ++attempt) {
-    ++stats_.read_retries;
+    ++stats_mut().read_retries;
     s = nand_.read_pba(pba, out, oob, raw_bit_errors);
-    if (s.ok()) ++stats_.read_retry_successes;
+    if (s.ok()) ++stats_mut().read_retry_successes;
   }
   return s;
 }
@@ -406,14 +434,14 @@ Status Ftl::read(Lba lba, std::span<std::uint8_t> out, FtlIoInfo* info) {
   if (out.size() != kBlockSize) {
     return InvalidArgument("FTL reads are 4 KiB");
   }
-  ++stats_.host_reads;
+  ++stats_mut().host_reads;
   std::uint32_t pba32 = 0;
   RHSD_RETURN_IF_ERROR(l2p_load(lba, pba32));
   if (pba32 == kUnmappedPba32 ||
       pba32 >= nand_.geometry().total_pages()) {
     // Unmapped (or corrupted-beyond-device) entries read as zeros
     // without a flash access — the fast hammering path of §3.
-    ++stats_.unmapped_reads;
+    ++stats_mut().unmapped_reads;
     std::memset(out.data(), 0, out.size());
     if (info != nullptr) info->flash_accessed = false;
     maybe_scrub();
@@ -422,10 +450,10 @@ Status Ftl::read(Lba lba, std::span<std::uint8_t> out, FtlIoInfo* info) {
   PageOob oob;
   std::uint32_t raw_errors = 0;
   RHSD_RETURN_IF_ERROR(nand_read_retry(Pba(pba32), out, &oob, &raw_errors));
-  ++stats_.flash_reads;
-  stats_.flash_raw_bit_errors += raw_errors;
+  ++stats_mut().flash_reads;
+  stats_mut().flash_raw_bit_errors += raw_errors;
   if (raw_errors > config_.page_ecc_correctable_bits) {
-    ++stats_.flash_ecc_uncorrectable;
+    ++stats_mut().flash_ecc_uncorrectable;
     return Corruption("uncorrectable flash error reading LBA " +
                       std::to_string(lba.value()) + " (" +
                       std::to_string(raw_errors) + " raw bit errors)");
@@ -433,7 +461,7 @@ Status Ftl::read(Lba lba, std::span<std::uint8_t> out, FtlIoInfo* info) {
   if (config_.t10_reference_tag && oob.lpn != lba.value()) {
     // The page we were directed to was written for a different LBA —
     // exactly what a rowhammered L2P entry produces.
-    ++stats_.reference_tag_mismatches;
+    ++stats_mut().reference_tag_mismatches;
     return Corruption("reference tag mismatch: LBA " +
                       std::to_string(lba.value()) + " mapped to a page of "
                       "LBA " + std::to_string(oob.lpn));

@@ -215,6 +215,15 @@ class Ftl {
   /// "rebooted" (a new Ftl constructed over the same NAND) and
   /// recover()ed.
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  [[nodiscard]] FaultInjector* fault_injector() const { return injector_; }
+
+  /// Thread-local statistics redirection for sharded replay by the NVMe
+  /// event loop: while bound, the read path's FtlStats counters
+  /// accumulate in `sink` instead of the device aggregates (merged on
+  /// commit via merge_shard_stats(), dropped on rollback).  Shards only
+  /// ever execute gated reads — no other FTL state mutates.
+  static void bind_shard_stats(FtlStats* sink) { stats_sink_ = sink; }
+  void merge_shard_stats(const FtlStats& delta);
 
   /// True once grown bad blocks ate the spare pool: reads still work,
   /// mutations fail with FailedPrecondition.
@@ -336,6 +345,11 @@ class Ftl {
   std::uint64_t write_seq_ = 0;
   bool in_gc_ = false;
   FtlStats stats_;
+  /// Per-thread shard sink; null on the sequential path.
+  [[nodiscard]] FtlStats& stats_mut() {
+    return stats_sink_ != nullptr ? *stats_sink_ : stats_;
+  }
+  static thread_local FtlStats* stats_sink_;
 };
 
 }  // namespace rhsd

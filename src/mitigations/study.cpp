@@ -202,7 +202,7 @@ MitigationResult MitigationStudy::Run(const MitigationScenario& s,
     result.cross_partition_triples =
         static_cast<std::uint32_t>(planner.triples().size());
     const auto [afirst, alast] =
-        host.partition_range(host.attacker_tenant());
+        host.partition_range(CloudHost::kAttackerId);
     HammerOrchestrator hammer(host.attacker_tenant(), planner.finder(),
                               LpnRange{afirst.value(), alast.value()});
     const std::uint64_t flips0 = ssd.dram().stats().bitflips;

@@ -1,0 +1,397 @@
+#include "nvme/event_loop.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.hpp"
+#include "ftl/l2p_layout.hpp"
+
+namespace rhsd {
+namespace {
+
+/// Host-buffer aliasing bookkeeping for one draft batch.  Two drafted
+/// reads landing in different bank shards but sharing bytes of one host
+/// buffer would race on it (and the survivor would be the faster shard,
+/// not the later command), so a cross-bank overlap forces a batch
+/// boundary.  Intervals are kept disjoint, each tagged with the single
+/// bank that may touch it.
+class BufferAliasMap {
+ public:
+  /// True when [lo, hi) overlaps an interval owned by another bank.
+  [[nodiscard]] bool conflicts(const std::uint8_t* lo,
+                               const std::uint8_t* hi,
+                               std::uint64_t bank) const {
+    auto it = map_.upper_bound(lo);
+    if (it != map_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second.end > lo && prev->second.bank != bank) return true;
+    }
+    for (; it != map_.end() && it->first < hi; ++it) {
+      if (it->second.bank != bank) return true;
+    }
+    return false;
+  }
+
+  /// Record [lo, hi) as touched by `bank`, merging same-bank overlaps.
+  /// Precondition: !conflicts(lo, hi, bank).
+  /// Merely *adjacent* intervals stay separate: distinct host buffers
+  /// can abut in the heap, and gluing them together would tag the
+  /// second buffer with the first one's bank — turning allocator
+  /// layout into spurious (build-dependent) cross-bank conflicts.
+  void add(const std::uint8_t* lo, const std::uint8_t* hi,
+           std::uint64_t bank) {
+    auto it = map_.upper_bound(lo);
+    if (it != map_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second.end > lo) {
+        lo = prev->first;
+        hi = std::max(hi, prev->second.end);
+        it = map_.erase(prev);
+      }
+    }
+    while (it != map_.end() && it->first < hi) {
+      hi = std::max(hi, it->second.end);
+      it = map_.erase(it);
+    }
+    map_.emplace(lo, Interval{hi, bank});
+  }
+
+  void clear() { map_.clear(); }
+
+ private:
+  struct Interval {
+    const std::uint8_t* end = nullptr;
+    std::uint64_t bank = 0;
+  };
+  std::map<const std::uint8_t*, Interval> map_;
+};
+
+}  // namespace
+
+const char* to_string(ArbitrationPolicy policy) {
+  switch (policy) {
+    case ArbitrationPolicy::kRoundRobin:
+      return "round_robin";
+    case ArbitrationPolicy::kWeighted:
+      return "weighted";
+  }
+  return "unknown";
+}
+
+NvmeEventLoop::NvmeEventLoop(NvmeController& controller,
+                             EventLoopConfig config)
+    : controller_(controller), config_(config), rng_(config.seed) {}
+
+std::uint32_t NvmeEventLoop::attach(NvmeQueuePair& qp, std::uint32_t weight) {
+  RHSD_CHECK_MSG(weight >= 1, "arbitration weight must be >= 1");
+  streams_.push_back(Stream{&qp, weight});
+  return static_cast<std::uint32_t>(streams_.size() - 1);
+}
+
+bool NvmeEventLoop::sharding_supported() const {
+  Ftl& ftl = controller_.ftl();
+  DramDevice& dram = ftl.dram();
+  NandDevice& nand = ftl.nand();
+  if (controller_.fault_injector() != nullptr ||
+      ftl.fault_injector() != nullptr || dram.fault_injector() != nullptr ||
+      nand.fault_injector() != nullptr) {
+    return false;
+  }
+  if (controller_.config().rate_limit.has_value()) return false;
+  if (ftl.powered_off() || ftl.needs_recovery()) return false;
+  // An armed scrub interval advances per-IO state on every read.
+  if (ftl.config().scrub_interval_ios > 0 && ftl.journal() != nullptr) {
+    return false;
+  }
+  const DramConfig& dc = dram.config();
+  if (dc.row_buffer_policy != RowBufferPolicy::kClosedPage) return false;
+  if (dc.mitigations.ecc || dc.mitigations.trr ||
+      dc.mitigations.cache.has_value() ||
+      dc.mitigations.para_probability > 0.0) {
+    return false;
+  }
+  const NandReliability& rel = nand.reliability();
+  if (rel.base_rber > 0.0 || rel.wear_rber_per_pe > 0.0 ||
+      rel.read_disturb_rber_per_read > 0.0) {
+    return false;
+  }
+  return true;
+}
+
+int NvmeEventLoop::pick_stream(const std::vector<std::uint32_t>& drafted) {
+  const std::size_t n = streams_.size();
+  if (n == 0) return -1;
+  // A stream is ready when it has a queued submission and its virtual
+  // completion-ring occupancy (posted + drafted-but-uncommitted) leaves
+  // space — exactly the state the sequential loop would see after
+  // executing every draft so far.
+  const auto ready = [&](std::size_t i) {
+    const NvmeQueuePair& qp = *streams_[i].qp;
+    return qp.sq_inflight() > 0 && qp.cq_pending() + drafted[i] < qp.depth();
+  };
+  if (config_.policy == ArbitrationPolicy::kRoundRobin) {
+    for (std::size_t k = 1; k <= n; ++k) {
+      const std::size_t i = (cursor_ + k) % n;
+      if (ready(i)) {
+        cursor_ = i;
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+  // kWeighted: one seeded draw per successful pick, proportional to the
+  // attach weights of the currently ready streams.
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ready(i)) total += streams_[i].weight;
+  }
+  if (total == 0) return -1;
+  std::uint64_t r = rng_.next_below(total);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!ready(i)) continue;
+    if (r < streams_[i].weight) {
+      cursor_ = i;
+      return static_cast<int>(i);
+    }
+    r -= streams_[i].weight;
+  }
+  RHSD_CHECK_MSG(false, "weighted draw out of range");
+  return -1;
+}
+
+bool NvmeEventLoop::plan_head(std::uint32_t stream, Planned* plan) const {
+  const NvmeQueuePair& qp = *streams_[stream].qp;
+  const NvmeCommand* cmd = qp.peek_submission();
+  RHSD_CHECK(cmd != nullptr);
+  if (cmd->op != NvmeCommand::Op::kRead) return false;
+  if (cmd->read_buf.size() != kBlockSize) return false;
+  // The namespace translation must be known to succeed, otherwise the
+  // sequential error/stats path must run.
+  if (cmd->nsid < 1 || cmd->nsid > controller_.namespace_count()) {
+    return false;
+  }
+  const NvmeNamespaceConfig& ns = controller_.namespace_info(cmd->nsid);
+  if (cmd->slba >= ns.blocks) return false;
+  const std::uint64_t lba = ns.start.value() + cmd->slba;
+
+  Ftl& ftl = controller_.ftl();
+  DramDevice& dram = ftl.dram();
+  const DramGeometry& geom = dram.mapper().geometry();
+  const DramAddr addr = ftl.layout().entry_addr(lba);
+  // An entry straddling a row end decomposes into reads of two rows —
+  // potentially two banks — which would break shard disjointness.
+  if (addr.value() % geom.row_bytes + L2pLayout::kEntryBytes >
+      geom.row_bytes) {
+    return false;
+  }
+  const DramCoord coord = dram.mapper().decode(addr);
+  plan->lba = lba;
+  plan->entry_row = coord.global_row(geom);
+  plan->bank = coord.flat_bank(geom);
+  // Predicted service class.  The FTL treats corrupted-beyond-device
+  // entries exactly like unmapped ones, so the peek mirrors its test.
+  const std::uint32_t pba32 = ftl.debug_lookup(Lba(lba));
+  plan->flash = pba32 != kUnmappedPba32 &&
+                pba32 < ftl.nand().geometry().total_pages();
+  return true;
+}
+
+std::uint64_t NvmeEventLoop::run_batch(std::vector<Planned>& batch) {
+  RHSD_CHECK(!batch.empty());
+  Ftl& ftl = controller_.ftl();
+  DramDevice& dram = ftl.dram();
+  NandDevice& nand = ftl.nand();
+
+  // Timeline: command i's body runs at the clock value the sequential
+  // loop would show — the batch-start clock plus every earlier
+  // command's service charge.
+  const std::uint64_t t0 = controller_.clock().now_ns();
+  std::uint64_t t = t0;
+  for (Planned& p : batch) {
+    p.start_ns = t;
+    p.cost_ns =
+        controller_.config().iops.service_ns(p.flash, nand.latency());
+    t += p.cost_ns;
+  }
+
+  // Group by bank in first-touch order; each shard executes its
+  // commands serially, in global draft order.
+  std::unordered_map<std::uint64_t, std::size_t> bank_shard;
+  std::vector<std::vector<std::uint32_t>> shards;
+  for (std::uint32_t i = 0; i < batch.size(); ++i) {
+    const auto [it, fresh] =
+        bank_shard.try_emplace(batch[i].bank, shards.size());
+    if (fresh) shards.emplace_back();
+    shards[it->second].push_back(i);
+  }
+
+  // Pre-warm the disturbance model for every row a shard may victim-
+  // check: min_threshold() materializes the per-row caches (including
+  // the vulnerable-cell map), whose first-touch insertion is not safe
+  // under concurrency; afterwards shard access is read-only.
+  DisturbanceModel& model = dram.disturbance();
+  const int dist = model.profile().half_double_weight > 0.0 ? 2 : 1;
+  const std::uint32_t rows_per_bank = dram.config().geometry.rows_per_bank;
+  for (const Planned& p : batch) {
+    const std::int64_t in_bank =
+        static_cast<std::int64_t>(p.entry_row % rows_per_bank);
+    for (int d = -dist; d <= dist; ++d) {
+      if (d == 0) continue;
+      if (in_bank + d < 0 ||
+          in_bank + d >= static_cast<std::int64_t>(rows_per_bank)) {
+        continue;
+      }
+      (void)model.min_threshold(p.entry_row + d);
+    }
+  }
+
+  struct ShardResult {
+    DramShardSink dram;
+    FtlStats ftl;
+    NandShardSink nand;
+  };
+  std::vector<ShardResult> results(shards.size());
+  std::atomic<bool> diverged{false};
+  exec::ParallelFor(
+      *config_.pool, 0, shards.size(), [&](std::uint64_t si) {
+        ShardResult& res = results[si];
+        DramDevice::bind_shard_sink(&res.dram);
+        Ftl::bind_shard_stats(&res.ftl);
+        NandDevice::bind_shard_sink(&res.nand);
+        for (const std::uint32_t idx : shards[si]) {
+          Planned& p = batch[idx];
+          res.dram.now_ns = p.start_ns;
+          res.dram.order = idx;
+          FtlIoInfo info;
+          p.status = ftl.read(Lba(p.lba), p.cmd.read_buf, &info);
+          p.flash_actual = info.flash_accessed;
+          if (!p.status.ok() || p.flash_actual != p.flash) {
+            // The plan (and with it the whole batch timeline) is wrong;
+            // stop this shard, the batch will roll back.
+            diverged.store(true, std::memory_order_relaxed);
+            break;
+          }
+        }
+        DramDevice::bind_shard_sink(nullptr);
+        Ftl::bind_shard_stats(nullptr);
+        NandDevice::bind_shard_sink(nullptr);
+      });
+
+  stats_.shards += shards.size();
+  if (!diverged.load(std::memory_order_relaxed)) {
+    for (const ShardResult& res : results) {
+      dram.merge_shard_stats(res.dram.stats);
+      ftl.merge_shard_stats(res.ftl);
+      nand.merge_shard_sink(res.nand);
+    }
+    // Splice the shards' flips back into one global stream, ordered by
+    // (command index, emission order within the command) — the order
+    // the sequential loop would have emitted them in.
+    std::vector<DramShardSink::OrderedFlip> flips;
+    for (const ShardResult& res : results) {
+      flips.insert(flips.end(), res.dram.flips.begin(),
+                   res.dram.flips.end());
+    }
+    std::sort(flips.begin(), flips.end(),
+              [](const DramShardSink::OrderedFlip& a,
+                 const DramShardSink::OrderedFlip& b) {
+                return a.order != b.order ? a.order < b.order
+                                          : a.seq < b.seq;
+              });
+    for (const DramShardSink::OrderedFlip& f : flips) {
+      dram.append_flip_event(f.flip);
+    }
+    controller_.account_sharded_reads(batch.size(), t - t0);
+    for (const Planned& p : batch) {
+      streams_[p.stream].qp->post_external_completion(
+          NvmeCompletion{p.cmd.cid, p.status, p.start_ns + p.cost_ns});
+    }
+    ++stats_.batches;
+    stats_.sharded_commands += batch.size();
+  } else {
+    // Roll every shard back byte-exactly (FTL/NAND sinks just drop) and
+    // replay the drafted commands sequentially — same commands, same
+    // order, same controller path as NvmeQueuePair::process would take
+    // (no injector is attached, so the retry loop adds nothing).
+    for (const ShardResult& res : results) {
+      dram.rollback_shard(res.dram);
+    }
+    ++stats_.rollbacks;
+    for (const Planned& p : batch) {
+      const Status s =
+          controller_.read(p.cmd.nsid, p.cmd.slba, p.cmd.read_buf);
+      streams_[p.stream].qp->post_external_completion(
+          NvmeCompletion{p.cmd.cid, s, controller_.clock().now_ns()});
+    }
+    stats_.sequential_commands += batch.size();
+  }
+  stats_.commands += batch.size();
+  return batch.size();
+}
+
+std::uint64_t NvmeEventLoop::run_until_idle() {
+  std::uint64_t retired = 0;
+  std::vector<std::uint32_t> drafted(streams_.size(), 0);
+  const bool can_shard =
+      config_.sharded && config_.pool != nullptr && sharding_supported();
+  if (!can_shard) {
+    for (;;) {
+      const int s = pick_stream(drafted);
+      if (s < 0) break;
+      streams_[static_cast<std::size_t>(s)].qp->process(1);
+      ++stats_.sequential_commands;
+      ++stats_.commands;
+      ++retired;
+    }
+    return retired;
+  }
+
+  std::vector<Planned> batch;
+  BufferAliasMap aliases;
+  const auto flush = [&] {
+    if (batch.empty()) return;
+    retired += run_batch(batch);
+    batch.clear();
+    aliases.clear();
+    std::fill(drafted.begin(), drafted.end(), 0);
+  };
+  for (;;) {
+    const int s = pick_stream(drafted);
+    if (s < 0) {
+      flush();
+      break;
+    }
+    const auto stream = static_cast<std::uint32_t>(s);
+    Planned plan;
+    if (!plan_head(stream, &plan)) {
+      // Non-shardable head.  Commit what is drafted, then run this one
+      // pick through the full sequential machinery — each arbitration
+      // pick still maps to exactly one executed command, in pick order.
+      flush();
+      streams_[stream].qp->process(1);
+      ++stats_.sequential_commands;
+      ++stats_.commands;
+      ++retired;
+      continue;
+    }
+    plan.stream = stream;
+    const std::span<std::uint8_t> buf =
+        streams_[stream].qp->peek_submission()->read_buf;
+    if (aliases.conflicts(buf.data(), buf.data() + buf.size(),
+                          plan.bank)) {
+      flush();
+    }
+    aliases.add(buf.data(), buf.data() + buf.size(), plan.bank);
+    plan.cmd = streams_[stream].qp->take_submission();
+    batch.push_back(std::move(plan));
+    ++drafted[stream];
+    if (batch.size() >= config_.max_batch) flush();
+  }
+  return retired;
+}
+
+}  // namespace rhsd

@@ -1,0 +1,147 @@
+// Asynchronous NVMe event loop over many tenants' queue pairs.
+//
+// §4.1 runs a victim and an attacker VM against one shared SSD; a real
+// cloud host multiplexes *many* tenants' submission queues into the one
+// device-side command stream.  The event loop models that multiplexer:
+// it arbitrates across attached NvmeQueuePairs with a deterministic
+// policy (round-robin or seed-driven weighted draw), so the interleaved
+// command order — and therefore every downstream effect, from service
+// timing to which DRAM rows the L2P lookups hammer — is a pure function
+// of the submitted streams, the policy, and the seed.
+//
+// On top of the arbitration it adds sharded-bank concurrency: runs of
+// single-block reads are planned (namespace translate, L2P peek,
+// predicted flash access, per-command service times in closed form),
+// grouped by the DRAM bank of their L2P entry row, and executed in
+// parallel on an exec::ThreadPool — one shard per bank.  Disturbance
+// never crosses a bank edge (DramDevice::neighbor clamps there), so
+// shards touch disjoint row state; per-layer thread-local sinks collect
+// statistics, flip events and undo state.  After the join the loop
+// either commits (merge stats, splice flips back into global command
+// order, bulk clock/queue accounting, post completions at their planned
+// times) or — when any command's outcome diverged from its plan, e.g. a
+// mid-batch flip crossed an entry over the mapped/unmapped boundary and
+// changed its service cost — rolls every shard back byte-exactly and
+// replays the whole batch sequentially.  Either way the result is
+// bit-exact with processing the same arbitration order one command at a
+// time, independent of thread count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "exec/thread_pool.hpp"
+#include "nvme/queue_pair.hpp"
+
+namespace rhsd {
+
+/// How the loop picks the next queue pair among those with a pending
+/// submission and completion-ring space.
+enum class ArbitrationPolicy {
+  /// NVMe's default: cycle through the ready streams in attach order.
+  kRoundRobin,
+  /// Seed-driven draw proportional to each stream's attach weight
+  /// (weighted round-robin with randomized rotation — the shape of
+  /// NVMe WRR arbitration without modeling its per-class registers).
+  kWeighted,
+};
+
+[[nodiscard]] const char* to_string(ArbitrationPolicy policy);
+
+struct EventLoopConfig {
+  ArbitrationPolicy policy = ArbitrationPolicy::kRoundRobin;
+  /// Seeds the kWeighted draws; irrelevant for kRoundRobin.
+  std::uint64_t seed = 1;
+  /// Master switch for sharded-bank execution.  Off — or with no pool —
+  /// every command runs sequentially through its queue pair.
+  bool sharded = true;
+  /// Worker pool for shard execution (not owned; must outlive the
+  /// loop).  nullptr forces sequential execution.
+  exec::ThreadPool* pool = nullptr;
+  /// Upper bound on commands drafted into one parallel batch.
+  std::uint32_t max_batch = 4096;
+};
+
+struct EventLoopStats {
+  std::uint64_t commands = 0;             // total commands retired
+  std::uint64_t sequential_commands = 0;  // via NvmeQueuePair::process
+  std::uint64_t sharded_commands = 0;     // committed in parallel shards
+  std::uint64_t batches = 0;              // parallel batches committed
+  std::uint64_t shards = 0;               // bank shards executed
+  std::uint64_t rollbacks = 0;            // batches replayed sequentially
+};
+
+class NvmeEventLoop {
+ public:
+  /// `controller` must outlive the loop, and every attached queue pair
+  /// must target the same controller.
+  explicit NvmeEventLoop(NvmeController& controller,
+                         EventLoopConfig config = {});
+
+  NvmeEventLoop(const NvmeEventLoop&) = delete;
+  NvmeEventLoop& operator=(const NvmeEventLoop&) = delete;
+
+  /// Register a queue pair (not owned).  `weight` biases kWeighted
+  /// arbitration; must be >= 1.  Returns the stream index.
+  std::uint32_t attach(NvmeQueuePair& qp, std::uint32_t weight = 1);
+
+  /// Process submissions until no attached stream is ready (every
+  /// submission ring empty or completion ring full).  Completions stay
+  /// in their queue pairs for the owners to poll().  Returns the number
+  /// of commands retired.
+  std::uint64_t run_until_idle();
+
+  [[nodiscard]] const EventLoopConfig& config() const { return config_; }
+  [[nodiscard]] const EventLoopStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t stream_count() const { return streams_.size(); }
+
+  /// True when the device/mitigation configuration admits sharded
+  /// execution right now: no fault injector on any layer, no rate
+  /// limiter, closed-page DRAM with no cache/ECC/TRR/PARA, inert NAND
+  /// reliability model, scrub disabled, device powered and recovered.
+  [[nodiscard]] bool sharding_supported() const;
+
+ private:
+  struct Stream {
+    NvmeQueuePair* qp = nullptr;
+    std::uint32_t weight = 1;
+  };
+
+  /// One drafted read with its execution plan and (later) its outcome.
+  struct Planned {
+    std::uint32_t stream = 0;
+    NvmeCommand cmd;
+    std::uint64_t lba = 0;        // device LBA (namespace-translated)
+    std::uint64_t entry_row = 0;  // global DRAM row of the L2P entry
+    std::uint64_t bank = 0;       // entry_row's bank — the shard key
+    bool flash = false;           // predicted flash access
+    std::uint64_t start_ns = 0;   // planned clock at body execution
+    std::uint64_t cost_ns = 0;    // planned service cost
+    bool flash_actual = false;
+    Status status;
+  };
+
+  /// Next stream per the arbitration policy; -1 when none is ready.
+  /// `drafted[i]` counts completions stream i will receive when the
+  /// current batch commits (its virtual completion-ring occupancy).
+  int pick_stream(const std::vector<std::uint32_t>& drafted);
+
+  /// Classify the head submission of `stream` and, if it is shardable,
+  /// fill `plan` (everything except the timing fields).  Pure peek.
+  bool plan_head(std::uint32_t stream, Planned* plan) const;
+
+  /// Execute a drafted batch: shard by bank, run in parallel, then
+  /// commit or roll back + replay sequentially.  Returns commands
+  /// retired (always the batch size).
+  std::uint64_t run_batch(std::vector<Planned>& batch);
+
+  NvmeController& controller_;
+  EventLoopConfig config_;
+  std::vector<Stream> streams_;
+  std::size_t cursor_ = 0;  // last stream served (round-robin)
+  Rng rng_;                 // kWeighted draws
+  EventLoopStats stats_;
+};
+
+}  // namespace rhsd

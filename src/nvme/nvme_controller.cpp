@@ -62,6 +62,21 @@ void NvmeController::charge(bool flash_accessed) {
   ++commands_;
 }
 
+void NvmeController::account_sharded_reads(std::uint64_t n_cmds,
+                                           std::uint64_t total_cost_ns) {
+  if (n_cmds == 0) return;
+  RHSD_CHECK_MSG(!limiter_.has_value() && injector_ == nullptr,
+                 "sharded accounting needs the un-gated fast path");
+  if (!any_cmd_) {
+    any_cmd_ = true;
+    first_cmd_ns_ = clock_.now_ns();
+  }
+  clock_.advance_ns(total_cost_ns);
+  stats_.busy_ns += total_cost_ns;
+  stats_.read_cmds += n_cmds;
+  commands_ += n_cmds;
+}
+
 NvmeController::TransportFault NvmeController::tick_transport() {
   if (injector_ == nullptr) return TransportFault::kNone;
   // Both streams advance for every dispatched command — also for one
@@ -128,19 +143,19 @@ Status NvmeController::read_body(std::uint32_t nsid, std::uint64_t slba,
   return Status::Ok();
 }
 
-Status NvmeController::read_pattern(std::uint32_t nsid,
-                                    std::span<const std::uint64_t> slbas,
-                                    std::span<std::uint8_t> out) {
-  if (out.size() != kBlockSize) {
+Status NvmeController::submit_pattern(std::uint32_t nsid,
+                                      const PatternRequest& req) {
+  std::uint64_t local = 0;
+  std::uint64_t* done =
+      req.rounds_done != nullptr ? req.rounds_done : &local;
+  *done = 0;
+  if (req.rounds == kNoRounds && req.deadline_ns == kNoDeadline) {
     ++stats_.errors;
-    return InvalidArgument("pattern reads are one 4 KiB block each");
+    return InvalidArgument(
+        "pattern request needs a rounds or deadline bound");
   }
-  for (const std::uint64_t slba : slbas) {
-    // One command per element: each gets its own transport-fault ticks,
-    // exactly as the equivalent read() sequence would.
-    RHSD_RETURN_IF_ERROR(read_one(nsid, slba, out));
-  }
-  return Status::Ok();
+  return run_pattern(nsid, req.slbas, req.out, req.rounds,
+                     req.deadline_ns, done);
 }
 
 std::uint64_t NvmeController::transport_faults_away() const {
@@ -156,22 +171,6 @@ std::uint64_t NvmeController::transport_faults_away() const {
   return d;
 }
 
-Status NvmeController::read_pattern_repeat(
-    std::uint32_t nsid, std::span<const std::uint64_t> slbas,
-    std::span<std::uint8_t> out, std::uint64_t rounds) {
-  std::uint64_t done = 0;
-  return run_pattern(nsid, slbas, out, rounds, kNoDeadline, &done);
-}
-
-Status NvmeController::read_pattern_until(
-    std::uint32_t nsid, std::span<const std::uint64_t> slbas,
-    std::span<std::uint8_t> out, std::uint64_t deadline_ns,
-    std::uint64_t* rounds_done) {
-  std::uint64_t local = 0;
-  return run_pattern(nsid, slbas, out, /*max_rounds=*/0, deadline_ns,
-                     rounds_done != nullptr ? rounds_done : &local);
-}
-
 Status NvmeController::run_pattern(std::uint32_t nsid,
                                    std::span<const std::uint64_t> slbas,
                                    std::span<std::uint8_t> out,
@@ -180,12 +179,13 @@ Status NvmeController::run_pattern(std::uint32_t nsid,
                                    std::uint64_t* rounds_done) {
   *rounds_done = 0;
   const bool until = deadline_ns != kNoDeadline;
+  const bool bounded = max_rounds != kNoRounds;
   if (out.size() != kBlockSize) {
     ++stats_.errors;
     return InvalidArgument("pattern reads are one 4 KiB block each");
   }
   if (slbas.empty()) {
-    if (until) {
+    if (!bounded) {
       ++stats_.errors;
       return InvalidArgument(
           "deadline-bound pattern must not be empty (it would never "
@@ -220,7 +220,8 @@ Status NvmeController::run_pattern(std::uint32_t nsid,
       config_.iops.service_ns(/*flash_accessed=*/false, ftl_.nand().latency());
   const std::uint64_t window_ns = ftl_.dram().refresh_window_ns();
   const auto allow_round = [&](std::uint64_t now_ns, std::uint64_t r) {
-    return until ? now_ns < deadline_ns : r < max_rounds;
+    return (!until || now_ns < deadline_ns) &&
+           (!bounded || r < max_rounds);
   };
 
   std::uint64_t g = 0;   // commands completed so far
@@ -297,9 +298,8 @@ Status NvmeController::run_pattern(std::uint32_t nsid,
           if (nd > nb0) nb = nb0 + ((nd - nb0 + P - 1) / P) * P;
         }
         n = std::min(n, nb);
-      } else {
-        n = std::min(n, max_rounds * P - g);
       }
+      if (bounded) n = std::min(n, max_rounds * P - g);
       times.resize(n);
       for (std::uint64_t i = 0; i < n; ++i) {
         times[i] = t0 + i * service_ns;
@@ -340,9 +340,8 @@ Status NvmeController::run_pattern(std::uint32_t nsid,
               if (nd > nb0) nb = nb0 + ((nd - nb0 + P - 1) / P) * P;
             }
             m = std::min(m, nb);
-          } else {
-            m = std::min(m, max_rounds * P - gg);
           }
+          if (bounded) m = std::min(m, max_rounds * P - gg);
           for (std::uint64_t i = 0; i < m; ++i) {
             times.push_back(t + i * step);
           }

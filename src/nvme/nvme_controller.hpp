@@ -53,6 +53,24 @@ struct NvmeStats {
   std::uint64_t transport_drops = 0;
 };
 
+/// One batched pattern submission: one single-block read command per
+/// element of `slbas` per round, all into the same 4 KiB buffer,
+/// repeated until a bound is hit.  At least one of `rounds` /
+/// `deadline_ns` must be set; when both are, whichever trips first
+/// ends the run — bit-exact with the scalar shape
+/// `while (now < deadline && r < rounds) read_pattern(...)`.
+struct PatternRequest {
+  static constexpr std::uint64_t kNoRounds = ~0ull;
+  static constexpr std::uint64_t kNoDeadline = ~0ull;
+
+  std::span<const std::uint64_t> slbas;
+  std::span<std::uint8_t> out;  // exactly one 4 KiB block, shared
+  std::uint64_t rounds = kNoRounds;
+  std::uint64_t deadline_ns = kNoDeadline;
+  /// Completed rounds, reported also on error.  Optional.
+  std::uint64_t* rounds_done = nullptr;
+};
+
 class NvmeController {
  public:
   /// `ftl` and `clock` must outlive the controller. Namespaces must lie
@@ -65,35 +83,39 @@ class NvmeController {
   /// Read `out.size()/4096` blocks starting at namespace-relative slba.
   Status read(std::uint32_t nsid, std::uint64_t slba,
               std::span<std::uint8_t> out);
-  /// Issue one single-block read per namespace-relative LBA in `slbas`,
-  /// all into the same 4 KiB buffer.  Equivalent to calling read() once
-  /// per element (same commands, same clock charges, same stats) but
-  /// submitted as one batch — the hammer orchestrator's hot loop.
-  Status read_pattern(std::uint32_t nsid,
-                      std::span<const std::uint64_t> slbas,
-                      std::span<std::uint8_t> out);
-  /// `rounds` whole read_pattern() submissions in one call — bit-exact
-  /// with the equivalent scalar loop (same commands, charges, stats,
-  /// flips and fault-op alignment), but entire fault-free stretches are
-  /// replayed in closed form per layer instead of per command.  The
-  /// first round always runs scalar (it settles cache/ECC state the
-  /// replay then proves invariant); commands carrying injected faults,
-  /// scrub triggers or refresh-window crossings drop back to scalar
-  /// automatically.  Aborts on the first command error, exactly like
-  /// the scalar loop.
-  Status read_pattern_repeat(std::uint32_t nsid,
-                             std::span<const std::uint64_t> slbas,
-                             std::span<std::uint8_t> out,
-                             std::uint64_t rounds);
-  /// Same engine, duration-bound: keeps starting rounds while the
-  /// simulated clock is before `deadline_ns` (the hammer loop's shape:
-  /// `while (now < deadline) read_pattern(...)`).  `*rounds_done`
-  /// reports completed rounds, also on error.
-  Status read_pattern_until(std::uint32_t nsid,
-                            std::span<const std::uint64_t> slbas,
-                            std::span<std::uint8_t> out,
-                            std::uint64_t deadline_ns,
-                            std::uint64_t* rounds_done);
+  /// The batched pattern entry point: equivalent to issuing one read()
+  /// per element per round (same commands, same clock charges, same
+  /// stats, same fault-op alignment), but entire fault-free stretches
+  /// are replayed in closed form per layer instead of per command.
+  /// The first round always runs scalar (it settles cache/ECC state
+  /// the replay then proves invariant); commands carrying injected
+  /// faults, scrub triggers or refresh-window crossings drop back to
+  /// scalar automatically.  Aborts on the first command error, exactly
+  /// like the scalar loop.
+  Status submit_pattern(std::uint32_t nsid, const PatternRequest& req);
+  /// Deprecated single-round form of submit_pattern().
+  [[deprecated("use submit_pattern()")]] Status read_pattern(
+      std::uint32_t nsid, std::span<const std::uint64_t> slbas,
+      std::span<std::uint8_t> out) {
+    return submit_pattern(nsid, {.slbas = slbas, .out = out, .rounds = 1});
+  }
+  /// Deprecated round-bound form of submit_pattern().
+  [[deprecated("use submit_pattern()")]] Status read_pattern_repeat(
+      std::uint32_t nsid, std::span<const std::uint64_t> slbas,
+      std::span<std::uint8_t> out, std::uint64_t rounds) {
+    return submit_pattern(nsid,
+                          {.slbas = slbas, .out = out, .rounds = rounds});
+  }
+  /// Deprecated deadline-bound form of submit_pattern().
+  [[deprecated("use submit_pattern()")]] Status read_pattern_until(
+      std::uint32_t nsid, std::span<const std::uint64_t> slbas,
+      std::span<std::uint8_t> out, std::uint64_t deadline_ns,
+      std::uint64_t* rounds_done) {
+    return submit_pattern(nsid, {.slbas = slbas,
+                                 .out = out,
+                                 .deadline_ns = deadline_ns,
+                                 .rounds_done = rounds_done});
+  }
   Status write(std::uint32_t nsid, std::uint64_t slba,
                std::span<const std::uint8_t> data);
   /// Dataset-management deallocate (TRIM).
@@ -120,9 +142,21 @@ class NvmeController {
   /// plan's later injections stay aligned with the command trace no
   /// matter where earlier commands die.  A drop returns Unavailable
   /// without executing; a timeout executes the command but loses the
-  /// completion (DeadlineExceeded).  read_pattern() ticks once per
+  /// completion (DeadlineExceeded).  submit_pattern() ticks once per
   /// element, matching its one-command-per-LBA contract.
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  [[nodiscard]] FaultInjector* fault_injector() const { return injector_; }
+
+  /// Bulk accounting for a committed shard batch of the NVMe event
+  /// loop: `n_cmds` successful single-block reads whose FTL bodies ran
+  /// out-of-band at pre-planned times, with `total_cost_ns` the sum of
+  /// their per-command service costs.  Performs exactly what n_cmds
+  /// sequential charge() calls would have: latches the first-command
+  /// time, advances the clock, and bumps busy_ns / command counters.
+  /// Only valid without a rate limiter or fault injector (the event
+  /// loop gates on both).
+  void account_sharded_reads(std::uint64_t n_cmds,
+                             std::uint64_t total_cost_ns);
 
  private:
   /// Injected transport outcome of one dispatched command.
@@ -132,10 +166,12 @@ class NvmeController {
 
   StatusOr<Lba> translate(std::uint32_t nsid, std::uint64_t slba) const;
   void charge(bool flash_accessed);
-  /// Shared engine behind read_pattern_repeat / read_pattern_until.
-  /// Exactly one of the limits applies: `max_rounds` when
-  /// `deadline_ns == kNoDeadline`, the deadline otherwise.
-  static constexpr std::uint64_t kNoDeadline = ~0ull;
+  /// Engine behind submit_pattern().  Runs rounds while *both* active
+  /// bounds allow (`max_rounds == kNoRounds` / `deadline_ns ==
+  /// kNoDeadline` disable the respective bound; at least one must be
+  /// active).
+  static constexpr std::uint64_t kNoDeadline = PatternRequest::kNoDeadline;
+  static constexpr std::uint64_t kNoRounds = PatternRequest::kNoRounds;
   Status run_pattern(std::uint32_t nsid,
                      std::span<const std::uint64_t> slbas,
                      std::span<std::uint8_t> out, std::uint64_t max_rounds,

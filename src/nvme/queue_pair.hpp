@@ -106,6 +106,20 @@ class NvmeQueuePair {
   /// Pop the oldest completion, if any.
   std::optional<NvmeCompletion> poll();
 
+  /// Event-loop hooks.  The loop arbitrates across many queue pairs,
+  /// so it needs to inspect queued submissions (classification /
+  /// planning), pop one it will execute itself, and post the
+  /// completion it produced.
+  [[nodiscard]] const NvmeCommand* peek_submission(
+      std::uint32_t index = 0) const {
+    return index < sq_.size() ? &sq_[index] : nullptr;
+  }
+  [[nodiscard]] bool cq_has_space() const { return cq_.size() < depth_; }
+  NvmeCommand take_submission();
+  void post_external_completion(NvmeCompletion completion) {
+    cq_.push_back(std::move(completion));
+  }
+
   /// Convenience: process everything submitted and drain completions.
   std::vector<NvmeCompletion> drain();
 

@@ -12,6 +12,7 @@ const char* to_string(AccessPattern pattern) {
     case AccessPattern::kRandom: return "random";
     case AccessPattern::kZipfLike: return "zipf-like";
     case AccessPattern::kHotCold: return "hot/cold";
+    case AccessPattern::kBursty: return "bursty";
   }
   return "unknown";
 }
@@ -25,6 +26,9 @@ WorkloadGenerator::WorkloadGenerator(WorkloadConfig config)
   RHSD_CHECK(config_.hot_fraction > 0.0 && config_.hot_fraction < 1.0);
   RHSD_CHECK(config_.hot_access_fraction >= 0.0 &&
              config_.hot_access_fraction <= 1.0);
+  RHSD_CHECK(config_.burst_len > 0);
+  RHSD_CHECK(config_.burst_fraction >= 0.0 &&
+             config_.burst_fraction <= 1.0);
 }
 
 std::uint64_t WorkloadGenerator::next_address() {
@@ -54,6 +58,19 @@ std::uint64_t WorkloadGenerator::next_address() {
       }
       if (hot_blocks >= ws) return rng_.next_below(ws);
       return hot_blocks + rng_.next_below(ws - hot_blocks);
+    }
+    case AccessPattern::kBursty: {
+      if (!rng_.next_bool(config_.burst_fraction)) {
+        return rng_.next_below(ws);  // off-phase background scatter
+      }
+      if (burst_left_ == 0) {
+        burst_left_ = rng_.next_in(1, config_.burst_len);
+        burst_cursor_ = rng_.next_below(ws);
+      }
+      const std::uint64_t address = burst_cursor_;
+      burst_cursor_ = (burst_cursor_ + 1) % ws;
+      --burst_left_;
+      return address;
     }
   }
   RHSD_CHECK_MSG(false, "unknown access pattern");

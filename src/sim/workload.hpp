@@ -20,6 +20,7 @@ enum class AccessPattern {
   kRandom,      // uniform over the working set
   kZipfLike,    // power-law skew toward low addresses
   kHotCold,     // hot_fraction of blocks gets hot_access_fraction of ops
+  kBursty,      // on/off phases: bursts of sequential runs, idle-ish gaps
 };
 
 [[nodiscard]] const char* to_string(AccessPattern pattern);
@@ -36,6 +37,12 @@ struct WorkloadConfig {
   /// kHotCold split.
   double hot_fraction = 0.1;
   double hot_access_fraction = 0.9;
+  /// kBursty: ops per burst is uniform in [1, burst_len]; each burst is
+  /// a sequential run from a random start, and between bursts a
+  /// fraction of ops scatters uniformly (the "idle" background noise a
+  /// real tenant's gaps still carry).
+  std::uint64_t burst_len = 64;
+  double burst_fraction = 0.9;
   std::uint64_t seed = 1;
 };
 
@@ -59,6 +66,9 @@ class WorkloadGenerator {
   WorkloadConfig config_;
   Rng rng_;
   std::uint64_t sequential_cursor_ = 0;
+  /// kBursty state: ops left in the current burst and its cursor.
+  std::uint64_t burst_left_ = 0;
+  std::uint64_t burst_cursor_ = 0;
 };
 
 }  // namespace rhsd

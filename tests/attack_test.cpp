@@ -24,8 +24,8 @@ struct AttackRig {
       : host(std::move(config)),
         map(host.ssd().ftl().layout(), host.ssd().dram().mapper()),
         finder(map) {
-    const auto [vf, vl] = host.partition_range(host.victim_tenant());
-    const auto [af, al] = host.partition_range(host.attacker_tenant());
+    const auto [vf, vl] = host.partition_range(CloudHost::kVictimId);
+    const auto [af, al] = host.partition_range(CloudHost::kAttackerId);
     victim_range = LpnRange{vf.value(), vl.value()};
     attacker_range = LpnRange{af.value(), al.value()};
   }

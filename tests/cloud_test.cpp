@@ -68,9 +68,9 @@ TEST(CloudHost, SecretIsInstalledButUnreadableByAttacker) {
 
 TEST(CloudHost, PartitionsShareTheL2pTable) {
   CloudHost host(test::SmallSsd());
-  const auto [vfirst, vlast] = host.partition_range(host.victim_tenant());
+  const auto [vfirst, vlast] = host.partition_range(CloudHost::kVictimId);
   const auto [afirst, alast] =
-      host.partition_range(host.attacker_tenant());
+      host.partition_range(CloudHost::kAttackerId);
   // Disjoint LBA windows...
   EXPECT_EQ(vlast.value(), afirst.value());
   // ...but one table: both tenants' entries are in the same layout.

@@ -245,8 +245,8 @@ TEST(FullExploitAblation, AmplificationGovernsTheHammerBudget) {
     CloudHost host(config);
     L2pRowMap map(host.ssd().ftl().layout(), host.ssd().dram().mapper());
     AggressorFinder finder(map);
-    const auto [af, al] = host.partition_range(host.attacker_tenant());
-    const auto [vf, vl] = host.partition_range(host.victim_tenant());
+    const auto [af, al] = host.partition_range(CloudHost::kAttackerId);
+    const auto [vf, vl] = host.partition_range(CloudHost::kVictimId);
     const LpnRange ar{af.value(), al.value()};
     const auto cross =
         finder.cross_partition_triples(ar, LpnRange{vf.value(), vl.value()});

@@ -1,0 +1,407 @@
+// Parity pin for the NVMe event loop's sharded-bank execution: driving
+// the same submission streams through the same arbitration must produce
+// bit-identical devices whether commands run one at a time on one
+// thread or in per-bank shards on a pool — across seeds, thread counts
+// and arbitration policies, and through disturbance flips and the
+// plan-divergence rollback path.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+#include "nvme/event_loop.hpp"
+#include "sim/workload.hpp"
+#include "ssd/ssd_device.hpp"
+#include "test_util.hpp"
+
+namespace rhsd {
+namespace {
+
+struct ScriptCmd {
+  bool is_write = false;
+  std::uint64_t slba = 0;
+};
+using Script = std::vector<ScriptCmd>;
+
+/// Small SSD carved into `tenants` equal partitions.
+SsdConfig PartitionedSsd(std::uint32_t tenants) {
+  SsdConfig c = test::SmallSsd();
+  const std::uint64_t per = c.num_lbas() / tenants;
+  c.partition_blocks.assign(tenants, per);
+  return c;
+}
+
+/// One deterministic per-stream command list; patterns rotate so the
+/// streams stress different access shapes.
+std::vector<Script> MakeScripts(std::uint32_t streams,
+                                std::uint64_t per_stream,
+                                std::uint64_t working_set,
+                                double write_fraction, std::uint64_t seed) {
+  constexpr AccessPattern kPatterns[] = {
+      AccessPattern::kZipfLike, AccessPattern::kRandom,
+      AccessPattern::kBursty, AccessPattern::kHotCold};
+  std::vector<Script> scripts(streams);
+  for (std::uint32_t s = 0; s < streams; ++s) {
+    WorkloadConfig wc;
+    wc.pattern = kPatterns[s % 4];
+    wc.working_set = working_set;
+    wc.write_fraction = write_fraction;
+    wc.seed = seed * 1000 + s;
+    WorkloadGenerator gen(wc);
+    scripts[s].reserve(per_stream);
+    for (std::uint64_t i = 0; i < per_stream; ++i) {
+      const WorkloadOp op = gen.next();
+      scripts[s].push_back({op.is_write, op.slba});
+    }
+  }
+  return scripts;
+}
+
+/// Everything observable after a run, for exact comparison.
+struct Outcome {
+  std::vector<std::vector<std::uint16_t>> cqe_cids;
+  std::vector<std::vector<int>> cqe_codes;
+  std::vector<std::vector<std::uint64_t>> cqe_times;
+  std::vector<std::vector<std::uint8_t>> final_bufs;
+  std::uint64_t clock_ns = 0;
+  std::uint64_t retired = 0;
+  DramStats dram;
+  FtlStats ftl;
+  NandStats nand;
+  NvmeStats nvme;
+  std::vector<FlipEvent> flips;
+  std::vector<std::uint32_t> l2p;
+  EventLoopStats loop;
+};
+
+std::vector<std::uint8_t> WritePayload(std::uint32_t stream,
+                                       std::uint16_t cid) {
+  std::vector<std::uint8_t> block(kBlockSize);
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    block[i] = static_cast<std::uint8_t>(stream * 37 + cid * 11 + i);
+  }
+  return block;
+}
+
+/// Drive `scripts` (one per stream / namespace) through a fresh device
+/// with the given event-loop configuration: submit in waves until each
+/// ring is full, run the loop to idle, poll, repeat.
+Outcome Drive(const SsdConfig& cfg, const std::vector<Script>& scripts,
+              EventLoopConfig lc, std::uint32_t depth = 8) {
+  const auto streams = static_cast<std::uint32_t>(scripts.size());
+  SsdDevice ssd(cfg);
+  NvmeEventLoop loop(ssd.controller(), lc);
+  std::vector<std::unique_ptr<NvmeQueuePair>> qps;
+  Outcome out;
+  out.final_bufs.assign(streams,
+                        std::vector<std::uint8_t>(kBlockSize, 0));
+  out.cqe_cids.resize(streams);
+  out.cqe_codes.resize(streams);
+  out.cqe_times.resize(streams);
+  for (std::uint32_t s = 0; s < streams; ++s) {
+    qps.push_back(std::make_unique<NvmeQueuePair>(
+        ssd.controller(), static_cast<std::uint16_t>(s + 1), depth));
+    loop.attach(*qps[s], /*weight=*/1 + s % 3);
+  }
+  std::vector<std::size_t> next(streams, 0);
+  std::vector<std::uint16_t> cid(streams, 0);
+  for (;;) {
+    bool pending = false;
+    for (std::uint32_t s = 0; s < streams; ++s) {
+      while (next[s] < scripts[s].size()) {
+        const ScriptCmd& c = scripts[s][next[s]];
+        NvmeCommand cmd =
+            c.is_write
+                ? NvmeCommand::Write(cid[s], s + 1, c.slba,
+                                     WritePayload(s, cid[s]))
+                : NvmeCommand::Read(cid[s], s + 1, c.slba,
+                                    out.final_bufs[s]);
+        if (!qps[s]->submit(std::move(cmd)).ok()) break;
+        ++next[s];
+        ++cid[s];
+      }
+      pending = pending || next[s] < scripts[s].size() ||
+                qps[s]->sq_inflight() > 0;
+    }
+    if (!pending) break;
+    out.retired += loop.run_until_idle();
+    for (std::uint32_t s = 0; s < streams; ++s) {
+      while (auto cqe = qps[s]->poll()) {
+        out.cqe_cids[s].push_back(cqe->cid);
+        out.cqe_codes[s].push_back(static_cast<int>(cqe->status.code()));
+        out.cqe_times[s].push_back(cqe->completed_ns);
+      }
+    }
+  }
+  out.clock_ns = ssd.clock().now_ns();
+  out.dram = ssd.dram().stats();
+  out.ftl = ssd.ftl().stats();
+  out.nand = ssd.nand().stats();
+  out.nvme = ssd.controller().stats();
+  out.flips = ssd.dram().flip_events();
+  out.l2p.reserve(cfg.num_lbas());
+  for (std::uint64_t lba = 0; lba < cfg.num_lbas(); ++lba) {
+    out.l2p.push_back(ssd.ftl().debug_lookup(Lba(lba)));
+  }
+  out.loop = loop.stats();
+  return out;
+}
+
+void ExpectSameOutcome(const Outcome& ref, const Outcome& got) {
+  EXPECT_EQ(ref.retired, got.retired);
+  EXPECT_EQ(ref.clock_ns, got.clock_ns);
+  EXPECT_EQ(ref.cqe_cids, got.cqe_cids);
+  EXPECT_EQ(ref.cqe_codes, got.cqe_codes);
+  EXPECT_EQ(ref.cqe_times, got.cqe_times);
+  EXPECT_EQ(ref.final_bufs, got.final_bufs);
+  EXPECT_EQ(ref.l2p, got.l2p);
+
+  EXPECT_EQ(ref.dram.reads, got.dram.reads);
+  EXPECT_EQ(ref.dram.writes, got.dram.writes);
+  EXPECT_EQ(ref.dram.activations, got.dram.activations);
+  EXPECT_EQ(ref.dram.row_buffer_hits, got.dram.row_buffer_hits);
+  EXPECT_EQ(ref.dram.bitflips, got.dram.bitflips);
+  EXPECT_EQ(ref.dram.ecc_corrected, got.dram.ecc_corrected);
+  EXPECT_EQ(ref.dram.trr_refreshes, got.dram.trr_refreshes);
+  EXPECT_EQ(ref.dram.para_refreshes, got.dram.para_refreshes);
+
+  EXPECT_EQ(ref.ftl.host_reads, got.ftl.host_reads);
+  EXPECT_EQ(ref.ftl.host_writes, got.ftl.host_writes);
+  EXPECT_EQ(ref.ftl.unmapped_reads, got.ftl.unmapped_reads);
+  EXPECT_EQ(ref.ftl.flash_reads, got.ftl.flash_reads);
+  EXPECT_EQ(ref.ftl.flash_programs, got.ftl.flash_programs);
+  EXPECT_EQ(ref.ftl.gc_runs, got.ftl.gc_runs);
+  EXPECT_EQ(ref.ftl.l2p_dram_reads, got.ftl.l2p_dram_reads);
+  EXPECT_EQ(ref.ftl.l2p_dram_writes, got.ftl.l2p_dram_writes);
+  EXPECT_EQ(ref.ftl.l2p_corruption_errors, got.ftl.l2p_corruption_errors);
+
+  EXPECT_EQ(ref.nand.reads, got.nand.reads);
+  EXPECT_EQ(ref.nand.programs, got.nand.programs);
+  EXPECT_EQ(ref.nand.erases, got.nand.erases);
+
+  EXPECT_EQ(ref.nvme.read_cmds, got.nvme.read_cmds);
+  EXPECT_EQ(ref.nvme.write_cmds, got.nvme.write_cmds);
+  EXPECT_EQ(ref.nvme.errors, got.nvme.errors);
+  EXPECT_EQ(ref.nvme.busy_ns, got.nvme.busy_ns);
+
+  ASSERT_EQ(ref.flips.size(), got.flips.size());
+  for (std::size_t i = 0; i < ref.flips.size(); ++i) {
+    EXPECT_EQ(ref.flips[i].time_ns, got.flips[i].time_ns) << i;
+    EXPECT_EQ(ref.flips[i].global_row, got.flips[i].global_row) << i;
+    EXPECT_EQ(ref.flips[i].byte_offset, got.flips[i].byte_offset) << i;
+    EXPECT_EQ(ref.flips[i].bit, got.flips[i].bit) << i;
+    EXPECT_EQ(ref.flips[i].new_value, got.flips[i].new_value) << i;
+  }
+}
+
+TEST(EventLoopParity, ShardedMatchesSequentialAcrossMatrix) {
+  constexpr std::uint32_t kStreams = 4;
+  const SsdConfig cfg = PartitionedSsd(kStreams);
+  const std::uint64_t partition = cfg.num_lbas() / kStreams;
+  for (const std::uint64_t seed : {1ull, 7ull}) {
+    for (const ArbitrationPolicy policy :
+         {ArbitrationPolicy::kRoundRobin, ArbitrationPolicy::kWeighted}) {
+      const auto scripts = MakeScripts(kStreams, 250, partition,
+                                       /*write_fraction=*/0.2, seed);
+      EventLoopConfig seq;
+      seq.policy = policy;
+      seq.seed = seed;
+      seq.sharded = false;
+      const Outcome ref = Drive(cfg, scripts, seq);
+      EXPECT_EQ(ref.loop.sharded_commands, 0u);
+      for (const unsigned threads : {2u, 5u}) {
+        exec::ThreadPool pool(threads);
+        EventLoopConfig par;
+        par.policy = policy;
+        par.seed = seed;
+        par.sharded = true;
+        par.pool = &pool;
+        const Outcome got = Drive(cfg, scripts, par);
+        SCOPED_TRACE(::testing::Message()
+                     << "seed=" << seed << " policy=" << to_string(policy)
+                     << " threads=" << threads);
+        // The mixed mix must actually exercise the sharded fast path.
+        EXPECT_GT(got.loop.sharded_commands, 0u);
+        EXPECT_GT(got.loop.batches, 0u);
+        ExpectSameOutcome(ref, got);
+      }
+    }
+  }
+}
+
+// Hammer-heavy mix on a weaker part: disturbance flips land in L2P
+// entries mid-batch, some crossing the mapped/unmapped class boundary,
+// which invalidates the batch plan and forces the rollback + sequential
+// replay path.  Parity must hold through all of it.
+TEST(EventLoopParity, FlipsAndRollbackStayBitExact) {
+  constexpr std::uint32_t kStreams = 2;
+  SsdConfig cfg = PartitionedSsd(kStreams);
+  cfg.dram_profile.min_rate_kaccess_s = 2.0;  // threshold: 256 acts
+  const std::uint64_t partition = cfg.num_lbas() / kStreams;
+
+  // Stream 0 hammers two fixed (unmapped) LBAs; stream 1 sweeps its
+  // whole partition with mostly-mapped traffic (writes first, then
+  // reads) so flipped entries get re-read with stale plans.
+  std::vector<Script> scripts(kStreams);
+  for (int round = 0; round < 1500; ++round) {
+    scripts[0].push_back({false, 0});
+    scripts[0].push_back({false, 128});
+  }
+  WorkloadConfig wc;
+  wc.pattern = AccessPattern::kZipfLike;
+  wc.working_set = partition;
+  wc.write_fraction = 0.3;
+  wc.seed = 99;
+  WorkloadGenerator gen(wc);
+  for (int i = 0; i < 1200; ++i) {
+    const WorkloadOp op = gen.next();
+    scripts[1].push_back({op.is_write, op.slba});
+  }
+
+  EventLoopConfig seq;
+  seq.sharded = false;
+  const Outcome ref = Drive(cfg, scripts, seq);
+  // The point of this fixture: disturbance flips actually happened.
+  EXPECT_GT(ref.flips.size(), 0u);
+  for (const unsigned threads : {2u, 5u}) {
+    exec::ThreadPool pool(threads);
+    EventLoopConfig par;
+    par.sharded = true;
+    par.pool = &pool;
+    const Outcome got = Drive(cfg, scripts, par);
+    SCOPED_TRACE(::testing::Message() << "threads=" << threads);
+    ExpectSameOutcome(ref, got);
+  }
+}
+
+// Engineered rollback: map a whole DRAM row's worth of L2P entries,
+// then hammer a physically adjacent row while re-reading the mapped
+// entries with deep queues, so a flip that pushes an entry past
+// total_pages (mapped -> unmapped class) lands mid-batch and
+// invalidates plans that were drafted before it fired.  This pins the
+// rollback + sequential-replay path itself, not just runs where the
+// plans happen to survive.
+TEST(EventLoopParity, EngineeredClassFlipForcesRollback) {
+  constexpr std::uint32_t kStreams = 2;
+  SsdConfig cfg = PartitionedSsd(kStreams);
+  cfg.dram_profile.min_rate_kaccess_s = 2.0;  // threshold: 256..384 acts
+  cfg.dram_profile.max_cells_per_row = 32;    // many candidate cells
+  const std::uint64_t partition = cfg.num_lbas() / kStreams;
+  const auto owner = [&](std::uint64_t lba) {
+    return static_cast<std::uint32_t>(lba / partition);
+  };
+
+  // Map every L2P entry to its DRAM row with a probe device (same
+  // config + seed => same address mapping as the devices under test).
+  std::map<std::uint64_t, std::vector<std::uint64_t>> row_lbas;
+  {
+    SsdDevice probe(cfg);
+    const DramGeometry& geom = probe.dram().mapper().geometry();
+    for (std::uint64_t lba = 0; lba < cfg.num_lbas(); ++lba) {
+      const DramCoord c = probe.dram().mapper().decode(
+          probe.ftl().layout().entry_addr(lba));
+      row_lbas[c.global_row(geom)].push_back(lba);
+    }
+  }
+
+  // Pick the victim row: all entries owned by one stream, with entry
+  // rows on as many physically adjacent same-bank rows as possible to
+  // hammer from.
+  const std::uint32_t rows_per_bank = cfg.dram_geometry.rows_per_bank;
+  std::uint64_t victim_row = 0;
+  std::vector<std::uint64_t> victims;
+  std::vector<std::uint64_t> aggressors;
+  for (const auto& [row, lbas] : row_lbas) {
+    const std::uint32_t v = owner(lbas.front());
+    bool uniform = true;
+    for (const std::uint64_t lba : lbas) uniform &= owner(lba) == v;
+    if (!uniform) continue;
+    std::vector<std::uint64_t> aggr;
+    for (const std::int64_t d : {std::int64_t{-1}, std::int64_t{1}}) {
+      const std::uint64_t nrow = row + static_cast<std::uint64_t>(d);
+      if (d < 0 && row % rows_per_bank == 0) continue;
+      if (nrow / rows_per_bank != row / rows_per_bank) continue;
+      const auto it = row_lbas.find(nrow);
+      if (it != row_lbas.end()) aggr.push_back(it->second.front());
+    }
+    if (aggr.size() > aggressors.size()) {
+      victim_row = row;
+      victims = lbas;
+      aggressors = aggr;
+    }
+  }
+  ASSERT_FALSE(victims.empty());
+  ASSERT_FALSE(aggressors.empty());
+  const std::uint32_t victim_stream = owner(victims.front());
+
+  // Phase 1 maps every victim entry (writes run sequentially and flush
+  // batches); streams that only hammer are padded with far-row filler
+  // reads so no disturbance accrues near the victim row until all
+  // entries are mapped.  Phase 2 interleaves hammer reads with victim
+  // re-reads; deep rings put both in the same drafted batch.
+  std::vector<std::uint64_t> filler(kStreams, UINT64_MAX);
+  for (const auto& [row, lbas] : row_lbas) {
+    const std::uint64_t dist =
+        row > victim_row ? row - victim_row : victim_row - row;
+    if (dist <= 2) continue;
+    for (const std::uint64_t lba : lbas) {
+      if (filler[owner(lba)] == UINT64_MAX) filler[owner(lba)] = lba;
+    }
+  }
+  std::vector<Script> scripts(kStreams);
+  for (const std::uint64_t v : victims) {
+    scripts[victim_stream].push_back({true, v % partition});
+  }
+  for (std::uint32_t s = 0; s < kStreams; ++s) {
+    if (s == victim_stream) continue;
+    ASSERT_NE(filler[s], UINT64_MAX);
+    for (std::size_t i = 0; i < victims.size(); ++i) {
+      scripts[s].push_back({false, filler[s] % partition});
+    }
+  }
+  for (int i = 0; i < 1500; ++i) {
+    const std::uint64_t a = aggressors[i % aggressors.size()];
+    scripts[owner(a)].push_back({false, a % partition});
+    scripts[victim_stream].push_back(
+        {false, victims[i % victims.size()] % partition});
+  }
+
+  EventLoopConfig seq;
+  seq.sharded = false;
+  const Outcome ref = Drive(cfg, scripts, seq, /*depth=*/64);
+  EXPECT_GT(ref.flips.size(), 0u);
+  for (const unsigned threads : {2u, 5u}) {
+    exec::ThreadPool pool(threads);
+    EventLoopConfig par;
+    par.sharded = true;
+    par.pool = &pool;
+    const Outcome got = Drive(cfg, scripts, par, /*depth=*/64);
+    SCOPED_TRACE(::testing::Message() << "threads=" << threads);
+    // The fixture exists to drive the rollback path.
+    EXPECT_GE(got.loop.rollbacks, 1u);
+    ExpectSameOutcome(ref, got);
+  }
+}
+
+// With any shard-incompatible knob set, the loop must notice and stay
+// on the sequential path (still correct, no sinks involved).
+TEST(EventLoopParity, GatedConfigFallsBackToSequential) {
+  SsdConfig cfg = PartitionedSsd(2);
+  cfg.dram_mitigations.trr = true;
+  const auto scripts =
+      MakeScripts(2, 50, cfg.num_lbas() / 2, /*write_fraction=*/0.1, 3);
+  exec::ThreadPool pool(3);
+  EventLoopConfig par;
+  par.sharded = true;
+  par.pool = &pool;
+  const Outcome got = Drive(cfg, scripts, par);
+  EXPECT_EQ(got.loop.sharded_commands, 0u);
+  EXPECT_EQ(got.loop.batches, 0u);
+  EXPECT_EQ(got.retired, 100u);
+}
+
+}  // namespace
+}  // namespace rhsd

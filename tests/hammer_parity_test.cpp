@@ -628,10 +628,12 @@ DriveResult DriveRounds(SsdDevice& ssd,
   std::vector<std::uint8_t> buf(kBlockSize);
   Status st = Status::Ok();
   if (batched) {
-    st = ssd.controller().read_pattern_repeat(1, pattern, buf, rounds);
+    st = ssd.controller().submit_pattern(
+        1, {.slbas = pattern, .out = buf, .rounds = rounds});
   } else {
     for (std::uint64_t r = 0; r < rounds; ++r) {
-      st = ssd.controller().read_pattern(1, pattern, buf);
+      st = ssd.controller().submit_pattern(
+          1, {.slbas = pattern, .out = buf, .rounds = 1});
       if (!st.ok()) break;
     }
   }
@@ -722,8 +724,10 @@ TEST(PatternReplayParity, FlipsActuallyHappen) {
   const std::vector<std::uint64_t> pattern = {100, 228};
   PrepStack(ssd, pattern);
   std::vector<std::uint8_t> buf(kBlockSize);
-  ASSERT_TRUE(
-      ssd.controller().read_pattern_repeat(1, pattern, buf, 4000).ok());
+  ASSERT_TRUE(ssd.controller()
+                  .submit_pattern(
+                      1, {.slbas = pattern, .out = buf, .rounds = 4000})
+                  .ok());
   EXPECT_GT(ssd.dram().stats().bitflips, 0u);
 }
 
@@ -929,13 +933,18 @@ TEST(PatternReplayParity, UntilMatchesScalarDeadlineLoop) {
   std::vector<std::uint8_t> bb(kBlockSize);
   std::uint64_t rounds_done = 0;
   ASSERT_TRUE(batched.controller()
-                  .read_pattern_until(1, pattern, bb, deadline_b,
-                                      &rounds_done)
+                  .submit_pattern(1, {.slbas = pattern,
+                                      .out = bb,
+                                      .deadline_ns = deadline_b,
+                                      .rounds_done = &rounds_done})
                   .ok());
   std::vector<std::uint8_t> bs(kBlockSize);
   std::uint64_t scalar_rounds = 0;
   while (scalar.clock().now_ns() < deadline_s) {
-    ASSERT_TRUE(scalar.controller().read_pattern(1, pattern, bs).ok());
+    ASSERT_TRUE(scalar.controller()
+                    .submit_pattern(
+                        1, {.slbas = pattern, .out = bs, .rounds = 1})
+                    .ok());
     ++scalar_rounds;
   }
   EXPECT_EQ(rounds_done, scalar_rounds);

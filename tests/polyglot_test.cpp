@@ -90,8 +90,8 @@ TEST(Escalation, ManualRedirectExecutesAttackerCode) {
   const std::uint64_t fs_block = *vfs.bmap(scenario.binary_ino(), 0);
   ASSERT_NE(fs_block, 0u);
   Ftl& ftl = host.ssd().ftl();
-  const auto [vf, vl] = host.partition_range(host.victim_tenant());
-  const auto [af, al] = host.partition_range(host.attacker_tenant());
+  const auto [vf, vl] = host.partition_range(CloudHost::kVictimId);
+  const auto [af, al] = host.partition_range(CloudHost::kAttackerId);
   const Lba binary_lba(vf.value() + fs_block);
   const Lba polyglot_lba(af.value());  // attacker sprayed from slba 0
 
