@@ -233,6 +233,103 @@ ScaleResult RunScale(std::uint32_t tenants, exec::ThreadPool& pool,
   return res;
 }
 
+// ---- failure domains under a seeded transport/media storm ----
+
+struct FaultDomainResult {
+  EventLoopStats loop;
+  std::uint64_t injected = 0;
+  std::uint64_t commands = 0;
+  std::uint64_t errors = 0;
+};
+
+/// Eight tenants ride a seeded drop/timeout/NAND storm through the
+/// sharded loop; the counters show the fault-domain machinery working:
+/// batches flushing early around scheduled faults, exhausted retries
+/// quarantining only the unlucky tenant, and penalties draining again.
+FaultDomainResult RunFaultDomains(exec::ThreadPool& pool) {
+  constexpr std::uint32_t kStormTenants = 8;
+  constexpr std::uint32_t kDepth = 8;
+  constexpr std::uint64_t kCmds = 1500;
+  SsdConfig cfg = SsdConfig::DemoSetup(16 * kMiB);
+  cfg.dram_profile = DramProfile::Invulnerable();
+  cfg.partition_blocks.assign(kStormTenants,
+                              cfg.num_lbas() / kStormTenants);
+  FaultRates rates;
+  rates.nvme_drop = 0.01;
+  rates.nvme_timeout = 0.005;
+  rates.nand_read = 0.002;
+  cfg.fault_plan =
+      FaultPlan::Random(/*seed=*/42, rates, /*horizon=*/20000);
+  SsdDevice ssd(cfg);
+
+  EventLoopConfig lc;
+  lc.policy = ArbitrationPolicy::kRoundRobin;
+  lc.seed = 7;
+  lc.sharded = true;
+  lc.pool = &pool;
+  NvmeEventLoop loop(ssd.controller(), lc);
+  std::vector<std::unique_ptr<NvmeQueuePair>> qps;
+  for (std::uint32_t t = 0; t < kStormTenants; ++t) {
+    qps.push_back(std::make_unique<NvmeQueuePair>(
+        ssd.controller(), static_cast<std::uint16_t>(t + 1), kDepth));
+    loop.attach(*qps[t], 1 + t % 3);
+  }
+  struct StormOp {
+    bool is_write = false;
+    std::uint64_t slba = 0;
+  };
+  std::vector<std::vector<StormOp>> scripts(kStormTenants);
+  for (std::uint32_t t = 0; t < kStormTenants; ++t) {
+    WorkloadConfig wc;
+    wc.pattern =
+        t % 2 == 0 ? AccessPattern::kZipfLike : AccessPattern::kBursty;
+    wc.working_set = cfg.num_lbas() / kStormTenants;
+    wc.write_fraction = 0.2;
+    wc.seed = 4000 + t;
+    WorkloadGenerator gen(wc);
+    for (std::uint64_t i = 0; i < kCmds; ++i) {
+      const WorkloadOp op = gen.next();
+      scripts[t].push_back({op.is_write, op.slba});
+    }
+  }
+
+  FaultDomainResult res;
+  std::vector<std::vector<std::uint8_t>> bufs(
+      kStormTenants, std::vector<std::uint8_t>(kBlockSize));
+  std::vector<std::size_t> next(kStormTenants, 0);
+  std::vector<std::uint16_t> cid(kStormTenants, 0);
+  for (;;) {
+    bool pending = false;
+    for (std::uint32_t t = 0; t < kStormTenants; ++t) {
+      while (next[t] < scripts[t].size()) {
+        const StormOp& op = scripts[t][next[t]];
+        NvmeCommand cmd =
+            op.is_write
+                ? NvmeCommand::Write(
+                      cid[t], t + 1, op.slba,
+                      std::vector<std::uint8_t>(kBlockSize,
+                                                std::uint8_t(cid[t])))
+                : NvmeCommand::Read(cid[t], t + 1, op.slba, bufs[t]);
+        if (!qps[t]->submit(std::move(cmd)).ok()) break;
+        ++next[t];
+        ++cid[t];
+      }
+      pending = pending || next[t] < scripts[t].size() ||
+                qps[t]->sq_inflight() > 0;
+    }
+    if (!pending) break;
+    res.commands += loop.run_until_idle();
+    for (std::uint32_t t = 0; t < kStormTenants; ++t) {
+      while (auto cqe = qps[t]->poll()) {
+        if (!cqe->status.ok()) ++res.errors;
+      }
+    }
+  }
+  res.loop = loop.stats();
+  res.injected = ssd.fault_injector()->log().size();
+  return res;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -281,9 +378,36 @@ int main(int argc, char** argv) {
               total_commands / elapsed_s,
               static_cast<unsigned long long>(total_commands), elapsed_s);
 
+  // Failure domains: the same loop under a seeded fault storm.
+  const FaultDomainResult fd = RunFaultDomains(pool);
+  std::printf("\n== failure domains: 8 tenants under a seeded "
+              "drop/timeout/NAND storm ==\n\n");
+  std::printf("  commands retired     %10llu  (%llu completion errors)\n",
+              static_cast<unsigned long long>(fd.commands),
+              static_cast<unsigned long long>(fd.errors));
+  std::printf("  faults injected      %10llu\n",
+              static_cast<unsigned long long>(fd.injected));
+  std::printf("  early flushes        %10llu  (batches split around "
+              "scheduled faults)\n",
+              static_cast<unsigned long long>(fd.loop.early_flushes));
+  std::printf("  rollback replays     %10llu\n",
+              static_cast<unsigned long long>(fd.loop.rollback_replays));
+  std::printf("  quarantines          %10llu  (+%llu penalty releases)\n",
+              static_cast<unsigned long long>(fd.loop.quarantines),
+              static_cast<unsigned long long>(fd.loop.quarantine_releases));
+  std::printf("  degraded rejections  %10llu\n",
+              static_cast<unsigned long long>(fd.loop.degraded_rejections));
+  std::printf("  device transitions   %10llu\n",
+              static_cast<unsigned long long>(fd.loop.device_transitions));
+
   bench::BenchReport report;
   report.set("cloud_tenant_iops", total_commands / elapsed_s);
   report.set("cloud_scale_threads", static_cast<double>(pool.size()));
+  report.set("cloud_fault_early_flushes",
+             static_cast<double>(fd.loop.early_flushes));
+  report.set("cloud_fault_quarantines",
+             static_cast<double>(fd.loop.quarantines));
+  report.set("cloud_fault_injected", static_cast<double>(fd.injected));
   report.write();
   return 0;
 }

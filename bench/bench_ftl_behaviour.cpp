@@ -6,8 +6,11 @@
 // like a real log-structured FTL: WAF ~1 for sequential overwrites,
 // rising under random/skewed writes as GC relocates live pages, with
 // wear spread bounded by the FIFO free-block rotation.
+#include <chrono>
 #include <cstdio>
 
+#include "common/rng.hpp"
+#include "fault/fault_injector.hpp"
 #include "sim/workload.hpp"
 #include "ssd/ssd_device.hpp"
 
@@ -76,6 +79,80 @@ FtlBehaviour Run(AccessPattern pattern, double write_fraction) {
   return result;
 }
 
+// ---- L2P journal: recovery time vs proactive epoch cadence ----
+
+struct RecoverySample {
+  std::uint64_t records_applied = 0;
+  std::uint64_t oob_adopted = 0;
+  std::uint64_t lost = 0;
+  double micros = 0;
+};
+
+/// Sustained random writes, power loss, reboot, timed Ftl::recover().
+/// `cadence` is L2pJournalConfig::snapshot_every_records (0 = roll only
+/// when the journal half fills).
+RecoverySample RunRecovery(std::uint64_t cadence) {
+  constexpr std::uint64_t kLbas = 2048;
+  constexpr std::uint64_t kWrites = 6000;
+  SimClock clock;
+  NandDevice nand(NandGeometry{.channels = 1,
+                               .dies_per_channel = 1,
+                               .planes_per_die = 1,
+                               .blocks_per_plane = 128,
+                               .pages_per_block = 32,
+                               .page_bytes = kBlockSize});
+  FtlConfig fc;
+  fc.num_lbas = kLbas;
+  fc.hammers_per_io = 1;
+  fc.journal.enabled = true;
+  fc.journal.blocks = 16;
+  fc.journal.snapshot_every_records = cadence;
+  const auto make_dram = [&clock] {
+    DramConfig dc;
+    dc.geometry = DramGeometry{.channels = 1,
+                               .dimms_per_channel = 1,
+                               .ranks_per_dimm = 1,
+                               .banks_per_rank = 4,
+                               .rows_per_bank = 64,
+                               .row_bytes = 512};
+    dc.profile = DramProfile::Invulnerable();
+    return std::make_unique<DramDevice>(dc, MakeLinearMapper(dc.geometry),
+                                        clock);
+  };
+
+  FaultPlan plan;
+  plan.add(FaultClass::kPowerLoss, kWrites);
+  FaultInjector injector(std::move(plan));
+  auto dram = make_dram();
+  auto ftl = std::make_unique<Ftl>(fc, nand, *dram);
+  ftl->set_fault_injector(&injector);
+  Rng rng(7);
+  std::vector<std::uint8_t> block(kBlockSize, 0x44);
+  for (std::uint64_t i = 0; i <= kWrites; ++i) {
+    const Status s = ftl->write(Lba(rng.next_below(kLbas)), block);
+    RHSD_CHECK(i < kWrites ? s.ok() : !s.ok());
+  }
+  RHSD_CHECK(ftl->powered_off());
+
+  // Reboot: volatile state gone, flash survives; time the recovery.
+  ftl.reset();
+  dram = make_dram();
+  ftl = std::make_unique<Ftl>(fc, nand, *dram);
+  RHSD_CHECK(ftl->needs_recovery());
+  FtlRecoveryReport report;
+  const auto t0 = std::chrono::steady_clock::now();
+  RHSD_CHECK(ftl->recover(&report).ok());
+  const auto t1 = std::chrono::steady_clock::now();
+  RecoverySample sample;
+  sample.records_applied = report.records_applied;
+  sample.oob_adopted = report.oob_adopted;
+  sample.lost = report.lost_lbas.size();
+  sample.micros =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count() /
+      1e3;
+  return sample;
+}
+
 }  // namespace
 
 int main() {
@@ -111,6 +188,27 @@ int main() {
       "utilization force GC to move live pages (WAF ~3); skew widens\n"
       "the wear spread (hot/cold erase min/max); read-heavy mixes\n"
       "relieve GC pressure.\n");
+
+  // ---- L2P journal: recovery time vs proactive epoch cadence ----
+  std::printf("\n== L2P journal: recovery time vs snapshot cadence ==\n");
+  std::printf("(6000 random writes over 2048 LBAs, power loss, timed "
+              "recover())\n\n");
+  std::printf("%-14s %10s %10s %6s %12s\n", "cadence (recs)", "replayed",
+              "oob adopt", "lost", "recover us");
+  for (const std::uint64_t cadence : {0ull, 2048ull, 512ull, 128ull}) {
+    const RecoverySample s = RunRecovery(cadence);
+    std::printf("%-14llu %10llu %10llu %6llu %12.1f\n",
+                static_cast<unsigned long long>(cadence),
+                static_cast<unsigned long long>(s.records_applied),
+                static_cast<unsigned long long>(s.oob_adopted),
+                static_cast<unsigned long long>(s.lost), s.micros);
+  }
+  std::printf(
+      "\nshape check: the record tail recover() must replay is bounded\n"
+      "by the snapshot cadence, so recovery time falls as the cadence\n"
+      "tightens (at the cost of extra snapshot write amplification\n"
+      "during normal operation); acknowledged data is never lost at\n"
+      "any cadence.\n");
 
   // ---- Flash media reliability sweep ----
   std::printf("\n== flash media: wear vs raw errors vs page ECC ==\n");

@@ -16,11 +16,35 @@ cmake --build build -j "${JOBS}"
 
 echo "== tsan smoke: experiment engine under -fsanitize=thread =="
 cmake -B build-tsan -S . -DRHSD_SANITIZE=thread
-cmake --build build-tsan -j "${JOBS}" --target exec_smoke --target event_loop_smoke
+cmake --build build-tsan -j "${JOBS}" --target exec_smoke --target event_loop_smoke --target chaos_torture_test
 ./build-tsan/tests/exec_smoke
 # Race-check the event loop's sharded execution (thread-local shard
 # sinks, per-bank undo logs, commit/rollback) under real contention.
 ./build-tsan/tests/event_loop_smoke
+
+echo "== chaos determinism: fixed-seed storms, back-to-back digest diff =="
+# The chaos harness asserts its invariants (tenant isolation,
+# acknowledged-write durability, thread-count invariance) inside gtest;
+# here each binary additionally runs twice and the CHAOS_DIGEST lines
+# are diffed, catching cross-process nondeterminism (iteration order of
+# an unordered container, address-dependent hashing, uninitialised
+# reads) that a single run cannot see.  Both the normal and the TSan
+# build must agree with themselves.
+chaos_digests() {  # chaos_digests <binary> <outfile>
+  "$1" >"$2.log" 2>&1 || { cat "$2.log" >&2; return 1; }
+  grep '^CHAOS_DIGEST' "$2.log" >"$2"
+  [[ -s "$2" ]] || { echo "no CHAOS_DIGEST lines from $1" >&2; return 1; }
+}
+for BUILD_DIR in build build-tsan; do
+  BIN="${BUILD_DIR}/tests/chaos_torture_test"
+  chaos_digests "${BIN}" "${BUILD_DIR}/chaos.run1"
+  chaos_digests "${BIN}" "${BUILD_DIR}/chaos.run2"
+  diff "${BUILD_DIR}/chaos.run1" "${BUILD_DIR}/chaos.run2" || {
+    echo "chaos gate: nondeterministic digests in ${BUILD_DIR}" >&2
+    exit 1
+  }
+  echo "${BUILD_DIR}: $(wc -l <"${BUILD_DIR}/chaos.run1") digests stable"
+done
 
 echo "== perf gate: batched hammer hot path =="
 # bench_micro emits BENCH_hotpath.json into its working directory; the

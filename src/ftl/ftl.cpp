@@ -9,6 +9,18 @@ namespace rhsd {
 
 thread_local FtlStats* Ftl::stats_sink_ = nullptr;
 
+const char* to_string(FtlDegradation cause) {
+  switch (cause) {
+    case FtlDegradation::kNone:
+      return "none";
+    case FtlDegradation::kSpareExhausted:
+      return "spare blocks exhausted";
+    case FtlDegradation::kJournalExhausted:
+      return "journal space exhausted";
+  }
+  return "unknown";
+}
+
 void Ftl::merge_shard_stats(const FtlStats& delta) {
   stats_.host_reads += delta.host_reads;
   stats_.host_writes += delta.host_writes;
@@ -127,7 +139,10 @@ void Ftl::update_degradation() {
   }
   const std::uint64_t needed =
       (config_.num_lbas + ppb - 1) / ppb + config_.gc_low_watermark + 1;
-  if (good < needed) read_only_ = true;
+  if (good < needed) {
+    read_only_ = true;
+    degradation_ = FtlDegradation::kSpareExhausted;
+  }
 }
 
 Status Ftl::check_lba(Lba lba) const {
@@ -151,8 +166,8 @@ Status Ftl::guard_op(bool mutating) {
     return FailedPrecondition("L2P not recovered: call Ftl::recover()");
   }
   if (mutating && read_only_) {
-    return FailedPrecondition(
-        "device degraded to read-only (spare blocks exhausted)");
+    return FailedPrecondition(std::string("device degraded to read-only (") +
+                              to_string(degradation_) + ")");
   }
   return Status::Ok();
 }
@@ -767,7 +782,20 @@ Status Ftl::journal_append(std::uint64_t lpn, std::uint32_t pba32,
     // Out of (or nearly out of) record space: roll a fresh epoch.  The
     // snapshot source is the live table, which already contains this
     // record's effect, so nothing is lost if the append itself failed.
-    return roll_snapshot();
+    const Status rolled = roll_snapshot();
+    if (!rolled.ok()) {
+      // The journal's reserved blocks cannot take a fresh epoch (faulted
+      // erases/programs or a shrunken half).  Mapping changes from here
+      // on would be unrecoverable after a crash, so this is a sticky
+      // device-state transition, not a transient per-op error: the
+      // device degrades to read-only and mutations fail fast.
+      read_only_ = true;
+      degradation_ = FtlDegradation::kJournalExhausted;
+      return FailedPrecondition(
+          std::string("journal epoch roll failed (") + rolled.message() +
+          "); device degraded to read-only");
+    }
+    return rolled;
   }
   return s;
 }

@@ -115,6 +115,22 @@ struct FtlIoInfo {
   bool gc_ran = false;
 };
 
+/// Why the device degraded to read-only (kNone while fully writable).
+/// An explicit device-state transition rather than a per-op error: the
+/// NVMe event loop observes it to fail tenant writes fast while reads
+/// keep flowing.
+enum class FtlDegradation : std::uint8_t {
+  kNone = 0,
+  /// Grown bad blocks ate the spare pool (update_degradation()).
+  kSpareExhausted,
+  /// The L2P journal could not roll a fresh epoch (its reserved blocks
+  /// failed or filled); further mapping changes would be unrecoverable
+  /// after a crash, so mutations stop.
+  kJournalExhausted,
+};
+
+[[nodiscard]] const char* to_string(FtlDegradation cause);
+
 /// Precomputed per-entry state for replaying a fixed read pattern many
 /// times in closed form (the batched hammer path).  Built once by
 /// Ftl::plan_pattern_replay(); immutable while the pattern runs.
@@ -216,6 +232,17 @@ class Ftl {
   /// recover()ed.
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
   [[nodiscard]] FaultInjector* fault_injector() const { return injector_; }
+  /// Injected-power-loss skip, for fault-aligned batching by the NVMe
+  /// event loop: guard_op() ticks FaultClass::kPowerLoss once per host
+  /// op, so committing a batch of `n` reads that ran with the injector
+  /// detached must skip `n` ops to keep later losses aligned.  Callers
+  /// must have verified via FaultInjector::next_fault_at that none of
+  /// the skipped ops faults.
+  void skip_injected_power_losses(std::uint64_t n) {
+    if (injector_ != nullptr) {
+      injector_->skip_ops(FaultClass::kPowerLoss, n);
+    }
+  }
 
   /// Thread-local statistics redirection for sharded replay by the NVMe
   /// event loop: while bound, the read path's FtlStats counters
@@ -225,9 +252,12 @@ class Ftl {
   static void bind_shard_stats(FtlStats* sink) { stats_sink_ = sink; }
   void merge_shard_stats(const FtlStats& delta);
 
-  /// True once grown bad blocks ate the spare pool: reads still work,
-  /// mutations fail with FailedPrecondition.
+  /// True once grown bad blocks ate the spare pool — or the journal ran
+  /// out of epoch space: reads still work, mutations fail with
+  /// FailedPrecondition.
   [[nodiscard]] bool read_only() const { return read_only_; }
+  /// Why read_only() is true (kNone while writable).
+  [[nodiscard]] FtlDegradation degradation() const { return degradation_; }
   /// True when journal history was found at boot and recover() has not
   /// yet completed.
   [[nodiscard]] bool needs_recovery() const { return needs_recovery_; }
@@ -309,6 +339,7 @@ class Ftl {
 
   bool powered_off_ = false;
   bool read_only_ = false;
+  FtlDegradation degradation_ = FtlDegradation::kNone;
   bool needs_recovery_ = false;
   std::uint64_t ios_since_scrub_ = 0;
   /// Journal contents found at boot, consumed by recover().

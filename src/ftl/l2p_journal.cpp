@@ -162,6 +162,7 @@ Status L2pJournal::write_snapshot(std::span<const std::uint32_t> table,
   }
   ++stats_.snapshots;
   record_index_ = 0;
+  records_since_snapshot_ = 0;
   return Status::Ok();
 }
 
@@ -179,6 +180,7 @@ Status L2pJournal::format(std::span<const std::uint32_t> table,
 Status L2pJournal::append(const JournalRecord& record, bool sync) {
   pending_.push_back(record);
   ++stats_.records;
+  ++records_since_snapshot_;
   if (pending_.size() >= records_per_page()) {
     RHSD_RETURN_IF_ERROR(flush());
   } else if (sync) {
@@ -210,7 +212,9 @@ Status L2pJournal::flush() {
 
 bool L2pJournal::needs_snapshot() const {
   const std::uint32_t remaining = pages_per_half() - next_page_;
-  return remaining <= config_.snapshot_headroom_pages;
+  if (remaining <= config_.snapshot_headroom_pages) return true;
+  return config_.snapshot_every_records > 0 &&
+         records_since_snapshot_ >= config_.snapshot_every_records;
 }
 
 Status L2pJournal::snapshot(std::span<const std::uint32_t> table,
@@ -326,6 +330,7 @@ StatusOr<JournalLoadResult> L2pJournal::load() {
     resume = std::max(resume, base + std::min(wp, ppb));
     next_page_ = std::min(resume, pages_per_half());
     record_index_ = best_record_pages;
+    records_since_snapshot_ = best.records.size();
     pending_.clear();
   }
   return best;

@@ -43,6 +43,11 @@ struct L2pJournalConfig {
   /// Roll to a fresh epoch when fewer record pages than this remain in
   /// the active half.
   std::uint32_t snapshot_headroom_pages = 4;
+  /// Proactive epoch cadence: also roll once this many records have been
+  /// appended since the active snapshot (0 = only roll on space).  Bounds
+  /// the record tail recover() must replay after a crash, trading
+  /// snapshot write amplification for recovery time.
+  std::uint64_t snapshot_every_records = 0;
 };
 
 /// One mapping change: `lpn` now maps to `pba32` (kUnmappedPba32 for a
@@ -100,6 +105,11 @@ class L2pJournal {
   [[nodiscard]] std::uint32_t next_page() const { return next_page_; }
   [[nodiscard]] std::size_t pending_records() const {
     return pending_.size();
+  }
+  /// Records appended since the active epoch's snapshot (the tail a
+  /// recovery would have to replay right now).
+  [[nodiscard]] std::uint64_t records_since_snapshot() const {
+    return records_since_snapshot_;
   }
 
   /// First-boot initialization: erase the whole reserved region and
@@ -192,6 +202,7 @@ class L2pJournal {
   std::uint32_t active_half_ = 0;
   std::uint32_t next_page_ = 0;     // within the active half
   std::uint32_t record_index_ = 0;  // record pages written this epoch
+  std::uint64_t records_since_snapshot_ = 0;
   std::vector<JournalRecord> pending_;
   JournalStats stats_;
 };

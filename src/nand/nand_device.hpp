@@ -142,6 +142,17 @@ class NandDevice {
   /// Bind the calling thread's shard sink (nullptr unbinds); see
   /// NandShardSink.
   static void bind_shard_sink(NandShardSink* sink) { shard_sink_ = sink; }
+  /// Injected-read-fault skip, for fault-aligned batching by the NVMe
+  /// event loop: read() ticks FaultClass::kNandRead once per call, so
+  /// committing a batch whose `n` flash reads ran with the injector
+  /// detached must skip `n` ops to keep later faults aligned.  Callers
+  /// must have verified via FaultInjector::next_fault_at that none of
+  /// the skipped ops faults.
+  void skip_injected_read_faults(std::uint64_t n) {
+    if (injector_ != nullptr) {
+      injector_->skip_ops(FaultClass::kNandRead, n);
+    }
+  }
   /// Merge a committed shard's deferred read accounting.
   void merge_shard_sink(const NandShardSink& sink);
   [[nodiscard]] const NandReliability& reliability() const {

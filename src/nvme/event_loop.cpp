@@ -96,11 +96,6 @@ bool NvmeEventLoop::sharding_supported() const {
   Ftl& ftl = controller_.ftl();
   DramDevice& dram = ftl.dram();
   NandDevice& nand = ftl.nand();
-  if (controller_.fault_injector() != nullptr ||
-      ftl.fault_injector() != nullptr || dram.fault_injector() != nullptr ||
-      nand.fault_injector() != nullptr) {
-    return false;
-  }
   if (controller_.config().rate_limit.has_value()) return false;
   if (ftl.powered_off() || ftl.needs_recovery()) return false;
   // An armed scrub interval advances per-IO state on every read.
@@ -125,42 +120,75 @@ bool NvmeEventLoop::sharding_supported() const {
 int NvmeEventLoop::pick_stream(const std::vector<std::uint32_t>& drafted) {
   const std::size_t n = streams_.size();
   if (n == 0) return -1;
-  // A stream is ready when it has a queued submission and its virtual
+  // A stream is ready when it has a queued submission, its virtual
   // completion-ring occupancy (posted + drafted-but-uncommitted) leaves
   // space — exactly the state the sequential loop would see after
-  // executing every draft so far.
-  const auto ready = [&](std::size_t i) {
+  // executing every draft so far — and it is not serving a quarantine
+  // penalty.
+  const auto has_work = [&](std::size_t i) {
     const NvmeQueuePair& qp = *streams_[i].qp;
     return qp.sq_inflight() > 0 && qp.cq_pending() + drafted[i] < qp.depth();
   };
+  const auto ready = [&](std::size_t i) {
+    return streams_[i].penalty == 0 && has_work(i);
+  };
+  int pick = -1;
   if (config_.policy == ArbitrationPolicy::kRoundRobin) {
     for (std::size_t k = 1; k <= n; ++k) {
       const std::size_t i = (cursor_ + k) % n;
       if (ready(i)) {
         cursor_ = i;
-        return static_cast<int>(i);
+        pick = static_cast<int>(i);
+        break;
       }
     }
-    return -1;
-  }
-  // kWeighted: one seeded draw per successful pick, proportional to the
-  // attach weights of the currently ready streams.
-  std::uint64_t total = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (ready(i)) total += streams_[i].weight;
-  }
-  if (total == 0) return -1;
-  std::uint64_t r = rng_.next_below(total);
-  for (std::size_t i = 0; i < n; ++i) {
-    if (!ready(i)) continue;
-    if (r < streams_[i].weight) {
-      cursor_ = i;
-      return static_cast<int>(i);
+  } else {
+    // kWeighted: one seeded draw per successful pick, proportional to
+    // the attach weights of the currently ready streams.
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (ready(i)) total += streams_[i].weight;
     }
-    r -= streams_[i].weight;
+    if (total > 0) {
+      std::uint64_t r = rng_.next_below(total);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!ready(i)) continue;
+        if (r < streams_[i].weight) {
+          cursor_ = i;
+          pick = static_cast<int>(i);
+          break;
+        }
+        r -= streams_[i].weight;
+      }
+      RHSD_CHECK_MSG(pick >= 0, "weighted draw out of range");
+    }
   }
-  RHSD_CHECK_MSG(false, "weighted draw out of range");
-  return -1;
+  if (pick < 0) {
+    // Forward progress: when every stream with work is quarantined, the
+    // loop must not report idle with commands still queued.  Force the
+    // smallest remaining penalty open (lowest index on ties — a
+    // deterministic choice) and re-arbitrate.
+    std::size_t best = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (streams_[i].penalty == 0 || !has_work(i)) continue;
+      if (best == n || streams_[i].penalty < streams_[best].penalty) {
+        best = i;
+      }
+    }
+    if (best == n) return -1;
+    streams_[best].penalty = 0;
+    streams_[best].failures = 0;
+    ++stats_.quarantine_releases;
+    return pick_stream(drafted);
+  }
+  // Serving a pick burns one quarantine tick on every penalized stream.
+  for (std::size_t i = 0; i < n; ++i) {
+    Stream& st = streams_[i];
+    if (st.penalty > 0 && --st.penalty == 0) {
+      ++stats_.quarantine_releases;
+    }
+  }
+  return pick;
 }
 
 bool NvmeEventLoop::plan_head(std::uint32_t stream, Planned* plan) const {
@@ -256,6 +284,20 @@ std::uint64_t NvmeEventLoop::run_batch(std::vector<Planned>& batch) {
   };
   std::vector<ShardResult> results(shards.size());
   std::atomic<bool> diverged{false};
+  // Detach the device-side injectors for the parallel section: the
+  // FaultInjector is not thread-safe, an injected DRAM bit error would
+  // mutate row bytes behind the shard undo log, and an injected NAND
+  // fault bumps device-global stats.  The planner already proved the
+  // batch clear of every scheduled fault, so the detachment changes
+  // nothing observable; the commit below bulk-skips the fault streams
+  // to keep later op indices aligned.
+  Ftl& ftl_dev = ftl;
+  FaultInjector* const ftl_inj = ftl_dev.fault_injector();
+  FaultInjector* const dram_inj = dram.fault_injector();
+  FaultInjector* const nand_inj = nand.fault_injector();
+  ftl_dev.set_fault_injector(nullptr);
+  dram.set_fault_injector(nullptr);
+  nand.set_fault_injector(nullptr);
   exec::ParallelFor(
       *config_.pool, 0, shards.size(), [&](std::uint64_t si) {
         ShardResult& res = results[si];
@@ -280,6 +322,9 @@ std::uint64_t NvmeEventLoop::run_batch(std::vector<Planned>& batch) {
         Ftl::bind_shard_stats(nullptr);
         NandDevice::bind_shard_sink(nullptr);
       });
+  ftl_dev.set_fault_injector(ftl_inj);
+  dram.set_fault_injector(dram_inj);
+  nand.set_fault_injector(nand_inj);
 
   stats_.shards += shards.size();
   if (!diverged.load(std::memory_order_relaxed)) {
@@ -306,6 +351,18 @@ std::uint64_t NvmeEventLoop::run_batch(std::vector<Planned>& batch) {
       dram.append_flip_event(f.flip);
     }
     controller_.account_sharded_reads(batch.size(), t - t0);
+    // Advance the device-side fault streams past the batch: one host op
+    // (kPowerLoss) and one L2P entry read (kDramBitError) per command,
+    // one flash read per flash-class command.  The planner proved every
+    // skipped op fault-free, so the skip is exactly what sequential
+    // execution would have consumed.
+    if (ftl_inj != nullptr || dram_inj != nullptr || nand_inj != nullptr) {
+      std::uint64_t flash_reads = 0;
+      for (const Planned& p : batch) flash_reads += p.flash ? 1 : 0;
+      ftl.skip_injected_power_losses(batch.size());
+      dram.skip_injected_read_faults(batch.size());
+      nand.skip_injected_read_faults(flash_reads);
+    }
     for (const Planned& p : batch) {
       streams_[p.stream].qp->post_external_completion(
           NvmeCompletion{p.cmd.cid, p.status, p.start_ns + p.cost_ns});
@@ -315,22 +372,101 @@ std::uint64_t NvmeEventLoop::run_batch(std::vector<Planned>& batch) {
   } else {
     // Roll every shard back byte-exactly (FTL/NAND sinks just drop) and
     // replay the drafted commands sequentially — same commands, same
-    // order, same controller path as NvmeQueuePair::process would take
-    // (no injector is attached, so the retry loop adds nothing).
+    // order, through the queue pair's own retry machinery, so even a
+    // fault the planner could not predict (a NAND-read fault whose op
+    // window shifted with the mapped/unmapped divergence) lands on the
+    // identical host path the sequential interleaving would have run.
     for (const ShardResult& res : results) {
       dram.rollback_shard(res.dram);
     }
     ++stats_.rollbacks;
     for (const Planned& p : batch) {
-      const Status s =
-          controller_.read(p.cmd.nsid, p.cmd.slba, p.cmd.read_buf);
-      streams_[p.stream].qp->post_external_completion(
+      NvmeQueuePair& qp = *streams_[p.stream].qp;
+      const Status s = qp.execute_external(p.cmd);
+      qp.post_external_completion(
           NvmeCompletion{p.cmd.cid, s, controller_.clock().now_ns()});
+      ++stats_.rollback_replays;
     }
     stats_.sequential_commands += batch.size();
   }
   stats_.commands += batch.size();
   return batch.size();
+}
+
+void NvmeEventLoop::process_one(std::uint32_t stream) {
+  NvmeQueuePair& qp = *streams_[stream].qp;
+  Ftl& ftl = controller_.ftl();
+  if (ftl.read_only()) {
+    const NvmeCommand* head = qp.peek_submission();
+    if (head != nullptr && (head->op == NvmeCommand::Op::kWrite ||
+                            head->op == NvmeCommand::Op::kTrim)) {
+      ++stats_.degraded_rejections;
+    }
+  }
+  const std::uint64_t exhausted_before = qp.queue_stats().retry_exhausted;
+  qp.process(1);
+  ++stats_.sequential_commands;
+  ++stats_.commands;
+  observe_device();
+  if (config_.quarantine &&
+      qp.queue_stats().retry_exhausted != exhausted_before) {
+    apply_quarantine(stream);
+  }
+}
+
+void NvmeEventLoop::apply_quarantine(std::uint32_t stream) {
+  Stream& st = streams_[stream];
+  ++st.failures;
+  const std::uint32_t shift = std::min(st.failures - 1, 31u);
+  std::uint64_t penalty =
+      std::min<std::uint64_t>(static_cast<std::uint64_t>(
+                                  config_.quarantine_base_picks)
+                                  << shift,
+                              config_.quarantine_cap_picks);
+  // Seeded jitter decorrelates tenants that fail in lockstep.  It runs
+  // on its own SplitMix64 stream — never rng_ — so quarantine does not
+  // perturb the kWeighted draw sequence shared with sequential mode.
+  std::uint64_t mix = config_.seed ^
+                      (0x9E3779B97F4A7C15ull * (stream + 1ull)) ^
+                      (0xBF58476D1CE4E5B9ull * st.failures);
+  penalty += SplitMix64(mix) % (config_.quarantine_base_picks + 1ull);
+  st.penalty = penalty;
+  ++stats_.quarantines;
+}
+
+void NvmeEventLoop::observe_device() {
+  Ftl& ftl = controller_.ftl();
+  const int health = ftl.powered_off()      ? 3
+                     : ftl.needs_recovery() ? 2
+                     : ftl.read_only()      ? 1
+                                            : 0;
+  if (last_health_ >= 0 && health != last_health_) {
+    ++stats_.device_transitions;
+  }
+  last_health_ = health;
+}
+
+bool NvmeEventLoop::fault_blocks_draft(bool flash, std::uint64_t n_cmds,
+                                       std::uint64_t n_flash) {
+  const auto within = [](const FaultInjector* inj, FaultClass cls,
+                         std::uint64_t ticks) {
+    if (inj == nullptr || ticks == 0) return false;
+    const std::uint64_t at = inj->next_fault_at(cls);
+    return at != FaultInjector::kNoFault && at < inj->ops(cls) + ticks;
+  };
+  Ftl& ftl = controller_.ftl();
+  // Ops the batch-plus-candidate would consume per fault stream: one
+  // transport dispatch (timeout and drop), one host op, and one L2P
+  // entry read per command; one flash read per flash-class command.
+  const std::uint64_t cmds = n_cmds + 1;
+  const FaultInjector* const host_inj = controller_.fault_injector();
+  return within(host_inj, FaultClass::kNvmeTimeout, cmds) ||
+         within(host_inj, FaultClass::kNvmeDrop, cmds) ||
+         within(ftl.fault_injector(), FaultClass::kPowerLoss, cmds) ||
+         within(ftl.dram().fault_injector(), FaultClass::kDramBitError,
+                cmds) ||
+         within(ftl.nand().fault_injector(), FaultClass::kNandRead,
+                n_flash + (flash ? 1 : 0));
 }
 
 std::uint64_t NvmeEventLoop::run_until_idle() {
@@ -342,20 +478,25 @@ std::uint64_t NvmeEventLoop::run_until_idle() {
     for (;;) {
       const int s = pick_stream(drafted);
       if (s < 0) break;
-      streams_[static_cast<std::size_t>(s)].qp->process(1);
-      ++stats_.sequential_commands;
-      ++stats_.commands;
+      process_one(static_cast<std::uint32_t>(s));
       ++retired;
     }
     return retired;
   }
 
+  Ftl& ftl = controller_.ftl();
+  const bool fault_aware = controller_.fault_injector() != nullptr ||
+                           ftl.fault_injector() != nullptr ||
+                           ftl.dram().fault_injector() != nullptr ||
+                           ftl.nand().fault_injector() != nullptr;
   std::vector<Planned> batch;
+  std::uint64_t batch_flash = 0;
   BufferAliasMap aliases;
   const auto flush = [&] {
     if (batch.empty()) return;
     retired += run_batch(batch);
     batch.clear();
+    batch_flash = 0;
     aliases.clear();
     std::fill(drafted.begin(), drafted.end(), 0);
   };
@@ -366,15 +507,32 @@ std::uint64_t NvmeEventLoop::run_until_idle() {
       break;
     }
     const auto stream = static_cast<std::uint32_t>(s);
+    // An injected power loss can take the device down mid-run; drafting
+    // against a down device would plan against stale L2P state.  The
+    // sequential path surfaces the right per-command statuses.
+    const bool device_up =
+        !fault_aware || (!ftl.powered_off() && !ftl.needs_recovery());
     Planned plan;
-    if (!plan_head(stream, &plan)) {
-      // Non-shardable head.  Commit what is drafted, then run this one
-      // pick through the full sequential machinery — each arbitration
-      // pick still maps to exactly one executed command, in pick order.
+    if (!device_up || !plan_head(stream, &plan)) {
+      // Non-shardable head (or degraded device).  Commit what is
+      // drafted, then run this one pick through the full sequential
+      // machinery — each arbitration pick still maps to exactly one
+      // executed command, in pick order.
       flush();
-      streams_[stream].qp->process(1);
-      ++stats_.sequential_commands;
-      ++stats_.commands;
+      process_one(stream);
+      ++retired;
+      continue;
+    }
+    if (fault_aware && fault_blocks_draft(plan.flash, batch.size(),
+                                          batch_flash)) {
+      // A scheduled fault would fire inside the extended batch.  Flush
+      // the proven-clear prefix and run the candidate sequentially: the
+      // fault lands at the exact op index the sequential interleaving
+      // gives it, on machinery that handles it (retry, degradation,
+      // recovery) natively.
+      ++stats_.early_flushes;
+      flush();
+      process_one(stream);
       ++retired;
       continue;
     }
@@ -387,6 +545,7 @@ std::uint64_t NvmeEventLoop::run_until_idle() {
     }
     aliases.add(buf.data(), buf.data() + buf.size(), plan.bank);
     plan.cmd = streams_[stream].qp->take_submission();
+    batch_flash += plan.flash ? 1 : 0;
     batch.push_back(std::move(plan));
     ++drafted[stream];
     if (batch.size() >= config_.max_batch) flush();

@@ -25,6 +25,23 @@
 // replays the whole batch sequentially.  Either way the result is
 // bit-exact with processing the same arbitration order one command at a
 // time, independent of thread count.
+//
+// Faults are first-class citizens of the loop, not a reason to bypass
+// it.  With fault injectors attached, the batch planner consults their
+// per-class op counters (pure lookahead) and cuts a batch short of any
+// scheduled fault, so the faulted command runs through the sequential
+// machinery at an op index bit-identical to the sequential
+// interleaving; committed batches bulk-skip the fault streams they were
+// proven clear of.  Injectors are detached for the duration of shard
+// execution (they are not thread-safe, and an injected DRAM error would
+// bypass the undo log), and the rollback path replays through the queue
+// pair's own retry machinery.  On top of that sit per-tenant failure
+// domains — a stream whose command exhausts its host retry policy is
+// quarantined with seeded, capped exponential backoff instead of
+// head-of-line-blocking every other tenant — and device-level
+// degradation (read-only, powered-off) observed as explicit state
+// transitions: writes fail fast for every tenant while reads keep
+// flowing.
 #pragma once
 
 #include <cstdint>
@@ -51,7 +68,8 @@ enum class ArbitrationPolicy {
 
 struct EventLoopConfig {
   ArbitrationPolicy policy = ArbitrationPolicy::kRoundRobin;
-  /// Seeds the kWeighted draws; irrelevant for kRoundRobin.
+  /// Seeds the kWeighted draws (and the quarantine backoff jitter);
+  /// irrelevant for kRoundRobin with quarantine off.
   std::uint64_t seed = 1;
   /// Master switch for sharded-bank execution.  Off — or with no pool —
   /// every command runs sequentially through its queue pair.
@@ -61,6 +79,16 @@ struct EventLoopConfig {
   exec::ThreadPool* pool = nullptr;
   /// Upper bound on commands drafted into one parallel batch.
   std::uint32_t max_batch = 4096;
+  /// Per-tenant failure domains: a stream whose command exhausts its
+  /// queue pair's retry policy (a transport-faulted command the host
+  /// gave up on) is skipped by arbitration for a deterministic number
+  /// of picks — seeded, capped exponential backoff — instead of
+  /// stalling every tenant behind its next head-of-line retry storm.
+  bool quarantine = true;
+  /// First quarantine lasts about this many picks; each further failure
+  /// doubles it (capped), plus a seeded jitter in [0, base].
+  std::uint32_t quarantine_base_picks = 8;
+  std::uint32_t quarantine_cap_picks = 256;
 };
 
 struct EventLoopStats {
@@ -70,6 +98,13 @@ struct EventLoopStats {
   std::uint64_t batches = 0;              // parallel batches committed
   std::uint64_t shards = 0;               // bank shards executed
   std::uint64_t rollbacks = 0;            // batches replayed sequentially
+  /// Failure-domain visibility (all zero on fault-free runs).
+  std::uint64_t early_flushes = 0;      // batches cut at a fault horizon
+  std::uint64_t rollback_replays = 0;   // commands replayed after rollback
+  std::uint64_t quarantines = 0;        // streams entering quarantine
+  std::uint64_t quarantine_releases = 0;  // penalties expiring (or forced)
+  std::uint64_t degraded_rejections = 0;  // mutations while read-only
+  std::uint64_t device_transitions = 0;   // health-state changes observed
 };
 
 class NvmeEventLoop {
@@ -97,15 +132,23 @@ class NvmeEventLoop {
   [[nodiscard]] std::size_t stream_count() const { return streams_.size(); }
 
   /// True when the device/mitigation configuration admits sharded
-  /// execution right now: no fault injector on any layer, no rate
-  /// limiter, closed-page DRAM with no cache/ECC/TRR/PARA, inert NAND
-  /// reliability model, scrub disabled, device powered and recovered.
+  /// execution right now: no rate limiter, closed-page DRAM with no
+  /// cache/ECC/TRR/PARA, inert NAND reliability model, scrub disabled,
+  /// device powered and recovered.  Fault injectors do NOT gate the
+  /// sharded path: the batch planner consults their op counters and
+  /// flushes before any scheduled fault, so every injected fault fires
+  /// on the sequential machinery at its exact op index.
   [[nodiscard]] bool sharding_supported() const;
 
  private:
   struct Stream {
     NvmeQueuePair* qp = nullptr;
     std::uint32_t weight = 1;
+    /// Quarantine state: remaining picks to skip, consecutive failures
+    /// (drives the exponential backoff), and the retry_exhausted count
+    /// last observed (delta detection).
+    std::uint64_t penalty = 0;
+    std::uint32_t failures = 0;
   };
 
   /// One drafted read with its execution plan and (later) its outcome.
@@ -136,11 +179,32 @@ class NvmeEventLoop {
   /// retired (always the batch size).
   std::uint64_t run_batch(std::vector<Planned>& batch);
 
+  /// Run one command of `stream` through the full sequential machinery
+  /// (NvmeQueuePair::process) with failure-domain bookkeeping: degraded
+  /// write rejection counting, device-health observation, and the
+  /// quarantine trigger on a retry-exhausted delta.
+  void process_one(std::uint32_t stream);
+
+  /// True when a scheduled injected fault would fire within the current
+  /// draft batch extended by one more command (`flash` = the candidate's
+  /// predicted service class).  `n_cmds`/`n_flash` describe the batch
+  /// drafted so far.  Pure lookahead over every layer's injector.
+  [[nodiscard]] bool fault_blocks_draft(bool flash, std::uint64_t n_cmds,
+                                        std::uint64_t n_flash);
+
+  /// Record device-health transitions (powered off / needs recovery /
+  /// read-only) in stats_.device_transitions.
+  void observe_device();
+
+  /// Put `stream` into quarantine after a retry-exhausted command.
+  void apply_quarantine(std::uint32_t stream);
+
   NvmeController& controller_;
   EventLoopConfig config_;
   std::vector<Stream> streams_;
   std::size_t cursor_ = 0;  // last stream served (round-robin)
   Rng rng_;                 // kWeighted draws
+  int last_health_ = -1;    // observe_device() latch (-1 = unobserved)
   EventLoopStats stats_;
 };
 

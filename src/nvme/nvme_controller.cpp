@@ -65,8 +65,8 @@ void NvmeController::charge(bool flash_accessed) {
 void NvmeController::account_sharded_reads(std::uint64_t n_cmds,
                                            std::uint64_t total_cost_ns) {
   if (n_cmds == 0) return;
-  RHSD_CHECK_MSG(!limiter_.has_value() && injector_ == nullptr,
-                 "sharded accounting needs the un-gated fast path");
+  RHSD_CHECK_MSG(!limiter_.has_value(),
+                 "sharded accounting cannot model a rate limiter");
   if (!any_cmd_) {
     any_cmd_ = true;
     first_cmd_ns_ = clock_.now_ns();
@@ -75,6 +75,13 @@ void NvmeController::account_sharded_reads(std::uint64_t n_cmds,
   stats_.busy_ns += total_cost_ns;
   stats_.read_cmds += n_cmds;
   commands_ += n_cmds;
+  if (injector_ != nullptr) {
+    // The batch's commands were proven transport-fault-free by the
+    // event loop's planner (it flushes before any scheduled fault), so
+    // their dispatch ticks reduce to a bulk skip.
+    injector_->skip_ops(FaultClass::kNvmeTimeout, n_cmds);
+    injector_->skip_ops(FaultClass::kNvmeDrop, n_cmds);
+  }
 }
 
 NvmeController::TransportFault NvmeController::tick_transport() {

@@ -153,8 +153,10 @@ class NvmeController {
   /// their per-command service costs.  Performs exactly what n_cmds
   /// sequential charge() calls would have: latches the first-command
   /// time, advances the clock, and bumps busy_ns / command counters.
-  /// Only valid without a rate limiter or fault injector (the event
-  /// loop gates on both).
+  /// With a fault injector attached, additionally skips n_cmds ops of
+  /// both transport fault streams — valid because the event loop's
+  /// planner only commits batches it proved transport-fault-free.
+  /// Only valid without a rate limiter (the event loop gates on it).
   void account_sharded_reads(std::uint64_t n_cmds,
                              std::uint64_t total_cost_ns);
 

@@ -120,7 +120,10 @@ Status NvmeQueuePair::execute_with_retry(const NvmeCommand& command) {
     }
     const bool retryable = status.code() == StatusCode::kUnavailable ||
                            status.code() == StatusCode::kDeadlineExceeded;
-    if (!retryable || attempt >= attempts) return status;
+    if (!retryable || attempt >= attempts) {
+      if (retryable) ++stats_.retry_exhausted;
+      return status;
+    }
     ++stats_.retries;
     const std::uint64_t backoff =
         std::min(policy_.backoff_base_ns << (attempt - 1),

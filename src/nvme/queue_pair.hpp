@@ -41,6 +41,10 @@ struct NvmeQueueStats {
   std::uint64_t drops = 0;     // attempts that vanished in transit
   std::uint64_t retries = 0;   // re-submissions after a failed attempt
   std::uint64_t aborts = 0;    // commands removed via abort()
+  /// Commands that returned a retryable transport status on their final
+  /// attempt — the host gave up.  The event loop treats a delta here as
+  /// the tenant's failure-domain signal (quarantine trigger).
+  std::uint64_t retry_exhausted = 0;
 };
 
 struct NvmeCommand {
@@ -118,6 +122,14 @@ class NvmeQueuePair {
   NvmeCommand take_submission();
   void post_external_completion(NvmeCompletion completion) {
     cq_.push_back(std::move(completion));
+  }
+  /// Execute one command the loop already took from the submission ring,
+  /// through the same retry/timeout machinery process() uses — the
+  /// rollback-replay path stays bit-exact with sequential processing
+  /// (including injected transport faults and their stats).  The caller
+  /// posts the completion.
+  Status execute_external(const NvmeCommand& command) {
+    return execute_with_retry(command);
   }
 
   /// Convenience: process everything submitted and drain completions.

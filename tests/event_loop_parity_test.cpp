@@ -75,6 +75,8 @@ struct Outcome {
   std::vector<FlipEvent> flips;
   std::vector<std::uint32_t> l2p;
   EventLoopStats loop;
+  /// Injected faults actually fired, in order (empty fault plan: empty).
+  std::vector<InjectionRecord> injected;
 };
 
 std::vector<std::uint8_t> WritePayload(std::uint32_t stream,
@@ -90,7 +92,8 @@ std::vector<std::uint8_t> WritePayload(std::uint32_t stream,
 /// with the given event-loop configuration: submit in waves until each
 /// ring is full, run the loop to idle, poll, repeat.
 Outcome Drive(const SsdConfig& cfg, const std::vector<Script>& scripts,
-              EventLoopConfig lc, std::uint32_t depth = 8) {
+              EventLoopConfig lc, std::uint32_t depth = 8,
+              const NvmeRetryPolicy* retry = nullptr) {
   const auto streams = static_cast<std::uint32_t>(scripts.size());
   SsdDevice ssd(cfg);
   NvmeEventLoop loop(ssd.controller(), lc);
@@ -104,6 +107,7 @@ Outcome Drive(const SsdConfig& cfg, const std::vector<Script>& scripts,
   for (std::uint32_t s = 0; s < streams; ++s) {
     qps.push_back(std::make_unique<NvmeQueuePair>(
         ssd.controller(), static_cast<std::uint16_t>(s + 1), depth));
+    if (retry != nullptr) qps[s]->set_retry_policy(*retry);
     loop.attach(*qps[s], /*weight=*/1 + s % 3);
   }
   std::vector<std::size_t> next(streams, 0);
@@ -147,6 +151,9 @@ Outcome Drive(const SsdConfig& cfg, const std::vector<Script>& scripts,
     out.l2p.push_back(ssd.ftl().debug_lookup(Lba(lba)));
   }
   out.loop = loop.stats();
+  if (ssd.fault_injector() != nullptr) {
+    out.injected = ssd.fault_injector()->log();
+  }
   return out;
 }
 
@@ -194,6 +201,15 @@ void ExpectSameOutcome(const Outcome& ref, const Outcome& got) {
     EXPECT_EQ(ref.flips[i].byte_offset, got.flips[i].byte_offset) << i;
     EXPECT_EQ(ref.flips[i].bit, got.flips[i].bit) << i;
     EXPECT_EQ(ref.flips[i].new_value, got.flips[i].new_value) << i;
+  }
+
+  // Every injected fault must fire at the same per-class op index in
+  // both modes — the planner's cardinal promise.
+  ASSERT_EQ(ref.injected.size(), got.injected.size());
+  for (std::size_t i = 0; i < ref.injected.size(); ++i) {
+    EXPECT_EQ(ref.injected[i].cls, got.injected[i].cls) << i;
+    EXPECT_EQ(ref.injected[i].op_index, got.injected[i].op_index) << i;
+    EXPECT_EQ(ref.injected[i].param, got.injected[i].param) << i;
   }
 }
 
@@ -383,6 +399,105 @@ TEST(EventLoopParity, EngineeredClassFlipForcesRollback) {
     // The fixture exists to drive the rollback path.
     EXPECT_GE(got.loop.rollbacks, 1u);
     ExpectSameOutcome(ref, got);
+  }
+}
+
+// Fault injectors no longer gate the sharded path: the planner cuts
+// every batch short of the next scheduled fault, so each injected fault
+// fires at the same per-class op index — with the same Status, flips
+// and device stats — as the sequential interleaving, across seeds,
+// thread counts and arbitration policies.
+TEST(EventLoopParity, InjectedFaultsLandAtSequentialOpIndices) {
+  constexpr std::uint32_t kStreams = 4;
+  const SsdConfig base = PartitionedSsd(kStreams);
+  const std::uint64_t partition = base.num_lbas() / kStreams;
+  for (const std::uint64_t seed : {11ull, 23ull}) {
+    for (const ArbitrationPolicy policy :
+         {ArbitrationPolicy::kRoundRobin, ArbitrationPolicy::kWeighted}) {
+      SsdConfig cfg = base;
+      FaultRates rates;
+      rates.nvme_timeout = 0.004;
+      rates.nvme_drop = 0.003;
+      rates.dram_bit_error = 0.004;
+      rates.nand_read = 0.003;
+      cfg.fault_plan = FaultPlan::Random(seed * 77 + 5, rates,
+                                         /*horizon=*/1100);
+      const auto scripts = MakeScripts(kStreams, 250, partition,
+                                       /*write_fraction=*/0.2, seed);
+      NvmeRetryPolicy retry;
+      retry.max_attempts = 2;
+      EventLoopConfig seq;
+      seq.policy = policy;
+      seq.seed = seed;
+      seq.sharded = false;
+      const Outcome ref = Drive(cfg, scripts, seq, /*depth=*/8, &retry);
+      // The storm must actually fire through every planned class.
+      EXPECT_GT(ref.injected.size(), 0u);
+      for (const unsigned threads : {2u, 5u}) {
+        exec::ThreadPool pool(threads);
+        EventLoopConfig par;
+        par.policy = policy;
+        par.seed = seed;
+        par.sharded = true;
+        par.pool = &pool;
+        const Outcome got = Drive(cfg, scripts, par, /*depth=*/8, &retry);
+        SCOPED_TRACE(::testing::Message()
+                     << "seed=" << seed << " policy=" << to_string(policy)
+                     << " threads=" << threads);
+        // Fault-free stretches still shard; fault horizons cut batches.
+        EXPECT_GT(got.loop.sharded_commands, 0u);
+        EXPECT_GT(got.loop.early_flushes, 0u);
+        ExpectSameOutcome(ref, got);
+      }
+    }
+  }
+}
+
+// A dense transport storm against a retry-less policy exhausts host
+// retries, so tenants enter and leave quarantine during the run.
+// Quarantine decisions are part of arbitration state, so both modes
+// must take them at the same pick indices — parity must survive the
+// full failure-domain machinery being active.
+TEST(EventLoopParity, QuarantineKeepsShardedParity) {
+  constexpr std::uint32_t kStreams = 4;
+  const SsdConfig base = PartitionedSsd(kStreams);
+  const std::uint64_t partition = base.num_lbas() / kStreams;
+  for (const std::uint64_t seed : {5ull, 31ull}) {
+    for (const ArbitrationPolicy policy :
+         {ArbitrationPolicy::kRoundRobin, ArbitrationPolicy::kWeighted}) {
+      SsdConfig cfg = base;
+      FaultRates rates;
+      rates.nvme_drop = 0.03;
+      rates.nvme_timeout = 0.01;
+      cfg.fault_plan = FaultPlan::Random(seed * 131 + 7, rates,
+                                         /*horizon=*/1100);
+      const auto scripts = MakeScripts(kStreams, 250, partition,
+                                       /*write_fraction=*/0.2, seed);
+      EventLoopConfig seq;
+      seq.policy = policy;
+      seq.seed = seed;
+      seq.sharded = false;
+      const Outcome ref = Drive(cfg, scripts, seq);
+      // max_attempts defaults to 1: every injected drop/timeout is a
+      // retry-exhausted command, so quarantine engages for real.
+      EXPECT_GT(ref.loop.quarantines, 0u);
+      for (const unsigned threads : {2u, 5u}) {
+        exec::ThreadPool pool(threads);
+        EventLoopConfig par;
+        par.policy = policy;
+        par.seed = seed;
+        par.sharded = true;
+        par.pool = &pool;
+        const Outcome got = Drive(cfg, scripts, par);
+        SCOPED_TRACE(::testing::Message()
+                     << "seed=" << seed << " policy=" << to_string(policy)
+                     << " threads=" << threads);
+        EXPECT_GT(got.loop.sharded_commands, 0u);
+        EXPECT_EQ(ref.loop.quarantines, got.loop.quarantines);
+        EXPECT_EQ(ref.loop.degraded_rejections, got.loop.degraded_rejections);
+        ExpectSameOutcome(ref, got);
+      }
+    }
   }
 }
 

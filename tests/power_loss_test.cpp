@@ -13,9 +13,11 @@
 
 #include "common/rng.hpp"
 #include "exec/experiment_engine.hpp"
+#include "exec/thread_pool.hpp"
 #include "fault/fault_injector.hpp"
 #include "fs/fsck.hpp"
 #include "ftl/ftl.hpp"
+#include "nvme/event_loop.hpp"
 #include "test_util.hpp"
 
 namespace rhsd {
@@ -319,6 +321,257 @@ TEST(PowerLoss, FsckCleanAfterCrashAtOperationBoundary) {
   ASSERT_TRUE(got.ok());
   ASSERT_EQ(*got, payload.size());
   EXPECT_EQ(out, payload);
+}
+
+// ---------------------------------------------------------------------
+// Event-loop golden-prefix torture: the same crash-at-every-op-index
+// discipline, but with the power loss landing inside NvmeEventLoop
+// arbitration over a two-tenant trace.  The sequential run (threads=0)
+// is the golden; the sharded runs at 2 and 5 threads must produce a
+// bit-identical outcome — every completion (cid, status, time), the
+// set of lost LBAs, and the recovered L2P table — because the loop
+// flushes any batch that would straddle the scheduled power loss and
+// replays it through the sequential path.
+
+constexpr std::uint64_t kEvTenants = 2;
+constexpr std::uint64_t kEvLbasPerTenant = kNumLbas / kEvTenants;
+constexpr std::uint64_t kEvCmdsPerTenant = 48;
+constexpr std::uint64_t kEvTraceOps = kEvTenants * kEvCmdsPerTenant;
+constexpr std::uint32_t kEvDepth = 4;
+
+/// Tenant `t`'s marker fill for (slba, cid): unique per acknowledged
+/// write, so a stale or misdirected block cannot match.
+std::uint8_t EvFill(std::uint64_t t, std::uint64_t slba, std::uint16_t cid) {
+  return static_cast<std::uint8_t>(0x21 + t * 89 + slba * 13 + cid * 5);
+}
+
+struct EvOp {
+  bool is_write = false;
+  std::uint64_t slba = 0;
+};
+
+std::vector<std::vector<EvOp>> EvScripts() {
+  std::vector<std::vector<EvOp>> scripts(kEvTenants);
+  for (std::uint64_t t = 0; t < kEvTenants; ++t) {
+    Rng rng(0xE7'0000 + t);
+    scripts[t].resize(kEvCmdsPerTenant);
+    for (EvOp& op : scripts[t]) {
+      op.is_write = rng.next_below(10) < 6;
+      op.slba = rng.next_below(kEvLbasPerTenant);
+    }
+  }
+  return scripts;
+}
+
+/// PlRig plus the NVMe stack: controller with one namespace per tenant
+/// and per-tenant queue pairs, all rebuilt on reboot (NAND survives).
+struct EvRig {
+  explicit EvRig(FaultPlan plan) : injector(std::move(plan)) {
+    reboot(/*first_boot=*/true);
+  }
+
+  void reboot(bool first_boot = false) {
+    qps.clear();
+    ctrl.reset();
+    ftl.reset();
+    DramConfig dc;
+    dc.geometry = test::SmallDram();
+    dc.profile = DramProfile::Invulnerable();
+    dram = std::make_unique<DramDevice>(dc, MakeLinearMapper(dc.geometry),
+                                        clock);
+    if (first_boot) {
+      nand = std::make_unique<NandDevice>(
+          NandGeometry{.channels = 1,
+                       .dies_per_channel = 1,
+                       .planes_per_die = 1,
+                       .blocks_per_plane = 16,
+                       .pages_per_block = 16,
+                       .page_bytes = kBlockSize});
+    }
+    FtlConfig config;
+    config.num_lbas = kNumLbas;
+    config.hammers_per_io = 1;
+    config.journal.enabled = true;
+    ftl = std::make_unique<Ftl>(config, *nand, *dram);
+    ftl->set_fault_injector(&injector);
+    NvmeConfig nc;
+    for (std::uint64_t t = 0; t < kEvTenants; ++t) {
+      nc.namespaces.push_back(
+          NvmeNamespaceConfig{Lba(t * kEvLbasPerTenant), kEvLbasPerTenant});
+    }
+    nc.iops = IopsModel(1e6);
+    ctrl = std::make_unique<NvmeController>(nc, *ftl, clock);
+    for (std::uint64_t t = 0; t < kEvTenants; ++t) {
+      qps.push_back(std::make_unique<NvmeQueuePair>(
+          *ctrl, static_cast<std::uint16_t>(t + 1), kEvDepth));
+    }
+  }
+
+  SimClock clock;
+  FaultInjector injector;
+  std::unique_ptr<DramDevice> dram;
+  std::unique_ptr<NandDevice> nand;
+  std::unique_ptr<Ftl> ftl;
+  std::unique_ptr<NvmeController> ctrl;
+  std::vector<std::unique_ptr<NvmeQueuePair>> qps;
+};
+
+struct EvOutcome {
+  std::string failure;          // invariant violation, empty = ok
+  std::uint64_t digest = 0;     // FNV-1a over the whole observable run
+  std::uint64_t sharded = 0;    // loop.sharded_commands
+};
+
+/// Crash the two-tenant event-loop trace at FTL op `crash_index`,
+/// reboot + recover, audit acknowledged writes, and fold everything
+/// observable into an order-sensitive digest.
+EvOutcome RunEvCrashTrial(std::uint64_t crash_index, unsigned threads) {
+  FaultPlan plan;
+  plan.add(FaultClass::kPowerLoss, crash_index);
+  EvRig rig(plan);
+  const auto scripts = EvScripts();
+
+  EvOutcome res;
+  std::uint64_t dig = 1469598103934665603ull;
+  const auto fold = [&dig](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      dig ^= (v >> (8 * i)) & 0xFF;
+      dig *= 1099511628211ull;
+    }
+  };
+
+  std::unique_ptr<exec::ThreadPool> pool;
+  if (threads > 0) pool = std::make_unique<exec::ThreadPool>(threads);
+  EventLoopConfig lc;
+  lc.seed = 0x5EED;
+  lc.sharded = threads > 0;
+  lc.pool = pool.get();
+  NvmeEventLoop loop(*rig.ctrl, lc);
+  for (std::uint64_t t = 0; t < kEvTenants; ++t) {
+    loop.attach(*rig.qps[t], /*weight=*/1 + t);
+  }
+
+  // last acknowledged write cid per (tenant, slba); ~0u = none tracked.
+  std::vector<std::vector<std::uint32_t>> acked(
+      kEvTenants, std::vector<std::uint32_t>(kEvLbasPerTenant, ~0u));
+  std::vector<std::size_t> next(kEvTenants, 0);
+  std::vector<std::uint16_t> cid(kEvTenants, 0);
+  std::vector<std::vector<std::uint8_t>> rbuf(
+      kEvDepth, std::vector<std::uint8_t>(kBlockSize));
+  for (;;) {
+    bool pending = false;
+    for (std::uint64_t t = 0; t < kEvTenants; ++t) {
+      while (next[t] < scripts[t].size()) {
+        const EvOp& op = scripts[t][next[t]];
+        NvmeCommand cmd =
+            op.is_write
+                ? NvmeCommand::Write(
+                      cid[t], static_cast<std::uint32_t>(t + 1), op.slba,
+                      std::vector<std::uint8_t>(
+                          kBlockSize, EvFill(t, op.slba, cid[t])))
+                : NvmeCommand::Read(cid[t], static_cast<std::uint32_t>(t + 1),
+                                    op.slba, rbuf[cid[t] % kEvDepth]);
+        if (!rig.qps[t]->submit(std::move(cmd)).ok()) break;
+        ++next[t];
+        ++cid[t];
+      }
+      pending = pending || next[t] < scripts[t].size() ||
+                rig.qps[t]->sq_inflight() > 0;
+    }
+    if (!pending) break;
+    loop.run_until_idle();
+    for (std::uint64_t t = 0; t < kEvTenants; ++t) {
+      while (auto cqe = rig.qps[t]->poll()) {
+        const EvOp& op = scripts[t][cqe->cid];
+        fold(t);
+        fold(cqe->cid);
+        fold(static_cast<std::uint64_t>(cqe->status.code()));
+        fold(cqe->completed_ns);
+        if (op.is_write && cqe->status.ok()) acked[t][op.slba] = cqe->cid;
+      }
+    }
+    if (rig.ftl->powered_off()) break;
+  }
+  res.sharded = loop.stats().sharded_commands;
+
+  if (rig.ftl->powered_off()) {
+    // Commands still in flight at the crash were never acknowledged;
+    // dropping them with the queue pairs is the correct semantics.
+    fold(0xDEADull);
+    rig.reboot();
+    FtlRecoveryReport report;
+    const Status rs = rig.ftl->recover(&report);
+    if (!rs.ok()) {
+      res.failure = "recover: " + rs.to_string();
+      return res;
+    }
+    std::vector<bool> lost(kNumLbas, false);
+    for (const std::uint64_t lba : report.lost_lbas) {
+      lost[lba] = true;
+      fold(lba);
+    }
+    // Durability audit: every acknowledged write is intact or named.
+    rig.ftl->set_fault_injector(nullptr);
+    std::vector<std::uint8_t> out(kBlockSize);
+    for (std::uint64_t t = 0; t < kEvTenants; ++t) {
+      for (std::uint64_t slba = 0; slba < kEvLbasPerTenant; ++slba) {
+        if (acked[t][slba] == ~0u) continue;
+        if (lost[t * kEvLbasPerTenant + slba]) continue;
+        const Status s =
+            rig.ctrl->read(static_cast<std::uint32_t>(t + 1), slba, out);
+        const std::uint8_t want =
+            EvFill(t, slba, static_cast<std::uint16_t>(acked[t][slba]));
+        bool intact = s.ok();
+        for (const std::uint8_t b : out) intact = intact && b == want;
+        if (!intact) {
+          res.failure = "tenant " + std::to_string(t) + " slba " +
+                        std::to_string(slba) +
+                        ": acknowledged write neither intact nor lost";
+          return res;
+        }
+      }
+    }
+  }
+  // Final mapping state (recovered, or end-of-trace if no crash fired).
+  for (std::uint64_t lba = 0; lba < kNumLbas; ++lba) {
+    fold(rig.ftl->debug_lookup(Lba(lba)));
+  }
+  res.digest = dig;
+  return res;
+}
+
+TEST(PowerLoss, EventLoopTortureIsThreadCountInvariant) {
+  exec::ThreadPool pool;  // RHSD_THREADS-sized
+  // A few indices past the trace length cover the no-crash path too.
+  const std::vector<std::string> failures = exec::RunTrials(
+      pool, kEvTraceOps + 4, /*base_seed=*/0,
+      [](std::uint64_t crash_index, std::uint64_t) -> std::string {
+        const EvOutcome ref = RunEvCrashTrial(crash_index, /*threads=*/0);
+        if (!ref.failure.empty()) return "sequential: " + ref.failure;
+        for (const unsigned threads : {2u, 5u}) {
+          const EvOutcome got = RunEvCrashTrial(crash_index, threads);
+          if (!got.failure.empty()) {
+            return "threads=" + std::to_string(threads) + ": " + got.failure;
+          }
+          if (got.digest != ref.digest) {
+            return "threads=" + std::to_string(threads) +
+                   ": outcome diverged from sequential golden";
+          }
+        }
+        return {};
+      });
+  for (std::uint64_t k = 0; k < failures.size(); ++k) {
+    EXPECT_EQ(failures[k], "") << "crash index " << k;
+  }
+}
+
+TEST(PowerLoss, EventLoopTortureEngagesShardedPath) {
+  // With the crash beyond the trace, the full run completes; the
+  // sharded run must have actually drafted batches (the torture above
+  // is vacuous if everything silently fell back to sequential).
+  const EvOutcome got = RunEvCrashTrial(kEvTraceOps + 1, /*threads=*/2);
+  EXPECT_EQ(got.failure, "");
+  EXPECT_GT(got.sharded, 0u);
 }
 
 }  // namespace
