@@ -137,21 +137,14 @@ ScaleResult RunScale(std::uint32_t tenants, exec::ThreadPool& pool,
   const std::uint64_t victim_ops = quick ? 1500 : 4000;
   const std::uint64_t attacker_ops = quick ? 4000 : 20000;
   const std::uint64_t bg_ops = quick ? 256 : 512;
-  struct Op {
-    bool is_write = false;
-    std::uint64_t slba = 0;
-  };
-  std::vector<std::vector<Op>> scripts(tenants);
+  std::vector<std::vector<WorkloadOp>> scripts(tenants);
   {
     WorkloadConfig wc;
     wc.pattern = AccessPattern::kHotCold;
     wc.working_set = host.tenant(CloudHost::kVictimId).blocks();
     wc.write_fraction = 0.0;
     wc.seed = 1;
-    WorkloadGenerator gen(wc);
-    for (std::uint64_t i = 0; i < victim_ops; ++i) {
-      scripts[0].push_back({false, gen.next().slba});
-    }
+    scripts[0] = WorkloadGenerator(wc).generate(victim_ops);
   }
   for (std::uint64_t i = 0; i < attacker_ops; ++i) {
     scripts[1].push_back({false, (i % kAggressors) * 128});
@@ -163,11 +156,7 @@ ScaleResult RunScale(std::uint32_t tenants, exec::ThreadPool& pool,
     wc.working_set = host.tenant(t).blocks();
     wc.write_fraction = 0.1;
     wc.seed = 1000 + t;
-    WorkloadGenerator gen(wc);
-    for (std::uint64_t i = 0; i < bg_ops; ++i) {
-      const WorkloadOp op = gen.next();
-      scripts[t].push_back({op.is_write, op.slba});
-    }
+    scripts[t] = WorkloadGenerator(wc).generate(bg_ops);
   }
 
   // Drive everything to completion in waves; victim read latency =
@@ -185,7 +174,7 @@ ScaleResult RunScale(std::uint32_t tenants, exec::ThreadPool& pool,
     const std::uint64_t wave_ns = ssd.clock().now_ns();
     for (std::uint32_t t = 0; t < tenants; ++t) {
       while (next[t] < scripts[t].size()) {
-        const Op& op = scripts[t][next[t]];
+        const WorkloadOp& op = scripts[t][next[t]];
         NvmeCommand cmd =
             op.is_write
                 ? NvmeCommand::Write(
@@ -233,6 +222,105 @@ ScaleResult RunScale(std::uint32_t tenants, exec::ThreadPool& pool,
   return res;
 }
 
+// ---- mixed read/write sweep: sharded write planning under load ----
+
+struct MixedResult {
+  std::uint64_t commands = 0;
+  std::uint64_t writes = 0;          // device-level write commands
+  std::uint64_t sharded_writes = 0;  // committed via shard drafting
+  std::uint64_t reserve_flushes = 0;
+  std::uint64_t rw_conflict_flushes = 0;
+  double sim_seconds = 0.0;
+};
+
+/// Every tenant pushes a heavy mixed workload (40% writes) through the
+/// sharded event loop.  This is the path the write planner exists for:
+/// writes draft into per-bank shards behind plan-time PBA reservations
+/// instead of flushing the batch, and the counters prove it.
+MixedResult RunMixed(std::uint32_t tenants, exec::ThreadPool& pool,
+                     bool quick) {
+  SsdConfig cfg = ScaleConfig(tenants);
+  // Throughput sweep, not a flip experiment: a flip landing in an L2P
+  // entry would turn a background read into an error.
+  cfg.dram_profile = DramProfile::Invulnerable();
+  CloudHost host(cfg);
+  for (std::uint32_t t = 2; t < tenants; ++t) {
+    auto id = host.add_tenant(
+        TenantConfig{.name = "mix-" + std::to_string(t)});
+    RHSD_CHECK_MSG(id.ok(), "tenant " << t << ": " << id.status());
+  }
+  SsdDevice& ssd = host.ssd();
+  NvmeController& ctrl = ssd.controller();
+
+  EventLoopConfig lc;
+  lc.policy = ArbitrationPolicy::kRoundRobin;
+  lc.seed = 7;
+  lc.sharded = true;
+  lc.pool = &pool;
+  NvmeEventLoop loop(ctrl, lc);
+
+  constexpr std::uint32_t kDepth = 16;
+  std::vector<std::unique_ptr<NvmeQueuePair>> qps;
+  for (std::uint32_t t = 0; t < tenants; ++t) {
+    qps.push_back(std::make_unique<NvmeQueuePair>(
+        ctrl, static_cast<std::uint16_t>(t + 1), kDepth));
+    loop.attach(*qps[t], 1);
+  }
+
+  const std::uint64_t ops = quick ? 600 : 2000;
+  std::vector<std::vector<WorkloadOp>> scripts(tenants);
+  for (std::uint32_t t = 0; t < tenants; ++t) {
+    WorkloadConfig wc;
+    constexpr AccessPattern kMixes[] = {
+        AccessPattern::kRandom, AccessPattern::kZipfLike,
+        AccessPattern::kHotCold, AccessPattern::kBursty};
+    wc.pattern = kMixes[t % 4];
+    wc.working_set = host.tenant(t).blocks();
+    wc.write_fraction = 0.4;
+    wc.seed = 9000 + t;
+    scripts[t] = WorkloadGenerator(wc).generate(ops);
+  }
+
+  MixedResult res;
+  std::vector<std::vector<std::uint8_t>> bufs(
+      tenants, std::vector<std::uint8_t>(kBlockSize));
+  std::vector<std::size_t> next(tenants, 0);
+  std::vector<std::uint16_t> cid(tenants, 0);
+  for (;;) {
+    bool pending = false;
+    for (std::uint32_t t = 0; t < tenants; ++t) {
+      while (next[t] < scripts[t].size()) {
+        const WorkloadOp& op = scripts[t][next[t]];
+        NvmeCommand cmd =
+            op.is_write
+                ? NvmeCommand::Write(
+                      cid[t], t + 1, op.slba,
+                      std::vector<std::uint8_t>(kBlockSize,
+                                                std::uint8_t(cid[t])))
+                : NvmeCommand::Read(cid[t], t + 1, op.slba, bufs[t]);
+        if (!qps[t]->submit(std::move(cmd)).ok()) break;
+        ++next[t];
+        ++cid[t];
+      }
+      pending = pending || next[t] < scripts[t].size() ||
+                qps[t]->sq_inflight() > 0;
+    }
+    if (!pending) break;
+    res.commands += loop.run_until_idle();
+    for (std::uint32_t t = 0; t < tenants; ++t) {
+      while (auto cqe = qps[t]->poll()) {
+        RHSD_CHECK(cqe->status.ok());
+      }
+    }
+  }
+  res.writes = ctrl.stats().write_cmds;
+  res.sharded_writes = loop.stats().sharded_writes;
+  res.reserve_flushes = loop.stats().write_reserve_flushes;
+  res.rw_conflict_flushes = loop.stats().rw_conflict_flushes;
+  res.sim_seconds = ssd.clock().now_ns() * 1e-9;
+  return res;
+}
+
 // ---- failure domains under a seeded transport/media storm ----
 
 struct FaultDomainResult {
@@ -274,11 +362,7 @@ FaultDomainResult RunFaultDomains(exec::ThreadPool& pool) {
         ssd.controller(), static_cast<std::uint16_t>(t + 1), kDepth));
     loop.attach(*qps[t], 1 + t % 3);
   }
-  struct StormOp {
-    bool is_write = false;
-    std::uint64_t slba = 0;
-  };
-  std::vector<std::vector<StormOp>> scripts(kStormTenants);
+  std::vector<std::vector<WorkloadOp>> scripts(kStormTenants);
   for (std::uint32_t t = 0; t < kStormTenants; ++t) {
     WorkloadConfig wc;
     wc.pattern =
@@ -286,11 +370,7 @@ FaultDomainResult RunFaultDomains(exec::ThreadPool& pool) {
     wc.working_set = cfg.num_lbas() / kStormTenants;
     wc.write_fraction = 0.2;
     wc.seed = 4000 + t;
-    WorkloadGenerator gen(wc);
-    for (std::uint64_t i = 0; i < kCmds; ++i) {
-      const WorkloadOp op = gen.next();
-      scripts[t].push_back({op.is_write, op.slba});
-    }
+    scripts[t] = WorkloadGenerator(wc).generate(kCmds);
   }
 
   FaultDomainResult res;
@@ -302,7 +382,7 @@ FaultDomainResult RunFaultDomains(exec::ThreadPool& pool) {
     bool pending = false;
     for (std::uint32_t t = 0; t < kStormTenants; ++t) {
       while (next[t] < scripts[t].size()) {
-        const StormOp& op = scripts[t][next[t]];
+        const WorkloadOp& op = scripts[t][next[t]];
         NvmeCommand cmd =
             op.is_write
                 ? NvmeCommand::Write(
@@ -378,6 +458,40 @@ int main(int argc, char** argv) {
               total_commands / elapsed_s,
               static_cast<unsigned long long>(total_commands), elapsed_s);
 
+  // Mixed read/write sweep: the write planner under multi-tenant load.
+  const std::vector<std::uint32_t> mixed_counts =
+      quick ? std::vector<std::uint32_t>{4, 16}
+            : std::vector<std::uint32_t>{4, 16, 64};
+  std::printf("\n== mixed read/write (40%% writes): sharded write "
+              "planning ==\n\n");
+  std::printf("%7s | %8s %8s %8s | %9s %9s\n", "tenants", "cmds",
+              "writes", "sharded", "rsv-flsh", "rw-flsh");
+  std::printf("%.*s\n", 66,
+              "----------------------------------------------------------"
+              "--------------------------");
+  std::uint64_t mixed_writes = 0;
+  const double tm0 = bench::HostSeconds();
+  std::uint64_t mixed_sharded_writes = 0;
+  for (const std::uint32_t tenants : mixed_counts) {
+    const MixedResult m = RunMixed(tenants, pool, quick);
+    mixed_writes += m.writes;
+    mixed_sharded_writes += m.sharded_writes;
+    std::printf("%7u | %8llu %8llu %8llu | %9llu %9llu\n", tenants,
+                static_cast<unsigned long long>(m.commands),
+                static_cast<unsigned long long>(m.writes),
+                static_cast<unsigned long long>(m.sharded_writes),
+                static_cast<unsigned long long>(m.reserve_flushes),
+                static_cast<unsigned long long>(m.rw_conflict_flushes));
+  }
+  const double mixed_elapsed_s = bench::HostSeconds() - tm0;
+  RHSD_CHECK_MSG(mixed_sharded_writes > 0,
+                 "mixed sweep never engaged the sharded write path");
+  std::printf("\nwrite throughput: %.0f simulated writes/s of host time "
+              "(%llu writes in %.2f s)\n",
+              mixed_writes / mixed_elapsed_s,
+              static_cast<unsigned long long>(mixed_writes),
+              mixed_elapsed_s);
+
   // Failure domains: the same loop under a seeded fault storm.
   const FaultDomainResult fd = RunFaultDomains(pool);
   std::printf("\n== failure domains: 8 tenants under a seeded "
@@ -402,6 +516,9 @@ int main(int argc, char** argv) {
 
   bench::BenchReport report;
   report.set("cloud_tenant_iops", total_commands / elapsed_s);
+  report.set("cloud_write_iops", mixed_writes / mixed_elapsed_s);
+  report.set("cloud_sharded_writes",
+             static_cast<double>(mixed_sharded_writes));
   report.set("cloud_scale_threads", static_cast<double>(pool.size()));
   report.set("cloud_fault_early_flushes",
              static_cast<double>(fd.loop.early_flushes));

@@ -59,8 +59,10 @@ mkdir -p "${PERF_DIR}"
 # hammering per triple): BenchReport merges its throughput metric into
 # the same BENCH_hotpath.json.
 (cd "${PERF_DIR}" && ../bench/bench_mitigations >/dev/null)
-# The N-tenant event-loop sweep (--quick keeps it to 2..32 tenants):
-# merges cloud_tenant_iops into the same report.
+# The N-tenant event-loop sweeps (--quick keeps them small): the
+# read-heavy scale sweep merges cloud_tenant_iops and the mixed
+# read/write sweep merges cloud_write_iops into the same report.  The
+# binary itself asserts the mixed sweep engaged the sharded write path.
 (cd "${PERF_DIR}" && ../bench/bench_cloud_scale --quick >/dev/null)
 REPORT="${PERF_DIR}/BENCH_hotpath.json"
 if [[ ! -f "${REPORT}" ]]; then
@@ -125,5 +127,8 @@ gate_floor mitigations_scenarios_per_s 1.12
 # across the --quick tenant sweep (~550k+ on a single idle core; floor
 # leaves headroom for loaded CI machines).
 gate_floor cloud_tenant_iops 100000
+# Write commands retired per host second across the mixed read/write
+# sweep with per-bank write sharding (~215k on a single idle core).
+gate_floor cloud_write_iops 40000
 
 echo "== ci.sh: all green =="

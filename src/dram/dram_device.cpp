@@ -819,19 +819,71 @@ bool DramDevice::hammer_pattern(std::span<const std::uint64_t> rows,
   if (n_cmds == 0) return true;
   const std::uint64_t P = rows.size();
   const std::uint64_t h = repeat;
-  const std::uint64_t E = n_cmds * h;  // total activations, events 1..E
   const std::uint64_t rows_per_bank = config_.geometry.rows_per_bank;
 
-  // All events share the clock's current refresh window; roll the TRR
-  // window once up front, like the first scalar activation would.
-  const std::uint64_t w = current_window();
+  // Snapshot the replayable mitigation state up front: a hazard abort
+  // must leave the device untouched, across every window segment.
+  const std::optional<TrrTracker> trr_snapshot = trr_;
+  const std::uint64_t trr_window_snapshot = trr_window_;
+  const Rng para_rng_snapshot = para_rng_;
+  const std::uint64_t para_refreshes_snapshot = stats_.para_refreshes;
+
+  // Cross-segment accumulators.  Flips apply to row bytes eagerly (a
+  // later segment must see the decayed cells), but counter and baseline
+  // commits defer to the end: row_commit holds each touched row's final
+  // (window, per-window count), bases_commit its final targeted-refresh
+  // baselines.  Both are tiny (pattern rows / their victims), so linear
+  // upsert beats hashing.
+  std::vector<PendingFlip> pending;
+  struct RowCommit {
+    std::uint64_t window = 0;
+    std::uint64_t acts = 0;
+  };
+  std::vector<std::pair<std::uint64_t, RowCommit>> row_commit;
+  std::vector<std::pair<std::uint64_t, RefreshBases>> bases_commit;
+  const auto upsert_row = [&](std::uint64_t row, RowCommit rc) {
+    for (auto& [r, v] : row_commit) {
+      if (r == row) {
+        v = rc;
+        return;
+      }
+    }
+    row_commit.emplace_back(row, rc);
+  };
+  const auto upsert_bases = [&](std::uint64_t row, const RefreshBases& nb) {
+    for (auto& [r, v] : bases_commit) {
+      if (r == row) {
+        v = nb;
+        return;
+      }
+    }
+    bases_commit.emplace_back(row, nb);
+  };
+
+  // One maximal same-refresh-window run: commands [0, n_cmds) at times
+  // cmd_time_ns, the pattern rotated so position 0 is the run's first
+  // command.  The parameters deliberately shadow the batch-level ones —
+  // the closed forms below see only the segment.  `fresh` marks a
+  // window the clock has not reached: its first activation would reset
+  // every per-window counter, baseline and the TRR tracker on the
+  // scalar walk, so all pre-segment counts read as zero here.
+  // `event_offset` maps local events 1..n_cmds*h onto the batch-global
+  // flip order.
+  const auto run_segment = [&](std::span<const std::uint64_t> rows,
+                               std::uint64_t n_cmds,
+                               std::span<const std::uint64_t> cmd_time_ns,
+                               std::uint64_t w, bool fresh,
+                               std::uint64_t event_offset) {
+  const std::uint64_t E = n_cmds * h;  // segment activations, events 1..E
+  // Roll the TRR window once up front, like the segment's first scalar
+  // activation would.
   if (trr_.has_value() && w != trr_window_) {
     trr_->reset();
     trr_window_ = w;
   }
 
   // Distinct pattern rows, their per-period command positions, and their
-  // pre-batch per-window activation counts.
+  // pre-segment per-window activation counts.
   std::vector<std::uint64_t> distinct;
   std::vector<std::vector<std::uint64_t>> pos_of;  // parallel to distinct
   const auto find_distinct = [&](std::uint64_t r) -> int {
@@ -852,7 +904,7 @@ bool DramDevice::hammer_pattern(std::span<const std::uint64_t> rows,
   }
   std::vector<std::uint64_t> a0(distinct.size());
   for (std::size_t i = 0; i < distinct.size(); ++i) {
-    a0[i] = acts_now(distinct[i]);
+    a0[i] = fresh ? 0 : acts_now(distinct[i]);
   }
 
   const std::uint64_t full_periods = n_cmds / P;
@@ -885,20 +937,15 @@ bool DramDevice::hammer_pattern(std::span<const std::uint64_t> rows,
     return cnt;
   };
   // Count of an arbitrary row at event e: pattern rows advance, every
-  // other row is frozen for the whole batch.
+  // other row is frozen for the whole segment (zero in a fresh window).
   const auto row_count_at = [&](std::uint64_t row, std::uint64_t e) {
     const int i = find_distinct(row);
-    return i >= 0 ? count_at_event(i, e) : acts_now(row);
+    return i >= 0 ? count_at_event(i, e) : (fresh ? 0 : acts_now(row));
   };
 
-  // -- Replay the mitigation state machines over the whole batch,
-  // collecting targeted refreshes in scalar order (TRR fire before the
-  // PARA draw of the same activation).  Snapshot the replayable state
-  // first: a hazard abort must leave the device untouched.
-  const std::optional<TrrTracker> trr_snapshot = trr_;
-  const Rng para_rng_snapshot = para_rng_;
-  const std::uint64_t para_refreshes_snapshot = stats_.para_refreshes;
-
+  // -- Replay the mitigation state machines over the segment, collecting
+  // targeted refreshes in scalar order (TRR fire before the PARA draw of
+  // the same activation).
   struct RefreshPoint {
     std::uint64_t event = 0;
     std::uint64_t aggressor = 0;
@@ -1023,7 +1070,6 @@ bool DramDevice::hammer_pattern(std::span<const std::uint64_t> rows,
 
   // -- Closed-form victim check, generalized from check_victim_batched
   // to the multi-row periodic stream.
-  std::vector<PendingFlip> pending;
   const auto check_victim_pattern =
       [&](std::uint64_t victim, std::span<const VictimRefresh> refreshes) {
         // Pattern positions whose command activates a row that checks
@@ -1083,7 +1129,7 @@ bool DramDevice::hammer_pattern(std::span<const std::uint64_t> rows,
           if (i >= 0) {
             c.idx = i;
           } else {
-            c.base = acts_now(*n);
+            c.base = fresh ? 0 : acts_now(*n);
           }
           return c;
         };
@@ -1135,7 +1181,7 @@ bool DramDevice::hammer_pattern(std::span<const std::uint64_t> rows,
             byte = static_cast<std::uint8_t>(byte & ~(1u << cell.bit));
           }
           pending.push_back(PendingFlip{
-              .event = e,
+              .event = event_offset + e,
               .slot = slot_at(e),
               .flip = FlipEvent{.time_ns = cmd_time_ns[(e - 1) / h],
                                 .global_row = victim,
@@ -1145,7 +1191,7 @@ bool DramDevice::hammer_pattern(std::span<const std::uint64_t> rows,
         };
 
         std::uint64_t seg_start = 1;
-        RefreshBases bases = bases_of(victim);
+        RefreshBases bases = fresh ? RefreshBases{} : bases_of(victim);
         for (std::size_t si = 0;; ++si) {
           const std::uint64_t seg_end =
               si < refreshes.size() ? refreshes[si].event - 1 : E;
@@ -1217,6 +1263,52 @@ bool DramDevice::hammer_pattern(std::span<const std::uint64_t> rows,
     check_victim_pattern(v, segs);
   }
 
+  // -- Segment accumulation: each activated row's final per-window count
+  // and each refreshed victim's final targeted-refresh baselines.  Later
+  // segments overwrite (a new window supersedes the old count outright).
+  for (std::size_t i = 0; i < distinct.size(); ++i) {
+    const auto& C = pos_of[i];
+    std::uint64_t tail = 0;
+    for (const std::uint64_t c : C) {
+      if (c < rem_cmds) ++tail;
+    }
+    const std::uint64_t events_i = h * (full_periods * C.size() + tail);
+    if (events_i == 0) continue;
+    upsert_row(distinct[i], RowCommit{w, (fresh ? 0 : a0[i]) + events_i});
+  }
+  for (const auto& [row, list] : refreshed) {
+    upsert_bases(row, list.back().bases);
+  }
+  };  // run_segment
+
+  // -- Drive the maximal same-window runs in command order.  Each run's
+  // pattern is the batch pattern rotated to the run's first command, so
+  // position arithmetic inside the closed forms stays untouched.  The
+  // caller guarantees the first command falls in the clock's current
+  // window; every later run is a fresh window.
+  const std::uint64_t w_now = current_window();
+  std::vector<std::uint64_t> seg_rows(P);
+  std::uint64_t c_lo = 0;
+  while (c_lo < n_cmds) {
+    const std::uint64_t w_seg = cmd_time_ns[c_lo] / window_ns_;
+    // Command times are nondecreasing, so the window edge is a binary
+    // search, not a per-command division walk (chunks span many
+    // windows and can run to hundreds of thousands of commands).
+    const std::uint64_t c_hi = static_cast<std::uint64_t>(
+        std::lower_bound(cmd_time_ns.begin() + static_cast<std::ptrdiff_t>(
+                             c_lo + 1),
+                         cmd_time_ns.begin() + static_cast<std::ptrdiff_t>(
+                             n_cmds),
+                         (w_seg + 1) * window_ns_) -
+        cmd_time_ns.begin());
+    for (std::uint64_t i = 0; i < P; ++i) {
+      seg_rows[i] = rows[(c_lo + i) % P];
+    }
+    run_segment(seg_rows, c_hi - c_lo, cmd_time_ns.subspan(c_lo, c_hi - c_lo),
+                w_seg, w_seg != w_now, c_lo * h);
+    c_lo = c_hi;
+  }
+
   // -- Hazard gate: a flip inside a hazard range invalidates the whole
   // replay (the data fed back into the pattern's own reads).  Undo the
   // flips in reverse (each emit was a toggle) and restore the
@@ -1233,6 +1325,7 @@ bool DramDevice::hammer_pattern(std::span<const std::uint64_t> rows,
                   : rd.data[it->flip.byte_offset] | (1u << it->flip.bit));
         }
         trr_ = trr_snapshot;
+        trr_window_ = trr_window_snapshot;
         para_rng_ = para_rng_snapshot;
         stats_.para_refreshes = para_refreshes_snapshot;
         return false;
@@ -1241,18 +1334,14 @@ bool DramDevice::hammer_pattern(std::span<const std::uint64_t> rows,
   }
 
   // -- Commit: bulk row state, deferred baselines, ordered flips.
-  stats_.activations += E;
-  for (std::size_t i = 0; i < distinct.size(); ++i) {
-    const auto& C = pos_of[i];
-    std::uint64_t tail = 0;
-    for (const std::uint64_t c : C) {
-      if (c < rem_cmds) ++tail;
-    }
-    row_acts_[distinct[i]] += h * (full_periods * C.size() + tail);
+  stats_.activations += n_cmds * h;
+  for (const auto& [row, rc] : row_commit) {
+    row_window_[row] = rc.window;
+    row_acts_[row] = rc.acts;
   }
   if (trr_.has_value()) stats_.trr_refreshes = trr_->refreshes_issued();
-  for (const auto& [row, list] : refreshed) {
-    refresh_bases_[row] = list.back().bases;
+  for (const auto& [row, nb] : bases_commit) {
+    refresh_bases_[row] = nb;
   }
   if (!pending.empty()) {
     std::stable_sort(pending.begin(), pending.end(),
@@ -1411,7 +1500,7 @@ Status DramDevice::write(DramAddr addr, std::span<const std::uint8_t> data) {
   if (addr.value() + data.size() > config_.geometry.total_bytes()) {
     return OutOfRange("DRAM write past end of device");
   }
-  ++stats_.writes;
+  ++stats_mut().writes;
   const std::uint32_t row_bytes = config_.geometry.row_bytes;
   std::uint64_t a = addr.value();
   std::size_t done = 0;
@@ -1434,6 +1523,15 @@ Status DramDevice::write(DramAddr addr, std::span<const std::uint8_t> data) {
     activate(grow);
 
     RowData& rd = materialize(grow);
+    if (DramShardSink* sink = shard_sink_; sink != nullptr) {
+      // Record the overwritten bytes so a batch rollback restores them.
+      // A freshly materialized row records zeros, which is what a
+      // pre-shard peek of the row reads too.
+      for (std::uint32_t i = 0; i < chunk; ++i) {
+        sink->bytes.push_back(
+            DramShardSink::ByteUndo{grow, off + i, rd.data[off + i]});
+      }
+    }
     std::memcpy(rd.data.data() + off, data.data() + done, chunk);
     update_ecc(rd, off, chunk);
     a += chunk;
@@ -1484,7 +1582,7 @@ Status DramDevice::repeat_write(DramAddr addr,
   }
   if (extra == 0) return Status::Ok();
   if (data.empty()) {
-    stats_.writes += extra;
+    stats_mut().writes += extra;
     return Status::Ok();
   }
   const std::uint32_t row_bytes = config_.geometry.row_bytes;
@@ -1499,7 +1597,7 @@ Status DramDevice::repeat_write(DramAddr addr,
   // Rewriting identical bytes is idempotent (memcpy and ECC update
   // reproduce the state the first write left); only the activations and
   // their neighbor disturbance remain.
-  stats_.writes += extra;
+  stats_mut().writes += extra;
   const DramCoord coord =
       mapper_->decode(DramAddr(addr.value() - addr.value() % row_bytes));
   hammer_events(coord.global_row(config_.geometry),

@@ -131,13 +131,15 @@ struct FlipEvent {
 /// command order — or rolls it back byte-exactly when a command's
 /// outcome diverged from its plan.
 ///
-/// Only the paths a shard can reach are redirected: read(),
-/// repeat_read()'s single-row fast path, activate(), and the plain
-/// batched victim check.  Mitigated paths (TRR/PARA/ECC/cache/open
-/// page) and writes are gated out by the event loop before sharding and
-/// keep writing the device-global stats directly.  Shards must
-/// partition the banks: disturbance never crosses a bank edge, so
-/// per-bank shards touch disjoint row state.
+/// Only the paths a shard can reach are redirected: read(), write(),
+/// the repeat_read()/repeat_write() single-row fast paths, activate(),
+/// and the plain batched victim check.  write() additionally records a
+/// ByteUndo for every byte it overwrites, so sharded L2P entry updates
+/// roll back exactly.  Mitigated paths (TRR/PARA/ECC/cache/open page)
+/// are gated out by the event loop before sharding and keep writing the
+/// device-global stats directly.  Shards must partition the banks:
+/// disturbance never crosses a bank edge, so per-bank shards touch
+/// disjoint row state.
 struct DramShardSink {
   /// One flip tagged for the cross-shard merge.  `order` is the global
   /// command index; `seq` is a per-sink monotone counter that preserves
@@ -212,10 +214,16 @@ class DramDevice {
   /// wrapping around the pattern — exactly what `n_cmds` scalar
   /// unmapped-L2P reads with per-I/O hammer amplification produce.
   /// `cmd_time_ns[c]` is the simulated time of command c's DRAM work
-  /// (used to stamp FlipEvents); all commands must fall in the refresh
-  /// window the clock currently sits in.  Preconditions: closed-page
-  /// policy, no cache.  Bit-exact with the scalar loop: same flips in
-  /// the same order, same DramStats, same TRR/PARA state.
+  /// (used to stamp FlipEvents and to place each command in its refresh
+  /// window).  Commands may span refresh-window boundaries: the replay
+  /// splits the stream into maximal same-window runs internally, and a
+  /// run in a window beyond the clock's current one starts from zeroed
+  /// per-window counters, baselines, and a freshly reset TRR tracker —
+  /// exactly what the scalar walk's roll_window() would produce.  The
+  /// first command must fall in the clock's current refresh window.
+  /// Preconditions: closed-page policy, no cache.  Bit-exact with the
+  /// scalar loop: same flips in the same order, same DramStats, same
+  /// TRR/PARA state.
   ///
   /// Returns false and leaves the device completely untouched if a flip
   /// would land inside one of `hazards` — the caller must then replay

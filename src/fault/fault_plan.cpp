@@ -62,15 +62,18 @@ FaultPlan FaultPlan::Random(std::uint64_t seed, const FaultRates& rates,
       if (frac > 0.0 && rng.next_bool(frac)) ++count;
     }
     count = std::min(count, horizon);  // distinct indices need room
-    std::vector<std::uint64_t> indices;
-    indices.reserve(count);
-    while (indices.size() < count) {
-      const std::uint64_t idx = rng.next_below(horizon);
-      if (std::find(indices.begin(), indices.end(), idx) ==
-          indices.end()) {
-        plan.add(FaultClass::kPowerLoss, idx);
-        indices.push_back(idx);
-      }
+    // Floyd's sampler: exactly `count` draws, no rejection loop (the
+    // old accept/reject scan over a flat vector went quadratic as
+    // count approached the horizon — high-rate chaos storms over short
+    // traces).  For count <= 1 the stream consumption is one
+    // next_below(horizon), identical to the historical scheme, so
+    // existing (seed, rate <= 1.0) plans stay bit-identical.
+    std::vector<bool> taken(count > 0 ? horizon : 0, false);
+    for (std::uint64_t j = horizon - count; j < horizon; ++j) {
+      const std::uint64_t idx = rng.next_below(j + 1);
+      const std::uint64_t pick = taken[idx] ? j : idx;
+      taken[pick] = true;
+      plan.add(FaultClass::kPowerLoss, pick);
     }
   }
   return plan;

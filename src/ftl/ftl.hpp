@@ -113,6 +113,11 @@ struct FtlRecoveryReport {
 struct FtlIoInfo {
   bool flash_accessed = false;
   bool gc_ran = false;
+  /// The raw L2P entry value the read resolved.  The NVMe event loop
+  /// compares it against the plan-time peek: in a batch that also
+  /// drafts writes, a mid-batch rowhammer flip redirecting a read onto
+  /// a not-yet-programmed reserved page must roll the batch back.
+  std::uint32_t pba32 = kUnmappedPba32;
 };
 
 /// Why the device degraded to read-only (kNone while fully writable).
@@ -245,12 +250,59 @@ class Ftl {
   }
 
   /// Thread-local statistics redirection for sharded replay by the NVMe
-  /// event loop: while bound, the read path's FtlStats counters
-  /// accumulate in `sink` instead of the device aggregates (merged on
-  /// commit via merge_shard_stats(), dropped on rollback).  Shards only
-  /// ever execute gated reads — no other FTL state mutates.
+  /// event loop: while bound, the read and write-entry paths' FtlStats
+  /// counters accumulate in `sink` instead of the device aggregates
+  /// (merged on commit via merge_shard_stats(), dropped on rollback).
+  /// Shards only execute gated reads and shard_write_entry() — the only
+  /// FTL state that mutates under a sink is the DRAM-resident table,
+  /// which the DRAM shard undo log covers.
   static void bind_shard_stats(FtlStats* sink) { stats_sink_ = sink; }
   void merge_shard_stats(const FtlStats& delta);
+
+  /// --- Shard-compatible write planning (NVMe event loop) -----------
+  ///
+  /// A drafted write splits into three phases.  Draft (serial):
+  /// plan_write_reserve() mirrors allocate_page() *without* running GC
+  /// or rolling journal snapshots — any path that would is refused, and
+  /// the caller flushes the batch so the write runs sequentially.  The
+  /// reservation hands out NAND pages and write sequences in draft
+  /// order, so the commit-time program stream is bit-identical to the
+  /// sequential interleaving.  Shard (parallel, per DRAM bank):
+  /// shard_write_entry() applies only the L2P entry update.  Commit
+  /// (serial, draft order): commit_planned_write() programs the data
+  /// page at its reserved address, updates validity and appends to the
+  /// journal.  On batch rollback, rollback_write_reservations()
+  /// restores the allocator exactly; the DRAM side is undone by the
+  /// shard undo logs.
+  struct PlannedWrite {
+    Pba dst{0};
+    std::uint64_t seq = 0;
+  };
+  /// Reserve the next NAND page + write sequence for a drafted write.
+  /// Returns false — with allocator state unchanged — when the write
+  /// cannot be planned: device not writable, LBA out of range, the
+  /// allocation would trigger GC (or exhaust the free pool), or the
+  /// journal append would fill the active half past its headroom or
+  /// trip the snapshot cadence.
+  [[nodiscard]] bool plan_write_reserve(Lba lba, PlannedWrite* out);
+  /// Exact NAND page programs the *next* drafted write will issue at
+  /// commit: its data page, plus a journal record page if its append
+  /// fills one.  For the event loop's fault-horizon check.
+  [[nodiscard]] std::uint64_t planned_write_programs() const;
+  /// Shard phase: the DRAM-side entry update for a reserved write.  The
+  /// previously mapped PBA (needed by commit's validity accounting) is
+  /// returned via `old_pba32`.
+  Status shard_write_entry(Lba lba, std::uint32_t new_pba32,
+                           std::uint32_t* old_pba32);
+  /// Commit phase, serial in draft order.
+  Status commit_planned_write(Lba lba, const PlannedWrite& w,
+                              std::uint32_t old_pba32,
+                              std::span<const std::uint8_t> data);
+  /// Close the reservation session once every planned write committed.
+  void end_write_reservations();
+  /// Undo all outstanding reservations (free list, active block,
+  /// write_seq_) for batch rollback.
+  void rollback_write_reservations();
 
   /// True once grown bad blocks ate the spare pool — or the journal ran
   /// out of epoch space: reads still work, mutations fail with
@@ -375,6 +427,24 @@ class Ftl {
   std::vector<bool> block_is_free_or_active_;
   std::uint64_t write_seq_ = 0;
   bool in_gc_ = false;
+  /// Active write-reservation session (see plan_write_reserve).  All
+  /// fields are meaningful only while `active`; popped free-list blocks
+  /// are recorded in pop order so rollback can push them back exactly.
+  struct WriteReserveSession {
+    bool active = false;
+    std::uint64_t write_seq0 = 0;
+    std::uint32_t active_block0 = 0;
+    bool have_active0 = false;
+    std::vector<std::uint32_t> popped;
+    /// Reservations handed out in the current active block (on top of
+    /// its NAND write pointer, which only moves at commit).
+    std::uint32_t reserved_in_active = 0;
+    /// Journal appends drafted but not yet replayed.
+    std::uint64_t appends = 0;
+    /// Reservations not yet consumed by commit_planned_write().
+    std::uint64_t pending = 0;
+  };
+  WriteReserveSession reserve_;
   FtlStats stats_;
   /// Per-thread shard sink; null on the sequential path.
   [[nodiscard]] FtlStats& stats_mut() {

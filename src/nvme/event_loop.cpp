@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <map>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "common/check.hpp"
@@ -132,37 +133,37 @@ int NvmeEventLoop::pick_stream(const std::vector<std::uint32_t>& drafted) {
   const auto ready = [&](std::size_t i) {
     return streams_[i].penalty == 0 && has_work(i);
   };
-  int pick = -1;
-  if (config_.policy == ArbitrationPolicy::kRoundRobin) {
-    for (std::size_t k = 1; k <= n; ++k) {
-      const std::size_t i = (cursor_ + k) % n;
-      if (ready(i)) {
-        cursor_ = i;
-        pick = static_cast<int>(i);
-        break;
+  const auto arbitrate = [&]() -> int {
+    if (config_.policy == ArbitrationPolicy::kRoundRobin) {
+      for (std::size_t k = 1; k <= n; ++k) {
+        const std::size_t i = (cursor_ + k) % n;
+        if (ready(i)) {
+          cursor_ = i;
+          return static_cast<int>(i);
+        }
       }
+      return -1;
     }
-  } else {
     // kWeighted: one seeded draw per successful pick, proportional to
     // the attach weights of the currently ready streams.
     std::uint64_t total = 0;
     for (std::size_t i = 0; i < n; ++i) {
       if (ready(i)) total += streams_[i].weight;
     }
-    if (total > 0) {
-      std::uint64_t r = rng_.next_below(total);
-      for (std::size_t i = 0; i < n; ++i) {
-        if (!ready(i)) continue;
-        if (r < streams_[i].weight) {
-          cursor_ = i;
-          pick = static_cast<int>(i);
-          break;
-        }
-        r -= streams_[i].weight;
+    if (total == 0) return -1;
+    std::uint64_t r = rng_.next_below(total);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!ready(i)) continue;
+      if (r < streams_[i].weight) {
+        cursor_ = i;
+        return static_cast<int>(i);
       }
-      RHSD_CHECK_MSG(pick >= 0, "weighted draw out of range");
+      r -= streams_[i].weight;
     }
-  }
+    RHSD_CHECK_MSG(false, "weighted draw out of range");
+    return -1;
+  };
+  int pick = arbitrate();
   if (pick < 0) {
     // Forward progress: when every stream with work is quarantined, the
     // loop must not report idle with commands still queued.  Force the
@@ -179,9 +180,15 @@ int NvmeEventLoop::pick_stream(const std::vector<std::uint32_t>& drafted) {
     streams_[best].penalty = 0;
     streams_[best].failures = 0;
     ++stats_.quarantine_releases;
-    return pick_stream(drafted);
+    pick = arbitrate();
+    RHSD_CHECK_MSG(pick >= 0, "forced release must yield a pick");
   }
-  // Serving a pick burns one quarantine tick on every penalized stream.
+  // Serving a pick burns exactly one quarantine tick on every penalized
+  // stream — including picks that needed a forced release.  The drain
+  // sits at the function's single exit so it cannot run twice per pick;
+  // the previous structure re-entered pick_stream() after a forced
+  // release, which made the one-tick-per-pick invariant depend on the
+  // recursion depth being exactly one.
   for (std::size_t i = 0; i < n; ++i) {
     Stream& st = streams_[i];
     if (st.penalty > 0 && --st.penalty == 0) {
@@ -195,8 +202,11 @@ bool NvmeEventLoop::plan_head(std::uint32_t stream, Planned* plan) const {
   const NvmeQueuePair& qp = *streams_[stream].qp;
   const NvmeCommand* cmd = qp.peek_submission();
   RHSD_CHECK(cmd != nullptr);
-  if (cmd->op != NvmeCommand::Op::kRead) return false;
-  if (cmd->read_buf.size() != kBlockSize) return false;
+  const bool is_write = cmd->op == NvmeCommand::Op::kWrite;
+  if (cmd->op != NvmeCommand::Op::kRead && !is_write) return false;
+  const std::size_t bytes =
+      is_write ? cmd->write_data.size() : cmd->read_buf.size();
+  if (bytes != kBlockSize) return false;
   // The namespace translation must be known to succeed, otherwise the
   // sequential error/stats path must run.
   if (cmd->nsid < 1 || cmd->nsid > controller_.namespace_count()) {
@@ -207,6 +217,10 @@ bool NvmeEventLoop::plan_head(std::uint32_t stream, Planned* plan) const {
   const std::uint64_t lba = ns.start.value() + cmd->slba;
 
   Ftl& ftl = controller_.ftl();
+  // A read-only device rejects the write at guard_op with its own
+  // status and stats path; only the sequential machinery models that
+  // (and counts the degraded rejection).
+  if (is_write && ftl.read_only()) return false;
   DramDevice& dram = ftl.dram();
   const DramGeometry& geom = dram.mapper().geometry();
   const DramAddr addr = ftl.layout().entry_addr(lba);
@@ -220,9 +234,17 @@ bool NvmeEventLoop::plan_head(std::uint32_t stream, Planned* plan) const {
   plan->lba = lba;
   plan->entry_row = coord.global_row(geom);
   plan->bank = coord.flat_bank(geom);
+  plan->is_write = is_write;
+  if (is_write) {
+    // A write always programs its data page, so its service class is
+    // flash regardless of the current mapping.
+    plan->flash = true;
+    return true;
+  }
   // Predicted service class.  The FTL treats corrupted-beyond-device
   // entries exactly like unmapped ones, so the peek mirrors its test.
   const std::uint32_t pba32 = ftl.debug_lookup(Lba(lba));
+  plan->old_pba32 = pba32;
   plan->flash = pba32 != kUnmappedPba32 &&
                 pba32 < ftl.nand().geometry().total_pages();
   return true;
@@ -284,6 +306,8 @@ std::uint64_t NvmeEventLoop::run_batch(std::vector<Planned>& batch) {
   };
   std::vector<ShardResult> results(shards.size());
   std::atomic<bool> diverged{false};
+  bool batch_has_write = false;
+  for (const Planned& p : batch) batch_has_write |= p.is_write;
   // Detach the device-side injectors for the parallel section: the
   // FaultInjector is not thread-safe, an injected DRAM bit error would
   // mutate row bytes behind the shard undo log, and an injected NAND
@@ -308,9 +332,29 @@ std::uint64_t NvmeEventLoop::run_batch(std::vector<Planned>& batch) {
           Planned& p = batch[idx];
           res.dram.now_ns = p.start_ns;
           res.dram.order = idx;
-          FtlIoInfo info;
-          p.status = ftl.read(Lba(p.lba), p.cmd.read_buf, &info);
-          p.flash_actual = info.flash_accessed;
+          if (p.is_write) {
+            // Only the DRAM side of the write runs in the shard: bump
+            // host_writes, read the old mapping, store the reserved
+            // page.  The flash program and journal append replay
+            // serially at commit, in draft order.
+            p.status = ftl.shard_write_entry(
+                Lba(p.lba), static_cast<std::uint32_t>(p.reserved_pba),
+                &p.old_pba32);
+            p.flash_actual = true;
+          } else {
+            FtlIoInfo info;
+            p.status = ftl.read(Lba(p.lba), p.cmd.read_buf, &info);
+            p.flash_actual = info.flash_accessed;
+            if (batch_has_write && info.pba32 != p.old_pba32) {
+              // A mid-batch flip moved this read's mapping.  Harmless
+              // in a read-only batch (every page's content is static),
+              // but here it could point at a page a drafted write
+              // reserved — which sequential execution would already
+              // have programmed.  Roll back and replay.
+              diverged.store(true, std::memory_order_relaxed);
+              break;
+            }
+          }
           if (!p.status.ok() || p.flash_actual != p.flash) {
             // The plan (and with it the whole batch timeline) is wrong;
             // stop this shard, the batch will roll back.
@@ -350,15 +394,39 @@ std::uint64_t NvmeEventLoop::run_batch(std::vector<Planned>& batch) {
     for (const DramShardSink::OrderedFlip& f : flips) {
       dram.append_flip_event(f.flip);
     }
-    controller_.account_sharded_reads(batch.size(), t - t0);
+    // Replay the writes' flash programs and journal appends serially,
+    // in draft order — the page each one programs was serialized by the
+    // draft-time allocator session, so the program/erase order is
+    // bit-identical to the sequential interleaving.  The injectors are
+    // live again here, which makes the kNandProgram stream tick
+    // naturally (no skip below); the planner proved the window clear of
+    // scheduled program faults, so a failure is a plan bug, not a
+    // runtime condition.
+    std::uint64_t n_writes = 0;
+    for (Planned& p : batch) {
+      if (!p.is_write) continue;
+      ++n_writes;
+      const Status ws = ftl.commit_planned_write(
+          Lba(p.lba),
+          Ftl::PlannedWrite{Pba(p.reserved_pba), p.write_seq},
+          p.old_pba32,
+          std::span<const std::uint8_t>(p.cmd.write_data));
+      RHSD_CHECK_MSG(ws.ok(), "planned write commit cannot fail");
+    }
+    ftl.end_write_reservations();
+    controller_.account_sharded_commands(batch.size() - n_writes, n_writes,
+                                         t - t0);
     // Advance the device-side fault streams past the batch: one host op
     // (kPowerLoss) and one L2P entry read (kDramBitError) per command,
-    // one flash read per flash-class command.  The planner proved every
+    // one flash read per flash-class *read*.  The planner proved every
     // skipped op fault-free, so the skip is exactly what sequential
-    // execution would have consumed.
+    // execution would have consumed.  kNandProgram needs no skip: the
+    // commit loop above programmed through the live injectors.
     if (ftl_inj != nullptr || dram_inj != nullptr || nand_inj != nullptr) {
       std::uint64_t flash_reads = 0;
-      for (const Planned& p : batch) flash_reads += p.flash ? 1 : 0;
+      for (const Planned& p : batch) {
+        flash_reads += (!p.is_write && p.flash) ? 1 : 0;
+      }
       ftl.skip_injected_power_losses(batch.size());
       dram.skip_injected_read_faults(batch.size());
       nand.skip_injected_read_faults(flash_reads);
@@ -369,6 +437,7 @@ std::uint64_t NvmeEventLoop::run_batch(std::vector<Planned>& batch) {
     }
     ++stats_.batches;
     stats_.sharded_commands += batch.size();
+    stats_.sharded_writes += n_writes;
   } else {
     // Roll every shard back byte-exactly (FTL/NAND sinks just drop) and
     // replay the drafted commands sequentially — same commands, same
@@ -376,9 +445,14 @@ std::uint64_t NvmeEventLoop::run_batch(std::vector<Planned>& batch) {
     // fault the planner could not predict (a NAND-read fault whose op
     // window shifted with the mapped/unmapped divergence) lands on the
     // identical host path the sequential interleaving would have run.
+    // The shard undo logs cover the writes' L2P mutations too (every
+    // overwritten entry byte), and the allocator session rewinds its
+    // reservations, so the replayed writes re-allocate the same pages
+    // from pristine state.
     for (const ShardResult& res : results) {
       dram.rollback_shard(res.dram);
     }
+    ftl.rollback_write_reservations();
     ++stats_.rollbacks;
     for (const Planned& p : batch) {
       NvmeQueuePair& qp = *streams_[p.stream].qp;
@@ -446,8 +520,10 @@ void NvmeEventLoop::observe_device() {
   last_health_ = health;
 }
 
-bool NvmeEventLoop::fault_blocks_draft(bool flash, std::uint64_t n_cmds,
-                                       std::uint64_t n_flash) {
+bool NvmeEventLoop::fault_blocks_draft(bool flash, bool is_write,
+                                       std::uint64_t n_cmds,
+                                       std::uint64_t n_flash_reads,
+                                       std::uint64_t n_programs) {
   const auto within = [](const FaultInjector* inj, FaultClass cls,
                          std::uint64_t ticks) {
     if (inj == nullptr || ticks == 0) return false;
@@ -457,16 +533,23 @@ bool NvmeEventLoop::fault_blocks_draft(bool flash, std::uint64_t n_cmds,
   Ftl& ftl = controller_.ftl();
   // Ops the batch-plus-candidate would consume per fault stream: one
   // transport dispatch (timeout and drop), one host op, and one L2P
-  // entry read per command; one flash read per flash-class command.
+  // entry read per command; one flash read per flash-class *read*; the
+  // caller-supplied program count (data pages plus journal record
+  // pages) for writes.  Programs tick live at commit — with the
+  // injectors reattached — so a program fault inside the window would
+  // fire mid-commit where nothing can roll it back; the draft must stop
+  // short of it.
   const std::uint64_t cmds = n_cmds + 1;
   const FaultInjector* const host_inj = controller_.fault_injector();
+  const FaultInjector* const nand_inj = ftl.nand().fault_injector();
   return within(host_inj, FaultClass::kNvmeTimeout, cmds) ||
          within(host_inj, FaultClass::kNvmeDrop, cmds) ||
          within(ftl.fault_injector(), FaultClass::kPowerLoss, cmds) ||
          within(ftl.dram().fault_injector(), FaultClass::kDramBitError,
                 cmds) ||
-         within(ftl.nand().fault_injector(), FaultClass::kNandRead,
-                n_flash + (flash ? 1 : 0));
+         within(nand_inj, FaultClass::kNandRead,
+                n_flash_reads + (flash && !is_write ? 1 : 0)) ||
+         within(nand_inj, FaultClass::kNandProgram, n_programs);
 }
 
 std::uint64_t NvmeEventLoop::run_until_idle() {
@@ -490,13 +573,17 @@ std::uint64_t NvmeEventLoop::run_until_idle() {
                            ftl.dram().fault_injector() != nullptr ||
                            ftl.nand().fault_injector() != nullptr;
   std::vector<Planned> batch;
-  std::uint64_t batch_flash = 0;
+  std::uint64_t batch_flash_reads = 0;
+  std::uint64_t batch_programs = 0;
+  std::unordered_set<std::uint64_t> pending_write_lbas;
   BufferAliasMap aliases;
   const auto flush = [&] {
     if (batch.empty()) return;
     retired += run_batch(batch);
     batch.clear();
-    batch_flash = 0;
+    batch_flash_reads = 0;
+    batch_programs = 0;
+    pending_write_lbas.clear();
     aliases.clear();
     std::fill(drafted.begin(), drafted.end(), 0);
   };
@@ -523,8 +610,32 @@ std::uint64_t NvmeEventLoop::run_until_idle() {
       ++retired;
       continue;
     }
-    if (fault_aware && fault_blocks_draft(plan.flash, batch.size(),
-                                          batch_flash)) {
+    if (!plan.is_write && !pending_write_lbas.empty() &&
+        pending_write_lbas.count(plan.lba) != 0) {
+      // A drafted-but-uncommitted write covers this read's LBA: the
+      // read's predicted service class peeked the pre-write mapping,
+      // and its shard would read a NAND page the commit loop has not
+      // programmed yet.  Commit the batch first, then re-plan the read
+      // against fresh state.
+      ++stats_.rw_conflict_flushes;
+      flush();
+      if (!plan_head(stream, &plan)) {
+        // Committing writes cannot degrade the device (GC and journal
+        // rolls were refused at reservation time), but stay graceful.
+        process_one(stream);
+        ++retired;
+        continue;
+      }
+    }
+    // Journal record pages the candidate write would program on top of
+    // its data page — predicted against the allocator session *before*
+    // its reservation is taken.
+    const std::uint64_t cand_programs =
+        plan.is_write ? ftl.planned_write_programs() : 0;
+    if (fault_aware &&
+        fault_blocks_draft(plan.flash, plan.is_write, batch.size(),
+                           batch_flash_reads,
+                           batch_programs + cand_programs)) {
       // A scheduled fault would fire inside the extended batch.  Flush
       // the proven-clear prefix and run the candidate sequentially: the
       // fault lands at the exact op index the sequential interleaving
@@ -537,15 +648,34 @@ std::uint64_t NvmeEventLoop::run_until_idle() {
       continue;
     }
     plan.stream = stream;
-    const std::span<std::uint8_t> buf =
-        streams_[stream].qp->peek_submission()->read_buf;
-    if (aliases.conflicts(buf.data(), buf.data() + buf.size(),
-                          plan.bank)) {
-      flush();
+    if (plan.is_write) {
+      Ftl::PlannedWrite w;
+      if (!ftl.plan_write_reserve(Lba(plan.lba), &w)) {
+        // The allocator refused: the write needs GC, a new active
+        // block below the watermark, or a journal roll — work only the
+        // sequential machinery performs.  Flushing first keeps the
+        // command order identical to the sequential interleaving.
+        ++stats_.write_reserve_flushes;
+        flush();
+        process_one(stream);
+        ++retired;
+        continue;
+      }
+      plan.reserved_pba = w.dst.value();
+      plan.write_seq = w.seq;
+      pending_write_lbas.insert(plan.lba);
+      batch_programs += cand_programs;
+    } else {
+      const std::span<std::uint8_t> buf =
+          streams_[stream].qp->peek_submission()->read_buf;
+      if (aliases.conflicts(buf.data(), buf.data() + buf.size(),
+                            plan.bank)) {
+        flush();
+      }
+      aliases.add(buf.data(), buf.data() + buf.size(), plan.bank);
+      batch_flash_reads += plan.flash ? 1 : 0;
     }
-    aliases.add(buf.data(), buf.data() + buf.size(), plan.bank);
     plan.cmd = streams_[stream].qp->take_submission();
-    batch_flash += plan.flash ? 1 : 0;
     batch.push_back(std::move(plan));
     ++drafted[stream];
     if (batch.size() >= config_.max_batch) flush();

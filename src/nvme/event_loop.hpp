@@ -10,10 +10,17 @@
 // of the submitted streams, the policy, and the seed.
 //
 // On top of the arbitration it adds sharded-bank concurrency: runs of
-// single-block reads are planned (namespace translate, L2P peek,
-// predicted flash access, per-command service times in closed form),
-// grouped by the DRAM bank of their L2P entry row, and executed in
-// parallel on an exec::ThreadPool — one shard per bank.  Disturbance
+// single-block reads *and writes* are planned (namespace translate, L2P
+// peek, predicted flash access, per-command service times in closed
+// form), grouped by the DRAM bank of their L2P entry row, and executed
+// in parallel on an exec::ThreadPool — one shard per bank.  Writes
+// additionally reserve their NAND destination page at draft time
+// through a serialized FTL allocator session (Ftl::plan_write_reserve),
+// so shard execution only touches the DRAM entry; the flash programs
+// and journal appends are replayed serially at commit in draft order —
+// bit-identical program/erase ordering to the sequential interleaving.
+// A write the planner cannot reserve (GC needed, journal half nearly
+// full) flushes the batch and runs sequentially instead.  Disturbance
 // never crosses a bank edge (DramDevice::neighbor clamps there), so
 // shards touch disjoint row state; per-layer thread-local sinks collect
 // statistics, flip events and undo state.  After the join the loop
@@ -105,6 +112,10 @@ struct EventLoopStats {
   std::uint64_t quarantine_releases = 0;  // penalties expiring (or forced)
   std::uint64_t degraded_rejections = 0;  // mutations while read-only
   std::uint64_t device_transitions = 0;   // health-state changes observed
+  /// Write-planning visibility.
+  std::uint64_t sharded_writes = 0;  // writes committed via shard drafting
+  std::uint64_t write_reserve_flushes = 0;  // allocator refused a reservation
+  std::uint64_t rw_conflict_flushes = 0;  // read hit a drafted write's LBA
 };
 
 class NvmeEventLoop {
@@ -151,7 +162,8 @@ class NvmeEventLoop {
     std::uint32_t failures = 0;
   };
 
-  /// One drafted read with its execution plan and (later) its outcome.
+  /// One drafted command with its execution plan and (later) its
+  /// outcome.
   struct Planned {
     std::uint32_t stream = 0;
     NvmeCommand cmd;
@@ -159,6 +171,13 @@ class NvmeEventLoop {
     std::uint64_t entry_row = 0;  // global DRAM row of the L2P entry
     std::uint64_t bank = 0;       // entry_row's bank — the shard key
     bool flash = false;           // predicted flash access
+    bool is_write = false;
+    /// Write reservation (is_write only): the NAND page serialized by
+    /// Ftl::plan_write_reserve at draft time and the write sequence it
+    /// drew — commit programs exactly this page with this sequence.
+    std::uint64_t reserved_pba = 0;
+    std::uint64_t write_seq = 0;
+    std::uint32_t old_pba32 = 0;  // pre-write mapping (shard-recorded)
     std::uint64_t start_ns = 0;   // planned clock at body execution
     std::uint64_t cost_ns = 0;    // planned service cost
     bool flash_actual = false;
@@ -186,11 +205,16 @@ class NvmeEventLoop {
   void process_one(std::uint32_t stream);
 
   /// True when a scheduled injected fault would fire within the current
-  /// draft batch extended by one more command (`flash` = the candidate's
-  /// predicted service class).  `n_cmds`/`n_flash` describe the batch
-  /// drafted so far.  Pure lookahead over every layer's injector.
-  [[nodiscard]] bool fault_blocks_draft(bool flash, std::uint64_t n_cmds,
-                                        std::uint64_t n_flash);
+  /// draft batch extended by one more command (`flash`/`is_write` = the
+  /// candidate's predicted service class and direction).  `n_cmds`
+  /// counts commands drafted so far, `n_flash_reads` their NAND read
+  /// ticks, `n_programs` the NAND program ticks the batch plus the
+  /// candidate would consume at commit (data pages plus journal record
+  /// pages).  Pure lookahead over every layer's injector.
+  [[nodiscard]] bool fault_blocks_draft(bool flash, bool is_write,
+                                        std::uint64_t n_cmds,
+                                        std::uint64_t n_flash_reads,
+                                        std::uint64_t n_programs);
 
   /// Record device-health transitions (powered off / needs recovery /
   /// read-only) in stats_.device_transitions.

@@ -62,8 +62,10 @@ void NvmeController::charge(bool flash_accessed) {
   ++commands_;
 }
 
-void NvmeController::account_sharded_reads(std::uint64_t n_cmds,
-                                           std::uint64_t total_cost_ns) {
+void NvmeController::account_sharded_commands(std::uint64_t n_reads,
+                                              std::uint64_t n_writes,
+                                              std::uint64_t total_cost_ns) {
+  const std::uint64_t n_cmds = n_reads + n_writes;
   if (n_cmds == 0) return;
   RHSD_CHECK_MSG(!limiter_.has_value(),
                  "sharded accounting cannot model a rate limiter");
@@ -73,7 +75,8 @@ void NvmeController::account_sharded_reads(std::uint64_t n_cmds,
   }
   clock_.advance_ns(total_cost_ns);
   stats_.busy_ns += total_cost_ns;
-  stats_.read_cmds += n_cmds;
+  stats_.read_cmds += n_reads;
+  stats_.write_cmds += n_writes;
   commands_ += n_cmds;
   if (injector_ != nullptr) {
     // The batch's commands were proven transport-fault-free by the
@@ -161,8 +164,47 @@ Status NvmeController::submit_pattern(std::uint32_t nsid,
     return InvalidArgument(
         "pattern request needs a rounds or deadline bound");
   }
+  if (!req.data.empty()) {
+    return run_write_pattern(nsid, req.slbas, req.data, req.rounds,
+                             req.deadline_ns, done);
+  }
   return run_pattern(nsid, req.slbas, req.out, req.rounds,
                      req.deadline_ns, done);
+}
+
+Status NvmeController::run_write_pattern(std::uint32_t nsid,
+                                         std::span<const std::uint64_t> slbas,
+                                         std::span<const std::uint8_t> data,
+                                         std::uint64_t max_rounds,
+                                         std::uint64_t deadline_ns,
+                                         std::uint64_t* rounds_done) {
+  *rounds_done = 0;
+  const bool until = deadline_ns != kNoDeadline;
+  const bool bounded = max_rounds != kNoRounds;
+  if (data.size() != kBlockSize) {
+    ++stats_.errors;
+    return InvalidArgument("pattern writes are one 4 KiB block each");
+  }
+  if (slbas.empty()) {
+    if (!bounded) {
+      ++stats_.errors;
+      return InvalidArgument(
+          "deadline-bound pattern must not be empty (it would never "
+          "advance the clock)");
+    }
+    *rounds_done = max_rounds;  // empty rounds are no-ops
+    return Status::Ok();
+  }
+  for (std::uint64_t r = 0;; ++r) {
+    if ((until && clock_.now_ns() >= deadline_ns) ||
+        (bounded && r >= max_rounds)) {
+      return Status::Ok();
+    }
+    for (const std::uint64_t slba : slbas) {
+      RHSD_RETURN_IF_ERROR(write(nsid, slba, data));
+    }
+    *rounds_done = r + 1;
+  }
 }
 
 std::uint64_t NvmeController::transport_faults_away() const {
@@ -225,7 +267,6 @@ Status NvmeController::run_pattern(std::uint32_t nsid,
 
   const std::uint64_t service_ns =
       config_.iops.service_ns(/*flash_accessed=*/false, ftl_.nand().latency());
-  const std::uint64_t window_ns = ftl_.dram().refresh_window_ns();
   const auto allow_round = [&](std::uint64_t now_ns, std::uint64_t r) {
     return (!until || now_ns < deadline_ns) &&
            (!bounded || r < max_rounds);
@@ -274,14 +315,14 @@ Status NvmeController::run_pattern(std::uint32_t nsid,
       continue;
     }
     // Size the chunk by the exact per-command cost model (limiter stall
-    // + constant non-flash service time) up to the next refresh-window
-    // edge, disallowed round, or fault horizon.  Command bodies run at
-    // the pre-charge clock, so command i's DRAM work happens at
-    // times[i].
+    // + constant non-flash service time) up to the next disallowed
+    // round or fault horizon.  Refresh-window edges no longer cut the
+    // chunk: hammer_pattern splits the command stream into per-window
+    // segments internally.  Command bodies run at the pre-charge clock,
+    // so command i's DRAM work happens at times[i].
     times.clear();
     std::optional<RateLimiter> lim = limiter_;
     std::uint64_t t = clock_.now_ns();
-    const std::uint64_t w0 = t / window_ns;
     std::uint64_t n = 0;
     if (!lim.has_value()) {
       // Constant stride: command i runs at t0 + i*service_ns, so each
@@ -289,9 +330,6 @@ Status NvmeController::run_pattern(std::uint32_t nsid,
       // take the smallest.
       const std::uint64_t t0 = t;
       n = safe;
-      // Refresh-window edge: first command at or past it stops the chunk.
-      const std::uint64_t edge_ns = (w0 + 1) * window_ns;
-      n = std::min(n, (edge_ns - t0 + service_ns - 1) / service_ns);
       // Round gate, checked only where a round would start (gg % P == 0).
       if (until) {
         const std::uint64_t base = g % P;
@@ -327,7 +365,6 @@ Status NvmeController::run_pattern(std::uint32_t nsid,
         const std::uint64_t gg = g + n;
         if (n > 0) {
           if (gg % P == 0 && !allow_round(t, gg / P)) break;
-          if (t / window_ns != w0) break;
         }
         if (steady) {
           // Closed forms mirror the no-limiter branch with stride
@@ -335,8 +372,6 @@ Status NvmeController::run_pattern(std::uint32_t nsid,
           // gates, so every bound is >= 1.
           const std::uint64_t step = service_ns + last_stall;
           std::uint64_t m = safe - n;
-          const std::uint64_t edge_ns = (w0 + 1) * window_ns;
-          m = std::min(m, (edge_ns - t + step - 1) / step);
           if (until) {
             const std::uint64_t base = gg % P;
             const std::uint64_t nb0 = base == 0 ? P : P - base;

@@ -53,18 +53,25 @@ struct NvmeStats {
   std::uint64_t transport_drops = 0;
 };
 
-/// One batched pattern submission: one single-block read command per
-/// element of `slbas` per round, all into the same 4 KiB buffer,
-/// repeated until a bound is hit.  At least one of `rounds` /
-/// `deadline_ns` must be set; when both are, whichever trips first
-/// ends the run — bit-exact with the scalar shape
+/// One batched pattern submission: one single-block command per element
+/// of `slbas` per round, repeated until a bound is hit.  At least one
+/// of `rounds` / `deadline_ns` must be set; when both are, whichever
+/// trips first ends the run — bit-exact with the scalar shape
 /// `while (now < deadline && r < rounds) read_pattern(...)`.
+///
+/// With `data` empty (the default) every command is a read into `out`.
+/// With `data` set (exactly one 4 KiB block) every command instead
+/// *writes* that block — a write pattern hammers the same L2P entry
+/// rows as the equivalent read pattern, plus the programs, so tenants
+/// can drive write pressure through the same submission interface.
 struct PatternRequest {
   static constexpr std::uint64_t kNoRounds = ~0ull;
   static constexpr std::uint64_t kNoDeadline = ~0ull;
 
   std::span<const std::uint64_t> slbas;
-  std::span<std::uint8_t> out;  // exactly one 4 KiB block, shared
+  std::span<std::uint8_t> out;  // reads: exactly one 4 KiB block, shared
+  /// Non-empty turns the pattern into writes of this one 4 KiB block.
+  std::span<const std::uint8_t> data = {};
   std::uint64_t rounds = kNoRounds;
   std::uint64_t deadline_ns = kNoDeadline;
   /// Completed rounds, reported also on error.  Optional.
@@ -89,9 +96,12 @@ class NvmeController {
   /// are replayed in closed form per layer instead of per command.
   /// The first round always runs scalar (it settles cache/ECC state
   /// the replay then proves invariant); commands carrying injected
-  /// faults, scrub triggers or refresh-window crossings drop back to
-  /// scalar automatically.  Aborts on the first command error, exactly
-  /// like the scalar loop.
+  /// faults or scrub triggers drop back to scalar automatically, and
+  /// chunks spanning refresh-window edges are split per window inside
+  /// the DRAM replay.  Aborts on the first command error, exactly like
+  /// the scalar loop.  A write pattern (`req.data` set) runs the plain
+  /// scalar loop under the same bounds: every write mutates FTL state,
+  /// so there is no invariant stretch to replay in closed form.
   Status submit_pattern(std::uint32_t nsid, const PatternRequest& req);
   /// Deprecated single-round form of submit_pattern().
   [[deprecated("use submit_pattern()")]] Status read_pattern(
@@ -148,17 +158,20 @@ class NvmeController {
   [[nodiscard]] FaultInjector* fault_injector() const { return injector_; }
 
   /// Bulk accounting for a committed shard batch of the NVMe event
-  /// loop: `n_cmds` successful single-block reads whose FTL bodies ran
-  /// out-of-band at pre-planned times, with `total_cost_ns` the sum of
-  /// their per-command service costs.  Performs exactly what n_cmds
+  /// loop: `n_reads` successful single-block reads and `n_writes`
+  /// successful single-block writes whose FTL bodies ran out-of-band
+  /// at pre-planned times, with `total_cost_ns` the sum of their
+  /// per-command service costs.  Performs exactly what the equivalent
   /// sequential charge() calls would have: latches the first-command
   /// time, advances the clock, and bumps busy_ns / command counters.
-  /// With a fault injector attached, additionally skips n_cmds ops of
-  /// both transport fault streams — valid because the event loop's
-  /// planner only commits batches it proved transport-fault-free.
-  /// Only valid without a rate limiter (the event loop gates on it).
-  void account_sharded_reads(std::uint64_t n_cmds,
-                             std::uint64_t total_cost_ns);
+  /// With a fault injector attached, additionally skips one op of both
+  /// transport fault streams per command — valid because the event
+  /// loop's planner only commits batches it proved
+  /// transport-fault-free.  Only valid without a rate limiter (the
+  /// event loop gates on it).
+  void account_sharded_commands(std::uint64_t n_reads,
+                                std::uint64_t n_writes,
+                                std::uint64_t total_cost_ns);
 
  private:
   /// Injected transport outcome of one dispatched command.
@@ -178,6 +191,14 @@ class NvmeController {
                      std::span<const std::uint64_t> slbas,
                      std::span<std::uint8_t> out, std::uint64_t max_rounds,
                      std::uint64_t deadline_ns, std::uint64_t* rounds_done);
+  /// Write-pattern engine: the literal scalar loop under the same round
+  /// and deadline bounds as run_pattern().
+  Status run_write_pattern(std::uint32_t nsid,
+                           std::span<const std::uint64_t> slbas,
+                           std::span<const std::uint8_t> data,
+                           std::uint64_t max_rounds,
+                           std::uint64_t deadline_ns,
+                           std::uint64_t* rounds_done);
   /// Commands until the next injected transport fault (timeout or
   /// drop), or FaultInjector::kNoFault.
   [[nodiscard]] std::uint64_t transport_faults_away() const;

@@ -1,6 +1,7 @@
 #include "nvme/rate_limiter.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace rhsd {
 
@@ -16,10 +17,15 @@ std::uint64_t RateLimiter::acquire(SimClock::Nanos now_ns) {
     tokens_ -= 1.0;
     return 0;
   }
-  // Stall until one token accumulates.
+  // Stall until one token accumulates.  Ceil: truncating toward zero
+  // while also zeroing tokens_ discarded the fractional token already
+  // accumulated during the (short) stall, so a sustained stall train
+  // admitted slightly more than max_iops.  tokens_ stays exactly 0.0 so
+  // skip_steady()'s drained fixed point remains a true fixed point of
+  // this function.
   const double deficit = 1.0 - tokens_;
   const auto stall_ns = static_cast<std::uint64_t>(
-      deficit / config_.max_iops * 1e9);
+      std::ceil(deficit / config_.max_iops * 1e9));
   tokens_ = 0.0;
   last_ns_ = now_ns + stall_ns;
   total_stall_ns_ += stall_ns;

@@ -84,4 +84,11 @@ WorkloadOp WorkloadGenerator::next() {
   return op;
 }
 
+std::vector<WorkloadOp> WorkloadGenerator::generate(std::uint64_t n) {
+  std::vector<WorkloadOp> ops;
+  ops.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) ops.push_back(next());
+  return ops;
+}
+
 }  // namespace rhsd

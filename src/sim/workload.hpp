@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/rng.hpp"
 
@@ -57,6 +58,10 @@ class WorkloadGenerator {
 
   /// Produce the next operation.
   [[nodiscard]] WorkloadOp next();
+
+  /// Produce the next `n` operations as a script — the common shape the
+  /// cloud benches and event-loop tests feed queue pairs from.
+  [[nodiscard]] std::vector<WorkloadOp> generate(std::uint64_t n);
 
   [[nodiscard]] const WorkloadConfig& config() const { return config_; }
 

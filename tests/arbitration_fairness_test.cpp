@@ -25,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "nvme/event_loop.hpp"
 #include "ssd/ssd_device.hpp"
 #include "test_util.hpp"
@@ -225,6 +226,184 @@ TEST(ArbitrationFairness, VictimPickLatencyIsBounded) {
           << " ns behind the flooder (bound " << bound << " ns)";
     }
   }
+}
+
+// ---------------------------------------------------------------------
+// pick_stream() drain semantics: serving a pick burns exactly one
+// quarantine tick on every penalized stream, and when every stream
+// with work is penalized the loop force-releases the smallest penalty
+// instead of stalling.  (The drain sits at the function's single exit;
+// the previous structure re-entered pick_stream() after a forced
+// release, leaving the one-tick-per-pick invariant to hold only by the
+// recursion depth being exactly one.)
+
+TEST(ArbitrationFairness, PenaltyDrainsExactlyOneTickPerPick) {
+  // The quarantine penalty is base + seeded jitter in [0, base] on a
+  // documented SplitMix64 stream (seed ^ golden-ratio * (stream+1) ^
+  // mix-constant * failures); replicate it to predict the flooder's
+  // first penalty exactly.
+  constexpr std::uint64_t kSeed = 11;
+  constexpr std::uint32_t kBase = 8;
+  std::uint64_t mix = kSeed ^ (0x9E3779B97F4A7C15ull * 1ull) ^
+                      (0xBF58476D1CE4E5B9ull * 1ull);
+  const std::uint64_t penalty = kBase + SplitMix64(mix) % (kBase + 1ull);
+  ASSERT_LE(penalty, kDepth);  // the victim can keep every pick fed
+
+  SsdConfig cfg = test::SmallSsd();
+  cfg.dram_profile = DramProfile::Invulnerable();
+  FaultPlan plan;
+  plan.add(FaultClass::kNvmeDrop, /*op_index=*/0, /*count=*/4);
+  cfg.fault_plan = plan;
+  SsdDevice ssd(cfg);
+  EventLoopConfig lc;
+  lc.policy = ArbitrationPolicy::kRoundRobin;
+  lc.seed = kSeed;
+  lc.sharded = false;
+  lc.quarantine = true;
+  lc.quarantine_base_picks = kBase;
+  lc.quarantine_cap_picks = 512;
+  NvmeEventLoop loop(ssd.controller(), lc);
+
+  NvmeQueuePair flooder(ssd.controller(), 1, kDepth);
+  NvmeRetryPolicy fp;
+  fp.max_attempts = 4;
+  flooder.set_retry_policy(fp);
+  loop.attach(flooder, /*weight=*/1);
+  NvmeQueuePair victim(ssd.controller(), 2, kDepth);
+  loop.attach(victim, /*weight=*/1);
+
+  std::vector<std::uint8_t> fbuf(kBlockSize);
+  std::vector<std::uint8_t> vbuf(kBlockSize);
+  // Phase A: the storm eats all four attempts of the flooder's first
+  // command; the exhausted retry quarantines it for `penalty` picks.
+  ASSERT_TRUE(flooder.submit(NvmeCommand::Read(0, 1, 0, fbuf)).ok());
+  loop.run_until_idle();
+  const auto failed = flooder.poll();
+  ASSERT_TRUE(failed.has_value());
+  EXPECT_FALSE(failed->status.ok());
+  ASSERT_EQ(loop.stats().quarantines, 1u);
+
+  // Phase B: one more flooder command races a stream of fault-free
+  // victim commands.
+  ASSERT_TRUE(flooder.submit(NvmeCommand::Read(1, 1, 1, fbuf)).ok());
+  constexpr std::uint64_t kVictimTotal = 24;
+  std::uint64_t flooder_done_ns = 0;
+  std::vector<std::uint64_t> victim_done_ns;
+  std::uint64_t submitted = 0;
+  std::uint16_t vcid = 0;
+  for (;;) {
+    while (submitted < kVictimTotal &&
+           victim.submit(NvmeCommand::Read(vcid, 2, submitted % 64, vbuf))
+               .ok()) {
+      ++submitted;
+      ++vcid;
+    }
+    if (submitted == kVictimTotal && flooder.sq_inflight() == 0 &&
+        victim.sq_inflight() == 0) {
+      break;
+    }
+    loop.run_until_idle();
+    while (const auto f = flooder.poll()) {
+      EXPECT_TRUE(f->status.ok());
+      flooder_done_ns = f->completed_ns;
+    }
+    while (const auto v = victim.poll()) {
+      EXPECT_TRUE(v->status.ok());
+      victim_done_ns.push_back(v->completed_ns);
+    }
+  }
+  ASSERT_EQ(victim_done_ns.size(), kVictimTotal);
+  ASSERT_GT(flooder_done_ns, 0u);
+  // Exactly `penalty` victim picks run before the flooder re-enters:
+  // fewer means the drain burned more than one tick per pick, more
+  // means a tick was skipped.
+  std::uint64_t before = 0;
+  for (const std::uint64_t t : victim_done_ns) {
+    before += t < flooder_done_ns ? 1 : 0;
+  }
+  EXPECT_EQ(before, penalty);
+}
+
+TEST(ArbitrationFairness, ForcedReleaseKeepsFullyQuarantinedLoopFlowing) {
+  // Single-attempt retry policies turn the first drop on each stream
+  // into an instant quarantine: with every stream penalized and work
+  // still queued, pick_stream must force the smallest penalty open
+  // rather than report idle — deterministically.
+  struct Result {
+    std::vector<std::uint64_t> completions_ns;
+    std::uint64_t errors = 0;
+    EventLoopStats loop;
+  };
+  const auto run = []() {
+    SsdConfig cfg = test::SmallSsd();
+    cfg.dram_profile = DramProfile::Invulnerable();
+    FaultPlan plan;
+    plan.add(FaultClass::kNvmeDrop, /*op_index=*/0);
+    plan.add(FaultClass::kNvmeDrop, /*op_index=*/1);
+    cfg.fault_plan = plan;
+    SsdDevice ssd(cfg);
+    EventLoopConfig lc;
+    lc.policy = ArbitrationPolicy::kRoundRobin;
+    lc.seed = 11;
+    lc.sharded = false;
+    lc.quarantine = true;
+    lc.quarantine_base_picks = 32;
+    lc.quarantine_cap_picks = 512;
+    NvmeEventLoop loop(ssd.controller(), lc);
+    NvmeQueuePair a(ssd.controller(), 1, kDepth);
+    NvmeQueuePair b(ssd.controller(), 2, kDepth);
+    NvmeRetryPolicy rp;
+    rp.max_attempts = 1;
+    a.set_retry_policy(rp);
+    b.set_retry_policy(rp);
+    loop.attach(a, /*weight=*/1);
+    loop.attach(b, /*weight=*/1);
+    std::vector<std::uint8_t> abuf(kBlockSize);
+    std::vector<std::uint8_t> bbuf(kBlockSize);
+    constexpr std::uint64_t kPerStream = 10;
+    Result res;
+    std::uint64_t an = 0;
+    std::uint64_t bn = 0;
+    for (;;) {
+      while (an < kPerStream &&
+             a.submit(NvmeCommand::Read(static_cast<std::uint16_t>(an), 1,
+                                        an % 64, abuf))
+                 .ok()) {
+        ++an;
+      }
+      while (bn < kPerStream &&
+             b.submit(NvmeCommand::Read(static_cast<std::uint16_t>(bn), 2,
+                                        bn % 64, bbuf))
+                 .ok()) {
+        ++bn;
+      }
+      if (an == kPerStream && bn == kPerStream && a.sq_inflight() == 0 &&
+          b.sq_inflight() == 0) {
+        break;
+      }
+      loop.run_until_idle();
+      for (NvmeQueuePair* qp : {&a, &b}) {
+        while (const auto cqe = qp->poll()) {
+          res.completions_ns.push_back(cqe->completed_ns);
+          if (!cqe->status.ok()) ++res.errors;
+        }
+      }
+    }
+    res.loop = loop.stats();
+    return res;
+  };
+  const Result r1 = run();
+  // Both streams quarantined; both eventually released (one of them
+  // necessarily by force — the other stream was penalized too).
+  EXPECT_EQ(r1.errors, 2u);
+  EXPECT_EQ(r1.loop.quarantines, 2u);
+  EXPECT_EQ(r1.loop.quarantine_releases, 2u);
+  EXPECT_EQ(r1.completions_ns.size(), 20u);
+  // The forced-release choice (smallest penalty, lowest index on ties)
+  // is deterministic: an identical run replays bit-identically.
+  const Result r2 = run();
+  EXPECT_EQ(r1.completions_ns, r2.completions_ns);
+  EXPECT_EQ(r1.loop.quarantine_releases, r2.loop.quarantine_releases);
 }
 
 }  // namespace

@@ -282,6 +282,7 @@ TEST(ChaosTorture, MediaAndTransportStormKeepsTenantsIsolated) {
                                         << " threads=" << threads);
       for (const std::string& v : got.violations) ADD_FAILURE() << v;
       EXPECT_GT(got.loop.sharded_commands, 0u);
+      EXPECT_GT(got.loop.sharded_writes, 0u);
       EXPECT_GT(got.loop.early_flushes, 0u);
       EXPECT_EQ(ref.digest, got.digest) << "nondeterministic storm";
     }
@@ -311,6 +312,7 @@ TEST(ChaosTorture, TransportStormQuarantinesWithoutCollateral) {
                                         << " threads=" << threads);
       for (const std::string& v : got.violations) ADD_FAILURE() << v;
       EXPECT_GT(got.loop.sharded_commands, 0u);
+      EXPECT_GT(got.loop.sharded_writes, 0u);
       EXPECT_EQ(ref.loop.quarantines, got.loop.quarantines);
       EXPECT_EQ(ref.digest, got.digest) << "nondeterministic quarantine";
     }
@@ -340,6 +342,7 @@ TEST(ChaosTorture, DramErrorCascadeIsDeterministic) {
       SCOPED_TRACE(::testing::Message() << "policy=" << to_string(policy)
                                         << " threads=" << threads);
       EXPECT_GT(got.loop.sharded_commands, 0u);
+      EXPECT_GT(got.loop.sharded_writes, 0u);
       EXPECT_EQ(ref.digest, got.digest) << "nondeterministic cascade";
     }
     PrintDigest("dram_cascade", seed, policy, ref.digest);

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "exec/thread_pool.hpp"
+#include "ftl/l2p_journal.hpp"
 #include "nvme/event_loop.hpp"
 #include "sim/workload.hpp"
 #include "ssd/ssd_device.hpp"
@@ -77,6 +78,14 @@ struct Outcome {
   EventLoopStats loop;
   /// Injected faults actually fired, in order (empty fault plan: empty).
   std::vector<InjectionRecord> injected;
+  /// Journal writer position and raw journal-block NAND contents —
+  /// sharded write commit must append bit-identically to sequential.
+  std::uint64_t journal_epoch = 0;
+  std::uint32_t journal_next_page = 0;
+  std::size_t journal_pending = 0;
+  std::uint64_t journal_since_snapshot = 0;
+  JournalStats journal;
+  std::vector<std::uint8_t> journal_pages;
 };
 
 std::vector<std::uint8_t> WritePayload(std::uint32_t stream,
@@ -154,6 +163,27 @@ Outcome Drive(const SsdConfig& cfg, const std::vector<Script>& scripts,
   if (ssd.fault_injector() != nullptr) {
     out.injected = ssd.fault_injector()->log();
   }
+  if (const L2pJournal* j = ssd.ftl().journal(); j != nullptr) {
+    out.journal_epoch = j->epoch();
+    out.journal_next_page = j->next_page();
+    out.journal_pending = j->pending_records();
+    out.journal_since_snapshot = j->records_since_snapshot();
+    out.journal = j->stats();
+    // Raw dump of the journal's NAND blocks (unwritten pages read as
+    // 0xFF).  Runs after the stats capture would be wrong — the dump
+    // itself ticks NAND read counters — so it runs last and is only
+    // compared against the other mode's equally-placed dump.
+    const NandGeometry& geom = ssd.nand().geometry();
+    std::vector<std::uint8_t> page(geom.page_bytes);
+    for (std::uint32_t b = 0; b < j->block_count(); ++b) {
+      for (std::uint32_t p = 0; p < geom.pages_per_block; ++p) {
+        page.assign(page.size(), 0);
+        (void)ssd.nand().read(j->first_block() + b, p, page);
+        out.journal_pages.insert(out.journal_pages.end(), page.begin(),
+                                 page.end());
+      }
+    }
+  }
   return out;
 }
 
@@ -211,6 +241,18 @@ void ExpectSameOutcome(const Outcome& ref, const Outcome& got) {
     EXPECT_EQ(ref.injected[i].op_index, got.injected[i].op_index) << i;
     EXPECT_EQ(ref.injected[i].param, got.injected[i].param) << i;
   }
+
+  // Journal parity: the sharded commit's serial append replay must
+  // leave the same writer position, stats, and raw flash contents.
+  EXPECT_EQ(ref.journal_epoch, got.journal_epoch);
+  EXPECT_EQ(ref.journal_next_page, got.journal_next_page);
+  EXPECT_EQ(ref.journal_pending, got.journal_pending);
+  EXPECT_EQ(ref.journal_since_snapshot, got.journal_since_snapshot);
+  EXPECT_EQ(ref.journal.snapshots, got.journal.snapshots);
+  EXPECT_EQ(ref.journal.records, got.journal.records);
+  EXPECT_EQ(ref.journal.record_pages, got.journal.record_pages);
+  EXPECT_EQ(ref.journal.sync_flushes, got.journal.sync_flushes);
+  EXPECT_EQ(ref.journal_pages, got.journal_pages);
 }
 
 TEST(EventLoopParity, ShardedMatchesSequentialAcrossMatrix) {
@@ -239,9 +281,12 @@ TEST(EventLoopParity, ShardedMatchesSequentialAcrossMatrix) {
         SCOPED_TRACE(::testing::Message()
                      << "seed=" << seed << " policy=" << to_string(policy)
                      << " threads=" << threads);
-        // The mixed mix must actually exercise the sharded fast path.
+        // The mixed mix must actually exercise the sharded fast path —
+        // for writes too: they draft into shards behind plan-time PBA
+        // reservations instead of flushing the batch.
         EXPECT_GT(got.loop.sharded_commands, 0u);
         EXPECT_GT(got.loop.batches, 0u);
+        EXPECT_GT(got.loop.sharded_writes, 0u);
         ExpectSameOutcome(ref, got);
       }
     }
@@ -289,6 +334,44 @@ TEST(EventLoopParity, FlipsAndRollbackStayBitExact) {
     par.pool = &pool;
     const Outcome got = Drive(cfg, scripts, par);
     SCOPED_TRACE(::testing::Message() << "threads=" << threads);
+    // Writes ride the same batches the flips invalidate, so the
+    // rollback path exercises the write-reservation undo too.
+    EXPECT_GT(got.loop.sharded_writes, 0u);
+    ExpectSameOutcome(ref, got);
+  }
+}
+
+// Engineered mid-batch GC: a write-heavy overwrite mix on the small
+// device burns through the free-block pool, so Ftl::plan_write_reserve
+// starts refusing reservations (a fresh block would dip below the GC
+// watermark) and the planner flushes those writes to the sequential
+// path, where garbage collection runs exactly as it would have in the
+// pure sequential interleaving.  Program/erase order, journal contents
+// and the final L2P must stay bit-exact through the GC storms.
+TEST(EventLoopParity, MidBatchGcReservationRefusalStaysBitExact) {
+  constexpr std::uint32_t kStreams = 2;
+  SsdConfig cfg = PartitionedSsd(kStreams);
+  // Throughput fixture, not a flip fixture: disturbance off so the only
+  // divergence pressure is the allocator itself.
+  cfg.dram_profile = DramProfile::Invulnerable();
+  const std::uint64_t partition = cfg.num_lbas() / kStreams;
+  const auto scripts = MakeScripts(kStreams, 2600, partition,
+                                   /*write_fraction=*/0.9, /*seed=*/13);
+  EventLoopConfig seq;
+  seq.sharded = false;
+  const Outcome ref = Drive(cfg, scripts, seq);
+  // The fixture must actually drive garbage collection.
+  EXPECT_GT(ref.ftl.gc_runs, 0u);
+  for (const unsigned threads : {2u, 5u}) {
+    exec::ThreadPool pool(threads);
+    EventLoopConfig par;
+    par.sharded = true;
+    par.pool = &pool;
+    const Outcome got = Drive(cfg, scripts, par);
+    SCOPED_TRACE(::testing::Message() << "threads=" << threads);
+    EXPECT_GT(got.loop.sharded_writes, 0u);
+    EXPECT_GT(got.loop.write_reserve_flushes, 0u);
+    EXPECT_GT(got.ftl.gc_runs, 0u);
     ExpectSameOutcome(ref, got);
   }
 }
@@ -353,11 +436,13 @@ TEST(EventLoopParity, EngineeredClassFlipForcesRollback) {
   ASSERT_FALSE(aggressors.empty());
   const std::uint32_t victim_stream = owner(victims.front());
 
-  // Phase 1 maps every victim entry (writes run sequentially and flush
-  // batches); streams that only hammer are padded with far-row filler
-  // reads so no disturbance accrues near the victim row until all
-  // entries are mapped.  Phase 2 interleaves hammer reads with victim
-  // re-reads; deep rings put both in the same drafted batch.
+  // Phase 1 maps every victim entry; streams that only hammer are
+  // padded with far-row filler reads so no disturbance accrues near the
+  // victim row until all entries are mapped.  Phase 2 interleaves
+  // hammer reads with victim re-reads — plus periodic far-row filler
+  // writes, so drafted batches that a flip invalidates also carry write
+  // reservations the rollback must unwind.  Deep rings put everything
+  // in the same drafted batch.
   std::vector<std::uint64_t> filler(kStreams, UINT64_MAX);
   for (const auto& [row, lbas] : row_lbas) {
     const std::uint64_t dist =
@@ -378,11 +463,16 @@ TEST(EventLoopParity, EngineeredClassFlipForcesRollback) {
       scripts[s].push_back({false, filler[s] % partition});
     }
   }
+  ASSERT_NE(filler[victim_stream], UINT64_MAX);
   for (int i = 0; i < 1500; ++i) {
     const std::uint64_t a = aggressors[i % aggressors.size()];
     scripts[owner(a)].push_back({false, a % partition});
     scripts[victim_stream].push_back(
         {false, victims[i % victims.size()] % partition});
+    if (i % 5 == 0) {
+      scripts[victim_stream].push_back(
+          {true, filler[victim_stream] % partition});
+    }
   }
 
   EventLoopConfig seq;
@@ -396,8 +486,10 @@ TEST(EventLoopParity, EngineeredClassFlipForcesRollback) {
     par.pool = &pool;
     const Outcome got = Drive(cfg, scripts, par, /*depth=*/64);
     SCOPED_TRACE(::testing::Message() << "threads=" << threads);
-    // The fixture exists to drive the rollback path.
+    // The fixture exists to drive the rollback path — with writes
+    // drafted alongside the reads whose plans the flip invalidates.
     EXPECT_GE(got.loop.rollbacks, 1u);
+    EXPECT_GT(got.loop.sharded_writes, 0u);
     ExpectSameOutcome(ref, got);
   }
 }

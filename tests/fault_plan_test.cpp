@@ -84,6 +84,20 @@ TEST(FaultPlan, PowerLossCountIsCappedByTheHorizon) {
   for (const std::uint64_t idx : losses) EXPECT_LT(idx, 8u);
 }
 
+TEST(FaultPlan, PowerLossCountEqualToHorizonCoversEveryOp) {
+  // count == horizon is the Floyd-sampler edge where the sample IS the
+  // whole range: j starts at 0 and every op index must come out exactly
+  // once (the old accept/reject scan went quadratic exactly here).
+  FaultRates rates;
+  rates.power_losses = 8.0;  // floor == horizon, frac == 0
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto losses = PowerLossIndices(FaultPlan::Random(seed, rates, 8));
+    ASSERT_EQ(losses.size(), 8u) << "seed " << seed;
+    const std::set<std::uint64_t> distinct(losses.begin(), losses.end());
+    EXPECT_EQ(distinct.size(), 8u) << "seed " << seed;
+  }
+}
+
 TEST(FaultPlan, PowerLossSchedulingIsReproducible) {
   FaultRates rates;
   rates.power_losses = 5.75;

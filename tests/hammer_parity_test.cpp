@@ -849,6 +849,71 @@ TEST(PatternReplayParity, PowerLossMidStream) {
   RunStackParity(c, pattern, 1000);
 }
 
+TEST(PatternReplayParity, WindowCrossingChunksSplitInsideReplay) {
+  // The round loop no longer flushes replay chunks at refresh-window
+  // edges: one batched chunk may span several windows, and the DRAM
+  // replay segments it internally (fresh windows restart activation
+  // counts and refresh bases).  Shrink the window so a single call
+  // crosses many boundaries and require bit-exact parity with the
+  // scalar loop, whose per-command path rolls windows naturally.
+  const std::vector<std::uint64_t> pattern = {100, 228};
+  for (std::uint64_t seed = 19; seed <= 21; ++seed) {
+    SsdConfig c = test::SmallSsd();
+    c.seed = seed;
+    c.dram_profile.refresh_interval_ms = 1.0;
+    RunStackParity(c, pattern, 2500);
+  }
+  // Non-vacuity: the same drive really spans multiple windows (an
+  // invulnerable part keeps every read clean so the run never aborts).
+  SsdConfig c = test::SmallSsd();
+  c.seed = 19;
+  c.dram_profile = DramProfile::Invulnerable();
+  c.dram_profile.refresh_interval_ms = 1.0;
+  SsdDevice probe(c);
+  PrepStack(probe, pattern);
+  std::vector<std::uint8_t> buf(kBlockSize);
+  ASSERT_TRUE(probe.controller()
+                  .submit_pattern(
+                      1, {.slbas = pattern, .out = buf, .rounds = 2500})
+                  .ok());
+  EXPECT_GT(probe.clock().now_ns(), 3 * probe.dram().refresh_window_ns());
+}
+
+TEST(PatternReplayParity, WritePatternMatchesScalarWrites) {
+  // `req.data` turns the pattern into writes: one single-block write
+  // per LBA per round, identical to the scalar write() loop (writes
+  // mutate FTL state, so the controller runs them scalar by design —
+  // this pins the bounds handling and stats, not a replay).
+  const std::vector<std::uint64_t> pattern = {100, 228, 356, 100};
+  SsdConfig c = test::SmallSsd();
+  c.seed = 22;
+  SsdDevice batched(c);
+  SsdDevice scalar(c);
+  const std::vector<std::uint8_t> data = test::MarkedBlock("write-pat!");
+  std::uint64_t rounds_done = 0;
+  ASSERT_TRUE(batched.controller()
+                  .submit_pattern(1, {.slbas = pattern,
+                                      .data = data,
+                                      .rounds = 40,
+                                      .rounds_done = &rounds_done})
+                  .ok());
+  EXPECT_EQ(rounds_done, 40u);
+  for (std::uint64_t r = 0; r < 40; ++r) {
+    for (const std::uint64_t slba : pattern) {
+      ASSERT_TRUE(scalar.controller().write(1, slba, data).ok());
+    }
+  }
+  ExpectSameStack(batched, scalar, DriveResult{"OK", {}},
+                  DriveResult{"OK", {}});
+
+  // A write pattern must carry exactly one block of data.
+  std::vector<std::uint8_t> half(kBlockSize / 2, 0xAB);
+  EXPECT_FALSE(batched.controller()
+                   .submit_pattern(
+                       1, {.slbas = pattern, .data = half, .rounds = 1})
+                   .ok());
+}
+
 TEST(PatternReplayParity, RepeatAcrossThreadCounts) {
   // The thread-count axis: each trial fingerprints a batched and a
   // scalar full-stack run.  Per-trial fingerprints must match, and the

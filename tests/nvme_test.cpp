@@ -191,6 +191,17 @@ TEST(IopsModel, InterfaceCalibrations) {
             MaxIops(HostInterface::kTestbedVmDirect));
 }
 
+TEST(IopsModel, ServiceTimeRoundsToNearest) {
+  // 1.5e6 IOPS is 666.67 ns per command; truncation charged 666 ns and
+  // quietly inflated modeled IOPS by the accumulated fraction.
+  const NandLatency nand;
+  const IopsModel pcie4(MaxIops(HostInterface::kPcie4), 4.0);
+  EXPECT_EQ(pcie4.service_ns(false, nand), 667u);
+  // 2.1e6 IOPS is 476.19 ns: the fraction below one half still truncates.
+  const IopsModel pcie5(MaxIops(HostInterface::kPcie5), 4.0);
+  EXPECT_EQ(pcie5.service_ns(false, nand), 476u);
+}
+
 TEST(IopsModel, UnmappedReadsAreFasterThanFlashReads) {
   const IopsModel model(1e6, /*flash_parallelism=*/4.0);
   const NandLatency nand;  // 50 us tR
@@ -212,6 +223,25 @@ TEST(RateLimiter, TokenBucketMath) {
   EXPECT_EQ(limiter.acquire(1'000'000'000), 0u);
   EXPECT_EQ(limiter.acquire(1'000'000'000), 0u);
   EXPECT_GT(limiter.acquire(1'000'000'000), 0u);
+}
+
+TEST(RateLimiter, LongRunAdmissionRateNeverExceedsConfig) {
+  // Regression: acquire() used to truncate the stall toward zero while
+  // also zeroing the fractional token, so a sustained train of stalled
+  // commands was admitted slightly faster than max_iops.
+  constexpr double kIops = 333.0;  // deliberately not a divisor of 1e9
+  RateLimiter limiter(RateLimiterConfig{.max_iops = kIops, .burst = 1});
+  std::uint64_t now = 0;
+  constexpr std::uint64_t kCommands = 100'000;
+  for (std::uint64_t i = 0; i < kCommands; ++i) now += limiter.acquire(now);
+  // The bucket admits at most burst + elapsed * max_iops commands, so a
+  // back-to-back train of kCommands must take at least
+  // (kCommands - burst) / max_iops seconds...
+  const double elapsed_s = static_cast<double>(now) * 1e-9;
+  const double floor_s = static_cast<double>(kCommands - 1) / kIops;
+  EXPECT_GE(elapsed_s, floor_s);
+  // ...and ceil over-stalls by less than 1 ns per command.
+  EXPECT_LE(elapsed_s, floor_s + static_cast<double>(kCommands) * 1e-9);
 }
 
 }  // namespace
