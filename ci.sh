@@ -16,11 +16,14 @@ cmake --build build -j "${JOBS}"
 
 echo "== tsan smoke: experiment engine under -fsanitize=thread =="
 cmake -B build-tsan -S . -DRHSD_SANITIZE=thread
-cmake --build build-tsan -j "${JOBS}" --target exec_smoke --target event_loop_smoke --target chaos_torture_test
+cmake --build build-tsan -j "${JOBS}" --target exec_smoke --target event_loop_smoke --target chaos_torture_test --target event_loop_parity_test
 ./build-tsan/tests/exec_smoke
 # Race-check the event loop's sharded execution (thread-local shard
 # sinks, per-bank undo logs, commit/rollback) under real contention.
 ./build-tsan/tests/event_loop_smoke
+# Race-check the mitigation-aware shard path: per-bank TRR tables
+# mutated in place by shards, pre-drawn PARA slices, snapshot rollback.
+./build-tsan/tests/event_loop_parity_test --gtest_filter='*Mitigated*'
 
 echo "== chaos determinism: fixed-seed storms, back-to-back digest diff =="
 # The chaos harness asserts its invariants (tenant isolation,
@@ -60,9 +63,11 @@ mkdir -p "${PERF_DIR}"
 # the same BENCH_hotpath.json.
 (cd "${PERF_DIR}" && ../bench/bench_mitigations >/dev/null)
 # The N-tenant event-loop sweeps (--quick keeps them small): the
-# read-heavy scale sweep merges cloud_tenant_iops and the mixed
-# read/write sweep merges cloud_write_iops into the same report.  The
-# binary itself asserts the mixed sweep engaged the sharded write path.
+# read-heavy scale sweep merges cloud_tenant_iops, the TRR+PARA sweep
+# merges cloud_mitigated_iops, and the mixed read/write sweep merges
+# cloud_write_iops into the same report.  The binary itself asserts the
+# mixed sweep engaged the sharded write path and the mitigated sweep
+# engaged TRR/PARA and the rate limiter on the shard path.
 (cd "${PERF_DIR}" && ../bench/bench_cloud_scale --quick >/dev/null)
 REPORT="${PERF_DIR}/BENCH_hotpath.json"
 if [[ ! -f "${REPORT}" ]]; then
@@ -130,5 +135,9 @@ gate_floor cloud_tenant_iops 100000
 # Write commands retired per host second across the mixed read/write
 # sweep with per-bank write sharding (~215k on a single idle core).
 gate_floor cloud_write_iops 40000
+# Same sweep with TRR + PARA live: mitigated hosts must stay on the
+# shard path (~550k on a single idle core; the floor is the point —
+# sequential fallback would land far below it).
+gate_floor cloud_mitigated_iops 50000
 
 echo "== ci.sh: all green =="

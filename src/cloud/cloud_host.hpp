@@ -8,6 +8,12 @@
 // add_tenant() grows the fleet from there, one namespace per tenant.
 // The underlying FTL and L2P table stay shared across all of them —
 // the whole point of the attack.
+//
+// Hosts whose device profile enables TRR or PARA (or a rate limiter)
+// run the NVMe event loop's per-bank shard path like bare devices do:
+// mitigation state shards with commit-merged deltas and plan-time
+// pre-draws, so the mitigated fleet scales without dropping to
+// sequential execution (see NvmeEventLoop::sharding_supported).
 #pragma once
 
 #include <cstdint>

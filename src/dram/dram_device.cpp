@@ -18,6 +18,55 @@ void StoreWord(std::uint8_t* p, std::uint64_t w) {
   std::memcpy(p, &w, sizeof(w));
 }
 
+// Insertion-ordered set of row ids with O(1) membership past a small
+// size.  The pattern-replay paths key several per-row side tables by
+// distinct row: typical patterns are a handful of rows, where a linear
+// scan over a flat vector wins, but nothing bounds them — TRRespass-
+// style many-sided patterns run to hundreds — so past kLinearRows the
+// index lazily builds a hash map and lookups stay O(1).
+class RowIndex {
+ public:
+  /// Index of `row` in insertion order, or -1 if absent.
+  [[nodiscard]] int find(std::uint64_t row) const {
+    if (index_.empty()) {
+      for (std::size_t i = 0; i < keys_.size(); ++i) {
+        if (keys_[i] == row) return static_cast<int>(i);
+      }
+      return -1;
+    }
+    const auto it = index_.find(row);
+    return it == index_.end() ? -1 : static_cast<int>(it->second);
+  }
+  /// Index of `row`, appending it if absent; *inserted reports which.
+  std::size_t insert(std::uint64_t row, bool* inserted = nullptr) {
+    const int i = find(row);
+    if (i >= 0) {
+      if (inserted != nullptr) *inserted = false;
+      return static_cast<std::size_t>(i);
+    }
+    keys_.push_back(row);
+    if (!index_.empty()) {
+      index_.emplace(row, keys_.size() - 1);
+    } else if (keys_.size() > kLinearRows) {
+      index_.reserve(2 * keys_.size());
+      for (std::size_t j = 0; j < keys_.size(); ++j) {
+        index_.emplace(keys_[j], j);
+      }
+    }
+    if (inserted != nullptr) *inserted = true;
+    return keys_.size() - 1;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& keys() const {
+    return keys_;
+  }
+  [[nodiscard]] std::size_t size() const { return keys_.size(); }
+
+ private:
+  static constexpr std::size_t kLinearRows = 16;
+  std::vector<std::uint64_t> keys_;
+  std::unordered_map<std::uint64_t, std::size_t> index_;
+};
+
 }  // namespace
 
 thread_local DramShardSink* DramDevice::shard_sink_ = nullptr;
@@ -51,6 +100,10 @@ DramDevice::DramDevice(DramConfig config,
   RHSD_CHECK(config_.mitigations.para_probability >= 0.0 &&
              config_.mitigations.para_probability <= 1.0);
   para_rng_ = Rng(Mix64(config_.seed ^ 0x9A7A5EED));
+  const double para_p = config_.mitigations.para_probability;
+  if (para_p > 0.0 && para_p < 1.0) {
+    para_threshold_ = Rng::bool_threshold(para_p);
+  }
   if (config_.row_buffer_policy == RowBufferPolicy::kOpenPage) {
     open_rows_.assign(config_.geometry.total_banks(), ~0ull);
   }
@@ -100,6 +153,17 @@ void DramDevice::merge_shard_stats(const DramStats& delta) {
   stats_.cache_hits += delta.cache_hits;
   stats_.cache_misses += delta.cache_misses;
   stats_.injected_bit_errors += delta.injected_bit_errors;
+  if (trr_.has_value()) {
+    // Shard-fired refreshes were counted in the delta, not the tracker;
+    // fold them in so stats_.trr_refreshes == refreshes_issued() again.
+    trr_->add_refreshes(delta.trr_refreshes);
+  }
+}
+
+void DramDevice::merge_shard_bases(const DramShardSink& sink) {
+  for (const auto& [row, nb] : sink.bases) {
+    refresh_bases_[row] = nb;
+  }
 }
 
 void DramDevice::rollback_shard(const DramShardSink& sink) {
@@ -131,11 +195,70 @@ DramDevice::RefreshBases DramDevice::bases_of(
   // TRR and PARA issue; with neither enabled every row's baselines are
   // identically zero and the lookup is skipped.
   if (!neighbor_refresh_active_) return RefreshBases{};
+  if (const DramShardSink* sink = shard_sink_; sink != nullptr) {
+    // A shard reads its own buffered updates first (newest wins); rows
+    // it never refreshed fall through to the committed global map.
+    for (auto it = sink->bases.rbegin(); it != sink->bases.rend(); ++it) {
+      if (it->first == global_row) {
+        return it->second.window == current_window() ? it->second
+                                                     : RefreshBases{};
+      }
+    }
+  }
   const auto it = refresh_bases_.find(global_row);
   if (it == refresh_bases_.end() || it->second.window != current_window()) {
     return RefreshBases{};  // stale entries read as zeros (window rolled)
   }
   return it->second;
+}
+
+void DramDevice::store_bases(std::uint64_t global_row,
+                             const RefreshBases& nb) {
+  if (DramShardSink* sink = shard_sink_; sink != nullptr) {
+    for (auto& entry : sink->bases) {
+      if (entry.first == global_row) {
+        entry.second = nb;
+        return;
+      }
+    }
+    sink->bases.emplace_back(global_row, nb);
+    return;
+  }
+  refresh_bases_[global_row] = nb;
+}
+
+bool DramDevice::para_decide() {
+  if (DramShardSink* sink = shard_sink_;
+      sink != nullptr && sink->para_draws != nullptr) {
+    RHSD_CHECK_MSG(sink->para_next < sink->para_end,
+                   "PARA pre-draw slice exhausted mid-command");
+    return sink->para_draws[sink->para_next++] != 0;
+  }
+  if (config_.mitigations.para_probability >= 1.0) return true;
+  return para_rng_.next_bool_at(para_threshold_);
+}
+
+std::uint64_t DramDevice::para_predraw(std::uint64_t n,
+                                       std::vector<std::uint8_t>& out) {
+  RHSD_CHECK(config_.mitigations.para_probability > 0.0);
+  out.assign(n, 1);
+  // p >= 1 decides true without consuming a draw (Rng::next_bool), so
+  // the all-ones fill is already the scalar stream.
+  if (config_.mitigations.para_probability >= 1.0) return 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    out[i] = para_rng_.next_bool_at(para_threshold_) ? 1 : 0;
+  }
+  return n;
+}
+
+void DramDevice::roll_trr_window() {
+  if (!trr_.has_value()) return;
+  RHSD_CHECK_MSG(shard_sink_ == nullptr, "TRR window roll inside a shard");
+  const std::uint64_t w = current_window();
+  if (w != trr_window_) {
+    trr_->reset();
+    trr_window_ = w;
+  }
 }
 
 std::uint64_t DramDevice::acts_now(std::uint64_t global_row) {
@@ -175,6 +298,10 @@ void DramDevice::activate(std::uint64_t global_row) {
   if (trr_.has_value()) {
     const std::uint64_t w = current_window();
     if (w != trr_window_) {
+      // The tracker window tag is device-global: the event loop rolls
+      // it serially (roll_trr_window) and never batches across a
+      // refresh-window boundary, so a shard must not get here.
+      RHSD_CHECK_MSG(shard_sink_ == nullptr, "TRR window roll inside a shard");
       trr_->reset();
       trr_window_ = w;
     }
@@ -182,7 +309,12 @@ void DramDevice::activate(std::uint64_t global_row) {
         global_row / config_.geometry.rows_per_bank);
     const auto row_in_bank = static_cast<std::uint32_t>(
         global_row % config_.geometry.rows_per_bank);
-    if (auto fired = trr_->on_activate(bank, row_in_bank)) {
+    // Sharded: refresh fires accumulate in the sink's stats delta (the
+    // tracker total is folded forward at commit); sequential: the
+    // tracker total is authoritative.
+    std::uint64_t shard_fires = 0;
+    std::uint64_t* const ext = shard_sink_ != nullptr ? &shard_fires : nullptr;
+    if (auto fired = trr_->on_activate(bank, row_in_bank, ext)) {
       const std::uint64_t fired_global =
           static_cast<std::uint64_t>(bank) * config_.geometry.rows_per_bank +
           *fired;
@@ -190,13 +322,16 @@ void DramDevice::activate(std::uint64_t global_row) {
                                config_.mitigations.trr_config
                                    .refresh_distance);
     }
-    stats_.trr_refreshes = trr_->refreshes_issued();
+    if (shard_sink_ != nullptr) {
+      shard_sink_->stats.trr_refreshes += shard_fires;
+    } else {
+      stats_.trr_refreshes = trr_->refreshes_issued();
+    }
   }
-  if (config_.mitigations.para_probability > 0.0 &&
-      para_rng_.next_bool(config_.mitigations.para_probability)) {
+  if (config_.mitigations.para_probability > 0.0 && para_decide()) {
     // PARA: stateless probabilistic neighbor refresh.
     target_refresh_neighbors(global_row, /*distance=*/1);
-    ++stats_.para_refreshes;
+    ++stats_mut().para_refreshes;
   }
 
   if (auto left = neighbor(global_row, -1)) check_victim(*left);
@@ -224,7 +359,7 @@ void DramDevice::target_refresh_neighbors(
       if (auto r = neighbor(*victim, +1)) nb.right = acts_now(*r);
       if (auto l2 = neighbor(*victim, -2)) nb.left2 = acts_now(*l2);
       if (auto r2 = neighbor(*victim, +2)) nb.right2 = acts_now(*r2);
-      refresh_bases_[*victim] = nb;
+      store_bases(*victim, nb);
     }
   }
 }
@@ -414,6 +549,9 @@ void DramDevice::hammer_events_mitigated(std::uint64_t a, std::uint64_t b,
   // per-activation TRR window roll collapses to one roll up front.
   const std::uint64_t w = current_window();
   if (trr_.has_value() && w != trr_window_) {
+    // Device-global tracker state: the event loop rolls it serially
+    // before sharding and never batches across a window boundary.
+    RHSD_CHECK_MSG(shard_sink_ == nullptr, "TRR window roll inside a shard");
     trr_->reset();
     trr_window_ = w;
   }
@@ -421,7 +559,7 @@ void DramDevice::hammer_events_mitigated(std::uint64_t a, std::uint64_t b,
   const std::uint64_t a0_a = acts_now(a);
   const std::uint64_t a0_b = a == b ? a0_a : acts_now(b);
 
-  stats_.activations += events;
+  stats_mut().activations += events;
   row_acts_[a] += a == b ? events : (events + 1) / 2;
   if (a != b) row_acts_[b] += events / 2;
   if (config_.row_buffer_policy == RowBufferPolicy::kOpenPage) {
@@ -456,9 +594,13 @@ void DramDevice::hammer_events_mitigated(std::uint64_t a, std::uint64_t b,
     const auto in_b = static_cast<std::uint32_t>(b % rows_per_bank);
     const std::uint32_t dist =
         config_.mitigations.trr_config.refresh_distance;
+    // Sharded: count fires in the sink's stats delta, not the tracker
+    // total (folded forward at commit).
+    std::uint64_t shard_fires = 0;
+    std::uint64_t* const ext = shard_sink_ != nullptr ? &shard_fires : nullptr;
     if (a == b || bank_a == bank_b) {
       for (const TrrEmission& em :
-           trr_->advance(bank_a, in_a, a == b ? in_a : in_b, events)) {
+           trr_->advance(bank_a, in_a, a == b ? in_a : in_b, events, ext)) {
         const std::uint64_t fired =
             static_cast<std::uint64_t>(bank_a) * rows_per_bank + em.row;
         points.push_back({em.index, fired, dist});
@@ -467,28 +609,30 @@ void DramDevice::hammer_events_mitigated(std::uint64_t a, std::uint64_t b,
       // Different banks see independent single-row subsequences: a at
       // odd events (the odd half-length), b at even events.
       for (const TrrEmission& em :
-           trr_->advance(bank_a, in_a, in_a, (events + 1) / 2)) {
+           trr_->advance(bank_a, in_a, in_a, (events + 1) / 2, ext)) {
         points.push_back({2 * em.index - 1, a, dist});
       }
       for (const TrrEmission& em :
-           trr_->advance(bank_b, in_b, in_b, events / 2)) {
+           trr_->advance(bank_b, in_b, in_b, events / 2, ext)) {
         points.push_back({2 * em.index, b, dist});
       }
     }
-    stats_.trr_refreshes = trr_->refreshes_issued();
+    if (shard_sink_ != nullptr) {
+      shard_sink_->stats.trr_refreshes += shard_fires;
+    } else {
+      stats_.trr_refreshes = trr_->refreshes_issued();
+    }
   }
   if (config_.mitigations.para_probability > 0.0) {
-    // Pre-draw the whole batch in scalar order: exactly one next_bool()
-    // per activation keeps the RNG stream bit-identical to the scalar
-    // path, whatever TRR did at the same events.  (p >= 1 draws
-    // nothing, like scalar next_bool; otherwise the precomputed integer
-    // threshold makes the draw a shift + compare.)
-    const double p = config_.mitigations.para_probability;
-    const std::uint64_t thr = p >= 1.0 ? 0 : Rng::bool_threshold(p);
+    // Replay the PARA stream in scalar order: exactly one decision per
+    // activation, whatever TRR did at the same events.  Sequentially
+    // para_decide() draws from the global RNG; under a shard sink it
+    // consumes the plan-time pre-draw slice — either way the stream is
+    // bit-identical to the scalar path.
     for (std::uint64_t e = 1; e <= events; ++e) {
-      if (p < 1.0 && !para_rng_.next_bool_at(thr)) continue;
+      if (!para_decide()) continue;
       points.push_back({e, (a == b || e % 2 != 0) ? a : b, 1});
-      ++stats_.para_refreshes;
+      ++stats_mut().para_refreshes;
     }
   }
   // Merge by event; at equal events the TRR fire was pushed first and
@@ -579,7 +723,7 @@ void DramDevice::hammer_events_mitigated(std::uint64_t a, std::uint64_t b,
   // Now the deferred baseline writes: scalar leaves each refreshed row's
   // entry at its *last* refresh of the batch.
   for (const auto& [row, list] : refreshed) {
-    refresh_bases_[row] = list.back().bases;
+    store_bases(row, list.back().bases);
   }
 
   if (pending.empty()) return;
@@ -588,8 +732,8 @@ void DramDevice::hammer_events_mitigated(std::uint64_t a, std::uint64_t b,
                      return x.event != y.event ? x.event < y.event
                                                : x.slot < y.slot;
                    });
-  stats_.bitflips += pending.size();
-  for (const PendingFlip& p : pending) flip_events_.push_back(p.flip);
+  stats_mut().bitflips += pending.size();
+  for (const PendingFlip& p : pending) emit_flip(p.flip);
 }
 
 void DramDevice::check_victim_batched(
@@ -832,32 +976,34 @@ bool DramDevice::hammer_pattern(std::span<const std::uint64_t> rows,
   // later segment must see the decayed cells), but counter and baseline
   // commits defer to the end: row_commit holds each touched row's final
   // (window, per-window count), bases_commit its final targeted-refresh
-  // baselines.  Both are tiny (pattern rows / their victims), so linear
-  // upsert beats hashing.
+  // baselines.  Keyed by RowIndex: small patterns stay on the flat
+  // linear upsert, many-sided ones get hashed membership.
   std::vector<PendingFlip> pending;
   struct RowCommit {
     std::uint64_t window = 0;
     std::uint64_t acts = 0;
   };
-  std::vector<std::pair<std::uint64_t, RowCommit>> row_commit;
-  std::vector<std::pair<std::uint64_t, RefreshBases>> bases_commit;
+  RowIndex row_commit_rows;
+  std::vector<RowCommit> row_commit;  // parallel to row_commit_rows
+  RowIndex bases_commit_rows;
+  std::vector<RefreshBases> bases_commit;  // parallel to bases_commit_rows
   const auto upsert_row = [&](std::uint64_t row, RowCommit rc) {
-    for (auto& [r, v] : row_commit) {
-      if (r == row) {
-        v = rc;
-        return;
-      }
+    bool inserted = false;
+    const std::size_t i = row_commit_rows.insert(row, &inserted);
+    if (inserted) {
+      row_commit.push_back(rc);
+    } else {
+      row_commit[i] = rc;
     }
-    row_commit.emplace_back(row, rc);
   };
   const auto upsert_bases = [&](std::uint64_t row, const RefreshBases& nb) {
-    for (auto& [r, v] : bases_commit) {
-      if (r == row) {
-        v = nb;
-        return;
-      }
+    bool inserted = false;
+    const std::size_t i = bases_commit_rows.insert(row, &inserted);
+    if (inserted) {
+      bases_commit.push_back(nb);
+    } else {
+      bases_commit[i] = nb;
     }
-    bases_commit.emplace_back(row, nb);
   };
 
   // One maximal same-refresh-window run: commands [0, n_cmds) at times
@@ -884,27 +1030,18 @@ bool DramDevice::hammer_pattern(std::span<const std::uint64_t> rows,
 
   // Distinct pattern rows, their per-period command positions, and their
   // pre-segment per-window activation counts.
-  std::vector<std::uint64_t> distinct;
+  RowIndex distinct;
   std::vector<std::vector<std::uint64_t>> pos_of;  // parallel to distinct
-  const auto find_distinct = [&](std::uint64_t r) -> int {
-    for (std::size_t i = 0; i < distinct.size(); ++i) {
-      if (distinct[i] == r) return static_cast<int>(i);
-    }
-    return -1;
-  };
   for (std::uint64_t p = 0; p < P; ++p) {
     RHSD_CHECK(rows[p] < config_.geometry.total_rows());
-    int i = find_distinct(rows[p]);
-    if (i < 0) {
-      distinct.push_back(rows[p]);
-      pos_of.emplace_back();
-      i = static_cast<int>(distinct.size()) - 1;
-    }
-    pos_of[static_cast<std::size_t>(i)].push_back(p);
+    bool inserted = false;
+    const std::size_t i = distinct.insert(rows[p], &inserted);
+    if (inserted) pos_of.emplace_back();
+    pos_of[i].push_back(p);
   }
   std::vector<std::uint64_t> a0(distinct.size());
   for (std::size_t i = 0; i < distinct.size(); ++i) {
-    a0[i] = fresh ? 0 : acts_now(distinct[i]);
+    a0[i] = fresh ? 0 : acts_now(distinct.keys()[i]);
   }
 
   const std::uint64_t full_periods = n_cmds / P;
@@ -939,7 +1076,7 @@ bool DramDevice::hammer_pattern(std::span<const std::uint64_t> rows,
   // Count of an arbitrary row at event e: pattern rows advance, every
   // other row is frozen for the whole segment (zero in a fresh window).
   const auto row_count_at = [&](std::uint64_t row, std::uint64_t e) {
-    const int i = find_distinct(row);
+    const int i = distinct.find(row);
     return i >= 0 ? count_at_event(i, e) : (fresh ? 0 : acts_now(row));
   };
 
@@ -957,7 +1094,7 @@ bool DramDevice::hammer_pattern(std::span<const std::uint64_t> rows,
     const std::uint32_t dist =
         config_.mitigations.trr_config.refresh_distance;
     std::vector<std::uint32_t> banks;
-    for (const std::uint64_t r : distinct) {
+    for (const std::uint64_t r : distinct.keys()) {
       const auto b = static_cast<std::uint32_t>(r / rows_per_bank);
       if (std::find(banks.begin(), banks.end(), b) == banks.end()) {
         banks.push_back(b);
@@ -1010,15 +1147,14 @@ bool DramDevice::hammer_pattern(std::span<const std::uint64_t> rows,
 
   // -- Per-victim refresh segment lists with deferred refresh_bases_
   // writes (the first segment must still read pre-batch baselines).
-  std::vector<std::pair<std::uint64_t, std::vector<VictimRefresh>>>
-      refreshed;
+  RowIndex refreshed_rows;
+  std::vector<std::vector<VictimRefresh>> refreshed;  // parallel
   const auto refresh_list =
       [&](std::uint64_t row) -> std::vector<VictimRefresh>& {
-    for (auto& [r, list] : refreshed) {
-      if (r == row) return list;
-    }
-    refreshed.emplace_back(row, std::vector<VictimRefresh>{});
-    return refreshed.back().second;
+    bool inserted = false;
+    const std::size_t i = refreshed_rows.insert(row, &inserted);
+    if (inserted) refreshed.emplace_back();
+    return refreshed[i];
   };
   for (const RefreshPoint& rp : points) {
     for (std::uint32_t d = 1; d <= rp.distance; ++d) {
@@ -1055,15 +1191,12 @@ bool DramDevice::hammer_pattern(std::span<const std::uint64_t> rows,
   // disturb each other).
   const double hd_weight = disturbance_.profile().half_double_weight;
   const int max_dist = hd_weight > 0.0 ? 2 : 1;
-  std::vector<std::uint64_t> victims;
-  for (const std::uint64_t r : distinct) {
+  RowIndex victims;
+  for (const std::uint64_t r : distinct.keys()) {
     for (int d = 1; d <= max_dist; ++d) {
       for (const int sign : {-1, +1}) {
         const auto v = neighbor(r, sign * d);
-        if (!v.has_value()) continue;
-        if (std::find(victims.begin(), victims.end(), *v) == victims.end()) {
-          victims.push_back(*v);
-        }
+        if (v.has_value()) victims.insert(*v);
       }
     }
   }
@@ -1125,7 +1258,7 @@ bool DramDevice::hammer_pattern(std::span<const std::uint64_t> rows,
           NeighborCount c;
           if (!n.has_value()) return c;  // bank edge: counts as zero
           c.present = true;
-          const int i = find_distinct(*n);
+          const int i = distinct.find(*n);
           if (i >= 0) {
             c.idx = i;
           } else {
@@ -1252,15 +1385,12 @@ bool DramDevice::hammer_pattern(std::span<const std::uint64_t> rows,
         }
       };
 
-  for (const std::uint64_t v : victims) {
-    std::span<const VictimRefresh> segs;
-    for (const auto& [row, list] : refreshed) {
-      if (row == v) {
-        segs = list;
-        break;
-      }
-    }
-    check_victim_pattern(v, segs);
+  for (const std::uint64_t v : victims.keys()) {
+    const int ri = refreshed_rows.find(v);
+    check_victim_pattern(
+        v, ri >= 0 ? std::span<const VictimRefresh>(refreshed[
+                         static_cast<std::size_t>(ri)])
+                   : std::span<const VictimRefresh>{});
   }
 
   // -- Segment accumulation: each activated row's final per-window count
@@ -1274,10 +1404,11 @@ bool DramDevice::hammer_pattern(std::span<const std::uint64_t> rows,
     }
     const std::uint64_t events_i = h * (full_periods * C.size() + tail);
     if (events_i == 0) continue;
-    upsert_row(distinct[i], RowCommit{w, (fresh ? 0 : a0[i]) + events_i});
+    upsert_row(distinct.keys()[i],
+               RowCommit{w, (fresh ? 0 : a0[i]) + events_i});
   }
-  for (const auto& [row, list] : refreshed) {
-    upsert_bases(row, list.back().bases);
+  for (std::size_t i = 0; i < refreshed.size(); ++i) {
+    upsert_bases(refreshed_rows.keys()[i], refreshed[i].back().bases);
   }
   };  // run_segment
 
@@ -1335,13 +1466,13 @@ bool DramDevice::hammer_pattern(std::span<const std::uint64_t> rows,
 
   // -- Commit: bulk row state, deferred baselines, ordered flips.
   stats_.activations += n_cmds * h;
-  for (const auto& [row, rc] : row_commit) {
-    row_window_[row] = rc.window;
-    row_acts_[row] = rc.acts;
+  for (std::size_t i = 0; i < row_commit.size(); ++i) {
+    row_window_[row_commit_rows.keys()[i]] = row_commit[i].window;
+    row_acts_[row_commit_rows.keys()[i]] = row_commit[i].acts;
   }
   if (trr_.has_value()) stats_.trr_refreshes = trr_->refreshes_issued();
-  for (const auto& [row, nb] : bases_commit) {
-    refresh_bases_[row] = nb;
+  for (std::size_t i = 0; i < bases_commit.size(); ++i) {
+    refresh_bases_[bases_commit_rows.keys()[i]] = bases_commit[i];
   }
   if (!pending.empty()) {
     std::stable_sort(pending.begin(), pending.end(),

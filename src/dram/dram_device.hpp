@@ -111,6 +111,20 @@ struct PatternHazard {
   std::uint32_t byte_hi = 0;  // exclusive
 };
 
+/// Exposure baselines: neighbor activation counts at the last targeted
+/// refresh of a row (TRR/PARA), valid only within `window`.  The `2`
+/// pair covers distance-2 neighbors (Half-Double).  Rows without an
+/// entry (or with a stale one) have all-zero baselines.  Namespace
+/// scope because sharded replay buffers per-row baseline updates in the
+/// shard sink until commit.
+struct DramRefreshBases {
+  std::uint64_t window = ~0ull;
+  std::uint64_t left = 0;
+  std::uint64_t right = 0;
+  std::uint64_t left2 = 0;
+  std::uint64_t right2 = 0;
+};
+
 /// One disturbance-induced bitflip, for scanning and experiment output.
 struct FlipEvent {
   std::uint64_t time_ns = 0;
@@ -133,13 +147,18 @@ struct FlipEvent {
 ///
 /// Only the paths a shard can reach are redirected: read(), write(),
 /// the repeat_read()/repeat_write() single-row fast paths, activate(),
-/// and the plain batched victim check.  write() additionally records a
-/// ByteUndo for every byte it overwrites, so sharded L2P entry updates
-/// roll back exactly.  Mitigated paths (TRR/PARA/ECC/cache/open page)
-/// are gated out by the event loop before sharding and keep writing the
-/// device-global stats directly.  Shards must partition the banks:
-/// disturbance never crosses a bank edge, so per-bank shards touch
-/// disjoint row state.
+/// and the batched victim checks (plain and mitigated).  write()
+/// additionally records a ByteUndo for every byte it overwrites, so
+/// sharded L2P entry updates roll back exactly.  TRR and PARA shard
+/// too: the per-bank Misra–Gries tables are disjoint across shards, a
+/// shard's refresh fires accumulate in its stats delta (folded into
+/// the tracker at commit), PARA decisions come from the plan-time
+/// pre-draw slice below, and targeted-refresh baselines buffer in
+/// `bases` until commit.  ECC, the cache, and open-page accounting
+/// remain gated out by the event loop and keep writing device-global
+/// state directly.  Shards must partition the banks: disturbance and
+/// targeted refreshes never cross a bank edge, so per-bank shards
+/// touch disjoint row state.
 struct DramShardSink {
   /// One flip tagged for the cross-shard merge.  `order` is the global
   /// command index; `seq` is a per-sink monotone counter that preserves
@@ -171,6 +190,21 @@ struct DramShardSink {
   std::vector<OrderedFlip> flips;
   std::vector<RowUndo> rows;
   std::vector<ByteUndo> bytes;
+
+  /// PARA pre-draw slice for the current command: decisions drafted
+  /// from the global RNG in scalar activation order at plan time.
+  /// para_decide() consumes exactly one entry per activation; the
+  /// event loop checks the slice drained after each command.  nullptr
+  /// when PARA is off.
+  const std::uint8_t* para_draws = nullptr;
+  std::uint64_t para_next = 0;
+  std::uint64_t para_end = 0;
+  /// Targeted-refresh baseline updates, buffered until commit (keys
+  /// are rows of this shard's banks — disjoint across shards).
+  /// Upserted in place so reads within the shard see their own writes;
+  /// merged into the device map by merge_shard_bases() on commit and
+  /// simply dropped on rollback.
+  std::vector<std::pair<std::uint64_t, DramRefreshBases>> bases;
 };
 
 class DramDevice {
@@ -340,13 +374,54 @@ class DramDevice {
   /// Merge a committed shard's statistic deltas into the device
   /// aggregates.  The caller splices the flips of all shards in global
   /// (order, seq) order and appends them via append_flip_event().
+  /// Also folds the delta's trr_refreshes into the tracker total so
+  /// the stats_.trr_refreshes == TrrTracker::refreshes_issued()
+  /// invariant holds across sharded batches.
   void merge_shard_stats(const DramStats& delta);
   void append_flip_event(const FlipEvent& flip) {
     flip_events_.push_back(flip);
   }
+  /// Apply a committed shard's buffered targeted-refresh baselines.
+  void merge_shard_bases(const DramShardSink& sink);
   /// Undo every row-counter and data-byte mutation a shard recorded,
   /// newest first, leaving the device as if the shard never ran.
   void rollback_shard(const DramShardSink& sink);
+
+  /// Snapshot of the device-global mitigation state a sharded batch
+  /// mutates outside the per-shard undo logs: the TRR tracker (per-bank
+  /// tables + refresh total), its refresh-window tag, and the PARA RNG.
+  /// The event loop captures one per mitigated batch and restores it on
+  /// rollback; on commit it is simply dropped.
+  struct MitigationSnapshot {
+    std::optional<TrrTracker> trr;
+    std::uint64_t trr_window = ~0ull;
+    Rng para_rng{0};
+  };
+  [[nodiscard]] MitigationSnapshot mitigation_snapshot() const {
+    return MitigationSnapshot{trr_, trr_window_, para_rng_};
+  }
+  void restore_mitigation_state(const MitigationSnapshot& snap) {
+    trr_ = snap.trr;
+    trr_window_ = snap.trr_window;
+    para_rng_ = snap.para_rng;
+  }
+  /// Roll the TRR tracker to the clock's current refresh window (reset
+  /// + retag) if it is stale.  The event loop calls this serially
+  /// before sharding a batch: the tracker window is device-global, so
+  /// the roll must never happen inside a shard (activate() checks).
+  void roll_trr_window();
+  /// Draft `n` PARA decisions from the global RNG in scalar activation
+  /// order into `out` (1 = refresh neighbors).  Returns the number of
+  /// RNG draws consumed: n for probabilities in (0,1); 0 for p >= 1,
+  /// which — matching Rng::next_bool() — decides true without drawing.
+  /// Requires PARA configured.
+  std::uint64_t para_predraw(std::uint64_t n, std::vector<std::uint8_t>& out);
+  /// TRR refreshes fired so far (0 when TRR is off).
+  [[nodiscard]] std::uint64_t trr_refreshes_issued() const {
+    return trr_.has_value() ? trr_->refreshes_issued() : 0;
+  }
+  /// PARA RNG stream position, for replay parity checks.
+  [[nodiscard]] const Rng& para_rng_state() const { return para_rng_; }
 
  private:
   /// Lazily allocated backing store of one row.
@@ -355,17 +430,9 @@ class DramDevice {
     std::vector<std::uint8_t> ecc;  // one check byte per 8 data bytes
   };
 
-  /// Exposure baselines: neighbor activation counts at the last targeted
-  /// refresh of a row (TRR/PARA), valid only within `window`.  The `2`
-  /// pair covers distance-2 neighbors (Half-Double).  Rows without an
-  /// entry (or with a stale one) have all-zero baselines.
-  struct RefreshBases {
-    std::uint64_t window = ~0ull;
-    std::uint64_t left = 0;
-    std::uint64_t right = 0;
-    std::uint64_t left2 = 0;
-    std::uint64_t right2 = 0;
-  };
+  /// See DramRefreshBases at namespace scope (hoisted there so the
+  /// shard sink can buffer baseline updates).
+  using RefreshBases = DramRefreshBases;
 
   /// A bitflip produced inside a batched hammer, waiting for the global
   /// (event, check-slot) sort that restores scalar emission order.
@@ -396,6 +463,13 @@ class DramDevice {
   void roll_window(std::uint64_t global_row);
   RowData& materialize(std::uint64_t global_row);
   [[nodiscard]] RefreshBases bases_of(std::uint64_t global_row) const;
+  /// Record a row's new baselines: into the bound shard sink's buffer,
+  /// or straight into refresh_bases_ on the sequential path.
+  void store_bases(std::uint64_t global_row, const RefreshBases& nb);
+  /// One PARA decision: consume the next pre-drawn slice entry under a
+  /// shard sink, else draw from the global RNG (one draw per decision
+  /// for p in (0,1); p >= 1 decides true without drawing).
+  [[nodiscard]] bool para_decide();
 
   /// Per-window activation count, rolling the window first.
   std::uint64_t acts_now(std::uint64_t global_row);
@@ -462,6 +536,10 @@ class DramDevice {
   std::uint64_t window_ns_ = 0;
   std::uint64_t trr_window_ = ~0ull;
   Rng para_rng_{0};  // re-seeded from config in the constructor
+  /// Rng::bool_threshold(para_probability) when it lies in (0,1); the
+  /// hot para_decide() path compares against this instead of re-doing
+  /// the float comparison per draw.
+  std::uint64_t para_threshold_ = 0;
   /// Open row per flat bank (kOpenPage policy); ~0 = none open.
   std::vector<std::uint64_t> open_rows_;
   DramStats stats_;

@@ -289,6 +289,19 @@ class Ftl {
   /// commit: its data page, plus a journal record page if its append
   /// fills one.  For the event loop's fault-horizon check.
   [[nodiscard]] std::uint64_t planned_write_programs() const;
+  /// DRAM activations a sharded single-row command performs, for the
+  /// event loop's plan-time PARA pre-draw: a gated read is one l2p_load
+  /// (`hammers_per_io` activations — one real read plus the repeat_read
+  /// amplification); a gated write is an l2p_load followed by an
+  /// l2p_store of the same shape, so twice that.  Exact only for the
+  /// commands the shard planner admits (single-row entries, no cache /
+  /// ECC / open-page) — which is precisely when the pre-draw is used.
+  [[nodiscard]] std::uint64_t planned_read_activations() const {
+    return config_.hammers_per_io;
+  }
+  [[nodiscard]] std::uint64_t planned_write_activations() const {
+    return 2ull * config_.hammers_per_io;
+  }
   /// Shard phase: the DRAM-side entry update for a reserved write.  The
   /// previously mapped PBA (needed by commit's validity accounting) is
   /// returned via `old_pba32`.

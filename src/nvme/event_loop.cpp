@@ -97,17 +97,31 @@ bool NvmeEventLoop::sharding_supported() const {
   Ftl& ftl = controller_.ftl();
   DramDevice& dram = ftl.dram();
   NandDevice& nand = ftl.nand();
-  if (controller_.config().rate_limit.has_value()) return false;
   if (ftl.powered_off() || ftl.needs_recovery()) return false;
   // An armed scrub interval advances per-IO state on every read.
   if (ftl.config().scrub_interval_ios > 0 && ftl.journal() != nullptr) {
     return false;
   }
+  // TRR, PARA, and a rate limiter do NOT gate sharding: the Misra–Gries
+  // tables are per bank (shard-disjoint) with refresh deltas merged at
+  // commit and a tracker snapshot restored on rollback; PARA decisions
+  // are pre-drawn from the global RNG serially at plan time in scalar
+  // activation order; token-bucket stalls are replayed on a draft copy
+  // of the limiter along the planned timeline.  The gates below are the
+  // mechanisms that remain inherently cross-bank or outside the shard
+  // undo logs:
+  //  * open-page row buffers — hit/miss accounting depends on the
+  //    global activation order across banks sharing a command stream;
+  //  * ECC — a scalar read scrubs corrupted words in place, and which
+  //    words are corrupted depends on the interleaving of flips and
+  //    reads within the batch;
+  //  * the CPU cache — one global LRU whose hit pattern is a function
+  //    of total command order;
+  //  * a non-inert NAND reliability model — every flash access draws
+  //    from a device-global RNG stream.
   const DramConfig& dc = dram.config();
   if (dc.row_buffer_policy != RowBufferPolicy::kClosedPage) return false;
-  if (dc.mitigations.ecc || dc.mitigations.trr ||
-      dc.mitigations.cache.has_value() ||
-      dc.mitigations.para_probability > 0.0) {
+  if (dc.mitigations.ecc || dc.mitigations.cache.has_value()) {
     return false;
   }
   const NandReliability& rel = nand.reliability();
@@ -250,22 +264,49 @@ bool NvmeEventLoop::plan_head(std::uint32_t stream, Planned* plan) const {
   return true;
 }
 
-std::uint64_t NvmeEventLoop::run_batch(std::vector<Planned>& batch) {
+std::uint64_t NvmeEventLoop::run_batch(
+    std::vector<Planned>& batch,
+    const std::optional<RateLimiter>& lim_draft) {
   RHSD_CHECK(!batch.empty());
   Ftl& ftl = controller_.ftl();
   DramDevice& dram = ftl.dram();
   NandDevice& nand = ftl.nand();
 
-  // Timeline: command i's body runs at the clock value the sequential
-  // loop would show — the batch-start clock plus every earlier
-  // command's service charge.
-  const std::uint64_t t0 = controller_.clock().now_ns();
-  std::uint64_t t = t0;
-  for (Planned& p : batch) {
-    p.start_ns = t;
-    p.cost_ns =
-        controller_.config().iops.service_ns(p.flash, nand.latency());
-    t += p.cost_ns;
+  // Timeline: the drafting loop already placed every command at the
+  // clock value the sequential loop would show (batch-start clock plus
+  // every earlier command's service charge, token-bucket stalls
+  // included).
+  RHSD_CHECK(batch.front().start_ns == controller_.clock().now_ns());
+  std::uint64_t total_cost = 0;
+  for (const Planned& p : batch) total_cost += p.cost_ns;
+
+  // Mitigation prologue, all serial.  Snapshot the device-global state
+  // the shards will advance outside the undo logs (TRR tracker + window
+  // tag, PARA RNG), roll the tracker into the current refresh window
+  // (the drafting loop never batches across a window boundary with TRR
+  // on), and pre-draw the batch's PARA stream in scalar activation
+  // order — exactly one decision per planned activation, sliced per
+  // command.
+  const DramConfig& dc = dram.config();
+  const bool trr_on = dc.mitigations.trr;
+  const bool para_on = dc.mitigations.para_probability > 0.0;
+  const bool mitigated = trr_on || para_on || lim_draft.has_value();
+  DramDevice::MitigationSnapshot mit_snap;
+  if (trr_on || para_on) {
+    mit_snap = dram.mitigation_snapshot();
+    dram.roll_trr_window();
+  }
+  std::vector<std::uint8_t> para_draws;
+  std::uint64_t predraw_draws = 0;
+  if (para_on) {
+    std::uint64_t total_acts = 0;
+    for (Planned& p : batch) {
+      p.acts = p.is_write ? ftl.planned_write_activations()
+                          : ftl.planned_read_activations();
+      p.para_offset = total_acts;
+      total_acts += p.acts;
+    }
+    predraw_draws = dram.para_predraw(total_acts, para_draws);
   }
 
   // Group by bank in first-touch order; each shard executes its
@@ -332,6 +373,13 @@ std::uint64_t NvmeEventLoop::run_batch(std::vector<Planned>& batch) {
           Planned& p = batch[idx];
           res.dram.now_ns = p.start_ns;
           res.dram.order = idx;
+          if (para_on) {
+            // Hand the command its pre-drawn PARA slice; para_decide()
+            // consumes one entry per activation.
+            res.dram.para_draws = para_draws.data();
+            res.dram.para_next = p.para_offset;
+            res.dram.para_end = p.para_offset + p.acts;
+          }
           if (p.is_write) {
             // Only the DRAM side of the write runs in the shard: bump
             // host_writes, read the old mapping, store the reserved
@@ -361,6 +409,13 @@ std::uint64_t NvmeEventLoop::run_batch(std::vector<Planned>& batch) {
             diverged.store(true, std::memory_order_relaxed);
             break;
           }
+          if (para_on && res.dram.para_next != res.dram.para_end) {
+            // The command performed fewer activations than the planner
+            // predicted, so every later command's slice is misaligned
+            // with the scalar RNG stream.  Roll back and replay.
+            diverged.store(true, std::memory_order_relaxed);
+            break;
+          }
         }
         DramDevice::bind_shard_sink(nullptr);
         Ftl::bind_shard_stats(nullptr);
@@ -374,9 +429,12 @@ std::uint64_t NvmeEventLoop::run_batch(std::vector<Planned>& batch) {
   if (!diverged.load(std::memory_order_relaxed)) {
     for (const ShardResult& res : results) {
       dram.merge_shard_stats(res.dram.stats);
+      dram.merge_shard_bases(res.dram);
       ftl.merge_shard_stats(res.ftl);
       nand.merge_shard_sink(res.nand);
     }
+    if (trr_on) stats_.trr_shard_merges += shards.size();
+    stats_.para_predraw_draws += predraw_draws;
     // Splice the shards' flips back into one global stream, ordered by
     // (command index, emission order within the command) — the order
     // the sequential loop would have emitted them in.
@@ -414,8 +472,13 @@ std::uint64_t NvmeEventLoop::run_batch(std::vector<Planned>& batch) {
       RHSD_CHECK_MSG(ws.ok(), "planned write commit cannot fail");
     }
     ftl.end_write_reservations();
+    if (lim_draft.has_value()) {
+      // The draft replayed every acquire() the sequential charges would
+      // have made; the drained copy IS the post-batch limiter state.
+      *controller_.rate_limiter() = *lim_draft;
+    }
     controller_.account_sharded_commands(batch.size() - n_writes, n_writes,
-                                         t - t0);
+                                         total_cost);
     // Advance the device-side fault streams past the batch: one host op
     // (kPowerLoss) and one L2P entry read (kDramBitError) per command,
     // one flash read per flash-class *read*.  The planner proved every
@@ -438,6 +501,7 @@ std::uint64_t NvmeEventLoop::run_batch(std::vector<Planned>& batch) {
     ++stats_.batches;
     stats_.sharded_commands += batch.size();
     stats_.sharded_writes += n_writes;
+    if (mitigated) stats_.mitigated_sharded_commands += batch.size();
   } else {
     // Roll every shard back byte-exactly (FTL/NAND sinks just drop) and
     // replay the drafted commands sequentially — same commands, same
@@ -451,6 +515,13 @@ std::uint64_t NvmeEventLoop::run_batch(std::vector<Planned>& batch) {
     // from pristine state.
     for (const ShardResult& res : results) {
       dram.rollback_shard(res.dram);
+    }
+    if (trr_on || para_on) {
+      // The shards advanced the per-bank TRR tables in place and the
+      // prologue consumed the PARA RNG; both live outside the undo
+      // logs, so restore the whole-state snapshot (the buffered sink
+      // baselines are simply dropped).
+      dram.restore_mitigation_state(mit_snap);
     }
     ftl.rollback_write_reservations();
     ++stats_.rollbacks;
@@ -577,9 +648,19 @@ std::uint64_t NvmeEventLoop::run_until_idle() {
   std::uint64_t batch_programs = 0;
   std::unordered_set<std::uint64_t> pending_write_lbas;
   BufferAliasMap aliases;
+  // Draft-time timeline and rate-limiter replay: draft_t tracks the
+  // clock value each drafted command's body will run at, and lim_draft
+  // is a copy of the live limiter on which the per-command acquire()
+  // stalls are replayed serially — the live limiter moves only when the
+  // batch commits (assignment) or rolls back (sequential re-acquire).
+  std::uint64_t draft_t = 0;
+  std::optional<RateLimiter> lim_draft;
+  const bool trr_on = ftl.dram().config().mitigations.trr;
+  const std::uint64_t window_ns = ftl.dram().refresh_window_ns();
   const auto flush = [&] {
     if (batch.empty()) return;
-    retired += run_batch(batch);
+    retired += run_batch(batch, lim_draft);
+    lim_draft.reset();
     batch.clear();
     batch_flash_reads = 0;
     batch_programs = 0;
@@ -600,6 +681,15 @@ std::uint64_t NvmeEventLoop::run_until_idle() {
     const bool device_up =
         !fault_aware || (!ftl.powered_off() && !ftl.needs_recovery());
     Planned plan;
+    if (trr_on && !batch.empty() &&
+        draft_t / window_ns != batch.front().start_ns / window_ns) {
+      // The candidate's body would run in a later refresh window than
+      // the batch started in.  The TRR tracker and its window tag are
+      // device-global — the roll (reset + retag) must happen serially,
+      // never inside a shard — so cut the batch at the boundary; the
+      // next batch's prologue rolls the tracker before sharding.
+      flush();
+    }
     if (!device_up || !plan_head(stream, &plan)) {
       // Non-shardable head (or degraded device).  Commit what is
       // drafted, then run this one pick through the full sequential
@@ -675,6 +765,28 @@ std::uint64_t NvmeEventLoop::run_until_idle() {
       aliases.add(buf.data(), buf.data() + buf.size(), plan.bank);
       batch_flash_reads += plan.flash ? 1 : 0;
     }
+    if (batch.empty()) {
+      // First command of a fresh batch: anchor the drafted timeline at
+      // the live clock and fork the limiter replay copy.
+      draft_t = controller_.clock().now_ns();
+      if (RateLimiter* lim = controller_.rate_limiter(); lim != nullptr) {
+        lim_draft = *lim;
+      }
+    }
+    plan.start_ns = draft_t;
+    std::uint64_t cost =
+        controller_.config().iops.service_ns(plan.flash,
+                                             ftl.nand().latency());
+    if (lim_draft.has_value()) {
+      // Exactly the acquire() the sequential charge() would make at
+      // this command's clock value; charge() folds the stall into the
+      // command's service charge, so the drafted cost does too.
+      const std::uint64_t stall = lim_draft->acquire(draft_t);
+      if (stall > 0) ++stats_.rate_limit_plan_stalls;
+      cost += stall;
+    }
+    plan.cost_ns = cost;
+    draft_t += cost;
     plan.cmd = streams_[stream].qp->take_submission();
     batch.push_back(std::move(plan));
     ++drafted[stream];

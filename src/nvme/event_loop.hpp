@@ -52,11 +52,13 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "exec/thread_pool.hpp"
 #include "nvme/queue_pair.hpp"
+#include "nvme/rate_limiter.hpp"
 
 namespace rhsd {
 
@@ -116,6 +118,17 @@ struct EventLoopStats {
   std::uint64_t sharded_writes = 0;  // writes committed via shard drafting
   std::uint64_t write_reserve_flushes = 0;  // allocator refused a reservation
   std::uint64_t rw_conflict_flushes = 0;  // read hit a drafted write's LBA
+  /// Mitigation-aware sharding visibility (perf gates assert these are
+  /// non-zero when a mitigated config claims to run sharded).
+  /// Commands committed on the shard path with TRR, PARA, or a rate
+  /// limiter active.
+  std::uint64_t mitigated_sharded_commands = 0;
+  /// PARA RNG draws consumed by plan-time pre-draws.
+  std::uint64_t para_predraw_draws = 0;
+  /// Shards whose TRR refresh deltas were folded back at batch commit.
+  std::uint64_t trr_shard_merges = 0;
+  /// Draft-time RateLimiter::acquire calls that returned a stall > 0.
+  std::uint64_t rate_limit_plan_stalls = 0;
 };
 
 class NvmeEventLoop {
@@ -143,12 +156,16 @@ class NvmeEventLoop {
   [[nodiscard]] std::size_t stream_count() const { return streams_.size(); }
 
   /// True when the device/mitigation configuration admits sharded
-  /// execution right now: no rate limiter, closed-page DRAM with no
-  /// cache/ECC/TRR/PARA, inert NAND reliability model, scrub disabled,
-  /// device powered and recovered.  Fault injectors do NOT gate the
-  /// sharded path: the batch planner consults their op counters and
-  /// flushes before any scheduled fault, so every injected fault fires
-  /// on the sequential machinery at its exact op index.
+  /// execution right now: closed-page DRAM with no cache/ECC, inert
+  /// NAND reliability model, scrub disabled, device powered and
+  /// recovered.  TRR, PARA, and a rate limiter do NOT gate it: the
+  /// per-bank TRR tables shard with commit-merged refresh deltas, PARA
+  /// decisions are pre-drawn serially at plan time, and token-bucket
+  /// stalls are computed on a draft copy of the limiter along the
+  /// planned timeline.  Fault injectors do NOT gate it either: the
+  /// batch planner consults their op counters and flushes before any
+  /// scheduled fault, so every injected fault fires on the sequential
+  /// machinery at its exact op index.
   [[nodiscard]] bool sharding_supported() const;
 
  private:
@@ -179,7 +196,11 @@ class NvmeEventLoop {
     std::uint64_t write_seq = 0;
     std::uint32_t old_pba32 = 0;  // pre-write mapping (shard-recorded)
     std::uint64_t start_ns = 0;   // planned clock at body execution
-    std::uint64_t cost_ns = 0;    // planned service cost
+    std::uint64_t cost_ns = 0;    // planned service cost (incl. stalls)
+    /// PARA pre-draw slice: this command consumes `acts` decisions
+    /// starting at `para_offset` in the batch's pre-drawn stream.
+    std::uint64_t acts = 0;
+    std::uint64_t para_offset = 0;
     bool flash_actual = false;
     Status status;
   };
@@ -194,9 +215,13 @@ class NvmeEventLoop {
   bool plan_head(std::uint32_t stream, Planned* plan) const;
 
   /// Execute a drafted batch: shard by bank, run in parallel, then
-  /// commit or roll back + replay sequentially.  Returns commands
-  /// retired (always the batch size).
-  std::uint64_t run_batch(std::vector<Planned>& batch);
+  /// commit or roll back + replay sequentially.  `lim_draft` is the
+  /// rate-limiter copy the drafting loop replayed acquire() on (empty
+  /// when no limiter is configured); on commit it is assigned back to
+  /// the controller's live limiter.  Returns commands retired (always
+  /// the batch size).
+  std::uint64_t run_batch(std::vector<Planned>& batch,
+                          const std::optional<RateLimiter>& lim_draft);
 
   /// Run one command of `stream` through the full sequential machinery
   /// (NvmeQueuePair::process) with failure-domain bookkeeping: degraded

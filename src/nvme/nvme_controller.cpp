@@ -67,8 +67,6 @@ void NvmeController::account_sharded_commands(std::uint64_t n_reads,
                                               std::uint64_t total_cost_ns) {
   const std::uint64_t n_cmds = n_reads + n_writes;
   if (n_cmds == 0) return;
-  RHSD_CHECK_MSG(!limiter_.has_value(),
-                 "sharded accounting cannot model a rate limiter");
   if (!any_cmd_) {
     any_cmd_ = true;
     first_cmd_ns_ = clock_.now_ns();

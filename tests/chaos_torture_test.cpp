@@ -110,7 +110,9 @@ struct StormResult {
   std::vector<std::string> violations;  // invariant failures (empty = ok)
   std::uint64_t digest = 0;
   EventLoopStats loop;
-  std::uint64_t injected = 0;  // faults actually fired
+  std::uint64_t injected = 0;       // faults actually fired
+  std::uint64_t trr_refreshes = 0;  // device-total TRR refreshes
+  std::uint64_t para_refreshes = 0;
 };
 
 /// Drive the 8-tenant chaos scripts through one SsdDevice under the
@@ -120,11 +122,20 @@ struct StormResult {
 /// paper's own attack, not a harness bug).
 StormResult RunStorm(const FaultPlan& plan, std::uint64_t seed,
                      ArbitrationPolicy policy, unsigned threads,
-                     bool check_data, std::uint32_t retry_attempts = 1) {
+                     bool check_data, std::uint32_t retry_attempts = 1,
+                     bool mitigated = false) {
   SsdConfig cfg = test::SmallSsd();
   cfg.partition_blocks.assign(kTenants, cfg.num_lbas() / kTenants);
   cfg.dram_profile = DramProfile::Invulnerable();
   cfg.fault_plan = plan;
+  if (mitigated) {
+    // TRR + PARA live through the storm: the shard path must merge
+    // tracker deltas and consume pre-drawn PARA slices deterministically
+    // while faults cut batches and force rollbacks around them.
+    cfg.dram_mitigations.trr = true;
+    cfg.dram_mitigations.trr_config.activation_threshold = 100;
+    cfg.dram_mitigations.para_probability = 1.0 / 64;
+  }
   const std::uint64_t per = cfg.num_lbas() / kTenants;
 
   SsdDevice ssd(cfg);
@@ -243,6 +254,11 @@ StormResult RunStorm(const FaultPlan& plan, std::uint64_t seed,
     }
     res.injected = ssd.fault_injector()->log().size();
   }
+  // Mitigation machinery state is part of the determinism contract.
+  res.trr_refreshes = ssd.dram().trr_refreshes_issued();
+  res.para_refreshes = ssd.dram().stats().para_refreshes;
+  dig.add(res.trr_refreshes);
+  dig.add(res.para_refreshes);
   res.digest = dig.h;
   res.loop = loop.stats();
   return res;
@@ -349,8 +365,48 @@ TEST(ChaosTorture, DramErrorCascadeIsDeterministic) {
   }
 }
 
+// Storm 4: the media/transport mix with TRR + PARA live.  Mitigated
+// configs ride the shard path now, so the whole mitigation machinery —
+// per-bank tracker merges, PARA pre-draw slices, snapshot rollbacks
+// around faulted batches — must replay bit-identically on any thread
+// count, with the refresh counts folded into the digest.
+TEST(ChaosTorture, MitigatedStormStaysDeterministic) {
+  const std::uint64_t seed = RHSD_CHAOS_SEED + 4;
+  FaultRates rates;
+  rates.nand_read = 0.01;
+  rates.nvme_timeout = 0.008;
+  rates.nvme_drop = 0.008;
+  const FaultPlan plan = FaultPlan::Random(seed, rates, /*horizon=*/1500);
+  for (const ArbitrationPolicy policy :
+       {ArbitrationPolicy::kRoundRobin, ArbitrationPolicy::kWeighted}) {
+    const StormResult ref = RunStorm(plan, seed, policy, /*threads=*/0,
+                                     /*check_data=*/true,
+                                     /*retry_attempts=*/2,
+                                     /*mitigated=*/true);
+    EXPECT_GT(ref.injected, 0u) << "storm never fired";
+    EXPECT_GT(ref.trr_refreshes, 0u) << "TRR never engaged";
+    EXPECT_GT(ref.para_refreshes, 0u) << "PARA never engaged";
+    for (const std::string& v : ref.violations) ADD_FAILURE() << v;
+    for (const unsigned threads : {2u, 5u}) {
+      const StormResult got = RunStorm(plan, seed, policy, threads,
+                                       /*check_data=*/true,
+                                       /*retry_attempts=*/2,
+                                       /*mitigated=*/true);
+      SCOPED_TRACE(::testing::Message() << "policy=" << to_string(policy)
+                                        << " threads=" << threads);
+      for (const std::string& v : got.violations) ADD_FAILURE() << v;
+      EXPECT_GT(got.loop.sharded_commands, 0u);
+      EXPECT_GT(got.loop.mitigated_sharded_commands, 0u);
+      EXPECT_GT(got.loop.trr_shard_merges, 0u);
+      EXPECT_GT(got.loop.para_predraw_draws, 0u);
+      EXPECT_EQ(ref.digest, got.digest) << "nondeterministic mitigation";
+    }
+    PrintDigest("mitigated_mix", seed, policy, ref.digest);
+  }
+}
+
 // ---------------------------------------------------------------------
-// Storm 4: power losses mid-chaos.  Needs a component-level rig (the
+// Storm 5: power losses mid-chaos.  Needs a component-level rig (the
 // NAND must survive the reboot), a journal, and a recovery loop.
 
 constexpr std::uint64_t kPlTenants = 8;

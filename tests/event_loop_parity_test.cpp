@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "exec/thread_pool.hpp"
 #include "ftl/l2p_journal.hpp"
 #include "nvme/event_loop.hpp"
@@ -76,6 +77,12 @@ struct Outcome {
   std::vector<FlipEvent> flips;
   std::vector<std::uint32_t> l2p;
   EventLoopStats loop;
+  /// Mitigation machinery state: the device-total TRR refresh count and
+  /// the PARA RNG stream position.  Sharded TRR delta merges and PARA
+  /// pre-draw slices must leave both exactly where scalar execution
+  /// leaves them.
+  std::uint64_t trr_refreshes = 0;
+  Rng para_rng{0};
   /// Injected faults actually fired, in order (empty fault plan: empty).
   std::vector<InjectionRecord> injected;
   /// Journal writer position and raw journal-block NAND contents —
@@ -160,6 +167,8 @@ Outcome Drive(const SsdConfig& cfg, const std::vector<Script>& scripts,
     out.l2p.push_back(ssd.ftl().debug_lookup(Lba(lba)));
   }
   out.loop = loop.stats();
+  out.trr_refreshes = ssd.dram().trr_refreshes_issued();
+  out.para_rng = ssd.dram().para_rng_state();
   if (ssd.fault_injector() != nullptr) {
     out.injected = ssd.fault_injector()->log();
   }
@@ -204,6 +213,9 @@ void ExpectSameOutcome(const Outcome& ref, const Outcome& got) {
   EXPECT_EQ(ref.dram.ecc_corrected, got.dram.ecc_corrected);
   EXPECT_EQ(ref.dram.trr_refreshes, got.dram.trr_refreshes);
   EXPECT_EQ(ref.dram.para_refreshes, got.dram.para_refreshes);
+  EXPECT_EQ(ref.trr_refreshes, got.trr_refreshes);
+  EXPECT_TRUE(ref.para_rng == got.para_rng)
+      << "PARA RNG stream position diverged";
 
   EXPECT_EQ(ref.ftl.host_reads, got.ftl.host_reads);
   EXPECT_EQ(ref.ftl.host_writes, got.ftl.host_writes);
@@ -593,11 +605,228 @@ TEST(EventLoopParity, QuarantineKeepsShardedParity) {
   }
 }
 
+// Mitigated configs no longer gate the shard path: TRR tables shard
+// per bank with commit-time delta merges, PARA consumes a plan-time
+// pre-drawn slice of the global RNG stream, and rate-limiter stalls
+// are computed serially at draft time on a limiter copy.  Every
+// observable — including the device-total TRR refresh count and the
+// PARA RNG stream position — must stay bit-identical to the
+// sequential interleaving, across seeds, thread counts, arbitration
+// policies, and the TRRespass single-tracker thrash regime.
+TEST(EventLoopParity, MitigatedConfigsShardBitExact) {
+  struct Variant {
+    const char* name;
+    bool trr;
+    std::uint32_t trackers;
+    double para;
+    bool limited;
+  };
+  constexpr Variant kVariants[] = {
+      {"trr", true, 4, 0.0, false},
+      {"trr-thrash", true, 1, 0.0, false},
+      {"para", false, 4, 1.0 / 64, false},
+      {"trr+para", true, 4, 1.0 / 64, false},
+      {"rate-limit", false, 4, 0.0, true},
+  };
+  constexpr std::uint32_t kStreams = 2;
+  for (const Variant& v : kVariants) {
+    SsdConfig cfg = PartitionedSsd(kStreams);
+    cfg.dram_profile.min_rate_kaccess_s = 2.0;  // flips at 256..384 acts
+    if (v.trr) {
+      cfg.dram_mitigations.trr = true;
+      cfg.dram_mitigations.trr_config.trackers_per_bank = v.trackers;
+      cfg.dram_mitigations.trr_config.activation_threshold = 200;
+    }
+    cfg.dram_mitigations.para_probability = v.para;
+    // Cap far below the effective command rate so draft-time stalls
+    // actually fire.
+    if (v.limited) cfg.rate_limit = RateLimiterConfig{5e3, 2.0};
+    const std::uint64_t partition = cfg.num_lbas() / kStreams;
+    for (const std::uint64_t seed : {3ull, 17ull}) {
+      // Stream 0 hammers two fixed (unmapped) entry rows hard enough
+      // to cross the TRR threshold and feed PARA draws; stream 1 runs
+      // a mixed mapped workload so writes ride the same batches.
+      std::vector<Script> scripts(kStreams);
+      for (int round = 0; round < 500; ++round) {
+        scripts[0].push_back({false, 0});
+        scripts[0].push_back({false, 128});
+      }
+      WorkloadConfig wc;
+      wc.pattern = AccessPattern::kZipfLike;
+      wc.working_set = partition;
+      wc.write_fraction = 0.3;
+      wc.seed = seed;
+      WorkloadGenerator gen(wc);
+      for (int i = 0; i < 500; ++i) {
+        const WorkloadOp op = gen.next();
+        scripts[1].push_back({op.is_write, op.slba});
+      }
+      for (const ArbitrationPolicy policy :
+           {ArbitrationPolicy::kRoundRobin, ArbitrationPolicy::kWeighted}) {
+        EventLoopConfig seq;
+        seq.policy = policy;
+        seq.seed = seed;
+        seq.sharded = false;
+        const Outcome ref = Drive(cfg, scripts, seq);
+        SCOPED_TRACE(::testing::Message()
+                     << "variant=" << v.name << " seed=" << seed
+                     << " policy=" << to_string(policy));
+        // The fixture must actually engage the mitigation under test.
+        if (v.trr) {
+          EXPECT_GT(ref.trr_refreshes, 0u);
+        }
+        if (v.para > 0.0) {
+          EXPECT_GT(ref.dram.para_refreshes, 0u);
+        }
+        EXPECT_EQ(ref.loop.mitigated_sharded_commands, 0u);
+        for (const unsigned threads : {2u, 5u}) {
+          exec::ThreadPool pool(threads);
+          EventLoopConfig par;
+          par.policy = policy;
+          par.seed = seed;
+          par.sharded = true;
+          par.pool = &pool;
+          const Outcome got = Drive(cfg, scripts, par);
+          SCOPED_TRACE(::testing::Message() << "threads=" << threads);
+          // Mitigated traffic must take the shard fast path, not fall
+          // back to sequential.
+          EXPECT_GT(got.loop.sharded_commands, 0u);
+          EXPECT_GT(got.loop.mitigated_sharded_commands, 0u);
+          if (v.trr) {
+            EXPECT_GT(got.loop.trr_shard_merges, 0u);
+          }
+          if (v.para > 0.0) {
+            EXPECT_GT(got.loop.para_predraw_draws, 0u);
+          }
+          if (v.limited) {
+            EXPECT_GT(got.loop.rate_limit_plan_stalls, 0u);
+          }
+          ExpectSameOutcome(ref, got);
+        }
+      }
+    }
+  }
+}
+
+// Engineered mid-batch rollback under TRR+PARA: the class-flip fixture
+// from EngineeredClassFlipForcesRollback with both DRAM mitigations
+// live.  When a flip invalidates drafted plans, rollback must restore
+// the TRR tracker tables and the PARA RNG to their pre-batch snapshots
+// byte-exactly before the sequential replay re-executes the batch —
+// any slack shows up as a diverged refresh count or RNG position.
+TEST(EventLoopParity, MitigatedRollbackRestoresTrackerAndRng) {
+  constexpr std::uint32_t kStreams = 2;
+  SsdConfig cfg = PartitionedSsd(kStreams);
+  cfg.dram_profile.min_rate_kaccess_s = 2.0;  // threshold: 256..384 acts
+  cfg.dram_profile.max_cells_per_row = 32;    // many candidate cells
+  // TRR threshold sits just above the flip threshold, so flips still
+  // land (forcing rollbacks) while the tracker keeps firing; PARA is
+  // weak enough not to suppress the hammering but advances the RNG on
+  // every activation.
+  cfg.dram_mitigations.trr = true;
+  cfg.dram_mitigations.trr_config.activation_threshold = 400;
+  cfg.dram_mitigations.para_probability = 1.0 / 4096;
+  const std::uint64_t partition = cfg.num_lbas() / kStreams;
+  const auto owner = [&](std::uint64_t lba) {
+    return static_cast<std::uint32_t>(lba / partition);
+  };
+
+  std::map<std::uint64_t, std::vector<std::uint64_t>> row_lbas;
+  {
+    SsdDevice probe(cfg);
+    const DramGeometry& geom = probe.dram().mapper().geometry();
+    for (std::uint64_t lba = 0; lba < cfg.num_lbas(); ++lba) {
+      const DramCoord c = probe.dram().mapper().decode(
+          probe.ftl().layout().entry_addr(lba));
+      row_lbas[c.global_row(geom)].push_back(lba);
+    }
+  }
+  const std::uint32_t rows_per_bank = cfg.dram_geometry.rows_per_bank;
+  std::uint64_t victim_row = 0;
+  std::vector<std::uint64_t> victims;
+  std::vector<std::uint64_t> aggressors;
+  for (const auto& [row, lbas] : row_lbas) {
+    const std::uint32_t v = owner(lbas.front());
+    bool uniform = true;
+    for (const std::uint64_t lba : lbas) uniform &= owner(lba) == v;
+    if (!uniform) continue;
+    std::vector<std::uint64_t> aggr;
+    for (const std::int64_t d : {std::int64_t{-1}, std::int64_t{1}}) {
+      const std::uint64_t nrow = row + static_cast<std::uint64_t>(d);
+      if (d < 0 && row % rows_per_bank == 0) continue;
+      if (nrow / rows_per_bank != row / rows_per_bank) continue;
+      const auto it = row_lbas.find(nrow);
+      if (it != row_lbas.end()) aggr.push_back(it->second.front());
+    }
+    if (aggr.size() > aggressors.size()) {
+      victim_row = row;
+      victims = lbas;
+      aggressors = aggr;
+    }
+  }
+  ASSERT_FALSE(victims.empty());
+  ASSERT_FALSE(aggressors.empty());
+  const std::uint32_t victim_stream = owner(victims.front());
+
+  std::vector<std::uint64_t> filler(kStreams, UINT64_MAX);
+  for (const auto& [row, lbas] : row_lbas) {
+    const std::uint64_t dist =
+        row > victim_row ? row - victim_row : victim_row - row;
+    if (dist <= 2) continue;
+    for (const std::uint64_t lba : lbas) {
+      if (filler[owner(lba)] == UINT64_MAX) filler[owner(lba)] = lba;
+    }
+  }
+  std::vector<Script> scripts(kStreams);
+  for (const std::uint64_t v : victims) {
+    scripts[victim_stream].push_back({true, v % partition});
+  }
+  for (std::uint32_t s = 0; s < kStreams; ++s) {
+    if (s == victim_stream) continue;
+    ASSERT_NE(filler[s], UINT64_MAX);
+    for (std::size_t i = 0; i < victims.size(); ++i) {
+      scripts[s].push_back({false, filler[s] % partition});
+    }
+  }
+  ASSERT_NE(filler[victim_stream], UINT64_MAX);
+  for (int i = 0; i < 1500; ++i) {
+    const std::uint64_t a = aggressors[i % aggressors.size()];
+    scripts[owner(a)].push_back({false, a % partition});
+    scripts[victim_stream].push_back(
+        {false, victims[i % victims.size()] % partition});
+    if (i % 5 == 0) {
+      scripts[victim_stream].push_back(
+          {true, filler[victim_stream] % partition});
+    }
+  }
+
+  EventLoopConfig seq;
+  seq.sharded = false;
+  const Outcome ref = Drive(cfg, scripts, seq, /*depth=*/64);
+  EXPECT_GT(ref.flips.size(), 0u);
+  EXPECT_GT(ref.trr_refreshes, 0u);
+  for (const unsigned threads : {2u, 5u}) {
+    exec::ThreadPool pool(threads);
+    EventLoopConfig par;
+    par.sharded = true;
+    par.pool = &pool;
+    const Outcome got = Drive(cfg, scripts, par, /*depth=*/64);
+    SCOPED_TRACE(::testing::Message() << "threads=" << threads);
+    // The fixture exists to drive the rollback path with live
+    // mitigation state in the invalidated batches.
+    EXPECT_GE(got.loop.rollbacks, 1u);
+    EXPECT_GT(got.loop.mitigated_sharded_commands, 0u);
+    ExpectSameOutcome(ref, got);
+  }
+}
+
 // With any shard-incompatible knob set, the loop must notice and stay
-// on the sequential path (still correct, no sinks involved).
+// on the sequential path (still correct, no sinks involved).  ECC
+// scrubs rewrite entry rows in place as a side effect of reads, so it
+// remains gated even now that TRR/PARA/rate-limiting shard.
 TEST(EventLoopParity, GatedConfigFallsBackToSequential) {
   SsdConfig cfg = PartitionedSsd(2);
-  cfg.dram_mitigations.trr = true;
+  cfg.dram_mitigations.ecc = true;
   const auto scripts =
       MakeScripts(2, 50, cfg.num_lbas() / 2, /*write_fraction=*/0.1, 3);
   exec::ThreadPool pool(3);
